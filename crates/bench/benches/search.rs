@@ -1,0 +1,71 @@
+//! Criterion bench for the MATE search — the run-time row of Table 1.
+//!
+//! The full-parameter table runs live in the `table1` binary; this bench
+//! tracks the search throughput with a reduced candidate budget so it
+//! finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mate::{ff_wires, search_design, search_wire, SearchConfig, SearchStrategy};
+use mate_cores::{AvrSystem, Msp430System};
+use mate_netlist::examples::tmr_register;
+
+fn bench_config() -> SearchConfig {
+    SearchConfig {
+        max_terms: 8,
+        max_candidates: 500,
+        ..SearchConfig::default()
+    }
+}
+
+fn search_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mate_search");
+    group.sample_size(10);
+
+    // Small circuit: full-precision single-wire search.
+    let (tmr, tmr_topo) = tmr_register();
+    let r0 = tmr.find_net("r0").unwrap();
+    group.bench_function("tmr_single_wire", |b| {
+        b.iter(|| search_wire(&tmr, &tmr_topo, r0, &SearchConfig::default()))
+    });
+
+    // CPU cores: whole-design search with the reduced bench budget.
+    let avr = AvrSystem::new();
+    let avr_wires = ff_wires(avr.netlist(), avr.topology());
+    let msp = Msp430System::new();
+    let msp_wires = ff_wires(msp.netlist(), msp.topology());
+
+    for (name, netlist, topo, wires) in [
+        ("avr", avr.netlist(), avr.topology(), &avr_wires),
+        ("msp430", msp.netlist(), msp.topology(), &msp_wires),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("design_repair", name),
+            &(netlist, topo, wires),
+            |b, (netlist, topo, wires)| {
+                b.iter(|| search_design(netlist, topo, wires, &bench_config()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("design_exhaustive", name),
+            &(netlist, topo, wires),
+            |b, (netlist, topo, wires)| {
+                b.iter(|| {
+                    search_design(
+                        netlist,
+                        topo,
+                        wires,
+                        &SearchConfig {
+                            strategy: SearchStrategy::Exhaustive,
+                            ..bench_config()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_benches);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! * path-enumeration depth (paper parameter 1),
+//! * maximum terms per MATE (paper parameter 2),
+//! * candidate budget (paper parameter 3),
+//! * candidate-construction strategy (paper's combination search vs. this
+//!   library's goal-directed repair),
+//! * masked% as a function of the selected top-N (the saturation claim of
+//!   Section 5.3).
+//!
+//! Runs on the AVR core with fib(); pass `--fast` for a reduced sweep.
+//!
+//! ```text
+//! cargo run -p mate-bench --bin ablation --release
+//! ```
+
+use mate::eval::evaluate;
+use mate::{search_design, select_top_n, SearchConfig, SearchStrategy};
+use mate_bench::{table_search_config, WireSets};
+use mate_cores::avr::programs;
+use mate_cores::{AvrSystem, Termination};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cycles = if fast { 2000 } else { 8500 };
+
+    let sys = AvrSystem::new();
+    let sets = WireSets::of(sys.netlist(), sys.topology());
+    let run = sys.run(&programs::fib(Termination::Loop), &[], cycles);
+    let base = SearchConfig {
+        max_candidates: if fast { 5_000 } else { 20_000 },
+        ..table_search_config()
+    };
+
+    let measure = |cfg: &SearchConfig| -> (usize, usize, f64, f64, f64) {
+        let ds = search_design(sys.netlist(), sys.topology(), &sets.all, cfg);
+        let unmaskable = ds.stats.unmaskable;
+        let secs = ds.stats.run_time.as_secs_f64();
+        let mates = ds.into_mate_set();
+        let all = 100.0 * evaluate(&mates, &run.trace, &sets.all).masked_fraction();
+        let norf = 100.0 * evaluate(&mates, &run.trace, &sets.no_rf).masked_fraction();
+        (mates.len(), unmaskable, all, norf, secs)
+    };
+
+    println!("## Ablations (AVR, fib(), {cycles} cycles)");
+    println!("baseline config: {base:?}");
+    println!();
+
+    println!("### Path-enumeration depth");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12} {:>8}",
+        "depth", "#MATEs", "#unmaskable", "FF %", "w/o RF %", "time"
+    );
+    let depths: &[usize] = if fast { &[2, 5, 8] } else { &[2, 4, 6, 8, 10] };
+    for &depth in depths {
+        let (m, u, all, norf, secs) = measure(&SearchConfig { depth, ..base });
+        println!("{depth:>6} {m:>8} {u:>12} {all:>9.2}% {norf:>11.2}% {secs:>7.1}s");
+    }
+
+    println!();
+    println!("### Maximum gate-masking terms per MATE");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12} {:>8}",
+        "terms", "#MATEs", "#unmaskable", "FF %", "w/o RF %", "time"
+    );
+    let terms: &[usize] = if fast { &[2, 4, 8] } else { &[1, 2, 4, 6, 8, 10] };
+    for &max_terms in terms {
+        let (m, u, all, norf, secs) = measure(&SearchConfig { max_terms, ..base });
+        println!("{max_terms:>6} {m:>8} {u:>12} {all:>9.2}% {norf:>11.2}% {secs:>7.1}s");
+    }
+
+    println!();
+    println!("### Candidate budget per wire");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>8}",
+        "budget", "#MATEs", "FF %", "w/o RF %", "time"
+    );
+    let budgets: &[usize] = if fast {
+        &[500, 2_000, 5_000]
+    } else {
+        &[1_000, 5_000, 20_000, 50_000]
+    };
+    for &max_candidates in budgets {
+        let (m, _, all, norf, secs) = measure(&SearchConfig {
+            max_candidates,
+            ..base
+        });
+        println!("{max_candidates:>8} {m:>8} {all:>9.2}% {norf:>11.2}% {secs:>7.1}s");
+    }
+
+    println!();
+    println!("### Strategy: paper-style combination search vs. goal-directed repair");
+    println!(
+        "{:>12} {:>8} {:>12} {:>10} {:>12} {:>8}",
+        "strategy", "#MATEs", "#unmaskable", "FF %", "w/o RF %", "time"
+    );
+    for (name, strategy) in [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("repair", SearchStrategy::Repair),
+    ] {
+        let (m, u, all, norf, secs) = measure(&SearchConfig { strategy, ..base });
+        println!("{name:>12} {m:>8} {u:>12} {all:>9.2}% {norf:>11.2}% {secs:>7.1}s");
+    }
+
+    println!();
+    println!("### Masked%% vs. selected top-N (w/o RF wire set)");
+    let ds = search_design(sys.netlist(), sys.topology(), &sets.all, &base);
+    let mates = ds.into_mate_set();
+    let full = 100.0 * evaluate(&mates, &run.trace, &sets.no_rf).masked_fraction();
+    println!("{:>6} {:>10}", "N", "w/o RF %");
+    for n in [1, 5, 10, 25, 50, 100, 200, 400] {
+        let sel = select_top_n(&mates, &run.trace, &sets.no_rf, n);
+        let pct = 100.0 * evaluate(&sel, &run.trace, &sets.no_rf).masked_fraction();
+        println!("{n:>6} {pct:>9.2}%");
+    }
+    println!("{:>6} {full:>9.2}%  (full set of {} MATEs)", "all", mates.len());
+}

@@ -1,0 +1,95 @@
+//! Regenerates Figure 1 of the paper: the example fault cone (1a) and the
+//! per-cycle fault-space pruning dot matrix (1b).
+//!
+//! ```text
+//! cargo run -p mate-bench --bin figure1
+//! ```
+
+use mate::eval::evaluate;
+use mate::{ff_wires, search_design, search_wire, SearchConfig};
+use mate_netlist::examples::{figure1, figure1b};
+use mate_netlist::FaultCone;
+use mate_sim::{InputWave, Testbench};
+
+fn main() {
+    let config = SearchConfig::default();
+
+    // ------------------------------------------------------------------
+    // Figure 1a: fault cone and MATEs of the example circuit.
+    // ------------------------------------------------------------------
+    let (n, topo) = figure1();
+    println!("## Figure 1a: fault cones of the example circuit");
+    println!("(gates: A=NAND2(a,b)->f  B=XOR2(c,d)->g  C=INV(e)->h  D=AND2(g,f)->k  E=OR2(g,h)->l)");
+    println!();
+    for name in ["a", "b", "c", "d", "e"] {
+        let w = n.find_net(name).unwrap();
+        let cone = FaultCone::compute(&n, &topo, w);
+        let cone_gates: Vec<&str> = cone.cells().iter().map(|&c| n.cell(c).name()).collect();
+        let border: Vec<&str> = cone
+            .border_nets(&n)
+            .iter()
+            .map(|&b| n.net(b).name())
+            .collect();
+        let result = search_wire(&n, &topo, w, &config);
+        print!(
+            "wire {name}: cone gates {{{}}}, border wires {{{}}} -> ",
+            cone_gates.join(","),
+            border.join(",")
+        );
+        if result.unmaskable {
+            println!("no MATE (unmaskable)");
+        } else if result.mates.is_empty() {
+            println!("no MATE found");
+        } else {
+            let terms: Vec<String> = result
+                .mates
+                .iter()
+                .map(|m| {
+                    m.cube
+                        .literals()
+                        .map(|(net, pol)| {
+                            format!("{}{}", if pol { "" } else { "¬" }, n.net(net).name())
+                        })
+                        .collect::<Vec<_>>()
+                        .join("∧")
+                })
+                .collect();
+            println!("MATEs: {}", terms.join(", "));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 1b: fault-space pruning over 8 cycles of the sequential
+    // example.
+    // ------------------------------------------------------------------
+    let (n, topo) = figure1b();
+    let wires = ff_wires(&n, &topo);
+    let mates = search_design(&n, &topo, &wires, &config).into_mate_set();
+    let trace = {
+        let mut tb = Testbench::new(&n, &topo);
+        tb.drive(
+            n.find_net("in").unwrap(),
+            InputWave::from_vec(vec![true, false, true, true, false, false, true, false]),
+        );
+        tb.run(8)
+    };
+    let report = evaluate(&mates, &trace, &wires);
+    println!();
+    println!("## Figure 1b: fault-space pruning (5 flip-flops x 8 cycles)");
+    println!("● = possibly effective fault, ○ = pruned as benign");
+    println!();
+    print!("{}", report.matrix.render(|w| n.net(w).name().to_owned()));
+    println!();
+    println!("MATE set of the circuit:");
+    for mate in &mates {
+        let cube: Vec<String> = mate
+            .cube
+            .literals()
+            .map(|(net, pol)| format!("{}{}", if pol { "" } else { "¬" }, n.net(net).name()))
+            .collect();
+        let masked: Vec<&str> = mate.masked.iter().map(|&w| n.net(w).name()).collect();
+        println!("  {} masks {{{}}}", cube.join("∧"), masked.join(","));
+    }
+    println!();
+    println!("{}", report.matrix);
+}

@@ -1,0 +1,85 @@
+//! Regenerates Table 1: statistics of the heuristic MATE search for both
+//! processors and both faulty-wire sets.
+//!
+//! ```text
+//! cargo run -p mate-bench --bin table1 --release
+//! ```
+
+use mate::search_design;
+use mate_bench::{table_search_config, WireSets};
+use mate_cores::{AvrSystem, Msp430System};
+use mate_netlist::stats::NetlistStats;
+
+fn main() {
+    let config = table_search_config();
+    println!("## Table 1: Statistic for the heuristic MATE search");
+    println!("search parameters: {config:?}");
+    println!();
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>12}",
+        "", "AVR FF", "AVR w/o RF", "MSP430 FF", "MSP430 w/o RF"
+    );
+
+    let avr = AvrSystem::new();
+    let msp = Msp430System::new();
+    let avr_sets = WireSets::of(avr.netlist(), avr.topology());
+    let msp_sets = WireSets::of(msp.netlist(), msp.topology());
+
+    let mut rows: Vec<[String; 4]> = vec![
+        Default::default(), // faulty wires
+        Default::default(), // avg cone
+        Default::default(), // median cone
+        Default::default(), // run time
+        Default::default(), // unmaskable
+        Default::default(), // candidates
+        Default::default(), // mates
+    ];
+
+    for (col, (netlist, topo, wires)) in [
+        (avr.netlist(), avr.topology(), &avr_sets.all),
+        (avr.netlist(), avr.topology(), &avr_sets.no_rf),
+        (msp.netlist(), msp.topology(), &msp_sets.all),
+        (msp.netlist(), msp.topology(), &msp_sets.no_rf),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ds = search_design(netlist, topo, wires, &config);
+        let s = &ds.stats;
+        rows[0][col] = s.faulty_wires.to_string();
+        rows[1][col] = format!("{:.0}", s.avg_cone);
+        rows[2][col] = s.median_cone.to_string();
+        rows[3][col] = format!("{:.1}s", s.run_time.as_secs_f64());
+        rows[4][col] = s.unmaskable.to_string();
+        rows[5][col] = format!("{:.1e}", s.candidates as f64);
+        rows[6][col] = s.num_mates.to_string();
+    }
+
+    for (label, row) in [
+        "Faulty Wires",
+        "Avg. Cone [#gates]",
+        "Med. Cone [#gates]",
+        "Run Time",
+        "#Unmaskable",
+        "#MATE candidates",
+        "#MATE (per wire)",
+    ]
+    .iter()
+    .zip(&rows)
+    {
+        println!(
+            "{label:<26} {:>12} {:>12} {:>12} {:>12}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!();
+    println!("netlist characteristics:");
+    for (name, netlist, topo) in [
+        ("AVR", avr.netlist(), avr.topology()),
+        ("MSP430", msp.netlist(), msp.topology()),
+    ] {
+        let stats = NetlistStats::compute(netlist, topo);
+        println!("  {name:<7} {stats}");
+    }
+}

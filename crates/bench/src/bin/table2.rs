@@ -1,0 +1,32 @@
+//! Regenerates Table 2: AVR MATE performance on fib() and conv().
+//!
+//! ```text
+//! cargo run -p mate-bench --bin table2 --release
+//! ```
+
+use mate::search_design;
+use mate_bench::{print_performance_table, table_search_config, WireSets, TRACE_CYCLES};
+use mate_cores::avr::programs;
+use mate_cores::{AvrSystem, Termination};
+
+fn main() {
+    let sys = AvrSystem::new();
+    let sets = WireSets::of(sys.netlist(), sys.topology());
+
+    eprintln!("searching MATEs (AVR, {} wires)...", sets.all.len());
+    let mates = search_design(
+        sys.netlist(),
+        sys.topology(),
+        &sets.all,
+        &table_search_config(),
+    )
+    .into_mate_set();
+
+    eprintln!("recording {TRACE_CYCLES}-cycle traces...");
+    let fib_run = sys.run(&programs::fib(Termination::Loop), &[], TRACE_CYCLES);
+    let (conv_prog, conv_dmem) = programs::conv(Termination::Loop);
+    let conv_run = sys.run(&conv_prog, &conv_dmem, TRACE_CYCLES);
+
+    println!("## Table 2: AVR MATE performance ({TRACE_CYCLES} cycles per program)");
+    print_performance_table("AVR", &mates, &fib_run.trace, &conv_run.trace, &sets);
+}

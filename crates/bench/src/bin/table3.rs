@@ -1,0 +1,31 @@
+//! Regenerates Table 3: MSP430 MATE performance on fib() and conv().
+//!
+//! ```text
+//! cargo run -p mate-bench --bin table3 --release
+//! ```
+
+use mate::search_design;
+use mate_bench::{print_performance_table, table_search_config, WireSets, TRACE_CYCLES};
+use mate_cores::msp430::programs;
+use mate_cores::{Msp430System, Termination};
+
+fn main() {
+    let sys = Msp430System::new();
+    let sets = WireSets::of(sys.netlist(), sys.topology());
+
+    eprintln!("searching MATEs (MSP430, {} wires)...", sets.all.len());
+    let mates = search_design(
+        sys.netlist(),
+        sys.topology(),
+        &sets.all,
+        &table_search_config(),
+    )
+    .into_mate_set();
+
+    eprintln!("recording {TRACE_CYCLES}-cycle traces...");
+    let fib_run = sys.run(&programs::fib(Termination::Loop), TRACE_CYCLES);
+    let conv_run = sys.run(&programs::conv(Termination::Loop), TRACE_CYCLES);
+
+    println!("## Table 3: MSP430 MATE performance ({TRACE_CYCLES} cycles per program)");
+    print_performance_table("MSP430", &mates, &fib_run.trace, &conv_run.trace, &sets);
+}

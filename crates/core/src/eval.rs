@@ -1,0 +1,285 @@
+//! Trace replay and fault-space pruning evaluation (Section 5.3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mate_netlist::{BitSet, NetId};
+use mate_sim::WaveTrace;
+
+use crate::mates::MateSet;
+
+/// The pruned fault space: for every `(wire, cycle)` point, whether some
+/// MATE proved the fault benign.
+///
+/// This is the data structure rendered as the dot matrix of Figure 1b.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PruneMatrix {
+    wires: Vec<NetId>,
+    wire_index: HashMap<NetId, usize>,
+    cycles: usize,
+    bits: BitSet,
+}
+
+impl PruneMatrix {
+    /// Creates an all-unpruned matrix.
+    pub fn new(wires: &[NetId], cycles: usize) -> Self {
+        let wire_index = wires.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+        Self {
+            wires: wires.to_vec(),
+            wire_index,
+            cycles,
+            bits: BitSet::new(wires.len() * cycles.max(1)),
+        }
+    }
+
+    /// The faulty wires spanning the matrix.
+    pub fn wires(&self) -> &[NetId] {
+        &self.wires
+    }
+
+    /// Number of cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Marks `(wire index, cycle)` as benign.  The index refers to the
+    /// position in [`PruneMatrix::wires`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index or cycle is out of range.
+    pub fn mark_index(&mut self, wire_idx: usize, cycle: usize) {
+        assert!(wire_idx < self.wires.len() && cycle < self.cycles);
+        self.bits.insert(cycle * self.wires.len() + wire_idx);
+    }
+
+    fn mark(&mut self, wire_idx: usize, cycle: usize) {
+        self.mark_index(wire_idx, cycle);
+    }
+
+    /// Whether the fault `(wire, cycle)` was proven benign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not part of the matrix or the cycle is out of
+    /// range.
+    pub fn is_masked(&self, wire: NetId, cycle: usize) -> bool {
+        assert!(cycle < self.cycles, "cycle out of range");
+        let idx = self.wire_index[&wire];
+        self.bits.contains(cycle * self.wires.len() + idx)
+    }
+
+    /// Number of pruned fault-space points.
+    pub fn masked_points(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// Total fault-space size (`wires × cycles`).
+    pub fn total_points(&self) -> usize {
+        self.wires.len() * self.cycles
+    }
+
+    /// Pruned fraction of the fault space (the paper's "Masked Faults"
+    /// percentage, as a ratio in `0.0..=1.0`).
+    pub fn masked_fraction(&self) -> f64 {
+        if self.total_points() == 0 {
+            0.0
+        } else {
+            self.masked_points() as f64 / self.total_points() as f64
+        }
+    }
+
+    /// Renders the matrix like Figure 1b: one row per wire, `●` for a
+    /// potentially effective fault, `○` for a pruned (benign) one.
+    pub fn render(&self, name_of: impl Fn(NetId) -> String) -> String {
+        let mut out = String::new();
+        for (i, &wire) in self.wires.iter().enumerate() {
+            let name = name_of(wire);
+            out.push_str(&format!("{name:>8} "));
+            for cycle in 0..self.cycles {
+                out.push(if self.bits.contains(cycle * self.wires.len() + i) {
+                    '○'
+                } else {
+                    '●'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for PruneMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} fault-space points pruned ({:.2}%)",
+            self.masked_points(),
+            self.total_points(),
+            100.0 * self.masked_fraction()
+        )
+    }
+}
+
+/// Result of replaying a trace against a MATE set.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// The pruned fault space.
+    pub matrix: PruneMatrix,
+    /// Per-MATE trigger counts (cycles in which the cube was true).
+    pub triggers: Vec<usize>,
+    /// Number of *effective* MATEs — triggered at least once on this trace.
+    pub effective: usize,
+    /// Mean input count of the effective MATEs.
+    pub avg_inputs: f64,
+    /// Standard deviation of the effective MATEs' input counts.
+    pub std_inputs: f64,
+}
+
+impl EvalReport {
+    /// Pruned fraction of the fault space.
+    pub fn masked_fraction(&self) -> f64 {
+        self.matrix.masked_fraction()
+    }
+}
+
+/// Replays `trace` and computes which fault-space points over `wires` are
+/// pruned by `mates`.
+///
+/// MATE cubes are evaluated against the *fault-free* trace of each cycle —
+/// border wires are outside the fault cone, so their recorded values are
+/// valid even in the presence of the hypothetical fault.
+pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalReport {
+    let mut matrix = PruneMatrix::new(wires, trace.num_cycles());
+    let mut triggers = vec![0usize; mates.len()];
+
+    // Restrict each MATE's masked list to wire indices of the fault space.
+    let masked_indices: Vec<Vec<usize>> = mates
+        .iter()
+        .map(|m| {
+            m.masked
+                .iter()
+                .filter_map(|w| matrix.wire_index.get(w).copied())
+                .collect()
+        })
+        .collect();
+
+    for cycle in 0..trace.num_cycles() {
+        let read = trace.cycle_reader(cycle);
+        for (i, mate) in mates.iter().enumerate() {
+            if masked_indices[i].is_empty() {
+                continue;
+            }
+            if mate.cube.eval(&read) {
+                triggers[i] += 1;
+                for &w in &masked_indices[i] {
+                    matrix.mark(w, cycle);
+                }
+            }
+        }
+    }
+
+    let effective_idx: Vec<usize> = (0..mates.len()).filter(|&i| triggers[i] > 0).collect();
+    let effective = effective_idx.len();
+    let (avg_inputs, std_inputs) = if effective == 0 {
+        (0.0, 0.0)
+    } else {
+        let lens: Vec<f64> = effective_idx
+            .iter()
+            .map(|&i| mates.mates()[i].num_inputs() as f64)
+            .collect();
+        let mean = lens.iter().sum::<f64>() / lens.len() as f64;
+        let var = lens.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / lens.len() as f64;
+        (mean, var.sqrt())
+    };
+
+    EvalReport {
+        matrix,
+        triggers,
+        effective,
+        avg_inputs,
+        std_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{search_design, SearchConfig};
+    use mate_netlist::examples::figure1b;
+    use mate_sim::{InputWave, Testbench};
+
+    fn figure1b_setup(
+        stimulus: Vec<bool>,
+        cycles: usize,
+    ) -> (mate_netlist::Netlist, MateSet, WaveTrace, Vec<NetId>) {
+        let (n, topo) = figure1b();
+        let wires = crate::ff_wires(&n, &topo);
+        let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+        let trace = {
+            let mut tb = Testbench::new(&n, &topo);
+            tb.drive(n.find_net("in").unwrap(), InputWave::from_vec(stimulus));
+            tb.run(cycles)
+        };
+        (n, mates, trace, wires)
+    }
+
+    #[test]
+    fn all_zero_state_triggers_ab_mates() {
+        // With b = 0 forever, faults in a are always masked (MATE ¬b) and
+        // vice versa; c is masked whenever d = 1 (never happens while state
+        // stays 0... d' = c|d stays 0). So masked points = a-row + b-row.
+        let (n, mates, trace, wires) = figure1b_setup(vec![false], 6);
+        let report = evaluate(&mates, &trace, &wires);
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        let c = n.find_net("c").unwrap();
+        for cycle in 0..4 {
+            // a/b flip while the other is 0: masked... but note a' = !e
+            // turns a to 1 in cycle 1; then a=1 makes ¬a false for b.
+            let a_val = trace.value(cycle, a);
+            let b_val = trace.value(cycle, b);
+            assert_eq!(report.matrix.is_masked(a, cycle), !b_val);
+            assert_eq!(report.matrix.is_masked(b, cycle), !a_val);
+            assert!(!report.matrix.is_masked(c, cycle)); // d stays 0
+        }
+        assert!(report.effective >= 2);
+    }
+
+    #[test]
+    fn masked_fraction_counts_points() {
+        let (_, mates, trace, wires) = figure1b_setup(vec![false], 8);
+        let report = evaluate(&mates, &trace, &wires);
+        let frac = report.masked_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "fraction = {frac}");
+        assert_eq!(
+            report.matrix.total_points(),
+            wires.len() * trace.num_cycles()
+        );
+    }
+
+    #[test]
+    fn render_uses_dots() {
+        let (n, mates, trace, wires) = figure1b_setup(vec![false], 4);
+        let report = evaluate(&mates, &trace, &wires);
+        let picture = report.matrix.render(|w| n.net(w).name().to_owned());
+        assert!(picture.contains('●'));
+        assert!(picture.contains('○'));
+        assert_eq!(picture.lines().count(), wires.len());
+    }
+
+    #[test]
+    fn empty_mate_set_prunes_nothing() {
+        let (_, _, trace, wires) = figure1b_setup(vec![true], 4);
+        let report = evaluate(&MateSet::default(), &trace, &wires);
+        assert_eq!(report.matrix.masked_points(), 0);
+        assert_eq!(report.effective, 0);
+        assert_eq!(report.avg_inputs, 0.0);
+    }
+
+    #[test]
+    fn display_formats_percentage() {
+        let m = PruneMatrix::new(&[NetId::from_index(0)], 4);
+        assert!(format!("{m}").contains("0/4"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Memoized gate-masking terms (step 1 of the paper's heuristic).
+//!
+//! For every cell type of the library and every subset of faulty input pins,
+//! the masking cubes are computed once (via
+//! [`mate_netlist::masking_cubes`]) and shared by all wire searches.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use mate_netlist::{masking_cubes, CellFn, CellTypeId, Library, PinCube};
+
+/// A thread-safe memo table of gate-masking cubes.
+///
+/// # Example
+///
+/// ```
+/// use mate::GmtCache;
+/// use mate_netlist::Library;
+///
+/// let lib = Library::open15();
+/// let cache = GmtCache::new();
+/// let mux = lib.find("MUX2").unwrap();
+/// // Faulty select pin of a MUX2: masked when both data inputs agree.
+/// let cubes = cache.cubes(&lib, mux, 0b001);
+/// assert_eq!(cubes.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct GmtCache {
+    table: Mutex<HashMap<(CellTypeId, u8), Vec<PinCube>>>,
+}
+
+impl GmtCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The masking cubes for cell type `ty` with faulty pins `faulty_mask`.
+    ///
+    /// Returns an empty vector for flip-flops (a fault that reached a
+    /// flip-flop data pin is latched, never masked) and for gates without
+    /// masking capability for this faulty set (e.g. XOR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty_mask` selects no pin of a combinational cell.
+    pub fn cubes(&self, library: &Library, ty: CellTypeId, faulty_mask: u8) -> Vec<PinCube> {
+        if let Some(hit) = self.table.lock().unwrap().get(&(ty, faulty_mask)) {
+            return hit.clone();
+        }
+        let cell = library.cell_type(ty);
+        let cubes = match cell.func() {
+            CellFn::Dff => Vec::new(),
+            CellFn::Comb(tt) => {
+                if tt.inputs() == 0 {
+                    Vec::new()
+                } else {
+                    masking_cubes(tt, faulty_mask)
+                }
+            }
+        };
+        self.table
+            .lock()
+            .unwrap()
+            .insert((ty, faulty_mask), cubes.clone());
+        cubes
+    }
+
+    /// Returns `true` if the cell can mask a fault on the given pins at all.
+    pub fn can_mask(&self, library: &Library, ty: CellTypeId, faulty_mask: u8) -> bool {
+        !self.cubes(library, ty, faulty_mask).is_empty()
+    }
+
+    /// Number of memoized entries (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.table.lock().unwrap().len()
+    }
+
+    /// Returns `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::Library;
+
+    #[test]
+    fn caches_and_repeats() {
+        let lib = Library::open15();
+        let cache = GmtCache::new();
+        let and2 = lib.find("AND2").unwrap();
+        assert!(cache.is_empty());
+        let first = cache.cubes(&lib, and2, 0b01);
+        let second = cache.cubes(&lib, and2, 0b01);
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(first.len(), 1);
+    }
+
+    #[test]
+    fn xor_cannot_mask() {
+        let lib = Library::open15();
+        let cache = GmtCache::new();
+        let xor2 = lib.find("XOR2").unwrap();
+        assert!(!cache.can_mask(&lib, xor2, 0b01));
+        assert!(!cache.can_mask(&lib, xor2, 0b10));
+    }
+
+    #[test]
+    fn dff_never_masks() {
+        let lib = Library::open15();
+        let cache = GmtCache::new();
+        let dff = lib.find("DFF").unwrap();
+        assert!(cache.cubes(&lib, dff, 0b1).is_empty());
+    }
+
+    #[test]
+    fn distinct_faulty_sets_are_distinct_entries() {
+        let lib = Library::open15();
+        let cache = GmtCache::new();
+        let mux = lib.find("MUX2").unwrap();
+        let sel = cache.cubes(&lib, mux, 0b001);
+        let a = cache.cubes(&lib, mux, 0b010);
+        assert_ne!(sel, a);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! The MATE datatype and cross-wire summarizing (step 3 of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mate_netlist::{NetCube, NetId};
+
+/// One fault-masking term: when [`Mate::cube`] evaluates to true in a cycle,
+/// an SEU on any wire in [`Mate::masked`] during that cycle is benign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mate {
+    /// The conjunction of border-wire literals.
+    pub cube: NetCube,
+    /// The faulty wires this term masks (sorted, deduplicated).
+    pub masked: Vec<NetId>,
+}
+
+impl Mate {
+    /// Creates a MATE masking a single wire.
+    pub fn single(cube: NetCube, wire: NetId) -> Self {
+        Self {
+            cube,
+            masked: vec![wire],
+        }
+    }
+
+    /// Number of distinct input wires the FPGA implementation would read.
+    pub fn num_inputs(&self) -> usize {
+        self.cube.len()
+    }
+}
+
+impl fmt::Display for Mate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} masks {} wire(s)", self.cube, self.masked.len())
+    }
+}
+
+/// A collection of MATEs, deduplicated by cube.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MateSet {
+    mates: Vec<Mate>,
+}
+
+impl MateSet {
+    /// Wraps a list of already-deduplicated MATEs.
+    pub fn from_mates(mates: Vec<Mate>) -> Self {
+        Self { mates }
+    }
+
+    /// The MATEs.
+    pub fn mates(&self) -> &[Mate] {
+        &self.mates
+    }
+
+    /// Number of MATEs.
+    pub fn len(&self) -> usize {
+        self.mates.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mates.is_empty()
+    }
+
+    /// Iterates over the MATEs.
+    pub fn iter(&self) -> std::slice::Iter<'_, Mate> {
+        self.mates.iter()
+    }
+
+    /// Mean and standard deviation of the per-MATE input counts — the
+    /// paper's FPGA-cost indicator ("Avg. #inputs").
+    pub fn input_stats(&self) -> (f64, f64) {
+        if self.mates.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.mates.len() as f64;
+        let mean = self.mates.iter().map(|m| m.num_inputs() as f64).sum::<f64>() / n;
+        let var = self
+            .mates
+            .iter()
+            .map(|m| (m.num_inputs() as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        (mean, var.sqrt())
+    }
+
+    /// A subset by indices (used by top-N selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> MateSet {
+        MateSet {
+            mates: indices.iter().map(|&i| self.mates[i].clone()).collect(),
+        }
+    }
+}
+
+impl FromIterator<Mate> for MateSet {
+    fn from_iter<T: IntoIterator<Item = Mate>>(iter: T) -> Self {
+        summarize(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a MateSet {
+    type Item = &'a Mate;
+    type IntoIter = std::slice::Iter<'a, Mate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.mates.iter()
+    }
+}
+
+/// Merges per-wire MATEs into a deduplicated set: identical cubes found for
+/// different faulty wires become one MATE masking all of them (the paper's
+/// "one active MATE indicates the masking of more than one fault").
+///
+/// The result is sorted by descending number of masked wires, then by cube —
+/// the processing order the selection heuristic expects.
+pub fn summarize(mates: impl IntoIterator<Item = Mate>) -> MateSet {
+    let mut by_cube: HashMap<NetCube, Vec<NetId>> = HashMap::new();
+    for mate in mates {
+        by_cube.entry(mate.cube).or_default().extend(mate.masked);
+    }
+    let mut merged: Vec<Mate> = by_cube
+        .into_iter()
+        .map(|(cube, mut masked)| {
+            masked.sort();
+            masked.dedup();
+            Mate { cube, masked }
+        })
+        .collect();
+    merged.sort_by(|a, b| {
+        b.masked
+            .len()
+            .cmp(&a.masked.len())
+            .then_with(|| a.cube.cmp(&b.cube))
+    });
+    MateSet { mates: merged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    fn cube(lits: &[(usize, bool)]) -> NetCube {
+        NetCube::from_literals(lits.iter().map(|&(n, p)| (net(n), p))).unwrap()
+    }
+
+    #[test]
+    fn summarize_merges_identical_cubes() {
+        let set = summarize([
+            Mate::single(cube(&[(1, true)]), net(10)),
+            Mate::single(cube(&[(1, true)]), net(11)),
+            Mate::single(cube(&[(2, false)]), net(10)),
+        ]);
+        assert_eq!(set.len(), 2);
+        let big = &set.mates()[0];
+        assert_eq!(big.masked, vec![net(10), net(11)]);
+        assert_eq!(big.cube, cube(&[(1, true)]));
+    }
+
+    #[test]
+    fn summarize_orders_by_masked_count() {
+        let set = summarize([
+            Mate::single(cube(&[(5, true)]), net(1)),
+            Mate {
+                cube: cube(&[(6, true)]),
+                masked: vec![net(1), net(2), net(3)],
+            },
+        ]);
+        assert_eq!(set.mates()[0].masked.len(), 3);
+        assert_eq!(set.mates()[1].masked.len(), 1);
+    }
+
+    #[test]
+    fn summarize_dedups_masked_wires() {
+        let set = summarize([
+            Mate::single(cube(&[(1, true)]), net(7)),
+            Mate::single(cube(&[(1, true)]), net(7)),
+        ]);
+        assert_eq!(set.mates()[0].masked, vec![net(7)]);
+    }
+
+    #[test]
+    fn input_stats() {
+        let set = MateSet::from_mates(vec![
+            Mate::single(cube(&[(1, true)]), net(0)),
+            Mate::single(cube(&[(1, true), (2, false), (3, true)]), net(1)),
+        ]);
+        let (mean, std) = set.input_stats();
+        assert!((mean - 2.0).abs() < 1e-9);
+        assert!((std - 1.0).abs() < 1e-9);
+        assert_eq!(MateSet::default().input_stats(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn subset_selects_indices() {
+        let set = summarize([
+            Mate::single(cube(&[(1, true)]), net(0)),
+            Mate::single(cube(&[(2, true)]), net(1)),
+        ]);
+        let sub = set.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_width() {
+        let m = Mate::single(cube(&[(1, false)]), net(3));
+        assert!(format!("{m}").contains("masks 1 wire"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-bit fault-masking terms — the extension sketched in the paper's
+//! Section 6.2 ("Conceptually, also 2-bit faults (or more) could be
+//! considered in the construction of MATEs").
+//!
+//! A [`MultiMate`] proves that the *simultaneous* upset of a whole set of
+//! flip-flops is masked within one cycle.  The construction reuses the
+//! goal-directed repair search over the joint fault cone; the
+//! trust-propagation verifier generalizes by seeding the possibly-faulty
+//! set with every origin.
+
+use mate_netlist::{FaultCone, NetCube, NetId, Netlist, Topology};
+
+use crate::gmt::GmtCache;
+use crate::paths::enumerate_paths;
+use crate::search::{repair_multi, SearchConfig};
+
+/// A fault-masking term for a simultaneous multi-bit fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiMate {
+    /// The conjunction of border-wire literals.
+    pub cube: NetCube,
+    /// The simultaneously faulty wires this term masks.
+    pub wires: Vec<NetId>,
+}
+
+/// Search result for one faulty-wire set.
+#[derive(Clone, Debug)]
+pub struct MultiSearchResult {
+    /// The faulty wires.
+    pub wires: Vec<NetId>,
+    /// Gates in the joint fault cone.
+    pub cone_gates: usize,
+    /// Candidates tried.
+    pub candidates_tried: usize,
+    /// `true` when no MATE can exist for this set.
+    pub unmaskable: bool,
+    /// The discovered multi-bit MATEs.
+    pub mates: Vec<MultiMate>,
+}
+
+/// Searches MATEs for a *simultaneous* fault on all `wires`.
+///
+/// Always uses the goal-directed repair strategy (the combination search
+/// does not generalize to joint cones).  A returned term guarantees: if the
+/// cube holds in cycle `t`, flipping **all** the wires in cycle `t` is
+/// masked within one cycle.
+///
+/// # Panics
+///
+/// Panics if `wires` is empty.
+///
+/// # Example
+///
+/// ```
+/// use mate::multi::search_wire_set;
+/// use mate::SearchConfig;
+/// use mate_netlist::examples::figure1b;
+///
+/// let (n, topo) = figure1b();
+/// let a = n.find_net("a").unwrap();
+/// let b = n.find_net("b").unwrap();
+/// // A double fault on (a, b) can never be masked: the AND gate computing
+/// // c' sees both inputs faulty.
+/// let result = search_wire_set(&n, &topo, &[a, b], &SearchConfig::default());
+/// assert!(result.mates.is_empty());
+/// ```
+pub fn search_wire_set(
+    netlist: &Netlist,
+    topo: &Topology,
+    wires: &[NetId],
+    config: &SearchConfig,
+) -> MultiSearchResult {
+    assert!(!wires.is_empty(), "need at least one faulty wire");
+    let cache = GmtCache::new();
+    let cone = FaultCone::compute_multi(netlist, topo, wires);
+    let mut result = MultiSearchResult {
+        wires: wires.to_vec(),
+        cone_gates: cone.num_gates(),
+        candidates_tried: 0,
+        unmaskable: false,
+        mates: Vec::new(),
+    };
+
+    // Per-origin path enumeration for the early-abort checks.
+    for &wire in wires {
+        let single_cone = FaultCone::compute(netlist, topo, wire);
+        let paths = enumerate_paths(netlist, topo, &single_cone, config.depth, config.max_paths);
+        if paths.hopeless() {
+            result.unmaskable = true;
+            return result;
+        }
+    }
+
+    let found = repair_multi(
+        netlist,
+        &cone,
+        wires,
+        &cache,
+        config,
+        &mut result.candidates_tried,
+    );
+    result.mates = found
+        .into_iter()
+        .map(|cube| MultiMate {
+            cube,
+            wires: wires.to_vec(),
+        })
+        .collect();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::examples::tmr_register;
+
+    #[test]
+    fn tmr_single_fault_maskable_double_fault_not() {
+        // The majority voter masks one faulty replica, never two.
+        let (n, topo) = tmr_register();
+        let r0 = n.find_net("r0").unwrap();
+        let r1 = n.find_net("r1").unwrap();
+        let cfg = SearchConfig::default();
+        let single = search_wire_set(&n, &topo, &[r0], &cfg);
+        assert!(!single.mates.is_empty());
+        let double = search_wire_set(&n, &topo, &[r0, r1], &cfg);
+        assert!(double.mates.is_empty(), "2-of-3 faulty replicas outvote");
+    }
+
+    #[test]
+    fn independent_wires_mask_jointly() {
+        // figure1b: a is masked by ¬b and b by ¬a — but jointly they meet
+        // at the same AND gate, so the pair is unmaskable.  Pair (a, c)
+        // lives in disjoint cones and is masked by ¬b ∧ d.
+        use mate_netlist::examples::figure1b;
+        let (n, topo) = figure1b();
+        let a = n.find_net("a").unwrap();
+        let c = n.find_net("c").unwrap();
+        let cfg = SearchConfig::default();
+        let result = search_wire_set(&n, &topo, &[a, c], &cfg);
+        assert_eq!(result.mates.len(), 1);
+        let lits: Vec<(String, bool)> = result.mates[0]
+            .cube
+            .literals()
+            .map(|(net, pol)| (n.net(net).name().to_owned(), pol))
+            .collect();
+        assert_eq!(
+            lits,
+            vec![("b".to_owned(), false), ("d".to_owned(), true)]
+        );
+    }
+
+    #[test]
+    fn single_wire_set_matches_single_search() {
+        let (n, topo) = tmr_register();
+        let r2 = n.find_net("r2").unwrap();
+        let cfg = SearchConfig::default();
+        let multi = search_wire_set(&n, &topo, &[r2], &cfg);
+        let single = crate::search_wire(&n, &topo, r2, &cfg);
+        let mut a: Vec<_> = multi.mates.into_iter().map(|m| m.cube).collect();
+        let mut b: Vec<_> = single.mates.into_iter().map(|m| m.cube).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_wire_set_panics() {
+        let (n, topo) = tmr_register();
+        search_wire_set(&n, &topo, &[], &SearchConfig::default());
+    }
+}

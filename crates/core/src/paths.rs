@@ -1,0 +1,217 @@
+//! Fault-propagation path enumeration (step 2 of the paper's heuristic).
+
+use mate_netlist::{CellId, FaultCone, NetDriver, NetId, Netlist, Topology};
+
+/// All fault-propagation paths of one faulty wire, enumerated up to a depth
+/// limit.
+///
+/// A *path* is the sequence of combinational gates a faulty value passes
+/// through.  A path terminates when the fault reaches an endpoint (flip-flop
+/// data pin or primary output) or when the depth limit cuts it off; in both
+/// cases a MATE must stop the fault **within** the recorded gates, so
+/// truncated paths keep the analysis conservative (sound).
+#[derive(Clone, Debug)]
+pub struct PathSet {
+    /// The enumerated paths (each a gate sequence from the origin outwards).
+    pub paths: Vec<Vec<CellId>>,
+    /// `true` if the origin itself is an endpoint (a primary output or a
+    /// direct flip-flop input) — such faults can never be masked.
+    pub origin_is_endpoint: bool,
+    /// `true` if enumeration hit the `max_paths` budget and gave up; the
+    /// wire is then conservatively treated as unmaskable.
+    pub truncated: bool,
+}
+
+impl PathSet {
+    /// Returns `true` when a MATE search is pointless for this wire: the
+    /// origin reaches an endpoint un-maskably or the path budget burst.
+    pub fn hopeless(&self) -> bool {
+        self.origin_is_endpoint || self.truncated || self.paths.iter().any(Vec::is_empty)
+    }
+}
+
+/// Enumerates fault-propagation paths from `origin` through its cone.
+///
+/// `depth` bounds the number of gates per path (the paper uses 8);
+/// `max_paths` bounds the total number of enumerated paths — when exceeded,
+/// the result is flagged [`PathSet::truncated`] and the caller treats the
+/// wire as unmaskable (which only loses MATEs, never soundness).
+pub fn enumerate_paths(
+    netlist: &Netlist,
+    topo: &Topology,
+    cone: &FaultCone,
+    depth: usize,
+    max_paths: usize,
+) -> PathSet {
+    let origin = cone.origin();
+    let mut set = PathSet {
+        paths: Vec::new(),
+        origin_is_endpoint: false,
+        truncated: false,
+    };
+    // A fault on a wire that is itself observable is never maskable.
+    if netlist.outputs().contains(&origin) {
+        set.origin_is_endpoint = true;
+        return set;
+    }
+    for &(cell, _) in topo.fanout(origin) {
+        if netlist.is_seq_cell(cell) {
+            set.origin_is_endpoint = true;
+            return set;
+        }
+    }
+
+    // Depth-first enumeration; `trail` holds the gates of the current path.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        netlist: &Netlist,
+        topo: &Topology,
+        origin_net: NetId,
+        net: NetId,
+        depth_left: usize,
+        trail: &mut Vec<CellId>,
+        set: &mut PathSet,
+        max_paths: usize,
+    ) {
+        if set.paths.len() >= max_paths {
+            set.truncated = true;
+            return;
+        }
+        // The current net may itself be observable (primary output) — the
+        // path so far must already be cut.
+        if net != origin_net && netlist.outputs().contains(&net) {
+            set.paths.push(trail.clone());
+        }
+        for &(cell, _) in topo.fanout(net) {
+            if set.truncated {
+                return;
+            }
+            if netlist.is_seq_cell(cell) {
+                // Fault would be latched here.
+                set.paths.push(trail.clone());
+                continue;
+            }
+            if depth_left == 0 {
+                // Truncated path: must be cut within the recorded prefix.
+                set.paths.push(trail.clone());
+                continue;
+            }
+            trail.push(cell);
+            dfs(
+                netlist,
+                topo,
+                origin_net,
+                netlist.cell(cell).output(),
+                depth_left - 1,
+                trail,
+                set,
+                max_paths,
+            );
+            trail.pop();
+        }
+    }
+
+    let mut trail = Vec::new();
+    dfs(
+        netlist,
+        topo,
+        origin,
+        origin,
+        depth,
+        &mut trail,
+        &mut set,
+        max_paths,
+    );
+
+    // Sanity: every gate on every path is combinational and inside the cone.
+    debug_assert!(set.paths.iter().flatten().all(|&c| {
+        let out = netlist.cell(c).output();
+        cone.contains_net(out) && matches!(netlist.net(out).driver(), NetDriver::Cell(_))
+    }));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::examples::{figure1, figure1b};
+    use mate_netlist::FaultCone;
+
+    fn paths_for(name: &str) -> (Netlist, PathSet) {
+        let (n, topo) = figure1();
+        let w = n.find_net(name).unwrap();
+        let cone = FaultCone::compute(&n, &topo, w);
+        let set = enumerate_paths(&n, &topo, &cone, 8, 1024);
+        (n, set)
+    }
+
+    fn gate_names(n: &Netlist, path: &[CellId]) -> Vec<String> {
+        path.iter().map(|&c| n.cell(c).name().to_owned()).collect()
+    }
+
+    #[test]
+    fn figure1_wire_d_has_two_paths() {
+        let (n, set) = paths_for("d");
+        assert!(!set.origin_is_endpoint);
+        assert!(!set.truncated);
+        let mut names: Vec<Vec<String>> =
+            set.paths.iter().map(|p| gate_names(&n, p)).collect();
+        names.sort();
+        assert_eq!(names, vec![vec!["B", "D"], vec!["B", "E"]]);
+    }
+
+    #[test]
+    fn figure1_wire_e_path_ends_at_output_h() {
+        // e -> C -> h; h is a primary output, so one path is just [C], plus
+        // the continuation [C, E] to output l.
+        let (n, set) = paths_for("e");
+        let mut names: Vec<Vec<String>> =
+            set.paths.iter().map(|p| gate_names(&n, p)).collect();
+        names.sort();
+        assert_eq!(names, vec![vec!["C"], vec!["C", "E"]]);
+    }
+
+    #[test]
+    fn depth_limit_truncates_paths() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        let set = enumerate_paths(&n, &topo, &cone, 1, 1024);
+        // With depth 1 both paths stop after gate B.
+        assert!(set.paths.iter().all(|p| p.len() == 1));
+        assert_eq!(set.paths.len(), 2);
+    }
+
+    #[test]
+    fn path_budget_flags_truncation() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        let set = enumerate_paths(&n, &topo, &cone, 8, 1);
+        assert!(set.truncated);
+        assert!(set.hopeless());
+    }
+
+    #[test]
+    fn direct_output_wire_is_endpoint() {
+        let (n, topo) = figure1b();
+        // State bit `d` is a primary output → any fault is visible.
+        let c = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, c);
+        let set = enumerate_paths(&n, &topo, &cone, 8, 1024);
+        assert!(set.origin_is_endpoint);
+        assert!(set.hopeless());
+    }
+
+    #[test]
+    fn seq_fed_wire_terminates_at_ff() {
+        let (n, topo) = figure1b();
+        // State bit `a` feeds the AND gate, whose output goes to ff_c.
+        let a = n.find_net("a").unwrap();
+        let cone = FaultCone::compute(&n, &topo, a);
+        let set = enumerate_paths(&n, &topo, &cone, 8, 1024);
+        assert!(!set.origin_is_endpoint);
+        assert_eq!(set.paths.len(), 1);
+        assert_eq!(gate_names(&n, &set.paths[0]), vec!["g_ab"]);
+    }
+}

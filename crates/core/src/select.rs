@@ -1,0 +1,182 @@
+//! Greedy top-N MATE selection (step 3 of Section 4).
+//!
+//! Replaying an exemplary trace, each cycle processes the triggered MATEs in
+//! order of decreasing masked-fault count; a MATE's *hit counter* grows by
+//! the number of fault-space points it masks that no earlier MATE of the
+//! same cycle already covered.  The top-N MATEs by hit count form the subset
+//! synthesized into the HAFI platform.
+
+use std::collections::HashMap;
+
+use mate_netlist::NetId;
+use mate_sim::WaveTrace;
+
+use crate::mates::MateSet;
+
+/// The outcome of rating a MATE set against a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ranking {
+    /// MATE indices ordered by descending hit count (ties by index).
+    pub order: Vec<usize>,
+    /// Hit counter per MATE (indexed like the input set).
+    pub hits: Vec<usize>,
+}
+
+impl Ranking {
+    /// The indices of the `n` highest-rated MATEs.
+    pub fn top(&self, n: usize) -> &[usize] {
+        &self.order[..n.min(self.order.len())]
+    }
+}
+
+/// Rates every MATE by its marginal fault-space contribution on `trace`.
+pub fn rank(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> Ranking {
+    let wire_index: HashMap<NetId, usize> =
+        wires.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+    let masked_indices: Vec<Vec<usize>> = mates
+        .iter()
+        .map(|m| {
+            m.masked
+                .iter()
+                .filter_map(|w| wire_index.get(w).copied())
+                .collect()
+        })
+        .collect();
+
+    // Process order within a cycle: by masked-fault count descending.  The
+    // summarized MateSet is already sorted that way, but we do not rely on
+    // it.
+    let mut process_order: Vec<usize> = (0..mates.len()).collect();
+    process_order.sort_by_key(|&i| std::cmp::Reverse(masked_indices[i].len()));
+
+    let mut hits = vec![0usize; mates.len()];
+    let mut cycle_mask = vec![usize::MAX; wires.len()]; // last cycle a wire was masked
+    for cycle in 0..trace.num_cycles() {
+        let read = trace.cycle_reader(cycle);
+        for &i in &process_order {
+            if masked_indices[i].is_empty() {
+                continue;
+            }
+            if !mates.mates()[i].cube.eval(&read) {
+                continue;
+            }
+            for &w in &masked_indices[i] {
+                if cycle_mask[w] != cycle {
+                    cycle_mask[w] = cycle;
+                    hits[i] += 1;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..mates.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(hits[i]), i));
+    Ranking { order, hits }
+}
+
+/// Selects the top-`n` MATEs for `trace` (the paper's "selected for fib()" /
+/// "selected for conv()" subsets).
+pub fn select_top_n(mates: &MateSet, trace: &WaveTrace, wires: &[NetId], n: usize) -> MateSet {
+    let ranking = rank(mates, trace, wires);
+    mates.subset(ranking.top(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::mates::{summarize, Mate};
+    use mate_netlist::NetCube;
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    /// Builds a trace over 3 nets with the given per-cycle values.
+    fn trace_of(rows: &[[bool; 3]]) -> WaveTrace {
+        let mut t = WaveTrace::new(3);
+        for row in rows {
+            t.push_cycle(row);
+        }
+        t
+    }
+
+    #[test]
+    fn hits_count_marginal_coverage() {
+        // Two MATEs masking the same wire 2; MATE A triggers on net0, MATE B
+        // on net1.  When both trigger, only the bigger one scores.
+        let big = Mate {
+            cube: NetCube::literal(net(0), true),
+            masked: vec![net(2), net(1)],
+        };
+        let small = Mate {
+            cube: NetCube::literal(net(1), true),
+            masked: vec![net(2)],
+        };
+        let mates = summarize([big, small]);
+        let wires = [net(1), net(2)];
+        // cycle 0: both trigger; cycle 1: only small's net1=1.
+        let trace = trace_of(&[[true, true, false], [false, true, false]]);
+        let ranking = rank(&mates, &trace, &wires);
+        // Mate 0 (big, sorted first by summarize) masks net1+net2 in cycle 0
+        // → 2 hits.  Small masks net2 in cycle 1 only → 1 hit.
+        assert_eq!(ranking.hits, vec![2, 1]);
+        assert_eq!(ranking.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn top_n_subsets() {
+        let a = Mate::single(NetCube::literal(net(0), true), net(2));
+        let b = Mate::single(NetCube::literal(net(1), true), net(2));
+        let mates = summarize([a, b]);
+        let trace = trace_of(&[[false, true, false], [false, true, false]]);
+        let wires = [net(2)];
+        let top1 = select_top_n(&mates, &trace, &wires, 1);
+        assert_eq!(top1.len(), 1);
+        // The selected MATE is the net1 one (it triggered twice).
+        assert_eq!(
+            top1.mates()[0].cube.literals().collect::<Vec<_>>(),
+            vec![(net(1), true)]
+        );
+        // Selecting more than available just returns everything.
+        assert_eq!(select_top_n(&mates, &trace, &wires, 99).len(), 2);
+    }
+
+    #[test]
+    fn top_n_fraction_is_monotone() {
+        // More selected MATEs can never prune less.
+        let mates = summarize([
+            Mate::single(NetCube::literal(net(0), true), net(2)),
+            Mate::single(NetCube::literal(net(1), true), net(2)),
+            Mate::single(NetCube::literal(net(0), false), net(1)),
+        ]);
+        let trace = trace_of(&[
+            [true, false, false],
+            [false, true, false],
+            [true, true, false],
+            [false, false, false],
+        ]);
+        let wires = [net(1), net(2)];
+        let mut last = 0.0;
+        for n in 1..=3 {
+            let sel = select_top_n(&mates, &trace, &wires, n);
+            let frac = evaluate(&sel, &trace, &wires).masked_fraction();
+            assert!(frac >= last, "top-{n}: {frac} < {last}");
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn full_set_equals_topn_with_all() {
+        let mates = summarize([
+            Mate::single(NetCube::literal(net(0), true), net(2)),
+            Mate::single(NetCube::literal(net(1), false), net(1)),
+        ]);
+        let trace = trace_of(&[[true, false, false], [false, true, true]]);
+        let wires = [net(1), net(2)];
+        let full = evaluate(&mates, &trace, &wires).masked_fraction();
+        let all = select_top_n(&mates, &trace, &wires, mates.len());
+        let sel = evaluate(&all, &trace, &wires).masked_fraction();
+        assert_eq!(full, sel);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on the MATE search itself.
+
+use proptest::prelude::*;
+
+use mate::search::cube_masks_wire;
+use mate::{
+    ff_wires, search_design, search_wire, summarize, SearchConfig, SearchStrategy,
+};
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+use mate_netlist::FaultCone;
+
+fn cfg() -> RandomCircuitConfig {
+    RandomCircuitConfig {
+        inputs: 4,
+        ffs: 8,
+        gates: 28,
+        outputs: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every MATE either strategy produces must pass the trust-propagation
+    /// verifier (the internal consistency of search and checker).
+    #[test]
+    fn found_mates_verify(seed in 0u64..5_000, repair in any::<bool>()) {
+        let (n, topo) = random_circuit(cfg(), seed);
+        let config = SearchConfig {
+            max_candidates: 2_000,
+            strategy: if repair {
+                SearchStrategy::Repair
+            } else {
+                SearchStrategy::Exhaustive
+            },
+            ..SearchConfig::default()
+        };
+        for &ff in topo.seq_cells() {
+            let wire = n.cell(ff).output();
+            let result = search_wire(&n, &topo, wire, &config);
+            let cone = FaultCone::compute(&n, &topo, wire);
+            for mate in &result.mates {
+                prop_assert!(
+                    cube_masks_wire(&n, &cone, wire, &mate.cube),
+                    "seed {seed} wire {wire}: {:?} fails verification",
+                    mate.cube
+                );
+            }
+        }
+    }
+
+    /// Unmaskable wires never yield MATEs, and unmaskable status does not
+    /// depend on the strategy.
+    #[test]
+    fn unmaskable_is_strategy_independent(seed in 0u64..5_000) {
+        let (n, topo) = random_circuit(cfg(), seed);
+        let wires = ff_wires(&n, &topo);
+        let repair = search_design(&n, &topo, &wires, &SearchConfig::default());
+        let exhaustive = search_design(&n, &topo, &wires, &SearchConfig::paper());
+        for (a, b) in repair.results.iter().zip(&exhaustive.results) {
+            prop_assert_eq!(a.unmaskable, b.unmaskable, "wire {}", a.wire);
+            if a.unmaskable {
+                prop_assert!(a.mates.is_empty());
+                prop_assert!(b.mates.is_empty());
+            }
+        }
+    }
+
+    /// MATE cubes contain no possibly-faulty literals: every literal net
+    /// lies outside the wire's fault cone or is rendered trustworthy — in
+    /// particular, never the faulty wire itself.
+    #[test]
+    fn mate_literals_exclude_the_faulty_wire(seed in 0u64..5_000) {
+        let (n, topo) = random_circuit(cfg(), seed);
+        let wires = ff_wires(&n, &topo);
+        let ds = search_design(&n, &topo, &wires, &SearchConfig::default());
+        for result in &ds.results {
+            for mate in &result.mates {
+                prop_assert!(mate.cube.polarity_of(result.wire).is_none());
+                prop_assert!(!mate.cube.is_empty() || result.mates.len() == 1);
+            }
+        }
+    }
+
+    /// No per-wire MATE subsumes another (minimality after dedup).
+    #[test]
+    fn per_wire_mates_are_minimal(seed in 0u64..5_000) {
+        let (n, topo) = random_circuit(cfg(), seed);
+        let wires = ff_wires(&n, &topo);
+        let ds = search_design(&n, &topo, &wires, &SearchConfig::default());
+        for result in &ds.results {
+            for (i, a) in result.mates.iter().enumerate() {
+                for (j, b) in result.mates.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(
+                            !a.cube.subsumes(&b.cube),
+                            "wire {}: {:?} subsumes {:?}",
+                            result.wire,
+                            a.cube,
+                            b.cube
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Summarize is idempotent and preserves the (cube → wires) relation.
+    #[test]
+    fn summarize_roundtrip(seed in 0u64..5_000) {
+        let (n, topo) = random_circuit(cfg(), seed);
+        let wires = ff_wires(&n, &topo);
+        let ds = search_design(&n, &topo, &wires, &SearchConfig::default());
+        let set = ds.into_mate_set();
+        let again = summarize(set.iter().cloned());
+        prop_assert_eq!(&set, &again);
+        // Every (cube, wire) pair survives.
+        let total_pairs: usize = set.iter().map(|m| m.masked.len()).sum();
+        let again_pairs: usize = again.iter().map(|m| m.masked.len()).sum();
+        prop_assert_eq!(total_pairs, again_pairs);
+    }
+}

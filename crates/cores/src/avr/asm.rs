@@ -1,0 +1,375 @@
+//! A programmatic two-pass assembler for the AVR subset.
+//!
+//! Programs are built by calling mnemonic methods; control flow uses
+//! [`Label`]s with forward references resolved by [`Assembler::assemble`].
+//!
+//! # Example
+//!
+//! ```
+//! use mate_cores::avr::asm::Assembler;
+//!
+//! let mut a = Assembler::new();
+//! let loop_head = a.new_label();
+//! a.ldi(16, 5);
+//! a.bind(loop_head);
+//! a.dec(16);
+//! a.brne(loop_head);
+//! a.halt();
+//! let words = a.assemble();
+//! assert_eq!(words.len(), 4);
+//! ```
+
+use super::isa::{Cond, Instr, Ptr};
+
+/// A branch target; create with [`Assembler::new_label`], place with
+/// [`Assembler::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Fixed(Instr),
+    Branch(Cond, Label),
+    Jump(Label),
+}
+
+/// Two-pass assembler producing instruction words.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    slots: Vec<Slot>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location counter (address of the next instruction).
+    pub fn here(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at {} and {}",
+            self.labels[label.0].unwrap(),
+            self.here()
+        );
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.slots.push(Slot::Fixed(instr));
+        self
+    }
+
+    /// `NOP`
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// `HALT`
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// `LDI rd, imm` (rd in 16..=23)
+    pub fn ldi(&mut self, rd: u8, imm: u8) -> &mut Self {
+        self.emit(Instr::Ldi { rd, imm })
+    }
+
+    /// `MOV rd, rr`
+    pub fn mov(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Mov { rd, rr })
+    }
+
+    /// `ADD rd, rr`
+    pub fn add(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Add { rd, rr })
+    }
+
+    /// `ADC rd, rr`
+    pub fn adc(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Adc { rd, rr })
+    }
+
+    /// `SUB rd, rr`
+    pub fn sub(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Sub { rd, rr })
+    }
+
+    /// `SBC rd, rr`
+    pub fn sbc(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Sbc { rd, rr })
+    }
+
+    /// `AND rd, rr`
+    pub fn and(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::And { rd, rr })
+    }
+
+    /// `OR rd, rr`
+    pub fn or(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Or { rd, rr })
+    }
+
+    /// `EOR rd, rr`
+    pub fn eor(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Eor { rd, rr })
+    }
+
+    /// `CP rd, rr`
+    pub fn cp(&mut self, rd: u8, rr: u8) -> &mut Self {
+        self.emit(Instr::Cp { rd, rr })
+    }
+
+    /// `CPI rd, imm` (rd in 16..=23)
+    pub fn cpi(&mut self, rd: u8, imm: u8) -> &mut Self {
+        self.emit(Instr::Cpi { rd, imm })
+    }
+
+    /// `SUBI rd, imm` (rd in 16..=23)
+    pub fn subi(&mut self, rd: u8, imm: u8) -> &mut Self {
+        self.emit(Instr::Subi { rd, imm })
+    }
+
+    /// `ANDI rd, imm` (rd in 16..=23)
+    pub fn andi(&mut self, rd: u8, imm: u8) -> &mut Self {
+        self.emit(Instr::Andi { rd, imm })
+    }
+
+    /// `ORI rd, imm` (rd in 16..=23)
+    pub fn ori(&mut self, rd: u8, imm: u8) -> &mut Self {
+        self.emit(Instr::Ori { rd, imm })
+    }
+
+    /// `INC rd`
+    pub fn inc(&mut self, rd: u8) -> &mut Self {
+        self.emit(Instr::Inc { rd })
+    }
+
+    /// `DEC rd`
+    pub fn dec(&mut self, rd: u8) -> &mut Self {
+        self.emit(Instr::Dec { rd })
+    }
+
+    /// `LSR rd`
+    pub fn lsr(&mut self, rd: u8) -> &mut Self {
+        self.emit(Instr::Lsr { rd })
+    }
+
+    /// `ROR rd`
+    pub fn ror(&mut self, rd: u8) -> &mut Self {
+        self.emit(Instr::Ror { rd })
+    }
+
+    /// `ASR rd`
+    pub fn asr(&mut self, rd: u8) -> &mut Self {
+        self.emit(Instr::Asr { rd })
+    }
+
+    /// `LSL rd` — encoded as `ADD rd, rd`, like real AVR.
+    pub fn lsl(&mut self, rd: u8) -> &mut Self {
+        self.add(rd, rd)
+    }
+
+    /// `LD rd, ptr` with optional post-increment.
+    pub fn ld(&mut self, rd: u8, ptr: Ptr, postinc: bool) -> &mut Self {
+        self.emit(Instr::Ld { rd, ptr, postinc })
+    }
+
+    /// `ST ptr, rr` with optional post-increment.
+    pub fn st(&mut self, ptr: Ptr, postinc: bool, rr: u8) -> &mut Self {
+        self.emit(Instr::St { ptr, postinc, rr })
+    }
+
+    /// `OUT rr` — write `rr` to the output port.
+    pub fn out(&mut self, rr: u8) -> &mut Self {
+        self.emit(Instr::Out { rr })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn br(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.slots.push(Slot::Branch(cond, label));
+        self
+    }
+
+    /// `BREQ label`
+    pub fn breq(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Eq, label)
+    }
+
+    /// `BRNE label`
+    pub fn brne(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Ne, label)
+    }
+
+    /// `BRCS label`
+    pub fn brcs(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Cs, label)
+    }
+
+    /// `BRCC label`
+    pub fn brcc(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Cc, label)
+    }
+
+    /// `BRLT label` (signed less-than)
+    pub fn brlt(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Lt, label)
+    }
+
+    /// `BRGE label` (signed greater-or-equal)
+    pub fn brge(&mut self, label: Label) -> &mut Self {
+        self.br(Cond::Ge, label)
+    }
+
+    /// `RJMP label`
+    pub fn rjmp(&mut self, label: Label) -> &mut Self {
+        self.slots.push(Slot::Jump(label));
+        self
+    }
+
+    /// Resolves labels and produces the instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or out-of-range branch offsets.
+    pub fn assemble(&self) -> Vec<u16> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(addr, slot)| {
+                let resolve = |label: Label| -> i32 {
+                    let target = self.labels[label.0]
+                        .unwrap_or_else(|| panic!("label L{} never bound", label.0));
+                    target as i32 - (addr as i32 + 1)
+                };
+                match *slot {
+                    Slot::Fixed(i) => i.encode(),
+                    Slot::Branch(cond, label) => {
+                        let off = resolve(label);
+                        assert!(
+                            (-128..=127).contains(&off),
+                            "branch offset {off} out of range at address {addr}"
+                        );
+                        Instr::Br {
+                            cond,
+                            offset: off as i8,
+                        }
+                        .encode()
+                    }
+                    Slot::Jump(label) => {
+                        let off = resolve(label);
+                        assert!(
+                            (-1024..1024).contains(&off),
+                            "rjmp offset {off} out of range at address {addr}"
+                        );
+                        Instr::Rjmp {
+                            offset: off as i16,
+                        }
+                        .encode()
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avr::model::AvrModel;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new();
+        let skip = a.new_label();
+        let done = a.new_label();
+        a.ldi(16, 1);
+        a.rjmp(skip);
+        a.ldi(16, 99); // skipped
+        a.bind(skip);
+        a.cpi(16, 1);
+        a.breq(done);
+        a.ldi(16, 98); // skipped
+        a.bind(done);
+        a.halt();
+        let mut m = AvrModel::new(&a.assemble());
+        m.run(100);
+        assert_eq!(m.regs[16], 1);
+    }
+
+    #[test]
+    fn backward_branch_offsets() {
+        let mut a = Assembler::new();
+        a.ldi(16, 3);
+        let head = a.new_label();
+        a.bind(head);
+        a.dec(16);
+        a.brne(head);
+        a.halt();
+        let words = a.assemble();
+        // brne at address 2, target 1 → offset -2.
+        let decoded = crate::avr::isa::Instr::decode(words[2]).unwrap();
+        assert_eq!(
+            decoded,
+            crate::avr::isa::Instr::Br {
+                cond: Cond::Ne,
+                offset: -2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.rjmp(l);
+        a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.nop();
+        a.bind(l);
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut a = Assembler::new();
+        assert_eq!(a.here(), 0);
+        a.nop().nop();
+        assert_eq!(a.here(), 2);
+    }
+
+    #[test]
+    fn lsl_is_add_alias() {
+        let mut a = Assembler::new();
+        a.lsl(7);
+        assert_eq!(
+            crate::avr::isa::Instr::decode(a.assemble()[0]).unwrap(),
+            crate::avr::isa::Instr::Add { rd: 7, rr: 7 }
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Gate-level elaboration of the two-stage AVR-compatible core.
+
+use mate_netlist::{Netlist, Topology};
+use mate_rtl::{ModuleBuilder, RegisterFile, Signal};
+
+use super::isa::opcode;
+
+/// Handles to the architecturally interesting buses of the elaborated core.
+///
+/// All signals reference nets of the returned netlist; `imem_*`/`dmem_*` form
+/// the Harvard memory interface the simulation harness binds memories to.
+#[derive(Clone, Debug)]
+pub struct AvrPorts {
+    /// Instruction-memory word address (12 bits, output).
+    pub imem_addr: Signal,
+    /// Instruction-memory read data (16 bits, input).
+    pub imem_data: Signal,
+    /// Data-memory address (8 bits, output).
+    pub dmem_addr: Signal,
+    /// Data-memory write data (8 bits, output).
+    pub dmem_wdata: Signal,
+    /// Data-memory write enable (1 bit, output).
+    pub dmem_we: Signal,
+    /// Data-memory read data (8 bits, input).
+    pub dmem_rdata: Signal,
+    /// Output port register (8 bits, output).
+    pub port_out: Signal,
+    /// High during the execute cycle of an `OUT` (1 bit, output).
+    pub port_we: Signal,
+    /// Pipeline frozen after `HALT` (1 bit, output).
+    pub halted: Signal,
+    /// Program counter (12 bits; the flip-flops behind `imem_addr`).
+    pub pc: Signal,
+    /// Instruction register of the EX stage (16 bits).
+    pub ir: Signal,
+    /// Status flags `[C, Z, N, V, H]` (5 flip-flops).
+    pub sreg: Signal,
+    /// Q buses of the 32 general-purpose registers.
+    pub regs: Vec<Signal>,
+}
+
+/// Ors a list of 1-bit signals.
+fn any(m: &mut ModuleBuilder, sigs: &[&Signal]) -> Signal {
+    assert!(!sigs.is_empty());
+    let mut bits = Vec::with_capacity(sigs.len());
+    for s in sigs {
+        assert_eq!(s.width(), 1, "`any` combines 1-bit signals");
+        bits.push(s.bit(0));
+    }
+    let bundle = Signal::from_nets(bits);
+    m.reduce_or(&bundle)
+}
+
+/// Elaborates the AVR-compatible core into a gate-level netlist.
+///
+/// See the module documentation of [`crate::avr`] for the architecture.
+/// The returned topology is validated; the ports expose every bus the
+/// harness, the MATE analysis, and the fault-injection campaigns need.
+///
+/// # Panics
+///
+/// Never panics for the fixed architecture parameters used here.
+pub fn build_avr() -> (Netlist, Topology, AvrPorts) {
+    let mut m = ModuleBuilder::new("avr8");
+
+    // External buses.
+    let imem_data = m.input("imem_data", 16);
+    let dmem_rdata = m.input("dmem_rdata", 8);
+
+    // Architectural state.
+    let pc = m.reg("pc", 12);
+    let pc_ex = m.reg("pc_ex", 12);
+    let ir = m.reg("ir", 16);
+    let flag_c = m.reg("flag_c", 1);
+    let flag_z = m.reg("flag_z", 1);
+    let flag_n = m.reg("flag_n", 1);
+    let flag_v = m.reg("flag_v", 1);
+    let flag_h = m.reg("flag_h", 1);
+    let halted = m.reg("halted", 1);
+    let port = m.reg("port", 8);
+    let rf = RegisterFile::new(&mut m, "r", 32, 8);
+
+    // ------------------------------------------------------------------
+    // Decode (EX stage, from IR).
+    // ------------------------------------------------------------------
+    let op = ir.slice(11, 16);
+    let onehot = m.decoder(&op);
+    let is = |o: u16| -> Signal { onehot[o as usize].clone() };
+
+    let rd_r = ir.slice(6, 11);
+    let rr_r = ir.slice(1, 6);
+    let imm = ir.slice(0, 8);
+    // Immediate-format destination register: r16 + IR[10:8].
+    let one = m.one();
+    let zero = m.zero();
+    let rd_i = Signal::from_nets(vec![
+        ir.bit(8),
+        ir.bit(9),
+        ir.bit(10),
+        zero.bit(0),
+        one.bit(0),
+    ]);
+
+    let is_ifmt = any(
+        &mut m,
+        &[
+            &is(opcode::LDI),
+            &is(opcode::CPI),
+            &is(opcode::SUBI),
+            &is(opcode::ANDI),
+            &is(opcode::ORI),
+        ],
+    );
+    let rd_sel = m.mux(&is_ifmt, &rd_r, &rd_i);
+
+    // Register-file read ports.
+    let a_val = rf.read(&mut m, &rd_sel);
+    let b_val = rf.read(&mut m, &rr_r);
+
+    // ------------------------------------------------------------------
+    // ALU.
+    // ------------------------------------------------------------------
+    let is_inc = is(opcode::INC);
+    let is_dec = is(opcode::DEC);
+    let is_adc = is(opcode::ADC);
+    let is_sbc = is(opcode::SBC);
+    let is_add = is(opcode::ADD);
+
+    let b_imm = m.mux(&is_ifmt, &b_val, &imm);
+    let zero8 = m.constant(0, 8);
+    let use_zero_b = any(&mut m, &[&is_inc, &is_dec]);
+    let b_eff = m.mux(&use_zero_b, &b_imm, &zero8);
+
+    // Subtract-like ops invert B (DEC uses B=0 inverted = 0xFF, i.e. -1).
+    let is_sub_c = any(
+        &mut m,
+        &[
+            &is(opcode::SUB),
+            &is(opcode::SBC),
+            &is(opcode::CP),
+            &is(opcode::CPI),
+            &is(opcode::SUBI),
+        ],
+    );
+    let invert_b = any(&mut m, &[&is_sub_c, &is_dec]);
+    let b_not = m.not(&b_eff);
+    let b_alu = m.mux(&invert_b, &b_eff, &b_not);
+
+    // Carry-in: ADC -> C; SBC -> !C; SUB/CP/CPI/SUBI/INC -> 1; ADD/DEC -> 0.
+    let not_c = m.not(&flag_c);
+    let adc_cin = m.and(&is_adc, &flag_c);
+    let sbc_cin = m.and(&is_sbc, &not_c);
+    let is_sub_plain = any(
+        &mut m,
+        &[
+            &is(opcode::SUB),
+            &is(opcode::CP),
+            &is(opcode::CPI),
+            &is(opcode::SUBI),
+            &is_inc,
+        ],
+    );
+    let cin = any(&mut m, &[&adc_cin, &sbc_cin, &is_sub_plain]);
+
+    let (sum, carries) = m.adder(&a_val, &b_alu, &cin);
+    let c7 = carries.bit_signal(7);
+    let c6 = carries.bit_signal(6);
+    let c3 = carries.bit_signal(3);
+
+    // Logic unit.
+    let and_r = m.and(&a_val, &b_imm);
+    let or_r = m.or(&a_val, &b_imm);
+    let xor_r = m.xor(&a_val, &b_imm);
+    let is_and_like = any(&mut m, &[&is(opcode::AND), &is(opcode::ANDI)]);
+    let is_or_like = any(&mut m, &[&is(opcode::OR), &is(opcode::ORI)]);
+    let is_eor = is(opcode::EOR);
+    let is_logic = any(&mut m, &[&is_and_like, &is_or_like, &is_eor]);
+    let logic_r = {
+        let t = m.mux(&is_or_like, &xor_r, &or_r);
+        m.mux(&is_and_like, &t, &and_r)
+    };
+
+    // Shifter (right shifts; LSL is an ADD alias).
+    let is_lsr = is(opcode::LSR);
+    let is_ror = is(opcode::ROR);
+    let is_asr = is(opcode::ASR);
+    let is_shift = any(&mut m, &[&is_lsr, &is_ror, &is_asr]);
+    let ror_in = m.and(&is_ror, &flag_c);
+    let a_msb = a_val.bit_signal(7);
+    let asr_in = m.and(&is_asr, &a_msb);
+    let shift_msb = m.or(&ror_in, &asr_in);
+    let shr = a_val.slice(1, 8).concat(&shift_msb);
+
+    // Result selection.
+    let is_mov = is(opcode::MOV);
+    let is_ldi = is(opcode::LDI);
+    let is_ld = is(opcode::LD);
+    let mut result = sum.clone();
+    result = m.mux(&is_logic, &result, &logic_r);
+    result = m.mux(&is_shift, &result, &shr);
+    result = m.mux(&is_mov, &result, &b_val);
+    result = m.mux(&is_ldi, &result, &imm);
+    result = m.mux(&is_ld, &result, &dmem_rdata);
+
+    // ------------------------------------------------------------------
+    // Flags.
+    // ------------------------------------------------------------------
+    let is_arith_c = any(&mut m, &[&is_add, &is_adc, &is_sub_c]);
+    let res_zero = m.is_zero(&result);
+    let res_n = result.bit_signal(7);
+
+    // C: shifts take bit 0 of the operand; subtraction inverts the carry.
+    let a_lsb = a_val.bit_signal(0);
+    let c_arith = {
+        let nc7 = m.not(&c7);
+        m.mux(&is_sub_c, &c7, &nc7)
+    };
+    let c_new = m.mux(&is_shift, &c_arith, &a_lsb);
+    let c_we = any(&mut m, &[&is_arith_c, &is_shift]);
+
+    // Z: sticky for SBC.
+    let z_sticky = m.and(&res_zero, &flag_z);
+    let z_new = m.mux(&is_sbc, &res_zero, &z_sticky);
+
+    // V: arithmetic c7^c6; INC/DEC detect 0x80/0x7F; logic 0; shifts N^C.
+    let v_arith = m.xor(&c7, &c6);
+    let k80 = m.constant(0x80, 8);
+    let k7f = m.constant(0x7F, 8);
+    let eq80 = m.eq(&result, &k80);
+    let eq7f = m.eq(&result, &k7f);
+    let v_shift = m.xor(&res_n, &c_new);
+    let mut v_new = v_arith;
+    v_new = m.mux(&is_inc, &v_new, &eq80);
+    v_new = m.mux(&is_dec, &v_new, &eq7f);
+    v_new = m.mux(&is_shift, &v_new, &v_shift);
+    let zero1 = m.zero();
+    v_new = m.mux(&is_logic, &v_new, &zero1);
+
+    // H: only arithmetic; subtraction inverts.
+    let h_new = {
+        let nc3 = m.not(&c3);
+        m.mux(&is_sub_c, &c3, &nc3)
+    };
+    let h_we = is_arith_c.clone();
+
+    let zn_we = any(
+        &mut m,
+        &[&is_arith_c, &is_logic, &is_inc, &is_dec, &is_shift],
+    );
+
+    m.drive_reg_en(&flag_c, &c_we, &c_new);
+    m.drive_reg_en(&flag_z, &zn_we, &z_new);
+    m.drive_reg_en(&flag_n, &zn_we, &res_n);
+    m.drive_reg_en(&flag_v, &zn_we, &v_new);
+    m.drive_reg_en(&flag_h, &h_we, &h_new);
+
+    // ------------------------------------------------------------------
+    // Branches and next PC.
+    // ------------------------------------------------------------------
+    let is_br = is(opcode::BR);
+    let is_rjmp = is(opcode::RJMP);
+    let is_halt = is(opcode::HALT);
+    let cond = ir.slice(8, 11);
+    let s_flag = m.xor(&flag_n, &flag_v);
+    let nz = m.not(&flag_z);
+    let ncf = m.not(&flag_c);
+    let nn = m.not(&flag_n);
+    let ns = m.not(&s_flag);
+    let cond_val = m.mux_tree(
+        &cond,
+        &[
+            flag_z.clone(),
+            nz,
+            flag_c.clone(),
+            ncf,
+            flag_n.clone(),
+            nn,
+            s_flag,
+            ns,
+        ],
+    );
+    let br_taken = m.and(&is_br, &cond_val);
+    let taken = m.or(&br_taken, &is_rjmp);
+
+    let off8 = m.sext(&imm, 12);
+    let off11 = m.sext(&ir.slice(0, 11), 12);
+    let offset = m.mux(&is_rjmp, &off8, &off11);
+    let pc_ex1 = m.inc(&pc_ex);
+    let target = m.add(&pc_ex1, &offset);
+
+    let halted_next = m.or(&halted, &is_halt);
+    m.drive_reg(&halted, &halted_next);
+
+    let pc_plus1 = m.inc(&pc);
+    let pc_seq = m.mux(&taken, &pc_plus1, &target);
+    let pc_next = m.mux(&halted_next, &pc_seq, &pc);
+    m.drive_reg(&pc, &pc_next);
+
+    let squash = any(&mut m, &[&taken, &is_halt, &halted]);
+    let nop16 = m.constant(0, 16);
+    let ir_next = m.mux(&squash, &imem_data, &nop16);
+    m.drive_reg(&ir, &ir_next);
+
+    let pc_ex_next = m.mux(&halted, &pc, &pc_ex);
+    m.drive_reg(&pc_ex, &pc_ex_next);
+
+    // ------------------------------------------------------------------
+    // Data memory and port.
+    // ------------------------------------------------------------------
+    let ptr_code = ir.slice(4, 6);
+    let ptr_onehot = m.decoder(&ptr_code);
+    let (is_x, is_y, is_z) = (
+        ptr_onehot[0].clone(),
+        ptr_onehot[1].clone(),
+        ptr_onehot[2].clone(),
+    );
+    let q26 = rf.register(26).clone();
+    let q28 = rf.register(28).clone();
+    let q30 = rf.register(30).clone();
+    let mut dmem_addr = q26.clone();
+    dmem_addr = m.mux(&is_y, &dmem_addr, &q28);
+    dmem_addr = m.mux(&is_z, &dmem_addr, &q30);
+    let is_st = is(opcode::ST);
+    let dmem_we = is_st.clone();
+    let dmem_wdata = a_val.clone();
+
+    let is_out = is(opcode::OUT);
+    m.drive_reg_en(&port, &is_out, &a_val);
+
+    // ------------------------------------------------------------------
+    // Register-file write port with pointer post-increment overrides.
+    // ------------------------------------------------------------------
+    let rf_we = any(
+        &mut m,
+        &[
+            &is_add,
+            &is_adc,
+            &is(opcode::SUB),
+            &is_sbc,
+            &is(opcode::AND),
+            &is(opcode::OR),
+            &is_eor,
+            &is(opcode::SUBI),
+            &is(opcode::ANDI),
+            &is(opcode::ORI),
+            &is_inc,
+            &is_dec,
+            &is_lsr,
+            &is_ror,
+            &is_asr,
+            &is_mov,
+            &is_ldi,
+            &is_ld,
+        ],
+    );
+    let is_mem = any(&mut m, &[&is_ld, &is_st]);
+    let postinc = ir.bit_signal(3);
+    let pi_en = m.and(&is_mem, &postinc);
+    let pi_x = m.and(&pi_en, &is_x);
+    let pi_y = m.and(&pi_en, &is_y);
+    let pi_z = m.and(&pi_en, &is_z);
+
+    let regs: Vec<Signal> = (0..32).map(|i| rf.register(i).clone()).collect();
+    rf.finish_write_with(&mut m, &rf_we, &rd_sel, &result, |m, i, loaded| {
+        let (ov, q) = match i {
+            26 => (&pi_x, &q26),
+            28 => (&pi_y, &q28),
+            30 => (&pi_z, &q30),
+            _ => return loaded.clone(),
+        };
+        let incremented = m.inc(q);
+        m.mux(ov, loaded, &incremented)
+    });
+
+    // ------------------------------------------------------------------
+    // Primary outputs.  The data-side buses are qualified by their strobes
+    // (`LD`/`ST` for the address, `ST`/`OUT` for write data): a memory
+    // controller samples them only when strobed, so unstrobed glitches are
+    // not architecturally observable.
+    // ------------------------------------------------------------------
+    let addr_gate = is_mem.clone();
+    let addr_gate_bus = Signal::from_nets(vec![addr_gate.bit(0); dmem_addr.width()]);
+    let dmem_addr = m.and(&dmem_addr, &addr_gate_bus);
+    let wdata_strobe = m.or(&is_st, &is_out);
+    let wdata_gate_bus = Signal::from_nets(vec![wdata_strobe.bit(0); dmem_wdata.width()]);
+    let dmem_wdata = m.and(&dmem_wdata, &wdata_gate_bus);
+    for s in [
+        &pc, &dmem_addr, &dmem_wdata, &dmem_we, &port, &halted, &is_out,
+    ] {
+        m.output(s);
+    }
+
+    let sreg = Signal::from_nets(vec![
+        flag_c.bit(0),
+        flag_z.bit(0),
+        flag_n.bit(0),
+        flag_v.bit(0),
+        flag_h.bit(0),
+    ]);
+
+    let (netlist, topo) = m.finish().expect("AVR core elaborates to a valid netlist");
+    let ports = AvrPorts {
+        imem_addr: pc.clone(),
+        imem_data,
+        dmem_addr,
+        dmem_wdata,
+        dmem_we,
+        dmem_rdata,
+        port_out: port,
+        port_we: is_out,
+        halted,
+        pc,
+        ir,
+        sreg,
+        regs,
+    };
+    (netlist, topo, ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::stats::NetlistStats;
+
+    #[test]
+    fn avr_elaborates_with_expected_state() {
+        let (n, topo, ports) = build_avr();
+        let stats = NetlistStats::compute(&n, &topo);
+        // 256 RF + 12 PC + 12 PC_EX + 16 IR + 5 flags + 1 halted + 8 port.
+        assert_eq!(stats.num_ffs, 310);
+        assert_eq!(ports.regs.len(), 32);
+        assert_eq!(ports.imem_addr.width(), 12);
+        assert_eq!(ports.dmem_addr.width(), 8);
+        assert!(stats.num_comb > 1000, "pipeline logic is non-trivial");
+    }
+
+    #[test]
+    fn outputs_cover_buses() {
+        let (n, _, ports) = build_avr();
+        for bit in ports
+            .dmem_addr
+            .nets()
+            .iter()
+            .chain(ports.dmem_wdata.nets())
+            .chain(ports.halted.nets())
+            .chain(ports.pc.nets())
+        {
+            assert!(n.outputs().contains(bit));
+        }
+    }
+}

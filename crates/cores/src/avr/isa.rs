@@ -1,0 +1,604 @@
+//! AVR-subset instruction set: encoding and decoding.
+//!
+//! Instructions are 16-bit words.  The five top bits select the operation;
+//! the remaining bits form one of four formats:
+//!
+//! | format | layout                                  | used by |
+//! |--------|-----------------------------------------|---------|
+//! | R      | `op[15:11] rd[10:6] rr[5:1] 0`          | MOV/ADD/…/OUT |
+//! | I      | `op[15:11] rd[10:8] imm[7:0]` (rd+16)   | LDI/CPI/SUBI/ANDI/ORI |
+//! | M      | `op[15:11] r[10:6] ptr[5:4] inc[3] 000` | LD/ST |
+//! | B      | `op[15:11] cond[10:8] off[7:0]`         | BR |
+//! | J      | `op[15:11] off[10:0]`                   | RJMP |
+
+use std::fmt;
+
+/// Data-pointer register selector for LD/ST.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Ptr {
+    /// X pointer — register `r26`.
+    X,
+    /// Y pointer — register `r28`.
+    Y,
+    /// Z pointer — register `r30`.
+    Z,
+}
+
+impl Ptr {
+    /// The register index backing this pointer.
+    pub fn reg(self) -> u8 {
+        match self {
+            Ptr::X => 26,
+            Ptr::Y => 28,
+            Ptr::Z => 30,
+        }
+    }
+
+    fn code(self) -> u16 {
+        match self {
+            Ptr::X => 0,
+            Ptr::Y => 1,
+            Ptr::Z => 2,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Ptr> {
+        match code {
+            0 => Some(Ptr::X),
+            1 => Some(Ptr::Y),
+            2 => Some(Ptr::Z),
+            _ => None,
+        }
+    }
+}
+
+/// Branch condition (tested against the SREG flags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `Z == 1`
+    Eq,
+    /// `Z == 0`
+    Ne,
+    /// `C == 1`
+    Cs,
+    /// `C == 0`
+    Cc,
+    /// `N == 1`
+    Mi,
+    /// `N == 0`
+    Pl,
+    /// `N ^ V == 1` (signed less-than)
+    Lt,
+    /// `N ^ V == 0` (signed greater-or-equal)
+    Ge,
+}
+
+impl Cond {
+    /// 3-bit condition code.
+    pub fn code(self) -> u16 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Cs => 2,
+            Cond::Cc => 3,
+            Cond::Mi => 4,
+            Cond::Pl => 5,
+            Cond::Lt => 6,
+            Cond::Ge => 7,
+        }
+    }
+
+    /// Decodes a 3-bit condition code.
+    pub fn from_code(code: u16) -> Cond {
+        match code & 7 {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Cs,
+            3 => Cond::Cc,
+            4 => Cond::Mi,
+            5 => Cond::Pl,
+            6 => Cond::Lt,
+            _ => Cond::Ge,
+        }
+    }
+
+    /// Evaluates the condition against flags.
+    pub fn eval(self, f: Flags) -> bool {
+        let s = f.n ^ f.v;
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Lt => s,
+            Cond::Ge => !s,
+        }
+    }
+}
+
+/// The AVR status flags we model (C, Z, N, V, H).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Carry / borrow.
+    pub c: bool,
+    /// Zero.
+    pub z: bool,
+    /// Negative (bit 7 of the result).
+    pub n: bool,
+    /// Two's-complement overflow.
+    pub v: bool,
+    /// Half carry (bit 3 carry, for BCD support).
+    pub h: bool,
+}
+
+impl Flags {
+    /// Packs into bit order `C=0, Z=1, N=2, V=3, H=4`.
+    pub fn to_bits(self) -> u8 {
+        (self.c as u8)
+            | (self.z as u8) << 1
+            | (self.n as u8) << 2
+            | (self.v as u8) << 3
+            | (self.h as u8) << 4
+    }
+
+    /// Unpacks from [`Flags::to_bits`] order.
+    pub fn from_bits(bits: u8) -> Self {
+        Self {
+            c: bits & 1 != 0,
+            z: bits & 2 != 0,
+            n: bits & 4 != 0,
+            v: bits & 8 != 0,
+            h: bits & 16 != 0,
+        }
+    }
+}
+
+/// One decoded instruction of the AVR subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Freeze the pipeline permanently.
+    Halt,
+    /// `rd ← imm` (rd in 16..=23).
+    Ldi {
+        /// Destination register (16..=23).
+        rd: u8,
+        /// Immediate byte.
+        imm: u8,
+    },
+    /// `rd ← rr`.
+    Mov {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd + rr`.
+    Add {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd + rr + C`.
+    Adc {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd − rr`.
+    Sub {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd − rr − C`.
+    Sbc {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd & rr`.
+    And {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd | rr`.
+    Or {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// `rd ← rd ^ rr`.
+    Eor {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rr: u8,
+    },
+    /// Compare: flags of `rd − rr`, result discarded.
+    Cp {
+        /// Left operand register.
+        rd: u8,
+        /// Right operand register.
+        rr: u8,
+    },
+    /// Compare with immediate (rd in 16..=23).
+    Cpi {
+        /// Left operand register (16..=31).
+        rd: u8,
+        /// Immediate byte.
+        imm: u8,
+    },
+    /// `rd ← rd − imm` (rd in 16..=23).
+    Subi {
+        /// Destination register (16..=31).
+        rd: u8,
+        /// Immediate byte.
+        imm: u8,
+    },
+    /// `rd ← rd & imm` (rd in 16..=23).
+    Andi {
+        /// Destination register (16..=31).
+        rd: u8,
+        /// Immediate byte.
+        imm: u8,
+    },
+    /// `rd ← rd | imm` (rd in 16..=23).
+    Ori {
+        /// Destination register (16..=31).
+        rd: u8,
+        /// Immediate byte.
+        imm: u8,
+    },
+    /// `rd ← rd + 1` (C unchanged).
+    Inc {
+        /// Destination register.
+        rd: u8,
+    },
+    /// `rd ← rd − 1` (C unchanged).
+    Dec {
+        /// Destination register.
+        rd: u8,
+    },
+    /// Logical shift right; C gets bit 0.
+    Lsr {
+        /// Destination register.
+        rd: u8,
+    },
+    /// Rotate right through carry.
+    Ror {
+        /// Destination register.
+        rd: u8,
+    },
+    /// Arithmetic shift right (sign preserved).
+    Asr {
+        /// Destination register.
+        rd: u8,
+    },
+    /// `rd ← dmem[ptr]`, optional pointer post-increment.
+    Ld {
+        /// Destination register.
+        rd: u8,
+        /// Pointer register selector.
+        ptr: Ptr,
+        /// Post-increment the pointer register.
+        postinc: bool,
+    },
+    /// `dmem[ptr] ← rr`, optional pointer post-increment.
+    St {
+        /// Pointer register selector.
+        ptr: Ptr,
+        /// Post-increment the pointer register.
+        postinc: bool,
+        /// Source register.
+        rr: u8,
+    },
+    /// Conditional relative branch.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Signed word offset relative to the following instruction.
+        offset: i8,
+    },
+    /// Unconditional relative jump (11-bit signed offset).
+    Rjmp {
+        /// Signed word offset relative to the following instruction.
+        offset: i16,
+    },
+    /// Write `rr` to the output port.
+    Out {
+        /// Source register.
+        rr: u8,
+    },
+}
+
+/// Opcode numbers (bits 15..11).
+pub(crate) mod opcode {
+    pub const NOP: u16 = 0;
+    pub const LDI: u16 = 1;
+    pub const MOV: u16 = 2;
+    pub const ADD: u16 = 3;
+    pub const ADC: u16 = 4;
+    pub const SUB: u16 = 5;
+    pub const SBC: u16 = 6;
+    pub const AND: u16 = 7;
+    pub const OR: u16 = 8;
+    pub const EOR: u16 = 9;
+    pub const CP: u16 = 10;
+    pub const CPI: u16 = 11;
+    pub const SUBI: u16 = 12;
+    pub const ANDI: u16 = 13;
+    pub const ORI: u16 = 14;
+    pub const INC: u16 = 15;
+    pub const DEC: u16 = 16;
+    pub const LSR: u16 = 17;
+    pub const ROR: u16 = 18;
+    pub const ASR: u16 = 19;
+    pub const LD: u16 = 20;
+    pub const ST: u16 = 21;
+    pub const BR: u16 = 22;
+    pub const RJMP: u16 = 23;
+    pub const OUT: u16 = 24;
+    pub const HALT: u16 = 25;
+}
+
+fn r_format(op: u16, rd: u8, rr: u8) -> u16 {
+    assert!(rd < 32 && rr < 32, "register out of range");
+    op << 11 | u16::from(rd) << 6 | u16::from(rr) << 1
+}
+
+fn i_format(op: u16, rd: u8, imm: u8) -> u16 {
+    assert!(
+        (16..24).contains(&rd),
+        "immediate ops use r16..r23 (3-bit field), got r{rd}"
+    );
+    op << 11 | u16::from(rd - 16) << 8 | u16::from(imm)
+}
+
+fn m_format(op: u16, r: u8, ptr: Ptr, inc: bool) -> u16 {
+    assert!(r < 32, "register out of range");
+    op << 11 | u16::from(r) << 6 | ptr.code() << 4 | (inc as u16) << 3
+}
+
+impl Instr {
+    /// Encodes the instruction into its 16-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range register numbers or offsets (assembler bugs).
+    pub fn encode(self) -> u16 {
+        use opcode::*;
+        match self {
+            Instr::Nop => NOP << 11,
+            Instr::Halt => HALT << 11,
+            Instr::Ldi { rd, imm } => i_format(LDI, rd, imm),
+            Instr::Mov { rd, rr } => r_format(MOV, rd, rr),
+            Instr::Add { rd, rr } => r_format(ADD, rd, rr),
+            Instr::Adc { rd, rr } => r_format(ADC, rd, rr),
+            Instr::Sub { rd, rr } => r_format(SUB, rd, rr),
+            Instr::Sbc { rd, rr } => r_format(SBC, rd, rr),
+            Instr::And { rd, rr } => r_format(AND, rd, rr),
+            Instr::Or { rd, rr } => r_format(OR, rd, rr),
+            Instr::Eor { rd, rr } => r_format(EOR, rd, rr),
+            Instr::Cp { rd, rr } => r_format(CP, rd, rr),
+            Instr::Cpi { rd, imm } => i_format(CPI, rd, imm),
+            Instr::Subi { rd, imm } => i_format(SUBI, rd, imm),
+            Instr::Andi { rd, imm } => i_format(ANDI, rd, imm),
+            Instr::Ori { rd, imm } => i_format(ORI, rd, imm),
+            Instr::Inc { rd } => r_format(INC, rd, 0),
+            Instr::Dec { rd } => r_format(DEC, rd, 0),
+            Instr::Lsr { rd } => r_format(LSR, rd, 0),
+            Instr::Ror { rd } => r_format(ROR, rd, 0),
+            Instr::Asr { rd } => r_format(ASR, rd, 0),
+            Instr::Ld { rd, ptr, postinc } => m_format(LD, rd, ptr, postinc),
+            Instr::St { ptr, postinc, rr } => m_format(ST, rr, ptr, postinc),
+            Instr::Br { cond, offset } => {
+                BR << 11 | cond.code() << 8 | u16::from(offset as u8)
+            }
+            Instr::Rjmp { offset } => {
+                assert!(
+                    (-1024..1024).contains(&offset),
+                    "rjmp offset {offset} out of 11-bit range"
+                );
+                RJMP << 11 | (offset as u16 & 0x7FF)
+            }
+            Instr::Out { rr } => r_format(OUT, rr, 0),
+        }
+    }
+
+    /// Decodes a 16-bit word; unknown opcodes decode to `None`.
+    pub fn decode(word: u16) -> Option<Instr> {
+        use opcode::*;
+        let op = word >> 11;
+        let rd = ((word >> 6) & 0x1F) as u8;
+        let rr = ((word >> 1) & 0x1F) as u8;
+        let rd_i = ((word >> 8) & 0x7) as u8 + 16;
+        let imm = (word & 0xFF) as u8;
+        Some(match op {
+            NOP => Instr::Nop,
+            HALT => Instr::Halt,
+            LDI => Instr::Ldi { rd: rd_i, imm },
+            MOV => Instr::Mov { rd, rr },
+            ADD => Instr::Add { rd, rr },
+            ADC => Instr::Adc { rd, rr },
+            SUB => Instr::Sub { rd, rr },
+            SBC => Instr::Sbc { rd, rr },
+            AND => Instr::And { rd, rr },
+            OR => Instr::Or { rd, rr },
+            EOR => Instr::Eor { rd, rr },
+            CP => Instr::Cp { rd, rr },
+            CPI => Instr::Cpi { rd: rd_i, imm },
+            SUBI => Instr::Subi { rd: rd_i, imm },
+            ANDI => Instr::Andi { rd: rd_i, imm },
+            ORI => Instr::Ori { rd: rd_i, imm },
+            INC => Instr::Inc { rd },
+            DEC => Instr::Dec { rd },
+            LSR => Instr::Lsr { rd },
+            ROR => Instr::Ror { rd },
+            ASR => Instr::Asr { rd },
+            LD => Instr::Ld {
+                rd,
+                ptr: Ptr::from_code((word >> 4) & 3)?,
+                postinc: word & 8 != 0,
+            },
+            ST => Instr::St {
+                ptr: Ptr::from_code((word >> 4) & 3)?,
+                postinc: word & 8 != 0,
+                rr: rd,
+            },
+            BR => Instr::Br {
+                cond: Cond::from_code((word >> 8) & 7),
+                offset: imm as i8,
+            },
+            RJMP => {
+                let raw = word & 0x7FF;
+                let offset = if raw & 0x400 != 0 {
+                    (raw | 0xF800) as i16
+                } else {
+                    raw as i16
+                };
+                Instr::Rjmp { offset }
+            }
+            OUT => Instr::Out { rr: rd },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instrs() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ldi { rd: 16, imm: 0xAB },
+            Instr::Ldi { rd: 23, imm: 0x01 },
+            Instr::Mov { rd: 0, rr: 31 },
+            Instr::Add { rd: 5, rr: 6 },
+            Instr::Adc { rd: 31, rr: 0 },
+            Instr::Sub { rd: 1, rr: 2 },
+            Instr::Sbc { rd: 3, rr: 4 },
+            Instr::And { rd: 7, rr: 8 },
+            Instr::Or { rd: 9, rr: 10 },
+            Instr::Eor { rd: 11, rr: 11 },
+            Instr::Cp { rd: 12, rr: 13 },
+            Instr::Cpi { rd: 17, imm: 42 },
+            Instr::Subi { rd: 18, imm: 1 },
+            Instr::Andi { rd: 19, imm: 0x0F },
+            Instr::Ori { rd: 20, imm: 0x80 },
+            Instr::Inc { rd: 14 },
+            Instr::Dec { rd: 15 },
+            Instr::Lsr { rd: 21 },
+            Instr::Ror { rd: 22 },
+            Instr::Asr { rd: 24 },
+            Instr::Out { rr: 25 },
+            Instr::Rjmp { offset: -3 },
+            Instr::Rjmp { offset: 1023 },
+            Instr::Rjmp { offset: -1024 },
+        ];
+        for ptr in [Ptr::X, Ptr::Y, Ptr::Z] {
+            for postinc in [false, true] {
+                v.push(Instr::Ld { rd: 4, ptr, postinc });
+                v.push(Instr::St { ptr, postinc, rr: 28 });
+            }
+        }
+        for cond in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Cs,
+            Cond::Cc,
+            Cond::Mi,
+            Cond::Pl,
+            Cond::Lt,
+            Cond::Ge,
+        ] {
+            v.push(Instr::Br { cond, offset: -128 });
+            v.push(Instr::Br { cond, offset: 127 });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_instrs() {
+            let w = i.encode();
+            assert_eq!(Instr::decode(w), Some(i), "word {w:#06x}");
+        }
+    }
+
+    #[test]
+    fn nop_is_word_zero() {
+        assert_eq!(Instr::Nop.encode(), 0);
+        assert_eq!(Instr::decode(0), Some(Instr::Nop));
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_none() {
+        assert_eq!(Instr::decode(31 << 11), None);
+        // LD with reserved pointer code 3.
+        assert_eq!(Instr::decode(opcode::LD << 11 | 3 << 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "r16..r23")]
+    fn ldi_low_register_panics() {
+        Instr::Ldi { rd: 3, imm: 0 }.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "11-bit range")]
+    fn rjmp_offset_range_checked() {
+        Instr::Rjmp { offset: 1024 }.encode();
+    }
+
+    #[test]
+    fn cond_eval_matrix() {
+        let f = Flags {
+            c: true,
+            z: false,
+            n: true,
+            v: false,
+            h: false,
+        };
+        assert!(!Cond::Eq.eval(f));
+        assert!(Cond::Ne.eval(f));
+        assert!(Cond::Cs.eval(f));
+        assert!(!Cond::Cc.eval(f));
+        assert!(Cond::Mi.eval(f));
+        assert!(!Cond::Pl.eval(f));
+        assert!(Cond::Lt.eval(f)); // S = N^V = 1
+        assert!(!Cond::Ge.eval(f));
+    }
+
+    #[test]
+    fn flags_pack_roundtrip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn ptr_registers() {
+        assert_eq!(Ptr::X.reg(), 26);
+        assert_eq!(Ptr::Y.reg(), 28);
+        assert_eq!(Ptr::Z.reg(), 30);
+    }
+}

@@ -1,0 +1,29 @@
+//! The 8-bit AVR-compatible two-stage-pipeline core.
+//!
+//! Architectural summary (see `DESIGN.md` for the substitution rationale):
+//!
+//! * 32 general-purpose 8-bit registers `r0..r31`; `r26/r28/r30` double as
+//!   the X/Y/Z data pointers,
+//! * 12-bit program counter over a separate 16-bit-wide instruction memory
+//!   (Harvard architecture, one instruction word per address),
+//! * 8-bit data memory with an 8-bit address bus,
+//! * status register with C/Z/N/V/H flags,
+//! * a two-stage fetch/execute pipeline: branches resolve in EX and squash
+//!   the just-fetched instruction (one delay bubble),
+//! * an 8-bit output port (`OUT`) for externally visible results and a
+//!   `HALT` instruction that freezes the pipeline.
+
+pub mod asm;
+pub mod core;
+pub mod isa;
+pub mod model;
+pub mod programs;
+pub mod system;
+pub mod text;
+
+pub use asm::Assembler;
+pub use core::{build_avr, AvrPorts};
+pub use isa::{Cond, Flags, Instr, Ptr};
+pub use model::AvrModel;
+pub use system::AvrSystem;
+pub use text::parse_asm;

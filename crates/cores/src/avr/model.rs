@@ -1,0 +1,455 @@
+//! ISA-level reference interpreter for the AVR subset.
+//!
+//! The gate-level core is cross-checked against this model instruction by
+//! instruction; it is also the "ISA level" of the paper's cross-layer story
+//! (Section 6.3): faults in ISA-visible state can be handled by
+//! software-level fault injection, which is why the paper's preferred fault
+//! set excludes the register file.
+
+use super::isa::{Flags, Instr};
+
+/// Architectural state and interpreter for the AVR subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AvrModel {
+    /// General-purpose registers `r0..r31`.
+    pub regs: [u8; 32],
+    /// 12-bit program counter (instruction-word address).
+    pub pc: u16,
+    /// Status flags.
+    pub flags: Flags,
+    /// Set once `HALT` executes.
+    pub halted: bool,
+    /// 256-byte data memory.
+    pub dmem: Vec<u8>,
+    /// Current output-port value.
+    pub port: u8,
+    /// Every value written to the port, in order.
+    pub port_log: Vec<u8>,
+    program: Vec<u16>,
+}
+
+impl AvrModel {
+    /// Creates a model executing `program` with zeroed registers and memory.
+    pub fn new(program: &[u16]) -> Self {
+        Self {
+            regs: [0; 32],
+            pc: 0,
+            flags: Flags::default(),
+            halted: false,
+            dmem: vec![0; 256],
+            port: 0,
+            port_log: Vec::new(),
+            program: program.to_vec(),
+        }
+    }
+
+    /// Pre-loads data memory starting at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds 256 bytes.
+    pub fn load_dmem(&mut self, data: &[u8]) {
+        assert!(data.len() <= self.dmem.len(), "data memory overflow");
+        self.dmem[..data.len()].copy_from_slice(data);
+    }
+
+    fn fetch(&self) -> Instr {
+        self.program
+            .get(self.pc as usize)
+            .and_then(|&w| Instr::decode(w))
+            .unwrap_or(Instr::Nop)
+    }
+
+    /// ALU addition matching the hardware: returns result and flags computed
+    /// from the per-bit carries.
+    fn alu_add(a: u8, b: u8, cin: bool) -> (u8, Flags) {
+        let wide = u16::from(a) + u16::from(b) + u16::from(cin as u8);
+        let r = wide as u8;
+        let c7 = wide > 0xFF;
+        let c6 = ((a & 0x7F) as u16 + (b & 0x7F) as u16 + cin as u16) > 0x7F;
+        let c3 = ((a & 0xF) + (b & 0xF) + cin as u8) > 0xF;
+        (
+            r,
+            Flags {
+                c: c7,
+                z: r == 0,
+                n: r & 0x80 != 0,
+                v: c7 != c6,
+                h: c3,
+            },
+        )
+    }
+
+    /// Subtraction `a - b - borrow` via `a + !b + !borrow`; AVR flag
+    /// polarity (C and H are borrows).
+    fn alu_sub(a: u8, b: u8, borrow: bool) -> (u8, Flags) {
+        let (r, f) = Self::alu_add(a, !b, !borrow);
+        (
+            r,
+            Flags {
+                c: !f.c,
+                h: !f.h,
+                ..f
+            },
+        )
+    }
+
+    fn logic_flags(&self, r: u8) -> Flags {
+        Flags {
+            c: self.flags.c,
+            z: r == 0,
+            n: r & 0x80 != 0,
+            v: false,
+            h: self.flags.h,
+        }
+    }
+
+    /// Executes one instruction.  Does nothing when halted.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        let instr = self.fetch();
+        self.pc = (self.pc + 1) & 0xFFF;
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => self.halted = true,
+            Instr::Ldi { rd, imm } => self.regs[rd as usize] = imm,
+            Instr::Mov { rd, rr } => self.regs[rd as usize] = self.regs[rr as usize],
+            Instr::Add { rd, rr } => {
+                let (r, f) = Self::alu_add(self.regs[rd as usize], self.regs[rr as usize], false);
+                self.regs[rd as usize] = r;
+                self.flags = f;
+            }
+            Instr::Adc { rd, rr } => {
+                let (r, f) =
+                    Self::alu_add(self.regs[rd as usize], self.regs[rr as usize], self.flags.c);
+                self.regs[rd as usize] = r;
+                self.flags = f;
+            }
+            Instr::Sub { rd, rr } => {
+                let (r, f) = Self::alu_sub(self.regs[rd as usize], self.regs[rr as usize], false);
+                self.regs[rd as usize] = r;
+                self.flags = f;
+            }
+            Instr::Sbc { rd, rr } => {
+                let (r, mut f) =
+                    Self::alu_sub(self.regs[rd as usize], self.regs[rr as usize], self.flags.c);
+                // AVR SBC: Z is sticky (only ever cleared).
+                f.z &= self.flags.z;
+                self.regs[rd as usize] = r;
+                self.flags = f;
+            }
+            Instr::And { rd, rr } => {
+                let r = self.regs[rd as usize] & self.regs[rr as usize];
+                self.flags = self.logic_flags(r);
+                self.regs[rd as usize] = r;
+            }
+            Instr::Or { rd, rr } => {
+                let r = self.regs[rd as usize] | self.regs[rr as usize];
+                self.flags = self.logic_flags(r);
+                self.regs[rd as usize] = r;
+            }
+            Instr::Eor { rd, rr } => {
+                let r = self.regs[rd as usize] ^ self.regs[rr as usize];
+                self.flags = self.logic_flags(r);
+                self.regs[rd as usize] = r;
+            }
+            Instr::Cp { rd, rr } => {
+                let (_, f) = Self::alu_sub(self.regs[rd as usize], self.regs[rr as usize], false);
+                self.flags = f;
+            }
+            Instr::Cpi { rd, imm } => {
+                let (_, f) = Self::alu_sub(self.regs[rd as usize], imm, false);
+                self.flags = f;
+            }
+            Instr::Subi { rd, imm } => {
+                let (r, f) = Self::alu_sub(self.regs[rd as usize], imm, false);
+                self.regs[rd as usize] = r;
+                self.flags = f;
+            }
+            Instr::Andi { rd, imm } => {
+                let r = self.regs[rd as usize] & imm;
+                self.flags = self.logic_flags(r);
+                self.regs[rd as usize] = r;
+            }
+            Instr::Ori { rd, imm } => {
+                let r = self.regs[rd as usize] | imm;
+                self.flags = self.logic_flags(r);
+                self.regs[rd as usize] = r;
+            }
+            Instr::Inc { rd } => {
+                let r = self.regs[rd as usize].wrapping_add(1);
+                self.flags = Flags {
+                    c: self.flags.c,
+                    z: r == 0,
+                    n: r & 0x80 != 0,
+                    v: r == 0x80,
+                    h: self.flags.h,
+                };
+                self.regs[rd as usize] = r;
+            }
+            Instr::Dec { rd } => {
+                let r = self.regs[rd as usize].wrapping_sub(1);
+                self.flags = Flags {
+                    c: self.flags.c,
+                    z: r == 0,
+                    n: r & 0x80 != 0,
+                    v: r == 0x7F,
+                    h: self.flags.h,
+                };
+                self.regs[rd as usize] = r;
+            }
+            Instr::Lsr { rd } => self.shift(rd, false, false),
+            Instr::Ror { rd } => self.shift(rd, self.flags.c, false),
+            Instr::Asr { rd } => self.shift(rd, false, true),
+            Instr::Ld { rd, ptr, postinc } => {
+                let p = ptr.reg() as usize;
+                let addr = self.regs[p];
+                self.regs[rd as usize] = self.dmem[addr as usize];
+                if postinc {
+                    self.regs[p] = addr.wrapping_add(1);
+                }
+            }
+            Instr::St { ptr, postinc, rr } => {
+                let p = ptr.reg() as usize;
+                let addr = self.regs[p];
+                self.dmem[addr as usize] = self.regs[rr as usize];
+                if postinc {
+                    self.regs[p] = addr.wrapping_add(1);
+                }
+            }
+            Instr::Br { cond, offset } => {
+                if cond.eval(self.flags) {
+                    self.pc = self.pc.wrapping_add(offset as u16) & 0xFFF;
+                }
+            }
+            Instr::Rjmp { offset } => {
+                self.pc = self.pc.wrapping_add(offset as u16) & 0xFFF;
+            }
+            Instr::Out { rr } => {
+                self.port = self.regs[rr as usize];
+                self.port_log.push(self.port);
+            }
+        }
+    }
+
+    fn shift(&mut self, rd: u8, msb_in: bool, arithmetic: bool) {
+        let a = self.regs[rd as usize];
+        let top = if arithmetic { a & 0x80 } else { (msb_in as u8) << 7 };
+        let r = (a >> 1) | top;
+        let c = a & 1 != 0;
+        let n = r & 0x80 != 0;
+        self.flags = Flags {
+            c,
+            z: r == 0,
+            n,
+            v: n != c,
+            h: self.flags.h,
+        };
+        self.regs[rd as usize] = r;
+    }
+
+    /// Runs until `HALT` or at most `max_steps` instructions.
+    ///
+    /// Returns the number of executed instructions.
+    pub fn run(&mut self, max_steps: usize) -> usize {
+        for step in 0..max_steps {
+            if self.halted {
+                return step;
+            }
+            self.step();
+        }
+        max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avr::isa::{Cond, Ptr};
+
+    fn run(program: &[Instr]) -> AvrModel {
+        let words: Vec<u16> = program.iter().map(|i| i.encode()).collect();
+        let mut m = AvrModel::new(&words);
+        m.run(10_000);
+        m
+    }
+
+    #[test]
+    fn ldi_mov_add() {
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 7 },
+            Instr::Ldi { rd: 17, imm: 5 },
+            Instr::Mov { rd: 0, rr: 16 },
+            Instr::Add { rd: 0, rr: 17 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[0], 12);
+        assert!(m.halted);
+    }
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 0x7F },
+            Instr::Ldi { rd: 17, imm: 0x01 },
+            Instr::Add { rd: 16, rr: 17 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0x80);
+        assert!(!m.flags.c);
+        assert!(m.flags.v, "0x7F + 1 overflows signed");
+        assert!(m.flags.n);
+        assert!(m.flags.h, "carry out of bit 3");
+    }
+
+    #[test]
+    fn sub_borrow_flags() {
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 3 },
+            Instr::Ldi { rd: 17, imm: 5 },
+            Instr::Sub { rd: 16, rr: 17 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0xFE);
+        assert!(m.flags.c, "borrow sets C");
+        assert!(m.flags.n);
+        assert!(!m.flags.z);
+    }
+
+    #[test]
+    fn sixteen_bit_add_via_adc() {
+        // 0x01FF + 0x0301 = 0x0500 split into bytes.
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 0xFF },
+            Instr::Ldi { rd: 17, imm: 0x01 },
+            Instr::Ldi { rd: 18, imm: 0x01 },
+            Instr::Ldi { rd: 19, imm: 0x03 },
+            Instr::Add { rd: 16, rr: 18 },
+            Instr::Adc { rd: 17, rr: 19 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0x00);
+        assert_eq!(m.regs[17], 0x05);
+    }
+
+    #[test]
+    fn sbc_z_flag_is_sticky() {
+        // 0x0100 - 0x0100 = 0 across two bytes; final Z must be 1 only if
+        // both byte results were zero.
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 0x00 },
+            Instr::Ldi { rd: 17, imm: 0x01 },
+            Instr::Ldi { rd: 18, imm: 0x00 },
+            Instr::Ldi { rd: 19, imm: 0x01 },
+            Instr::Sub { rd: 16, rr: 18 },
+            Instr::Sbc { rd: 17, rr: 19 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0);
+        assert_eq!(m.regs[17], 0);
+        assert!(m.flags.z);
+    }
+
+    #[test]
+    fn branch_loop_counts() {
+        // r16 counts 5 down to 0.
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 5 },
+            Instr::Ldi { rd: 17, imm: 0 },
+            // loop: inc r17; dec r16; brne loop
+            Instr::Inc { rd: 17 },
+            Instr::Dec { rd: 16 },
+            Instr::Br {
+                cond: Cond::Ne,
+                offset: -3,
+            },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[17], 5);
+        assert_eq!(m.regs[16], 0);
+    }
+
+    #[test]
+    fn memory_postincrement() {
+        let mut words = vec![
+            Instr::Ldi { rd: 17, imm: 10 }.encode(),
+            Instr::Mov { rd: 26, rr: 17 }.encode(), // X = 10
+            Instr::Ldi { rd: 16, imm: 0xAA }.encode(),
+            Instr::St {
+                ptr: Ptr::X,
+                postinc: true,
+                rr: 16,
+            }
+            .encode(),
+            Instr::St {
+                ptr: Ptr::X,
+                postinc: false,
+                rr: 26,
+            }
+            .encode(), // mem[11] = X = 11
+            Instr::Mov { rd: 26, rr: 17 }.encode(), // X = 10 again
+            Instr::Ld {
+                rd: 0,
+                ptr: Ptr::X,
+                postinc: true,
+            }
+            .encode(),
+            Instr::Ld {
+                rd: 1,
+                ptr: Ptr::X,
+                postinc: false,
+            }
+            .encode(),
+            Instr::Halt.encode(),
+        ];
+        words.push(0);
+        let mut m = AvrModel::new(&words);
+        m.run(100);
+        assert_eq!(m.dmem[10], 0xAA);
+        assert_eq!(m.dmem[11], 11);
+        assert_eq!(m.regs[0], 0xAA);
+        assert_eq!(m.regs[1], 11);
+    }
+
+    #[test]
+    fn shifts_and_rotate() {
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 0b1000_0101 },
+            Instr::Lsr { rd: 16 }, // 0100_0010, C=1
+            Instr::Ror { rd: 16 }, // 1010_0001, C=0
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0b1010_0001);
+        assert!(!m.flags.c);
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 0b1000_0100 },
+            Instr::Asr { rd: 16 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.regs[16], 0b1100_0010);
+    }
+
+    #[test]
+    fn out_logs_port_writes() {
+        let m = run(&[
+            Instr::Ldi { rd: 16, imm: 1 },
+            Instr::Out { rr: 16 },
+            Instr::Ldi { rd: 16, imm: 2 },
+            Instr::Out { rr: 16 },
+            Instr::Halt,
+        ]);
+        assert_eq!(m.port_log, vec![1, 2]);
+        assert_eq!(m.port, 2);
+    }
+
+    #[test]
+    fn halted_model_stays_put() {
+        let mut m = AvrModel::new(&[Instr::Halt.encode()]);
+        assert_eq!(m.run(10), 1);
+        let before = m.clone();
+        m.step();
+        assert_eq!(m, before);
+    }
+}

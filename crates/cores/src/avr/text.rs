@@ -1,0 +1,313 @@
+//! Text front end for the AVR assembler.
+//!
+//! Accepts the classic mnemonic syntax:
+//!
+//! ```text
+//! ; 8-bit countdown
+//! start:
+//!     ldi  r16, 0x05
+//! loop:
+//!     out  r16
+//!     dec  r16
+//!     brne loop
+//!     halt
+//! ```
+//!
+//! Supported operands: registers `r0..r31`, decimal/hex (`0x..`) immediates,
+//! pointer operands `X`, `Y`, `Z` with optional post-increment `+`, and label
+//! references for branches.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use super::asm::{Assembler, Label};
+use super::isa::{Cond, Ptr};
+
+/// Errors produced by [`parse_asm`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<u8, AsmError> {
+    let rest = token
+        .strip_prefix(['r', 'R'])
+        .ok_or_else(|| err(line, format!("expected register, got `{token}`")))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{token}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register `{token}` out of range")));
+    }
+    Ok(n)
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<u8, AsmError> {
+    let value = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        token.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{token}`")))?;
+    if !(-128..256).contains(&value) {
+        return Err(err(line, format!("immediate `{token}` out of byte range")));
+    }
+    Ok(value as u8)
+}
+
+fn parse_ptr(token: &str, line: usize) -> Result<(Ptr, bool), AsmError> {
+    let (name, postinc) = match token.strip_suffix('+') {
+        Some(rest) => (rest, true),
+        None => (token, false),
+    };
+    let ptr = match name {
+        "X" | "x" => Ptr::X,
+        "Y" | "y" => Ptr::Y,
+        "Z" | "z" => Ptr::Z,
+        _ => return Err(err(line, format!("expected pointer X/Y/Z, got `{token}`"))),
+    };
+    Ok((ptr, postinc))
+}
+
+/// Assembles AVR text into instruction words.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending source line for unknown
+/// mnemonics, malformed operands, and undefined or duplicate labels.
+pub fn parse_asm(source: &str) -> Result<Vec<u16>, AsmError> {
+    let mut asm = Assembler::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut bound: HashMap<String, usize> = HashMap::new();
+    let mut get_label = |asm: &mut Assembler, name: &str| -> Label {
+        *labels
+            .entry(name.to_owned())
+            .or_insert_with(|| asm.new_label())
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                break;
+            }
+            if bound.insert(name.to_owned(), line_no).is_some() {
+                return Err(err(line_no, format!("label `{name}` defined twice")));
+            }
+            let label = get_label(&mut asm, name);
+            asm.bind(label);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, operand_text) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o.trim()),
+            None => (rest, ""),
+        };
+        let operands: Vec<&str> = if operand_text.is_empty() {
+            Vec::new()
+        } else {
+            operand_text.split(',').map(str::trim).collect()
+        };
+        let want = |n: usize| -> Result<(), AsmError> {
+            if operands.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", operands.len()),
+                ))
+            }
+        };
+
+        let mnemonic_lc = mnemonic.to_ascii_lowercase();
+        match mnemonic_lc.as_str() {
+            "nop" => {
+                want(0)?;
+                asm.nop();
+            }
+            "halt" => {
+                want(0)?;
+                asm.halt();
+            }
+            "ldi" | "cpi" | "subi" | "andi" | "ori" => {
+                want(2)?;
+                let rd = parse_reg(operands[0], line_no)?;
+                let imm = parse_imm(operands[1], line_no)?;
+                if !(16..24).contains(&rd) {
+                    return Err(err(
+                        line_no,
+                        format!("`{mnemonic}` needs r16..r23, got r{rd}"),
+                    ));
+                }
+                match mnemonic_lc.as_str() {
+                    "ldi" => asm.ldi(rd, imm),
+                    "cpi" => asm.cpi(rd, imm),
+                    "subi" => asm.subi(rd, imm),
+                    "andi" => asm.andi(rd, imm),
+                    _ => asm.ori(rd, imm),
+                };
+            }
+            "mov" | "add" | "adc" | "sub" | "sbc" | "and" | "or" | "eor" | "cp" => {
+                want(2)?;
+                let rd = parse_reg(operands[0], line_no)?;
+                let rr = parse_reg(operands[1], line_no)?;
+                match mnemonic_lc.as_str() {
+                    "mov" => asm.mov(rd, rr),
+                    "add" => asm.add(rd, rr),
+                    "adc" => asm.adc(rd, rr),
+                    "sub" => asm.sub(rd, rr),
+                    "sbc" => asm.sbc(rd, rr),
+                    "and" => asm.and(rd, rr),
+                    "or" => asm.or(rd, rr),
+                    "eor" => asm.eor(rd, rr),
+                    _ => asm.cp(rd, rr),
+                };
+            }
+            "inc" | "dec" | "lsr" | "ror" | "asr" | "lsl" | "out" => {
+                want(1)?;
+                let r = parse_reg(operands[0], line_no)?;
+                match mnemonic_lc.as_str() {
+                    "inc" => asm.inc(r),
+                    "dec" => asm.dec(r),
+                    "lsr" => asm.lsr(r),
+                    "ror" => asm.ror(r),
+                    "asr" => asm.asr(r),
+                    "lsl" => asm.lsl(r),
+                    _ => asm.out(r),
+                };
+            }
+            "ld" => {
+                want(2)?;
+                let rd = parse_reg(operands[0], line_no)?;
+                let (ptr, postinc) = parse_ptr(operands[1], line_no)?;
+                asm.ld(rd, ptr, postinc);
+            }
+            "st" => {
+                want(2)?;
+                let (ptr, postinc) = parse_ptr(operands[0], line_no)?;
+                let rr = parse_reg(operands[1], line_no)?;
+                asm.st(ptr, postinc, rr);
+            }
+            "breq" | "brne" | "brcs" | "brcc" | "brmi" | "brpl" | "brlt" | "brge" | "rjmp" => {
+                want(1)?;
+                let label = get_label(&mut asm, operands[0]);
+                match mnemonic_lc.as_str() {
+                    "breq" => asm.br(Cond::Eq, label),
+                    "brne" => asm.br(Cond::Ne, label),
+                    "brcs" => asm.br(Cond::Cs, label),
+                    "brcc" => asm.br(Cond::Cc, label),
+                    "brmi" => asm.br(Cond::Mi, label),
+                    "brpl" => asm.br(Cond::Pl, label),
+                    "brlt" => asm.br(Cond::Lt, label),
+                    "brge" => asm.br(Cond::Ge, label),
+                    _ => asm.rjmp(label),
+                };
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    for name in labels.keys() {
+        if !bound.contains_key(name) {
+            return Err(AsmError {
+                line: 0,
+                message: format!("label `{name}` used but never defined"),
+            });
+        }
+    }
+    Ok(asm.assemble())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avr::model::AvrModel;
+
+    #[test]
+    fn countdown_program_runs() {
+        let words = parse_asm(
+            "; countdown\nstart:\n  ldi r16, 5\nloop:\n  out r16\n  dec r16\n  brne loop\n  halt\n",
+        )
+        .unwrap();
+        let mut m = AvrModel::new(&words);
+        m.run(100);
+        assert!(m.halted);
+        assert_eq!(m.port_log, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn memory_and_pointer_syntax() {
+        let words = parse_asm(
+            "  ldi r16, 0xAB\n  ldi r17, 4\n  mov r26, r17\n  st X+, r16\n  st X, r17\n  \
+             mov r28, r17\n  ld r0, Y\n  halt\n",
+        )
+        .unwrap();
+        let mut m = AvrModel::new(&words);
+        m.run(100);
+        assert_eq!(m.dmem[4], 0xAB);
+        assert_eq!(m.dmem[5], 4);
+        assert_eq!(m.regs[0], 0xAB);
+        assert_eq!(m.regs[26], 5);
+    }
+
+    #[test]
+    fn text_matches_programmatic_assembler() {
+        let text = parse_asm("  ldi r16, 7\n  add r16, r16\n  out r16\n  halt\n").unwrap();
+        let mut a = super::super::asm::Assembler::new();
+        a.ldi(16, 7).add(16, 16).out(16).halt();
+        assert_eq!(text, a.assemble());
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_asm("  frobnicate r1\n").unwrap_err().message.contains("unknown"));
+        assert_eq!(parse_asm("  ldi r5, 1\n").unwrap_err().line, 1);
+        assert!(parse_asm("x:\nx:\n  halt\n")
+            .unwrap_err()
+            .message
+            .contains("twice"));
+        assert!(parse_asm("  rjmp nowhere\n")
+            .unwrap_err()
+            .message
+            .contains("never defined"));
+        assert!(parse_asm("  ld r1, W\n").unwrap_err().message.contains("pointer"));
+        assert!(parse_asm("  add r1\n").unwrap_err().message.contains("expects 2"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = parse_asm("\n; only comments\n\n  halt ; trailing\n").unwrap();
+        assert_eq!(words.len(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Programmatic two-pass assembler for the MSP430 subset.
+//!
+//! # Example
+//!
+//! ```
+//! use mate_cores::msp430::asm::Assembler;
+//! use mate_cores::msp430::isa::{Dst, Src};
+//!
+//! let mut a = Assembler::new();
+//! let head = a.new_label();
+//! a.mov(Src::Imm(3), Dst::Reg(4));
+//! a.bind(head);
+//! a.sub(Src::Imm(1), Dst::Reg(4));
+//! a.jnz(head);
+//! a.halt();
+//! let image = a.assemble();
+//! assert!(image.len() >= 6);
+//! ```
+
+use super::isa::{Dst, Instr, JumpCond, Op1, Op2, Src, SrFlags};
+
+/// A jump target; create with [`Assembler::new_label`], place with
+/// [`Assembler::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Fixed(Instr),
+    Jump(JumpCond, Label),
+}
+
+impl Slot {
+    fn words(&self) -> usize {
+        match self {
+            Slot::Fixed(i) => i.encode().len(),
+            Slot::Jump(..) => 1,
+        }
+    }
+}
+
+/// Two-pass assembler producing a word image loaded at address 0.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    slots: Vec<Slot>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Word address of the next emitted instruction.
+    pub fn here(&self) -> usize {
+        self.slots.iter().map(Slot::words).sum()
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.slots.push(Slot::Fixed(instr));
+        self
+    }
+
+    fn two(&mut self, op: Op2, src: Src, dst: Dst) -> &mut Self {
+        self.emit(Instr::Two { op, src, dst })
+    }
+
+    /// `MOV src, dst`
+    pub fn mov(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Mov, src, dst)
+    }
+
+    /// `ADD src, dst`
+    pub fn add(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Add, src, dst)
+    }
+
+    /// `ADDC src, dst`
+    pub fn addc(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Addc, src, dst)
+    }
+
+    /// `SUB src, dst`
+    pub fn sub(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Sub, src, dst)
+    }
+
+    /// `SUBC src, dst`
+    pub fn subc(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Subc, src, dst)
+    }
+
+    /// `CMP src, dst`
+    pub fn cmp(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Cmp, src, dst)
+    }
+
+    /// `BIT src, dst`
+    pub fn bit(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Bit, src, dst)
+    }
+
+    /// `BIC src, dst`
+    pub fn bic(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Bic, src, dst)
+    }
+
+    /// `BIS src, dst`
+    pub fn bis(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Bis, src, dst)
+    }
+
+    /// `XOR src, dst`
+    pub fn xor(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::Xor, src, dst)
+    }
+
+    /// `AND src, dst`
+    pub fn and(&mut self, src: Src, dst: Dst) -> &mut Self {
+        self.two(Op2::And, src, dst)
+    }
+
+    /// `RRC Rn`
+    pub fn rrc(&mut self, reg: u8) -> &mut Self {
+        self.emit(Instr::One { op: Op1::Rrc, reg })
+    }
+
+    /// `RRA Rn`
+    pub fn rra(&mut self, reg: u8) -> &mut Self {
+        self.emit(Instr::One { op: Op1::Rra, reg })
+    }
+
+    /// `SWPB Rn`
+    pub fn swpb(&mut self, reg: u8) -> &mut Self {
+        self.emit(Instr::One { op: Op1::Swpb, reg })
+    }
+
+    /// `SXT Rn`
+    pub fn sxt(&mut self, reg: u8) -> &mut Self {
+        self.emit(Instr::One { op: Op1::Sxt, reg })
+    }
+
+    /// `NOP` — encoded as `MOV R3, R3` like common MSP430 assemblers.
+    pub fn nop(&mut self) -> &mut Self {
+        self.mov(Src::Reg(3), Dst::Reg(3))
+    }
+
+    /// Halt: `BIS #CPUOFF, SR`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.bis(Src::Imm(1 << SrFlags::CPUOFF_BIT), Dst::Reg(2))
+    }
+
+    /// Conditional jump to a label.
+    pub fn jump(&mut self, cond: JumpCond, label: Label) -> &mut Self {
+        self.slots.push(Slot::Jump(cond, label));
+        self
+    }
+
+    /// `JNE/JNZ label`
+    pub fn jnz(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jne, label)
+    }
+
+    /// `JEQ/JZ label`
+    pub fn jz(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jeq, label)
+    }
+
+    /// `JNC label`
+    pub fn jnc(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jnc, label)
+    }
+
+    /// `JC label`
+    pub fn jc(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jc, label)
+    }
+
+    /// `JN label`
+    pub fn jn(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jn, label)
+    }
+
+    /// `JGE label`
+    pub fn jge(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jge, label)
+    }
+
+    /// `JL label`
+    pub fn jl(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jl, label)
+    }
+
+    /// `JMP label`
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.jump(JumpCond::Jmp, label)
+    }
+
+    /// Resolves labels and emits the final word image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or out-of-range jump offsets.
+    pub fn assemble(&self) -> Vec<u16> {
+        // First pass: addresses.
+        let mut addrs = Vec::with_capacity(self.slots.len());
+        let mut pc = 0usize;
+        for slot in &self.slots {
+            addrs.push(pc);
+            pc += slot.words();
+        }
+        // Second pass: emit.
+        let mut image = Vec::with_capacity(pc);
+        for (slot, &addr) in self.slots.iter().zip(&addrs) {
+            match *slot {
+                Slot::Fixed(i) => image.extend(i.encode()),
+                Slot::Jump(cond, label) => {
+                    let target = self.labels[label.0]
+                        .unwrap_or_else(|| panic!("label L{} never bound", label.0));
+                    let offset = target as i32 - (addr as i32 + 1);
+                    assert!(
+                        (-512..512).contains(&offset),
+                        "jump offset {offset} out of range at word {addr}"
+                    );
+                    image.extend(
+                        Instr::Jump {
+                            cond,
+                            offset: offset as i16,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn here_accounts_for_extension_words() {
+        let mut a = Assembler::new();
+        assert_eq!(a.here(), 0);
+        a.mov(Src::Imm(1), Dst::Reg(4)); // 2 words
+        assert_eq!(a.here(), 2);
+        a.mov(Src::Indexed(4, 3), Dst::Indexed(5, 6)); // 3 words
+        assert_eq!(a.here(), 5);
+        a.rra(4); // 1 word
+        assert_eq!(a.here(), 6);
+    }
+
+    #[test]
+    fn forward_jump_resolution() {
+        let mut a = Assembler::new();
+        let done = a.new_label();
+        a.jmp(done); // word 0
+        a.nop(); // word 1
+        a.nop(); // word 2
+        a.bind(done); // word 3
+        a.halt();
+        let image = a.assemble();
+        let (instr, _) = Instr::decode(&image).unwrap();
+        assert_eq!(
+            instr,
+            Instr::Jump {
+                cond: JumpCond::Jmp,
+                offset: 2
+            }
+        );
+    }
+
+    #[test]
+    fn backward_jump_with_extension_words() {
+        let mut a = Assembler::new();
+        let head = a.new_label();
+        a.bind(head);
+        a.add(Src::Imm(1), Dst::Reg(4)); // words 0-1
+        a.jnz(head); // word 2, offset = 0 - 3 = -3
+        let image = a.assemble();
+        let (instr, _) = Instr::decode(&image[2..]).unwrap();
+        assert_eq!(
+            instr,
+            Instr::Jump {
+                cond: JumpCond::Jne,
+                offset: -3
+            }
+        );
+    }
+
+    #[test]
+    fn halt_sets_cpuoff() {
+        let mut a = Assembler::new();
+        a.halt();
+        let image = a.assemble();
+        let (instr, _) = Instr::decode(&image).unwrap();
+        assert_eq!(
+            instr,
+            Instr::Two {
+                op: Op2::Bis,
+                src: Src::Imm(0x10),
+                dst: Dst::Reg(2)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.jmp(l);
+        a.assemble();
+    }
+}

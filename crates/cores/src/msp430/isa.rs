@@ -1,0 +1,545 @@
+//! MSP430-subset instruction set: encoding and decoding.
+//!
+//! Real MSP430 encodings are used (format I, format II, jumps) with two
+//! documented simplifications: the machine is word-addressed (PC and
+//! auto-increment advance by one word, jump offsets count words) and the
+//! `B/W` byte-mode bit plus the R2/R3 constant generator are not
+//! implemented (the assembler never emits them).
+
+use std::fmt;
+
+/// Two-operand (format I) operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op2 {
+    /// `dst ← src` (no flags).
+    Mov,
+    /// `dst ← dst + src`.
+    Add,
+    /// `dst ← dst + src + C`.
+    Addc,
+    /// `dst ← dst − src − 1 + C`.
+    Subc,
+    /// `dst ← dst − src`.
+    Sub,
+    /// Flags of `dst − src`, result discarded.
+    Cmp,
+    /// Flags of `dst & src`, result discarded.
+    Bit,
+    /// `dst ← dst & !src` (no flags).
+    Bic,
+    /// `dst ← dst | src` (no flags).
+    Bis,
+    /// `dst ← dst ^ src`.
+    Xor,
+    /// `dst ← dst & src`.
+    And,
+}
+
+impl Op2 {
+    /// The format-I opcode nibble.
+    pub fn opcode(self) -> u16 {
+        match self {
+            Op2::Mov => 4,
+            Op2::Add => 5,
+            Op2::Addc => 6,
+            Op2::Subc => 7,
+            Op2::Sub => 8,
+            Op2::Cmp => 9,
+            Op2::Bit => 11,
+            Op2::Bic => 12,
+            Op2::Bis => 13,
+            Op2::Xor => 14,
+            Op2::And => 15,
+        }
+    }
+
+    fn from_opcode(op: u16) -> Option<Op2> {
+        Some(match op {
+            4 => Op2::Mov,
+            5 => Op2::Add,
+            6 => Op2::Addc,
+            7 => Op2::Subc,
+            8 => Op2::Sub,
+            9 => Op2::Cmp,
+            11 => Op2::Bit,
+            12 => Op2::Bic,
+            13 => Op2::Bis,
+            14 => Op2::Xor,
+            15 => Op2::And,
+            _ => return None, // 10 = DADD, unsupported
+        })
+    }
+
+    /// Whether the operation stores its result.
+    pub fn writes(self) -> bool {
+        !matches!(self, Op2::Cmp | Op2::Bit)
+    }
+
+    /// Whether the operation updates the status flags.
+    pub fn sets_flags(self) -> bool {
+        !matches!(self, Op2::Mov | Op2::Bic | Op2::Bis)
+    }
+}
+
+/// Single-operand (format II) operations — register mode only in this core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op1 {
+    /// Rotate right through carry.
+    Rrc,
+    /// Swap bytes (no flags).
+    Swpb,
+    /// Arithmetic shift right.
+    Rra,
+    /// Sign-extend the low byte.
+    Sxt,
+}
+
+impl Op1 {
+    /// The format-II opcode (bits 9..7).
+    pub fn opcode(self) -> u16 {
+        match self {
+            Op1::Rrc => 0,
+            Op1::Swpb => 1,
+            Op1::Rra => 2,
+            Op1::Sxt => 3,
+        }
+    }
+
+    fn from_opcode(op: u16) -> Option<Op1> {
+        Some(match op {
+            0 => Op1::Rrc,
+            1 => Op1::Swpb,
+            2 => Op1::Rra,
+            3 => Op1::Sxt,
+            _ => return None, // PUSH/CALL/RETI unsupported
+        })
+    }
+
+    /// Whether the operation updates the status flags.
+    pub fn sets_flags(self) -> bool {
+        !matches!(self, Op1::Swpb)
+    }
+}
+
+/// Jump conditions (bits 12..10 of the jump format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JumpCond {
+    /// `Z == 0`
+    Jne,
+    /// `Z == 1`
+    Jeq,
+    /// `C == 0`
+    Jnc,
+    /// `C == 1`
+    Jc,
+    /// `N == 1`
+    Jn,
+    /// `N ^ V == 0` (signed ≥)
+    Jge,
+    /// `N ^ V == 1` (signed <)
+    Jl,
+    /// Always.
+    Jmp,
+}
+
+impl JumpCond {
+    /// The 3-bit condition code.
+    pub fn code(self) -> u16 {
+        match self {
+            JumpCond::Jne => 0,
+            JumpCond::Jeq => 1,
+            JumpCond::Jnc => 2,
+            JumpCond::Jc => 3,
+            JumpCond::Jn => 4,
+            JumpCond::Jge => 5,
+            JumpCond::Jl => 6,
+            JumpCond::Jmp => 7,
+        }
+    }
+
+    /// Decodes a 3-bit condition code.
+    pub fn from_code(code: u16) -> JumpCond {
+        match code & 7 {
+            0 => JumpCond::Jne,
+            1 => JumpCond::Jeq,
+            2 => JumpCond::Jnc,
+            3 => JumpCond::Jc,
+            4 => JumpCond::Jn,
+            5 => JumpCond::Jge,
+            6 => JumpCond::Jl,
+            _ => JumpCond::Jmp,
+        }
+    }
+
+    /// Evaluates the condition against status flags.
+    pub fn eval(self, sr: SrFlags) -> bool {
+        match self {
+            JumpCond::Jne => !sr.z,
+            JumpCond::Jeq => sr.z,
+            JumpCond::Jnc => !sr.c,
+            JumpCond::Jc => sr.c,
+            JumpCond::Jn => sr.n,
+            JumpCond::Jge => sr.n == sr.v,
+            JumpCond::Jl => sr.n != sr.v,
+            JumpCond::Jmp => true,
+        }
+    }
+}
+
+/// The status-register flags (bit positions follow the real SR: C=0, Z=1,
+/// N=2, CPUOFF=4, V=8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SrFlags {
+    /// Carry.
+    pub c: bool,
+    /// Zero.
+    pub z: bool,
+    /// Negative.
+    pub n: bool,
+    /// Overflow.
+    pub v: bool,
+    /// CPU halted (`CPUOFF`).
+    pub cpuoff: bool,
+}
+
+impl SrFlags {
+    /// Bit position of `CPUOFF` in SR.
+    pub const CPUOFF_BIT: u16 = 4;
+
+    /// Unpacks from an SR word.
+    pub fn from_word(sr: u16) -> Self {
+        Self {
+            c: sr & 1 != 0,
+            z: sr & 2 != 0,
+            n: sr & 4 != 0,
+            cpuoff: sr & (1 << Self::CPUOFF_BIT) != 0,
+            v: sr & 0x100 != 0,
+        }
+    }
+
+    /// Merges the flag bits into an SR word, preserving unrelated bits.
+    pub fn merge_into(self, sr: u16) -> u16 {
+        let mut out = sr & !0x0107;
+        out |= self.c as u16;
+        out |= (self.z as u16) << 1;
+        out |= (self.n as u16) << 2;
+        out |= (self.v as u16) << 8;
+        out |= sr & (1 << Self::CPUOFF_BIT);
+        // cpuoff is not produced by ALU flag updates; keep SR's bit.
+        out
+    }
+}
+
+/// A source operand with its addressing mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// Register direct `Rn`.
+    Reg(u8),
+    /// Indexed `x(Rn)` — extension word holds `x`.
+    Indexed(u8, u16),
+    /// Indirect `@Rn`.
+    Indirect(u8),
+    /// Indirect auto-increment `@Rn+`.
+    AutoInc(u8),
+    /// Immediate `#x` — encoded as `@PC+`.
+    Imm(u16),
+}
+
+/// A destination operand (register or indexed, as in the real encoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dst {
+    /// Register direct `Rn`.
+    Reg(u8),
+    /// Indexed `x(Rn)` — extension word holds `x`.
+    Indexed(u8, u16),
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Format I: `op src, dst`.
+    Two {
+        /// Operation.
+        op: Op2,
+        /// Source operand.
+        src: Src,
+        /// Destination operand.
+        dst: Dst,
+    },
+    /// Format II (register mode): `op Rn`.
+    One {
+        /// Operation.
+        op: Op1,
+        /// Operand register.
+        reg: u8,
+    },
+    /// Conditional jump with a signed word offset relative to the following
+    /// word.
+    Jump {
+        /// Condition.
+        cond: JumpCond,
+        /// Signed word offset in `-512..=511`.
+        offset: i16,
+    },
+}
+
+impl Instr {
+    /// Encodes into one to three instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range register numbers or jump offsets.
+    pub fn encode(self) -> Vec<u16> {
+        match self {
+            Instr::Two { op, src, dst } => {
+                let (rs, a_s, src_ext) = match src {
+                    Src::Reg(r) => (r, 0u16, None),
+                    Src::Indexed(r, x) => (r, 1, Some(x)),
+                    Src::Indirect(r) => (r, 2, None),
+                    Src::AutoInc(r) => (r, 3, None),
+                    Src::Imm(x) => (0, 3, Some(x)),
+                };
+                let (rd, ad, dst_ext) = match dst {
+                    Dst::Reg(r) => (r, 0u16, None),
+                    Dst::Indexed(r, x) => (r, 1, Some(x)),
+                };
+                assert!(rs < 16 && rd < 16, "register out of range");
+                let word = op.opcode() << 12
+                    | u16::from(rs) << 8
+                    | ad << 7
+                    | a_s << 4
+                    | u16::from(rd);
+                let mut words = vec![word];
+                words.extend(src_ext);
+                words.extend(dst_ext);
+                words
+            }
+            Instr::One { op, reg } => {
+                assert!(reg < 16, "register out of range");
+                vec![0b000100 << 10 | op.opcode() << 7 | u16::from(reg)]
+            }
+            Instr::Jump { cond, offset } => {
+                assert!(
+                    (-512..512).contains(&offset),
+                    "jump offset {offset} out of 10-bit range"
+                );
+                vec![0b001 << 13 | cond.code() << 10 | (offset as u16 & 0x3FF)]
+            }
+        }
+    }
+
+    /// Decodes the instruction starting at `words[0]`; returns the
+    /// instruction and the number of words consumed.  `None` for encodings
+    /// outside the supported subset.
+    pub fn decode(words: &[u16]) -> Option<(Instr, usize)> {
+        let w = *words.first()?;
+        if w >> 13 == 0b001 {
+            let raw = w & 0x3FF;
+            let offset = if raw & 0x200 != 0 {
+                (raw | 0xFC00) as i16
+            } else {
+                raw as i16
+            };
+            return Some((
+                Instr::Jump {
+                    cond: JumpCond::from_code(w >> 10),
+                    offset,
+                },
+                1,
+            ));
+        }
+        if w >> 10 == 0b000100 {
+            // Format II; we support register mode only (As = 0).
+            if (w >> 4) & 3 != 0 {
+                return None;
+            }
+            let op = Op1::from_opcode((w >> 7) & 7)?;
+            return Some((
+                Instr::One {
+                    op,
+                    reg: (w & 0xF) as u8,
+                },
+                1,
+            ));
+        }
+        let op = Op2::from_opcode(w >> 12)?;
+        let rs = ((w >> 8) & 0xF) as u8;
+        let ad = (w >> 7) & 1;
+        let a_s = (w >> 4) & 3;
+        let rd = (w & 0xF) as u8;
+        let mut used = 1;
+        let src = match (a_s, rs) {
+            (0, _) => Src::Reg(rs),
+            (1, _) => {
+                let x = *words.get(used)?;
+                used += 1;
+                Src::Indexed(rs, x)
+            }
+            (2, _) => Src::Indirect(rs),
+            (3, 0) => {
+                let x = *words.get(used)?;
+                used += 1;
+                Src::Imm(x)
+            }
+            (3, _) => Src::AutoInc(rs),
+            _ => unreachable!(),
+        };
+        let dst = if ad == 0 {
+            Dst::Reg(rd)
+        } else {
+            let x = *words.get(used)?;
+            used += 1;
+            Dst::Indexed(rd, x)
+        };
+        Some((Instr::Two { op, src, dst }, used))
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_operand_roundtrip_all_modes() {
+        let srcs = [
+            Src::Reg(5),
+            Src::Indexed(6, 0x1234),
+            Src::Indirect(7),
+            Src::AutoInc(8),
+            Src::Imm(0xBEEF),
+        ];
+        let dsts = [Dst::Reg(9), Dst::Indexed(10, 0x0042)];
+        let ops = [
+            Op2::Mov,
+            Op2::Add,
+            Op2::Addc,
+            Op2::Subc,
+            Op2::Sub,
+            Op2::Cmp,
+            Op2::Bit,
+            Op2::Bic,
+            Op2::Bis,
+            Op2::Xor,
+            Op2::And,
+        ];
+        for op in ops {
+            for src in srcs {
+                for dst in dsts {
+                    let i = Instr::Two { op, src, dst };
+                    let words = i.encode();
+                    let (decoded, used) = Instr::decode(&words).unwrap();
+                    assert_eq!(decoded, i);
+                    assert_eq!(used, words.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_operand_and_jump_roundtrip() {
+        for op in [Op1::Rrc, Op1::Swpb, Op1::Rra, Op1::Sxt] {
+            let i = Instr::One { op, reg: 11 };
+            let (d, u) = Instr::decode(&i.encode()).unwrap();
+            assert_eq!((d, u), (i, 1));
+        }
+        for cond in [
+            JumpCond::Jne,
+            JumpCond::Jeq,
+            JumpCond::Jnc,
+            JumpCond::Jc,
+            JumpCond::Jn,
+            JumpCond::Jge,
+            JumpCond::Jl,
+            JumpCond::Jmp,
+        ] {
+            for offset in [-512i16, -1, 0, 1, 511] {
+                let i = Instr::Jump { cond, offset };
+                let (d, u) = Instr::decode(&i.encode()).unwrap();
+                assert_eq!((d, u), (i, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_is_pc_autoincrement() {
+        let words = Instr::Two {
+            op: Op2::Mov,
+            src: Src::Imm(7),
+            dst: Dst::Reg(4),
+        }
+        .encode();
+        // rs = 0 (PC), As = 3.
+        assert_eq!((words[0] >> 8) & 0xF, 0);
+        assert_eq!((words[0] >> 4) & 3, 3);
+        assert_eq!(words[1], 7);
+    }
+
+    #[test]
+    fn dadd_and_push_are_unsupported() {
+        assert!(Instr::decode(&[10 << 12]).is_none()); // DADD
+        assert!(Instr::decode(&[0b000100 << 10 | 4 << 7]).is_none()); // PUSH
+    }
+
+    #[test]
+    fn truncated_extension_word_is_none() {
+        let words = Instr::Two {
+            op: Op2::Add,
+            src: Src::Imm(1),
+            dst: Dst::Reg(5),
+        }
+        .encode();
+        assert!(Instr::decode(&words[..1]).is_none());
+    }
+
+    #[test]
+    fn sr_flags_pack_and_merge() {
+        let f = SrFlags {
+            c: true,
+            z: false,
+            n: true,
+            v: true,
+            cpuoff: false,
+        };
+        let sr = f.merge_into(0);
+        assert_eq!(sr, 0x0105);
+        let back = SrFlags::from_word(sr);
+        assert_eq!(back, f);
+        // CPUOFF survives flag merges.
+        let sr2 = f.merge_into(1 << SrFlags::CPUOFF_BIT);
+        assert!(SrFlags::from_word(sr2).cpuoff);
+    }
+
+    #[test]
+    fn jump_cond_eval() {
+        let sr = SrFlags {
+            c: false,
+            z: true,
+            n: true,
+            v: false,
+            cpuoff: false,
+        };
+        assert!(JumpCond::Jeq.eval(sr));
+        assert!(!JumpCond::Jne.eval(sr));
+        assert!(JumpCond::Jnc.eval(sr));
+        assert!(JumpCond::Jl.eval(sr));
+        assert!(!JumpCond::Jge.eval(sr));
+        assert!(JumpCond::Jmp.eval(sr));
+    }
+
+    #[test]
+    fn op_metadata() {
+        assert!(!Op2::Cmp.writes());
+        assert!(!Op2::Bit.writes());
+        assert!(Op2::Add.writes());
+        assert!(!Op2::Mov.sets_flags());
+        assert!(Op2::Xor.sets_flags());
+        assert!(!Op1::Swpb.sets_flags());
+        assert!(Op1::Rra.sets_flags());
+    }
+}

@@ -1,0 +1,29 @@
+//! The 16-bit MSP430-compatible multi-cycle core.
+//!
+//! Architectural summary:
+//!
+//! * 16 × 16-bit registers; `R0` is the program counter, `R2` the status
+//!   register (C/Z/N/V flags plus the `CPUOFF` halt bit),
+//! * von-Neumann bus: one 16-bit word-addressed memory for code and data,
+//! * a 7-state multi-cycle control FSM (fetch, source, source-indexed,
+//!   destination-extension, destination-read, execute, write-back),
+//! * MSP430 format-I (two-operand), format-II (single-operand) and jump
+//!   encodings; word operations only (the `B/W` bit is accepted and
+//!   ignored),
+//! * addressing modes: register, indexed `x(Rn)`, indirect `@Rn`,
+//!   auto-increment `@Rn+`, and immediate `#imm` (`@PC+`).
+
+pub mod asm;
+pub mod core;
+pub mod isa;
+pub mod model;
+pub mod programs;
+pub mod system;
+pub mod text;
+
+pub use asm::Assembler;
+pub use core::{build_msp430, Msp430Ports};
+pub use isa::{Dst, Instr, JumpCond, Op1, Op2, Src, SrFlags};
+pub use model::Msp430Model;
+pub use system::Msp430System;
+pub use text::parse_asm;

@@ -1,0 +1,409 @@
+//! ISA-level reference interpreter for the MSP430 subset.
+
+use super::isa::{Dst, Instr, Op1, Op2, Src, SrFlags};
+
+/// Number of 16-bit words in the unified memory.
+pub const MEM_WORDS: usize = 4096;
+
+/// Architectural state and interpreter for the MSP430 subset.
+///
+/// `regs[0]` is the program counter (word address), `regs[2]` the status
+/// register; memory is unified (von Neumann) and word-addressed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msp430Model {
+    /// Register file R0..R15.
+    pub regs: [u16; 16],
+    /// Unified word memory.
+    pub mem: Vec<u16>,
+    /// Number of executed instructions.
+    pub steps: usize,
+}
+
+impl Msp430Model {
+    /// Creates a model with `program` loaded at word address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds the memory.
+    pub fn new(image: &[u16]) -> Self {
+        assert!(image.len() <= MEM_WORDS, "image overflows memory");
+        let mut mem = vec![0u16; MEM_WORDS];
+        mem[..image.len()].copy_from_slice(image);
+        Self {
+            regs: [0; 16],
+            mem,
+            steps: 0,
+        }
+    }
+
+    /// The status flags.
+    pub fn flags(&self) -> SrFlags {
+        SrFlags::from_word(self.regs[2])
+    }
+
+    /// Whether the CPU is halted (`CPUOFF`).
+    pub fn halted(&self) -> bool {
+        self.flags().cpuoff
+    }
+
+    fn mem_read(&self, addr: u16) -> u16 {
+        self.mem[addr as usize % MEM_WORDS]
+    }
+
+    fn mem_write(&mut self, addr: u16, value: u16) {
+        let idx = addr as usize % MEM_WORDS;
+        self.mem[idx] = value;
+    }
+
+    fn fetch_word(&mut self) -> u16 {
+        let w = self.mem_read(self.regs[0]);
+        self.regs[0] = self.regs[0].wrapping_add(1);
+        w
+    }
+
+    /// ALU addition with flag computation matching the hardware carries.
+    fn alu_add(a: u16, b: u16, cin: bool) -> (u16, bool, bool) {
+        let wide = u32::from(a) + u32::from(b) + u32::from(cin as u8);
+        let r = wide as u16;
+        let c15 = wide > 0xFFFF;
+        let c14 = (u32::from(a & 0x7FFF) + u32::from(b & 0x7FFF) + cin as u32) > 0x7FFF;
+        (r, c15, c15 != c14)
+    }
+
+    fn set_flags(&mut self, f: SrFlags) {
+        self.regs[2] = f.merge_into(self.regs[2]);
+    }
+
+    /// Executes one instruction.  Does nothing when halted or when the
+    /// fetched word is outside the supported subset (such words behave as
+    /// one-word NOPs, matching the hardware decoder).
+    pub fn step(&mut self) {
+        if self.halted() {
+            return;
+        }
+        self.steps += 1;
+        let first = self.fetch_word();
+        // Peek the following words for decode; the interpreter re-fetches
+        // operand extension words itself to keep PC exact.
+        let pc = self.regs[0];
+        let lookahead = [
+            first,
+            self.mem_read(pc),
+            self.mem_read(pc.wrapping_add(1)),
+        ];
+        let Some((instr, _)) = Instr::decode(&lookahead) else {
+            return; // unsupported encodings are NOPs
+        };
+        match instr {
+            Instr::Jump { cond, offset } => {
+                if cond.eval(self.flags()) {
+                    self.regs[0] = self.regs[0].wrapping_add(offset as u16);
+                }
+            }
+            Instr::One { op, reg } => {
+                let v = self.regs[reg as usize];
+                let f = self.flags();
+                let (r, new_f) = match op {
+                    Op1::Rra => {
+                        let r = (v >> 1) | (v & 0x8000);
+                        (r, Some(self.shift_flags(r, v & 1 != 0)))
+                    }
+                    Op1::Rrc => {
+                        let r = (v >> 1) | ((f.c as u16) << 15);
+                        (r, Some(self.shift_flags(r, v & 1 != 0)))
+                    }
+                    Op1::Swpb => (v.rotate_left(8), None),
+                    Op1::Sxt => {
+                        let r = v as u8 as i8 as i16 as u16;
+                        let z = r == 0;
+                        (
+                            r,
+                            Some(SrFlags {
+                                c: !z,
+                                z,
+                                n: r & 0x8000 != 0,
+                                v: false,
+                                cpuoff: false,
+                            }),
+                        )
+                    }
+                };
+                self.regs[reg as usize] = r;
+                if let Some(f) = new_f {
+                    self.set_flags(f);
+                }
+            }
+            Instr::Two { op, src, dst } => {
+                let src_val = match src {
+                    Src::Reg(r) => self.regs[r as usize],
+                    Src::Indexed(r, _) => {
+                        let x = self.fetch_word();
+                        self.mem_read(self.regs[r as usize].wrapping_add(x))
+                    }
+                    Src::Indirect(r) => self.mem_read(self.regs[r as usize]),
+                    Src::AutoInc(r) => {
+                        let v = self.mem_read(self.regs[r as usize]);
+                        self.regs[r as usize] = self.regs[r as usize].wrapping_add(1);
+                        v
+                    }
+                    Src::Imm(_) => self.fetch_word(),
+                };
+                let (dst_reg, dst_addr) = match dst {
+                    Dst::Reg(r) => (Some(r), None),
+                    Dst::Indexed(r, _) => {
+                        // The hardware computes `Rn + x` in the same cycle it
+                        // fetches the extension word, so PC-relative
+                        // destinations see R0 *before* the increment.
+                        let base = self.regs[r as usize];
+                        let x = self.fetch_word();
+                        (None, Some(base.wrapping_add(x)))
+                    }
+                };
+                let dst_val = match (dst_reg, dst_addr) {
+                    (Some(r), _) => self.regs[r as usize],
+                    (_, Some(a)) => self.mem_read(a),
+                    _ => unreachable!(),
+                };
+                let f = self.flags();
+                let mut result = dst_val;
+                let mut new_flags: Option<SrFlags> = None;
+                let logic_flags = |r: u16, v_flag: bool| SrFlags {
+                    c: r != 0,
+                    z: r == 0,
+                    n: r & 0x8000 != 0,
+                    v: v_flag,
+                    cpuoff: false,
+                };
+                match op {
+                    Op2::Mov => result = src_val,
+                    Op2::Add | Op2::Addc | Op2::Sub | Op2::Subc | Op2::Cmp => {
+                        let (b, cin) = match op {
+                            Op2::Add => (src_val, false),
+                            Op2::Addc => (src_val, f.c),
+                            Op2::Sub | Op2::Cmp => (!src_val, true),
+                            Op2::Subc => (!src_val, f.c),
+                            _ => unreachable!(),
+                        };
+                        let (r, c, v) = Self::alu_add(dst_val, b, cin);
+                        new_flags = Some(SrFlags {
+                            c,
+                            z: r == 0,
+                            n: r & 0x8000 != 0,
+                            v,
+                            cpuoff: false,
+                        });
+                        if op != Op2::Cmp {
+                            result = r;
+                        }
+                    }
+                    Op2::Bit => {
+                        let r = dst_val & src_val;
+                        new_flags = Some(logic_flags(r, false));
+                    }
+                    Op2::And => {
+                        result = dst_val & src_val;
+                        new_flags = Some(logic_flags(result, false));
+                    }
+                    Op2::Xor => {
+                        result = dst_val ^ src_val;
+                        let v = src_val & 0x8000 != 0 && dst_val & 0x8000 != 0;
+                        new_flags = Some(logic_flags(result, v));
+                    }
+                    Op2::Bic => result = dst_val & !src_val,
+                    Op2::Bis => result = dst_val | src_val,
+                }
+                if op.writes() {
+                    match (dst_reg, dst_addr) {
+                        (Some(r), _) => self.regs[r as usize] = result,
+                        (_, Some(a)) => self.mem_write(a, result),
+                        _ => unreachable!(),
+                    }
+                }
+                if let Some(f) = new_flags {
+                    self.set_flags(f);
+                }
+            }
+        }
+    }
+
+    fn shift_flags(&self, r: u16, c: bool) -> SrFlags {
+        SrFlags {
+            c,
+            z: r == 0,
+            n: r & 0x8000 != 0,
+            v: false,
+            cpuoff: false,
+        }
+    }
+
+    /// Runs until `CPUOFF` or at most `max_steps` instructions; returns the
+    /// executed count.
+    pub fn run(&mut self, max_steps: usize) -> usize {
+        for step in 0..max_steps {
+            if self.halted() {
+                return step;
+            }
+            self.step();
+        }
+        max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msp430::asm::Assembler;
+
+    fn run_asm(build: impl FnOnce(&mut Assembler)) -> Msp430Model {
+        let mut a = Assembler::new();
+        build(&mut a);
+        let mut m = Msp430Model::new(&a.assemble());
+        m.run(100_000);
+        assert!(m.halted(), "program must halt");
+        m
+    }
+
+    #[test]
+    fn mov_add_immediates() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(100), Dst::Reg(4));
+            a.mov(Src::Imm(23), Dst::Reg(5));
+            a.add(Src::Reg(5), Dst::Reg(4));
+            a.halt();
+        });
+        assert_eq!(m.regs[4], 123);
+    }
+
+    #[test]
+    fn sub_sets_carry_like_msp430() {
+        // MSP430: C = 1 when no borrow.
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(5), Dst::Reg(4));
+            a.sub(Src::Imm(3), Dst::Reg(4));
+            a.halt();
+        });
+        assert_eq!(m.regs[4], 2);
+        assert!(m.flags().c, "5-3 has no borrow → C=1");
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(3), Dst::Reg(4));
+            a.sub(Src::Imm(5), Dst::Reg(4));
+            a.halt();
+        });
+        assert_eq!(m.regs[4], 0xFFFE);
+        assert!(!m.flags().c);
+        assert!(m.flags().n);
+    }
+
+    #[test]
+    fn memory_modes() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(0x200), Dst::Reg(4)); // pointer
+            a.mov(Src::Imm(0xAB), Dst::Indexed(4, 0)); // mem[0x200] = 0xAB
+            a.mov(Src::Imm(0xCD), Dst::Indexed(4, 1)); // mem[0x201] = 0xCD
+            a.mov(Src::Indirect(4), Dst::Reg(5)); // R5 = 0xAB
+            a.mov(Src::AutoInc(4), Dst::Reg(6)); // R6 = 0xAB, R4 = 0x201
+            a.mov(Src::AutoInc(4), Dst::Reg(7)); // R7 = 0xCD, R4 = 0x202
+            a.mov(Src::Imm(0x200), Dst::Reg(8));
+            a.mov(Src::Indexed(8, 1), Dst::Reg(9)); // R9 = 0xCD
+            a.halt();
+        });
+        assert_eq!(m.regs[5], 0xAB);
+        assert_eq!(m.regs[6], 0xAB);
+        assert_eq!(m.regs[7], 0xCD);
+        assert_eq!(m.regs[4], 0x202);
+        assert_eq!(m.regs[9], 0xCD);
+        assert_eq!(m.mem[0x200], 0xAB);
+    }
+
+    #[test]
+    fn jumps_and_loop() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(5), Dst::Reg(4));
+            a.mov(Src::Imm(0), Dst::Reg(5));
+            let head = a.new_label();
+            a.bind(head);
+            a.add(Src::Reg(4), Dst::Reg(5));
+            a.sub(Src::Imm(1), Dst::Reg(4));
+            a.jnz(head);
+            a.halt();
+        });
+        assert_eq!(m.regs[5], 15);
+        assert_eq!(m.regs[4], 0);
+    }
+
+    #[test]
+    fn logic_ops_and_flags() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(0xF0F0), Dst::Reg(4));
+            a.and(Src::Imm(0x0FF0), Dst::Reg(4)); // 0x00F0
+            a.bis(Src::Imm(0x0001), Dst::Reg(4)); // 0x00F1
+            a.bic(Src::Imm(0x00F0), Dst::Reg(4)); // 0x0001
+            a.xor(Src::Imm(0x0003), Dst::Reg(4)); // 0x0002
+            a.halt();
+        });
+        assert_eq!(m.regs[4], 0x0002);
+        assert!(m.flags().c, "XOR result non-zero → C=1");
+    }
+
+    #[test]
+    fn one_operand_ops() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(0x8005), Dst::Reg(4));
+            a.rra(4); // 0xC002, C=1
+            a.mov(Src::Imm(0x0001), Dst::Reg(5));
+            a.rrc(5); // C was 1 → 0x8000, C=1
+            a.mov(Src::Imm(0x12FF), Dst::Reg(6));
+            a.swpb(6); // 0xFF12
+            a.mov(Src::Imm(0x00F0), Dst::Reg(7));
+            a.sxt(7); // 0xFFF0
+            a.halt();
+        });
+        assert_eq!(m.regs[4], 0xC002);
+        assert_eq!(m.regs[5], 0x8000);
+        assert_eq!(m.regs[6], 0xFF12);
+        assert_eq!(m.regs[7], 0xFFF0);
+    }
+
+    #[test]
+    fn mov_to_pc_is_branch() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(5), Dst::Reg(0)); // jump to word 5
+            a.halt(); // word 2 (skipped? no: mov imm occupies 0-1, halt at 2)
+            a.nop(); // 3
+            a.nop(); // 4
+            // word 5:
+            a.mov(Src::Imm(7), Dst::Reg(10));
+            a.halt();
+        });
+        assert_eq!(m.regs[10], 7);
+    }
+
+    #[test]
+    fn signed_jumps() {
+        let m = run_asm(|a| {
+            a.mov(Src::Imm(0xFFF0), Dst::Reg(4)); // -16
+            a.cmp(Src::Imm(5), Dst::Reg(4)); // -16 - 5 → N^V=1
+            let less = a.new_label();
+            let done = a.new_label();
+            a.jl(less);
+            a.mov(Src::Imm(1), Dst::Reg(5));
+            a.jmp(done);
+            a.bind(less);
+            a.mov(Src::Imm(2), Dst::Reg(5));
+            a.bind(done);
+            a.halt();
+        });
+        assert_eq!(m.regs[5], 2);
+    }
+
+    #[test]
+    fn halted_model_freezes() {
+        let mut a = Assembler::new();
+        a.halt();
+        let mut m = Msp430Model::new(&a.assemble());
+        m.run(10);
+        let snapshot = m.clone();
+        m.step();
+        assert_eq!(m, snapshot);
+    }
+}

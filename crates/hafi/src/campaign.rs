@@ -1,0 +1,486 @@
+//! Injection campaigns and outcome classification.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mate_netlist::{NetId, Netlist, Topology};
+use mate_sim::WaveTrace;
+
+use crate::harness::DesignHarness;
+use crate::space::{FaultPoint, FaultSpace};
+
+/// The observable effect of one injected fault, judged against the golden
+/// run over the campaign horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultEffect {
+    /// Outputs stayed golden during the injection cycle and the full state
+    /// matched the golden state in the next cycle — the fault class MATEs
+    /// prune.
+    MaskedWithinOneCycle,
+    /// Outputs never diverged and the state re-converged later (at the
+    /// recorded cycle offset); benign, but beyond the single-cycle horizon.
+    SilentRecovery {
+        /// Cycles after injection until the state matched the golden run.
+        after: usize,
+    },
+    /// Outputs never diverged within the horizon but the state never
+    /// re-converged: the fault is still latent.
+    Latent,
+    /// A primary output diverged from the golden run.
+    OutputFailure {
+        /// Cycles after injection until the first wrong output.
+        after: usize,
+    },
+}
+
+impl FaultEffect {
+    /// `true` for the two classes that produced no wrong output.
+    pub fn is_silent(self) -> bool {
+        !matches!(self, FaultEffect::OutputFailure { .. })
+    }
+
+    /// `true` iff the fault was masked within one clock cycle — the
+    /// sufficient benign-ness criterion of the paper's Section 2.
+    pub fn is_masked_one_cycle(self) -> bool {
+        matches!(self, FaultEffect::MaskedWithinOneCycle)
+    }
+}
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MaskedWithinOneCycle => write!(f, "masked within one cycle"),
+            Self::SilentRecovery { after } => write!(f, "silent recovery after {after} cycles"),
+            Self::Latent => write!(f, "latent state corruption"),
+            Self::OutputFailure { after } => write!(f, "output failure after {after} cycles"),
+        }
+    }
+}
+
+/// Records the golden (fault-free) execution.
+#[derive(Clone, Debug)]
+pub struct GoldenRun {
+    /// The fault-free trace.
+    pub trace: WaveTrace,
+    /// Flip-flop output nets (the architectural state vector).
+    pub state_nets: Vec<NetId>,
+    /// Primary output nets.
+    pub output_nets: Vec<NetId>,
+}
+
+/// Runs the workload fault-free for `cycles` cycles.
+pub fn golden_run(harness: &dyn DesignHarness, cycles: usize) -> GoldenRun {
+    let trace = harness.testbench().run(cycles);
+    GoldenRun {
+        trace,
+        state_nets: state_nets(harness.netlist(), harness.topology()),
+        output_nets: harness.netlist().outputs().to_vec(),
+    }
+}
+
+fn state_nets(netlist: &Netlist, topo: &Topology) -> Vec<NetId> {
+    topo.seq_cells()
+        .iter()
+        .map(|&ff| netlist.cell(ff).output())
+        .collect()
+}
+
+/// Injects a single SEU at `point` and classifies its effect against
+/// `golden` over the remaining horizon.
+///
+/// # Panics
+///
+/// Panics if `point.cycle` lies beyond the golden trace.
+pub fn inject(harness: &dyn DesignHarness, golden: &GoldenRun, point: FaultPoint) -> FaultEffect {
+    let horizon = golden.trace.num_cycles();
+    assert!(point.cycle < horizon, "injection cycle beyond golden trace");
+    let mut tb = harness.testbench();
+
+    // Advance fault-free to the injection cycle.
+    for _ in 0..point.cycle {
+        tb.step();
+    }
+    // Flip the victim flip-flop; its faulty value is live during this cycle.
+    tb.sim_mut().flip_ff(point.ff);
+    classify(&mut tb, golden, point.cycle)
+}
+
+/// Runs the remaining horizon and classifies the divergence from golden.
+fn classify(
+    tb: &mut mate_sim::Testbench<'_>,
+    golden: &GoldenRun,
+    injected_at: usize,
+) -> FaultEffect {
+    let horizon = golden.trace.num_cycles();
+    let mut state_equal_at: Option<usize> = None;
+    let mut diverged_again = false;
+    for cycle in injected_at..horizon {
+        let mut outputs_ok = true;
+        let mut state_ok = true;
+        tb.step_observed(|sim| {
+            for &net in &golden.output_nets {
+                if sim.value(net) != golden.trace.value(cycle, net) {
+                    outputs_ok = false;
+                    break;
+                }
+            }
+            for &net in &golden.state_nets {
+                if sim.value(net) != golden.trace.value(cycle, net) {
+                    state_ok = false;
+                    break;
+                }
+            }
+        });
+        if !outputs_ok {
+            return FaultEffect::OutputFailure {
+                after: cycle - injected_at,
+            };
+        }
+        if cycle > injected_at {
+            if state_ok {
+                if state_equal_at.is_none() {
+                    state_equal_at = Some(cycle - injected_at);
+                }
+            } else if state_equal_at.is_some() {
+                // Re-diverged after apparent convergence (possible only via
+                // diverged external device state, e.g. corrupted memory).
+                diverged_again = true;
+                state_equal_at = None;
+            }
+        }
+    }
+    match state_equal_at {
+        Some(1) if !diverged_again => FaultEffect::MaskedWithinOneCycle,
+        Some(after) => FaultEffect::SilentRecovery { after },
+        None => FaultEffect::Latent,
+    }
+}
+
+/// Injects a *simultaneous* multi-bit SEU (all points in the same cycle)
+/// and classifies it against `golden` — the fault model of the paper's
+/// Section 6.2.
+///
+/// # Panics
+///
+/// Panics if the points lie in different cycles or beyond the golden trace.
+pub fn inject_multi(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+) -> FaultEffect {
+    assert!(!points.is_empty(), "need at least one fault point");
+    let cycle = points[0].cycle;
+    assert!(
+        points.iter().all(|p| p.cycle == cycle),
+        "multi-bit upsets are simultaneous"
+    );
+    let horizon = golden.trace.num_cycles();
+    assert!(cycle < horizon, "injection cycle beyond golden trace");
+    let mut tb = harness.testbench();
+    for _ in 0..cycle {
+        tb.step();
+    }
+    for point in points {
+        tb.sim_mut().flip_ff(point.ff);
+    }
+    classify(&mut tb, golden, cycle)
+}
+
+/// Injects an upset that *holds* for `hold_cycles` cycles: the flip-flop is
+/// forced to the complement of its golden value at the start of every
+/// affected cycle (an SEU "that holds more than one cycle", Section 6.2).
+///
+/// # Panics
+///
+/// Panics if `hold_cycles` is zero or the affected window leaves the golden
+/// trace.
+pub fn inject_persistent(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    point: FaultPoint,
+    hold_cycles: usize,
+) -> FaultEffect {
+    assert!(hold_cycles > 0, "upset must hold for at least one cycle");
+    let horizon = golden.trace.num_cycles();
+    assert!(
+        point.cycle + hold_cycles <= horizon,
+        "persistent upset leaves the golden trace"
+    );
+    let mut tb = harness.testbench();
+    for _ in 0..point.cycle {
+        tb.step();
+    }
+    let mut state_equal_at: Option<usize> = None;
+    let mut diverged_again = false;
+    for cycle in point.cycle..horizon {
+        if cycle < point.cycle + hold_cycles {
+            // Force the complement of the golden value for this cycle.
+            let sim = tb.sim_mut();
+            let want = !golden.trace.value(cycle, point.wire);
+            if sim.value(point.wire) != want {
+                sim.flip_ff(point.ff);
+            }
+        }
+        let mut outputs_ok = true;
+        let mut state_ok = true;
+        tb.step_observed(|sim| {
+            for &net in &golden.output_nets {
+                if sim.value(net) != golden.trace.value(cycle, net) {
+                    outputs_ok = false;
+                    break;
+                }
+            }
+            for &net in &golden.state_nets {
+                if sim.value(net) != golden.trace.value(cycle, net) {
+                    state_ok = false;
+                    break;
+                }
+            }
+        });
+        if !outputs_ok {
+            return FaultEffect::OutputFailure {
+                after: cycle - point.cycle,
+            };
+        }
+        if cycle > point.cycle {
+            if state_ok {
+                if state_equal_at.is_none() {
+                    state_equal_at = Some(cycle - point.cycle);
+                }
+            } else if state_equal_at.is_some() && cycle >= point.cycle + hold_cycles {
+                diverged_again = true;
+                state_equal_at = None;
+            } else if cycle < point.cycle + hold_cycles {
+                state_equal_at = None;
+            }
+        }
+    }
+    match state_equal_at {
+        Some(1) if !diverged_again => FaultEffect::MaskedWithinOneCycle,
+        Some(after) => FaultEffect::SilentRecovery { after },
+        None => FaultEffect::Latent,
+    }
+}
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Number of cycles to run (the golden trace length).
+    pub cycles: usize,
+    /// Inject only a sample of this many fault points (`None` = exhaustive).
+    pub sample: Option<usize>,
+    /// Seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            cycles: 64,
+            sample: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a whole campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Every injected point with its classified effect.
+    pub records: Vec<(FaultPoint, FaultEffect)>,
+}
+
+impl CampaignResult {
+    /// Number of experiments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no experiment ran.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Histogram of effects (stable order).
+    pub fn histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for (_, effect) in &self.records {
+            let key = match effect {
+                FaultEffect::MaskedWithinOneCycle => "masked-1-cycle",
+                FaultEffect::SilentRecovery { .. } => "silent-recovery",
+                FaultEffect::Latent => "latent",
+                FaultEffect::OutputFailure { .. } => "output-failure",
+            };
+            *h.entry(key.to_owned()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Fraction of experiments masked within one cycle — the campaign-side
+    /// ground truth the MATE prune fraction must stay below.
+    pub fn masked_one_cycle_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|(_, e)| e.is_masked_one_cycle())
+            .count() as f64
+            / self.records.len() as f64
+    }
+}
+
+/// Runs a full (or sampled) injection campaign over `space`.
+pub fn run_campaign(
+    harness: &dyn DesignHarness,
+    space: &FaultSpace,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    // One extra golden cycle so an injection at the last campaign cycle
+    // still has a `t+1` state to be judged against.
+    let golden = golden_run(harness, config.cycles + 1);
+    let points: Vec<FaultPoint> = match config.sample {
+        Some(count) => space.sample(count, config.seed),
+        None => space.iter().collect(),
+    };
+    let mut result = CampaignResult::default();
+    for point in points {
+        if point.cycle >= config.cycles {
+            continue;
+        }
+        let effect = inject(harness, &golden, point);
+        result.records.push((point, effect));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StimulusHarness;
+    use crate::space::FaultSpace;
+    use mate_netlist::examples::{counter, tmr_register};
+
+    #[test]
+    fn counter_bit_flip_is_persistent_but_silent_only_if_unobserved() {
+        // Counter bits are primary outputs: every flip is an immediate
+        // output failure.
+        let (n, topo) = counter(3);
+        let en = n.find_net("en").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(en, vec![true]);
+        let golden = golden_run(&harness, 10);
+        let ff0 = harness.topology().seq_cells()[0];
+        let wire = harness.netlist().cell(ff0).output();
+        let effect = inject(
+            &harness,
+            &golden,
+            FaultPoint {
+                ff: ff0,
+                wire,
+                cycle: 3,
+            },
+        );
+        assert_eq!(effect, FaultEffect::OutputFailure { after: 0 });
+    }
+
+    #[test]
+    fn tmr_flip_is_masked_when_voting() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        // Load 1 in cycle 0, vote afterwards.
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true, false])
+            .drive(din, vec![true]);
+        let golden = golden_run(&harness, 8);
+        let ff1 = harness.topology().seq_cells()[1];
+        let wire = harness.netlist().cell(ff1).output();
+        let effect = inject(
+            &harness,
+            &golden,
+            FaultPoint {
+                ff: ff1,
+                wire,
+                cycle: 3,
+            },
+        );
+        assert_eq!(effect, FaultEffect::MaskedWithinOneCycle);
+    }
+
+    #[test]
+    fn tmr_flip_during_load_is_also_masked() {
+        // While load=1 every replica reloads from din, so a flipped replica
+        // is overwritten; the vote output of 2-of-3 still reads golden.
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true])
+            .drive(din, vec![true]);
+        let golden = golden_run(&harness, 6);
+        let ff2 = harness.topology().seq_cells()[2];
+        let wire = harness.netlist().cell(ff2).output();
+        let effect = inject(
+            &harness,
+            &golden,
+            FaultPoint {
+                ff: ff2,
+                wire,
+                cycle: 2,
+            },
+        );
+        assert_eq!(effect, FaultEffect::MaskedWithinOneCycle);
+    }
+
+    #[test]
+    fn campaign_histogram_counts_everything() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true, false])
+            .drive(din, vec![true]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 6);
+        let result = run_campaign(
+            &harness,
+            &space,
+            &CampaignConfig {
+                cycles: 6,
+                sample: None,
+                seed: 0,
+            },
+        );
+        assert_eq!(result.len(), space.len());
+        let histogram = result.histogram();
+        let total: usize = histogram.values().sum();
+        assert_eq!(total, result.len());
+        // TMR masks every single-replica fault.
+        assert_eq!(result.masked_one_cycle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn sampled_campaign_is_subset() {
+        let (n, topo) = counter(4);
+        let en = n.find_net("en").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(en, vec![true]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 12);
+        let result = run_campaign(
+            &harness,
+            &space,
+            &CampaignConfig {
+                cycles: 12,
+                sample: Some(9),
+                seed: 7,
+            },
+        );
+        assert_eq!(result.len(), 9);
+    }
+
+    #[test]
+    fn effect_display_and_predicates() {
+        assert!(FaultEffect::MaskedWithinOneCycle.is_masked_one_cycle());
+        assert!(FaultEffect::Latent.is_silent());
+        assert!(!FaultEffect::OutputFailure { after: 2 }.is_silent());
+        assert!(format!("{}", FaultEffect::SilentRecovery { after: 3 }).contains("3"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Online fault-space pruning — the FPGA-side behaviour of a MATE-enriched
+//! HAFI platform, emulated in software.
+//!
+//! The paper's Section 1.1 argues for *online* fault-list generation: the
+//! MATEs are synthesized next to the design under test and evaluated on the
+//! live wire values of every cycle, so no trace has to be recorded and the
+//! platform continuously knows which faults are currently benign.
+//! [`OnlinePruner`] does exactly that against the running simulator.
+
+use mate::eval::PruneMatrix;
+use mate::MateSet;
+use mate_netlist::NetId;
+use mate_sim::Simulator;
+
+use crate::harness::DesignHarness;
+
+/// Evaluates a MATE set cycle by cycle against live simulator state.
+///
+/// # Example
+///
+/// ```
+/// use mate::prelude::*;
+/// use mate_hafi::{OnlinePruner, StimulusHarness, DesignHarness};
+/// use mate_netlist::examples::tmr_register;
+///
+/// let (n, topo) = tmr_register();
+/// let wires = ff_wires(&n, &topo);
+/// let mates = search_design(&n, &topo, &wires, &SearchConfig::default())
+///     .into_mate_set();
+/// let din = n.find_net("din").unwrap();
+/// let harness = StimulusHarness::new(n, topo).drive(din, vec![true]);
+/// let matrix = OnlinePruner::run(&harness, &mates, &wires, 8);
+/// assert!(matrix.masked_points() > 0);
+/// ```
+#[derive(Debug)]
+pub struct OnlinePruner<'m> {
+    mates: &'m MateSet,
+    masked_indices: Vec<Vec<usize>>,
+    matrix: PruneMatrix,
+    cycle: usize,
+}
+
+impl<'m> OnlinePruner<'m> {
+    /// Creates a pruner for a campaign horizon of `cycles` cycles.
+    pub fn new(mates: &'m MateSet, wires: &[NetId], cycles: usize) -> Self {
+        let matrix = PruneMatrix::new(wires, cycles);
+        let masked_indices = mates
+            .iter()
+            .map(|m| {
+                m.masked
+                    .iter()
+                    .filter_map(|w| wires.iter().position(|x| x == w))
+                    .collect()
+            })
+            .collect();
+        Self {
+            mates,
+            masked_indices,
+            matrix,
+            cycle: 0,
+        }
+    }
+
+    /// Observes one settled cycle: evaluates every MATE against the live
+    /// wire values and records the pruned points.  Call once per cycle,
+    /// right before the clock edge (e.g. from
+    /// [`mate_sim::Testbench::step_observed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called more often than the horizon allows.
+    pub fn observe(&mut self, sim: &mut Simulator<'_>) {
+        assert!(self.cycle < self.matrix.cycles(), "horizon exceeded");
+        for (i, mate) in self.mates.iter().enumerate() {
+            if self.masked_indices[i].is_empty() {
+                continue;
+            }
+            if mate.cube.eval(|net| sim.value(net)) {
+                for &w in &self.masked_indices[i] {
+                    self.matrix.mark_index(w, self.cycle);
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Finishes the campaign and returns the pruned fault space.
+    pub fn into_matrix(self) -> PruneMatrix {
+        self.matrix
+    }
+
+    /// Convenience driver: runs `harness` for `cycles` cycles with online
+    /// pruning attached and returns the matrix.
+    pub fn run(
+        harness: &dyn DesignHarness,
+        mates: &MateSet,
+        wires: &[NetId],
+        cycles: usize,
+    ) -> PruneMatrix {
+        let mut pruner = OnlinePruner::new(mates, wires, cycles);
+        let mut tb = harness.testbench();
+        for _ in 0..cycles {
+            tb.step_observed(|sim| pruner.observe(sim));
+        }
+        pruner.into_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::StimulusHarness;
+    use crate::DesignHarness;
+    use mate::eval::evaluate;
+    use mate::{ff_wires, search_design, SearchConfig};
+    use mate_netlist::examples::{figure1b, tmr_register};
+
+    /// Online (live) pruning must agree bit-for-bit with offline trace
+    /// replay — the equivalence the paper relies on when moving the MATEs
+    /// into the FPGA.
+    #[test]
+    fn online_equals_offline() {
+        let (n, topo) = figure1b();
+        let wires = ff_wires(&n, &topo);
+        let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+        let input = n.find_net("in").unwrap();
+        let harness =
+            StimulusHarness::new(n, topo).drive(input, vec![true, false, false, true, true]);
+
+        let online = OnlinePruner::run(&harness, &mates, &wires, 20);
+        let trace = harness.testbench().run(20);
+        let offline = evaluate(&mates, &trace, &wires);
+        assert_eq!(online, offline.matrix);
+    }
+
+    #[test]
+    fn online_pruner_on_tmr() {
+        let (n, topo) = tmr_register();
+        let wires = ff_wires(&n, &topo);
+        let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(din, vec![true, false]);
+        let matrix = OnlinePruner::run(&harness, &mates, &wires, 12);
+        // The voter masks every replica in every cycle on this stimulus.
+        assert_eq!(matrix.masked_points(), matrix.total_points());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon exceeded")]
+    fn observing_past_horizon_panics() {
+        let (n, topo) = tmr_register();
+        let wires = ff_wires(&n, &topo);
+        let mates = mate::MateSet::default();
+        let harness = StimulusHarness::new(n, topo);
+        let mut pruner = OnlinePruner::new(&mates, &wires, 1);
+        let mut tb = harness.testbench();
+        tb.step_observed(|sim| pruner.observe(sim));
+        tb.step_observed(|sim| pruner.observe(sim));
+    }
+}

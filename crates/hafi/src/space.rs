@@ -1,0 +1,146 @@
+//! The fault space: `flip-flops × cycles`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use mate_netlist::{CellId, NetId, Netlist, Topology};
+
+/// One point of the fault space: a specific flip-flop upset in a specific
+/// cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPoint {
+    /// The flip-flop cell hit by the SEU.
+    pub ff: CellId,
+    /// The flip-flop's output net (the "faulty wire" of the MATE analysis).
+    pub wire: NetId,
+    /// The cycle during which the flipped value is live.
+    pub cycle: usize,
+}
+
+/// The set of injectable faults for a design and trace length.
+///
+/// # Example
+///
+/// ```
+/// use mate_hafi::FaultSpace;
+/// use mate_netlist::examples::counter;
+///
+/// let (n, topo) = counter(4);
+/// let space = FaultSpace::all_ffs(&n, &topo, 100);
+/// assert_eq!(space.len(), 4 * 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultSpace {
+    ffs: Vec<(CellId, NetId)>,
+    cycles: usize,
+}
+
+impl FaultSpace {
+    /// The full `FF × cycles` space.
+    pub fn all_ffs(netlist: &Netlist, topo: &Topology, cycles: usize) -> Self {
+        let ffs = topo
+            .seq_cells()
+            .iter()
+            .map(|&ff| (ff, netlist.cell(ff).output()))
+            .collect();
+        Self { ffs, cycles }
+    }
+
+    /// A space restricted to flip-flops whose output net is in `wires` —
+    /// e.g. the paper's "FF w/o RF" subset.
+    pub fn for_wires(netlist: &Netlist, topo: &Topology, wires: &[NetId], cycles: usize) -> Self {
+        let ffs = topo
+            .seq_cells()
+            .iter()
+            .map(|&ff| (ff, netlist.cell(ff).output()))
+            .filter(|(_, w)| wires.contains(w))
+            .collect();
+        Self { ffs, cycles }
+    }
+
+    /// The flip-flops spanning the space.
+    pub fn ffs(&self) -> impl Iterator<Item = (CellId, NetId)> + '_ {
+        self.ffs.iter().copied()
+    }
+
+    /// Number of cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Total number of fault points.
+    pub fn len(&self) -> usize {
+        self.ffs.len() * self.cycles
+    }
+
+    /// Returns `true` for an empty space.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over every fault point (cycle-major order).
+    pub fn iter(&self) -> impl Iterator<Item = FaultPoint> + '_ {
+        (0..self.cycles).flat_map(move |cycle| {
+            self.ffs.iter().map(move |&(ff, wire)| FaultPoint {
+                ff,
+                wire,
+                cycle,
+            })
+        })
+    }
+
+    /// A deterministic random sample of `count` distinct fault points
+    /// (everything, when `count >= len`).
+    pub fn sample(&self, count: usize, seed: u64) -> Vec<FaultPoint> {
+        let mut all: Vec<FaultPoint> = self.iter().collect();
+        if count >= all.len() {
+            return all;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        all.shuffle(&mut rng);
+        all.truncate(count);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::examples::{counter, figure1b};
+
+    #[test]
+    fn full_space_enumerates_everything() {
+        let (n, topo) = counter(3);
+        let space = FaultSpace::all_ffs(&n, &topo, 5);
+        assert_eq!(space.len(), 15);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        assert_eq!(points.len(), 15);
+        assert_eq!(points[0].cycle, 0);
+        assert_eq!(points.last().unwrap().cycle, 4);
+    }
+
+    #[test]
+    fn restricted_space_filters_wires() {
+        let (n, topo) = figure1b();
+        let a = n.find_net("a").unwrap();
+        let b = n.find_net("b").unwrap();
+        let space = FaultSpace::for_wires(&n, &topo, &[a, b], 10);
+        assert_eq!(space.len(), 20);
+        assert!(space.ffs().all(|(_, w)| w == a || w == b));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let (n, topo) = counter(4);
+        let space = FaultSpace::all_ffs(&n, &topo, 25);
+        let s1 = space.sample(10, 42);
+        let s2 = space.sample(10, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 10);
+        let unique: std::collections::HashSet<_> = s1.iter().collect();
+        assert_eq!(unique.len(), 10);
+        // Oversampling returns the full space.
+        assert_eq!(space.sample(10_000, 1).len(), space.len());
+    }
+}

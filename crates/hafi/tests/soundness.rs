@@ -1,0 +1,316 @@
+//! The keystone property: every fault-space point the MATE analysis prunes
+//! is provably masked within one clock cycle — checked by *exhaustive* fault
+//! injection on randomly generated synchronous circuits and by sampled
+//! injection on the CPU cores' workloads.
+
+use proptest::prelude::*;
+
+use mate::{ff_wires, search_design, SearchConfig};
+use mate_hafi::{validate_mates, DesignHarness, StimulusHarness};
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+
+fn harness_for(seed: u64, cfg: RandomCircuitConfig, cycles: usize) -> StimulusHarness {
+    let (netlist, topo) = random_circuit(cfg, seed);
+    let inputs = netlist.inputs().to_vec();
+    let mut harness = StimulusHarness::new(netlist, topo);
+    // Deterministic pseudo-random stimuli derived from the seed.
+    for (i, input) in inputs.into_iter().enumerate() {
+        let values: Vec<bool> = (0..cycles)
+            .map(|c| {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64) << 32 | c as u64)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x >> 37) & 1 == 1
+            })
+            .collect();
+        harness = harness.drive(input, values);
+    }
+    harness
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exhaustive soundness on small random circuits: every claimed-benign
+    /// point is injected and must be masked within one cycle.
+    #[test]
+    fn mate_claims_hold_under_exhaustive_injection(seed in 0u64..10_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 6, gates: 20, outputs: 2 };
+        let cycles = 24;
+        let harness = harness_for(seed, cfg, cycles + 1);
+        let wires = ff_wires(harness.netlist(), harness.topology());
+        let mates = search_design(
+            harness.netlist(),
+            harness.topology(),
+            &wires,
+            &SearchConfig::default(),
+        )
+        .into_mate_set();
+        let (_, validation) = validate_mates(&harness, &mates, &wires, cycles, None, seed);
+        prop_assert!(
+            validation.sound(),
+            "seed {seed}: violations {:?}",
+            validation.violations
+        );
+    }
+
+    /// Same property on beefier circuits with MUX/AOI-rich logic, sampled.
+    #[test]
+    fn mate_claims_hold_on_larger_random_circuits(seed in 0u64..2_000) {
+        let cfg = RandomCircuitConfig { inputs: 5, ffs: 12, gates: 60, outputs: 3 };
+        let cycles = 16;
+        let harness = harness_for(seed.wrapping_add(77), cfg, cycles + 1);
+        let wires = ff_wires(harness.netlist(), harness.topology());
+        let mates = search_design(
+            harness.netlist(),
+            harness.topology(),
+            &wires,
+            &SearchConfig::default(),
+        )
+        .into_mate_set();
+        let (_, validation) =
+            validate_mates(&harness, &mates, &wires, cycles, Some(64), seed);
+        prop_assert!(
+            validation.sound(),
+            "seed {seed}: violations {:?}",
+            validation.violations
+        );
+    }
+}
+
+mod core_soundness {
+    use super::*;
+    use mate_cores::avr::programs as avr_programs;
+    use mate_cores::avr::system::AvrSystem;
+    use mate_cores::msp430::programs as msp_programs;
+    use mate_cores::msp430::system::Msp430System;
+    use mate_cores::Termination;
+    use mate_sim::Testbench;
+
+    struct AvrHarness {
+        sys: AvrSystem,
+        program: Vec<u16>,
+        dmem: Vec<u8>,
+    }
+
+    impl DesignHarness for AvrHarness {
+        fn netlist(&self) -> &mate_netlist::Netlist {
+            self.sys.netlist()
+        }
+        fn topology(&self) -> &mate_netlist::Topology {
+            self.sys.topology()
+        }
+        fn testbench(&self) -> Testbench<'_> {
+            self.sys.testbench(&self.program, &self.dmem).0
+        }
+    }
+
+    struct MspHarness {
+        sys: Msp430System,
+        image: Vec<u16>,
+    }
+
+    impl DesignHarness for MspHarness {
+        fn netlist(&self) -> &mate_netlist::Netlist {
+            self.sys.netlist()
+        }
+        fn topology(&self) -> &mate_netlist::Topology {
+            self.sys.topology()
+        }
+        fn testbench(&self) -> Testbench<'_> {
+            self.sys.testbench(&self.image).0
+        }
+    }
+
+    /// A cheaper search configuration for in-test use; the full paper
+    /// parameters run in the benches.
+    fn test_config() -> SearchConfig {
+        SearchConfig {
+            depth: 5,
+            max_terms: 3,
+            max_candidates: 2_000,
+            max_paths: 1024,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn avr_fib_claims_hold_under_sampled_injection() {
+        let harness = AvrHarness {
+            sys: AvrSystem::new(),
+            program: avr_programs::fib(Termination::Loop),
+            dmem: Vec::new(),
+        };
+        let wires = ff_wires(harness.netlist(), harness.topology());
+        let mates = search_design(
+            harness.netlist(),
+            harness.topology(),
+            &wires,
+            &test_config(),
+        )
+        .into_mate_set();
+        assert!(!mates.is_empty(), "AVR must yield MATEs");
+        let (report, validation) = validate_mates(&harness, &mates, &wires, 160, Some(120), 1);
+        assert!(report.masked_fraction() > 0.0);
+        assert!(
+            validation.sound(),
+            "violations: {:?}",
+            validation.violations
+        );
+    }
+
+    #[test]
+    fn msp430_fib_claims_hold_under_sampled_injection() {
+        let harness = MspHarness {
+            sys: Msp430System::new(),
+            image: msp_programs::fib(Termination::Loop),
+        };
+        let wires = ff_wires(harness.netlist(), harness.topology());
+        let mates = search_design(
+            harness.netlist(),
+            harness.topology(),
+            &wires,
+            &test_config(),
+        )
+        .into_mate_set();
+        assert!(!mates.is_empty(), "MSP430 must yield MATEs");
+        let (report, validation) = validate_mates(&harness, &mates, &wires, 160, Some(120), 2);
+        assert!(report.masked_fraction() > 0.0);
+        assert!(
+            validation.sound(),
+            "violations: {:?}",
+            validation.violations
+        );
+    }
+}
+
+mod extensions {
+    use super::*;
+    use mate::multi::search_wire_set;
+    use mate_hafi::{golden_run, inject_multi, inject_persistent, FaultPoint};
+
+    /// Section 6.2 extension: multi-bit MATEs.  A 2-bit MATE claims the
+    /// *simultaneous* flip of both wires is benign; verify by double
+    /// injection on random circuits.
+    #[test]
+    fn two_bit_mates_hold_under_double_injection() {
+        let cfg = RandomCircuitConfig {
+            inputs: 3,
+            ffs: 6,
+            gates: 20,
+            outputs: 2,
+        };
+        let cycles = 16;
+        let mut checked = 0usize;
+        for seed in 0..40u64 {
+            let harness = harness_for(seed.wrapping_mul(31).wrapping_add(5), cfg, cycles + 1);
+            let netlist = harness.netlist();
+            let topo = harness.topology();
+            let golden = golden_run(&harness, cycles + 1);
+            let ffs: Vec<_> = topo
+                .seq_cells()
+                .iter()
+                .map(|&ff| (ff, netlist.cell(ff).output()))
+                .collect();
+            for i in 0..ffs.len() {
+                for j in (i + 1)..ffs.len() {
+                    let wires = [ffs[i].1, ffs[j].1];
+                    let result =
+                        search_wire_set(netlist, topo, &wires, &SearchConfig::default());
+                    for mate in &result.mates {
+                        for cycle in 0..cycles {
+                            let triggered = mate
+                                .cube
+                                .eval(|net| golden.trace.value(cycle, net));
+                            if !triggered {
+                                continue;
+                            }
+                            let points = [
+                                FaultPoint {
+                                    ff: ffs[i].0,
+                                    wire: ffs[i].1,
+                                    cycle,
+                                },
+                                FaultPoint {
+                                    ff: ffs[j].0,
+                                    wire: ffs[j].1,
+                                    cycle,
+                                },
+                            ];
+                            let effect = inject_multi(&harness, &golden, &points);
+                            assert!(
+                                effect.is_masked_one_cycle(),
+                                "seed {seed} pair ({},{}) cycle {cycle}: {effect}",
+                                netlist.net(wires[0]).name(),
+                                netlist.net(wires[1]).name()
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 20, "only {checked} double-injections exercised");
+    }
+
+    /// Section 6.2 extension: upsets that hold several cycles are benign
+    /// when the single-bit MATE triggers in every affected cycle.
+    #[test]
+    fn persistent_upsets_masked_when_mates_cover_every_cycle() {
+        let cfg = RandomCircuitConfig {
+            inputs: 3,
+            ffs: 8,
+            gates: 24,
+            outputs: 2,
+        };
+        let cycles = 24;
+        let hold = 3usize;
+        let mut checked = 0usize;
+        for seed in 0..60u64 {
+            let harness = harness_for(seed.wrapping_mul(17).wrapping_add(3), cfg, cycles + 1);
+            let netlist = harness.netlist();
+            let topo = harness.topology();
+            let wires = ff_wires(netlist, topo);
+            let mates =
+                search_design(netlist, topo, &wires, &SearchConfig::default()).into_mate_set();
+            let golden = golden_run(&harness, cycles + 1);
+            let report = mate::eval::evaluate(
+                &mates,
+                &golden.trace.truncated(cycles),
+                &wires,
+            );
+            let ff_of: std::collections::HashMap<_, _> = topo
+                .seq_cells()
+                .iter()
+                .map(|&ff| (netlist.cell(ff).output(), ff))
+                .collect();
+            for &wire in &wires {
+                for start in 0..cycles.saturating_sub(hold) {
+                    let all_masked =
+                        (start..start + hold).all(|c| report.matrix.is_masked(wire, c));
+                    if !all_masked {
+                        continue;
+                    }
+                    let effect = inject_persistent(
+                        &harness,
+                        &golden,
+                        FaultPoint {
+                            ff: ff_of[&wire],
+                            wire,
+                            cycle: start,
+                        },
+                        hold,
+                    );
+                    assert!(
+                        effect.is_silent(),
+                        "seed {seed} wire {} start {start}: {effect}",
+                        netlist.net(wire).name()
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 20, "only {checked} persistent upsets exercised");
+    }
+}

@@ -1,0 +1,247 @@
+//! Cubes (conjunctions of literals) over netlist wires.
+//!
+//! While [`crate::PinCube`] constrains the input pins of one cell,
+//! a [`NetCube`] constrains arbitrary *nets* of a netlist.  Fault-masking
+//! terms (MATEs) are net cubes over the border wires of a fault cone.
+
+use std::fmt;
+
+use crate::ids::NetId;
+
+/// A conjunction of net literals, e.g. `¬n3 ∧ n7 ∧ n12`.
+///
+/// Literals are kept sorted by net id and duplicate-free; the invariant is
+/// maintained by all constructors.  The empty cube is the constant `true`.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::{NetCube, NetId};
+///
+/// let a = NetId::from_index(0);
+/// let b = NetId::from_index(1);
+/// let cube = NetCube::from_literals([(a, true), (b, false)]).unwrap();
+/// assert!(cube.eval(|n| n == a));
+/// assert!(!cube.eval(|_| true));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NetCube {
+    lits: Vec<(NetId, bool)>,
+}
+
+impl NetCube {
+    /// The always-true cube.
+    pub fn top() -> Self {
+        Self::default()
+    }
+
+    /// A single-literal cube.
+    pub fn literal(net: NetId, polarity: bool) -> Self {
+        Self {
+            lits: vec![(net, polarity)],
+        }
+    }
+
+    /// Builds a cube from literals.
+    ///
+    /// Returns `None` if the literals are contradictory (the same net appears
+    /// with both polarities).
+    pub fn from_literals(lits: impl IntoIterator<Item = (NetId, bool)>) -> Option<Self> {
+        let mut lits: Vec<(NetId, bool)> = lits.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        for pair in lits.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return None;
+            }
+        }
+        Some(Self { lits })
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty (always-true) cube.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Iterates over the `(net, polarity)` literals in ascending net order.
+    pub fn literals(&self) -> impl Iterator<Item = (NetId, bool)> + '_ {
+        self.lits.iter().copied()
+    }
+
+    /// The set of nets the cube reads (its "inputs" in the FPGA sense).
+    pub fn nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.lits.iter().map(|&(n, _)| n)
+    }
+
+    /// The polarity required for `net`, if constrained.
+    pub fn polarity_of(&self, net: NetId) -> Option<bool> {
+        self.lits
+            .binary_search_by_key(&net, |&(n, _)| n)
+            .ok()
+            .map(|i| self.lits[i].1)
+    }
+
+    /// Conjoins two cubes.
+    ///
+    /// Returns `None` when the conjunction is unsatisfiable (contradictory
+    /// literals on a shared net).
+    pub fn conjoin(&self, other: &NetCube) -> Option<NetCube> {
+        let mut lits = Vec::with_capacity(self.lits.len() + other.lits.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.lits.len() && j < other.lits.len() {
+            let (an, ap) = self.lits[i];
+            let (bn, bp) = other.lits[j];
+            match an.cmp(&bn) {
+                std::cmp::Ordering::Less => {
+                    lits.push((an, ap));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    lits.push((bn, bp));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if ap != bp {
+                        return None;
+                    }
+                    lits.push((an, ap));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        lits.extend_from_slice(&self.lits[i..]);
+        lits.extend_from_slice(&other.lits[j..]);
+        Some(NetCube { lits })
+    }
+
+    /// Evaluates the cube against a wire valuation.
+    pub fn eval(&self, mut value_of: impl FnMut(NetId) -> bool) -> bool {
+        self.lits.iter().all(|&(n, p)| value_of(n) == p)
+    }
+
+    /// Returns `true` if every valuation satisfying `other` also satisfies
+    /// `self` (i.e. `self` is the weaker / more general cube).
+    pub fn subsumes(&self, other: &NetCube) -> bool {
+        self.lits
+            .iter()
+            .all(|&(n, p)| other.polarity_of(n) == Some(p))
+    }
+}
+
+impl FromIterator<(NetId, bool)> for NetCube {
+    /// Collects literals into a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literals are contradictory; use
+    /// [`NetCube::from_literals`] for a fallible build.
+    fn from_iter<T: IntoIterator<Item = (NetId, bool)>>(iter: T) -> Self {
+        NetCube::from_literals(iter).expect("contradictory literals in cube")
+    }
+}
+
+impl fmt::Debug for NetCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊤");
+        }
+        let mut first = true;
+        for &(n, p) in &self.lits {
+            if !first {
+                write!(f, "∧")?;
+            }
+            first = false;
+            if !p {
+                write!(f, "¬")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NetCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn top_is_true() {
+        assert!(NetCube::top().eval(|_| false));
+        assert!(NetCube::top().is_empty());
+        assert_eq!(NetCube::top().len(), 0);
+    }
+
+    #[test]
+    fn from_literals_sorts_and_dedups() {
+        let c = NetCube::from_literals([(n(3), true), (n(1), false), (n(3), true)]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.literals().collect::<Vec<_>>(),
+            vec![(n(1), false), (n(3), true)]
+        );
+    }
+
+    #[test]
+    fn from_literals_detects_contradiction() {
+        assert!(NetCube::from_literals([(n(1), true), (n(1), false)]).is_none());
+    }
+
+    #[test]
+    fn conjoin_merges_and_detects_conflict() {
+        let a = NetCube::from_literals([(n(1), true), (n(2), false)]).unwrap();
+        let b = NetCube::from_literals([(n(2), false), (n(3), true)]).unwrap();
+        let ab = a.conjoin(&b).unwrap();
+        assert_eq!(ab.len(), 3);
+        let c = NetCube::literal(n(2), true);
+        assert!(a.conjoin(&c).is_none());
+        // Conjunction with top is identity.
+        assert_eq!(a.conjoin(&NetCube::top()).unwrap(), a);
+    }
+
+    #[test]
+    fn eval_checks_all_literals() {
+        let c = NetCube::from_literals([(n(0), true), (n(1), false)]).unwrap();
+        assert!(c.eval(|x| x == n(0)));
+        assert!(!c.eval(|x| x == n(1)));
+        assert!(!c.eval(|_| true));
+    }
+
+    #[test]
+    fn subsumption() {
+        let weak = NetCube::literal(n(1), true);
+        let strong = NetCube::from_literals([(n(1), true), (n(2), true)]).unwrap();
+        assert!(weak.subsumes(&strong));
+        assert!(!strong.subsumes(&weak));
+        assert!(NetCube::top().subsumes(&weak));
+    }
+
+    #[test]
+    fn polarity_lookup() {
+        let c = NetCube::from_literals([(n(5), false)]).unwrap();
+        assert_eq!(c.polarity_of(n(5)), Some(false));
+        assert_eq!(c.polarity_of(n(6)), None);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let c = NetCube::from_literals([(n(2), false), (n(7), true)]).unwrap();
+        assert_eq!(format!("{c:?}"), "¬n2∧n7");
+        assert_eq!(format!("{}", NetCube::top()), "⊤");
+    }
+}

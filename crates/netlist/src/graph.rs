@@ -1,0 +1,382 @@
+//! Netlist topology: fan-out indices, levelization, and fault cones.
+
+use crate::ids::{CellId, NetId};
+use crate::netlist::{NetDriver, Netlist, NetlistError};
+use crate::util::BitSet;
+
+/// Precomputed structural views of a [`Netlist`]: per-net fan-out lists, a
+/// topologically sorted combinational evaluation order, and the list of
+/// sequential cells.
+///
+/// Built by [`Netlist::validate`].
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// For every net: `(cell, pin)` pairs reading the net.
+    fanouts: Vec<Vec<(CellId, usize)>>,
+    /// Combinational cells in dependency order.
+    comb_order: Vec<CellId>,
+    /// Topological rank of each cell (combinational cells only; `usize::MAX`
+    /// for sequential cells).
+    rank: Vec<usize>,
+    /// All flip-flops.
+    seq_cells: Vec<CellId>,
+}
+
+impl Topology {
+    pub(crate) fn build(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let mut fanouts: Vec<Vec<(CellId, usize)>> = vec![Vec::new(); netlist.num_nets()];
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            let id = CellId::from_index(i);
+            for (pin, &net) in cell.inputs().iter().enumerate() {
+                fanouts[net.index()].push((id, pin));
+            }
+        }
+
+        let mut seq_cells = Vec::new();
+        let mut indegree = vec![0usize; netlist.num_cells()];
+        let mut ready: Vec<CellId> = Vec::new();
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            let id = CellId::from_index(i);
+            if netlist.is_seq_cell(id) {
+                seq_cells.push(id);
+                continue;
+            }
+            let mut deg = 0;
+            for &net in cell.inputs() {
+                if let NetDriver::Cell(driver) = netlist.net(net).driver() {
+                    if !netlist.is_seq_cell(driver) {
+                        deg += 1;
+                    }
+                }
+            }
+            indegree[i] = deg;
+            if deg == 0 {
+                ready.push(id);
+            }
+        }
+
+        let mut comb_order = Vec::with_capacity(netlist.num_cells() - seq_cells.len());
+        let mut rank = vec![usize::MAX; netlist.num_cells()];
+        while let Some(cell) = ready.pop() {
+            rank[cell.index()] = comb_order.len();
+            comb_order.push(cell);
+            let out = netlist.cell(cell).output();
+            for &(reader, _) in &fanouts[out.index()] {
+                if netlist.is_seq_cell(reader) {
+                    continue;
+                }
+                indegree[reader.index()] -= 1;
+                if indegree[reader.index()] == 0 {
+                    ready.push(reader);
+                }
+            }
+        }
+
+        if comb_order.len() + seq_cells.len() != netlist.num_cells() {
+            // Some combinational cell was never released: cycle.
+            let stuck = (0..netlist.num_cells())
+                .map(CellId::from_index)
+                .find(|&c| !netlist.is_seq_cell(c) && rank[c.index()] == usize::MAX)
+                .expect("cycle implies a stuck cell");
+            return Err(NetlistError::CombinationalCycle {
+                net: netlist.net(netlist.cell(stuck).output()).name().to_owned(),
+            });
+        }
+
+        Ok(Self {
+            fanouts,
+            comb_order,
+            rank,
+            seq_cells,
+        })
+    }
+
+    /// `(cell, pin)` pairs reading `net`.
+    pub fn fanout(&self, net: NetId) -> &[(CellId, usize)] {
+        &self.fanouts[net.index()]
+    }
+
+    /// Combinational cells in evaluation order.
+    pub fn comb_order(&self) -> &[CellId] {
+        &self.comb_order
+    }
+
+    /// All flip-flop cells.
+    pub fn seq_cells(&self) -> &[CellId] {
+        &self.seq_cells
+    }
+
+    /// Topological rank of a combinational cell (its position in
+    /// [`Topology::comb_order`]); `None` for sequential cells.
+    pub fn rank(&self, cell: CellId) -> Option<usize> {
+        let r = self.rank[cell.index()];
+        (r != usize::MAX).then_some(r)
+    }
+}
+
+/// A structural endpoint a fault can reach: a flip-flop data pin or a primary
+/// output.  A fault is benign within one cycle iff its effect is masked
+/// before reaching **any** endpoint of its cone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConeEndpoint {
+    /// The fault reaches input `pin` of sequential cell `cell`.
+    SeqPin {
+        /// The flip-flop whose data input lies in the cone.
+        cell: CellId,
+        /// The pin index (always 0 for plain DFFs).
+        pin: usize,
+    },
+    /// The fault reaches a primary output net.
+    Output(NetId),
+}
+
+/// The transitive combinational fan-out of a single faulty wire.
+///
+/// The cone contains every wire whose value must be *mistrusted* when the
+/// origin wire is faulty, the combinational gates driving those wires, and
+/// the endpoints (FF data pins, primary outputs) the fault could reach within
+/// the current clock cycle.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::prelude::*;
+/// use mate_netlist::examples::figure1;
+///
+/// let (netlist, topo) = figure1();
+/// let d = netlist.find_net("d").unwrap();
+/// let cone = FaultCone::compute(&netlist, &topo, d);
+/// assert_eq!(cone.num_gates(), 3); // gates B, D, E from the paper
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultCone {
+    origin: NetId,
+    nets: BitSet,
+    cells: Vec<CellId>,
+    endpoints: Vec<ConeEndpoint>,
+}
+
+impl FaultCone {
+    /// Computes the fault cone of `origin`.
+    pub fn compute(netlist: &Netlist, topo: &Topology, origin: NetId) -> Self {
+        Self::compute_multi(netlist, topo, &[origin])
+    }
+
+    /// Computes the joint fault cone of several simultaneously faulty wires
+    /// (used for the multi-bit fault model of the paper's Section 6.2).
+    ///
+    /// [`FaultCone::origin`] reports the first wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origins` is empty.
+    pub fn compute_multi(netlist: &Netlist, topo: &Topology, origins: &[NetId]) -> Self {
+        assert!(!origins.is_empty(), "need at least one faulty wire");
+        let origin = origins[0];
+        let mut nets = BitSet::new(netlist.num_nets());
+        let mut cells: Vec<CellId> = Vec::new();
+        let mut cell_in_cone = BitSet::new(netlist.num_cells());
+        let mut endpoints: Vec<ConeEndpoint> = Vec::new();
+        let mut queue: Vec<NetId> = origins.to_vec();
+        for &o in origins {
+            nets.insert(o.index());
+        }
+
+        while let Some(net) = queue.pop() {
+            if netlist.outputs().contains(&net) {
+                endpoints.push(ConeEndpoint::Output(net));
+            }
+            for &(cell, pin) in topo.fanout(net) {
+                if netlist.is_seq_cell(cell) {
+                    endpoints.push(ConeEndpoint::SeqPin { cell, pin });
+                    continue;
+                }
+                if cell_in_cone.insert(cell.index()) {
+                    cells.push(cell);
+                    let out = netlist.cell(cell).output();
+                    if nets.insert(out.index()) {
+                        queue.push(out);
+                    }
+                }
+            }
+        }
+
+        cells.sort_by_key(|&c| topo.rank(c).expect("cone cells are combinational"));
+        endpoints.sort_by_key(|e| match *e {
+            ConeEndpoint::SeqPin { cell, pin } => (0usize, cell.index(), pin),
+            ConeEndpoint::Output(net) => (1usize, net.index(), 0),
+        });
+        endpoints.dedup();
+        Self {
+            origin,
+            nets,
+            cells,
+            endpoints,
+        }
+    }
+
+    /// The faulty wire this cone was computed for.
+    pub fn origin(&self) -> NetId {
+        self.origin
+    }
+
+    /// Membership test for nets.
+    pub fn contains_net(&self, net: NetId) -> bool {
+        self.nets.contains(net.index())
+    }
+
+    /// All mistrusted nets (origin plus gate outputs), as a bit set.
+    pub fn nets(&self) -> &BitSet {
+        &self.nets
+    }
+
+    /// The combinational gates in the cone, topologically sorted.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of gates in the cone (the paper's "cone size").
+    pub fn num_gates(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The endpoints (FF data pins and primary outputs) the fault can reach.
+    pub fn endpoints(&self) -> &[ConeEndpoint] {
+        &self.endpoints
+    }
+
+    /// Bitmask over the input pins of `cell` that carry mistrusted (cone)
+    /// nets.  The complement pins are *border wires* of the cone at this
+    /// gate.
+    pub fn faulty_pin_mask(&self, netlist: &Netlist, cell: CellId) -> u8 {
+        let mut mask = 0u8;
+        for (pin, &net) in netlist.cell(cell).inputs().iter().enumerate() {
+            if self.contains_net(net) {
+                mask |= 1 << pin;
+            }
+        }
+        mask
+    }
+
+    /// Border wires: the nets read by cone gates that are *not* themselves in
+    /// the cone, sorted and deduplicated.
+    pub fn border_nets(&self, netlist: &Netlist) -> Vec<NetId> {
+        let mut border: Vec<NetId> = Vec::new();
+        for &cell in &self.cells {
+            for &net in netlist.cell(cell).inputs() {
+                if !self.contains_net(net) {
+                    border.push(net);
+                }
+            }
+        }
+        border.sort();
+        border.dedup();
+        border
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1;
+    use crate::library::Library;
+
+    #[test]
+    fn figure1_cone_for_d_matches_paper() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        // Cone wires: d, g, k, l.
+        let names: Vec<&str> = cone
+            .nets()
+            .iter()
+            .map(|i| n.net(NetId::from_index(i)).name())
+            .collect();
+        assert_eq!(names, vec!["d", "g", "k", "l"]);
+        // Cone gates: B, D, E (B first — it feeds the other two).
+        let mut gates: Vec<&str> = cone.cells().iter().map(|&c| n.cell(c).name()).collect();
+        assert_eq!(gates[0], "B");
+        gates.sort_unstable();
+        assert_eq!(gates, vec!["B", "D", "E"]);
+        // Border wires: c, f, h.
+        let border: Vec<&str> = cone
+            .border_nets(&n)
+            .iter()
+            .map(|&b| n.net(b).name())
+            .collect();
+        assert_eq!(border, vec!["c", "f", "h"]);
+        // Endpoints: outputs k and l.
+        assert_eq!(cone.endpoints().len(), 2);
+        assert!(cone
+            .endpoints()
+            .iter()
+            .all(|e| matches!(e, ConeEndpoint::Output(_))));
+    }
+
+    #[test]
+    fn figure1_cone_for_e_reaches_output_h() {
+        let (n, topo) = figure1();
+        let e = n.find_net("e").unwrap();
+        let cone = FaultCone::compute(&n, &topo, e);
+        // e -> C -> h (primary output) and h -> E -> l.
+        let h = n.find_net("h").unwrap();
+        assert!(cone.contains_net(h));
+        assert!(cone.endpoints().contains(&ConeEndpoint::Output(h)));
+    }
+
+    #[test]
+    fn faulty_pin_mask_identifies_cone_pins() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        // Gate D = AND2(g, f): pin 0 carries cone net g, pin 1 border net f.
+        let gate_d = *cone
+            .cells()
+            .iter()
+            .find(|&&c| n.cell(c).name() == "D")
+            .unwrap();
+        assert_eq!(cone.faulty_pin_mask(&n, gate_d), 0b01);
+    }
+
+    #[test]
+    fn cone_with_ff_endpoint() {
+        let lib = Library::open15();
+        let mut nl = crate::netlist::Netlist::new("ffcone", lib);
+        let a = nl.add_input("a");
+        let q = nl.add_net("q");
+        let x = nl.add_cell("AND2", "g", &[a, q]).unwrap();
+        nl.add_cell_to("DFF", "ff", &[x], q).unwrap();
+        nl.set_output(q);
+        let topo = nl.validate().unwrap();
+        let cone = FaultCone::compute(&nl, &topo, q);
+        // q -> AND -> x -> DFF.D ; q itself is also a primary output.
+        assert!(cone
+            .endpoints()
+            .iter()
+            .any(|e| matches!(e, ConeEndpoint::SeqPin { .. })));
+        assert!(cone.endpoints().contains(&ConeEndpoint::Output(q)));
+    }
+
+    #[test]
+    fn topology_ranks_follow_dependencies() {
+        let (n, topo) = figure1();
+        // Gate B feeds gates D and E, so rank(B) < rank(D), rank(E).
+        let find = |name: &str| {
+            (0..n.num_cells())
+                .map(CellId::from_index)
+                .find(|&c| n.cell(c).name() == name)
+                .unwrap()
+        };
+        let rb = topo.rank(find("B")).unwrap();
+        assert!(rb < topo.rank(find("D")).unwrap());
+        assert!(rb < topo.rank(find("E")).unwrap());
+    }
+
+    #[test]
+    fn fanout_lists_are_complete() {
+        let (n, topo) = figure1();
+        let g = n.find_net("g").unwrap();
+        // Net g feeds gates D and E.
+        assert_eq!(topo.fanout(g).len(), 2);
+    }
+}

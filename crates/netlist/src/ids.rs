@@ -1,0 +1,91 @@
+//! Typed index newtypes for nets, cells, and cell types.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub(crate) $repr);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= <$repr>::MAX as usize);
+                Self(index as $repr)
+            }
+
+            /// Returns the raw index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net (wire) inside a [`crate::Netlist`].
+    NetId,
+    "n",
+    u32
+);
+
+id_type!(
+    /// Identifier of a cell (gate or flip-flop instance) inside a
+    /// [`crate::Netlist`].
+    CellId,
+    "c",
+    u32
+);
+
+id_type!(
+    /// Identifier of a cell *type* inside a [`crate::Library`].
+    CellTypeId,
+    "t",
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NetId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(usize::from(n), 42);
+    }
+
+    #[test]
+    fn debug_and_display_prefixes() {
+        assert_eq!(format!("{}", NetId::from_index(7)), "n7");
+        assert_eq!(format!("{:?}", CellId::from_index(3)), "c3");
+        assert_eq!(format!("{}", CellTypeId::from_index(1)), "t1");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert_eq!(CellId::default().index(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Standard-cell library.
+//!
+//! The paper synthesizes its cores against the freely available 15nm Open
+//! Cell Library.  We model the logically relevant slice of such a library: a
+//! set of single-output combinational cells (each with a [`TruthTable`]) plus
+//! a D flip-flop.  Clock and power pins are implicit — the simulator is
+//! cycle-based and every flip-flop is clocked by the single global clock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::CellTypeId;
+use crate::logic::TruthTable;
+
+/// The behaviour of a cell type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellFn {
+    /// A combinational cell computing the given function of its input pins.
+    Comb(TruthTable),
+    /// A D flip-flop: the output latches the `D` pin at every rising clock
+    /// edge.  The single input pin is `D`.
+    Dff,
+}
+
+/// A cell type: name, ordered input pin names, and behaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellType {
+    name: String,
+    pins: Vec<String>,
+    output_pin: String,
+    func: CellFn,
+    /// Relative area (in NAND2 equivalents), used for netlist statistics.
+    area: u32,
+}
+
+impl CellType {
+    /// Creates a combinational cell type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin count does not match the truth-table input count.
+    pub fn comb(name: &str, pins: &[&str], tt: TruthTable, area: u32) -> Self {
+        assert_eq!(
+            pins.len(),
+            tt.inputs(),
+            "cell {name}: pin count must match truth table"
+        );
+        Self {
+            name: name.to_owned(),
+            pins: pins.iter().map(|p| (*p).to_owned()).collect(),
+            output_pin: "Y".to_owned(),
+            func: CellFn::Comb(tt),
+            area,
+        }
+    }
+
+    /// Creates the D flip-flop cell type.
+    pub fn dff(name: &str, area: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            pins: vec!["D".to_owned()],
+            output_pin: "Q".to_owned(),
+            func: CellFn::Dff,
+            area,
+        }
+    }
+
+    /// Cell type name, e.g. `"NAND2"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered input pin names.
+    pub fn pins(&self) -> &[String] {
+        &self.pins
+    }
+
+    /// Name of the single output pin (`Y` for combinational cells, `Q` for
+    /// flip-flops).
+    pub fn output_pin(&self) -> &str {
+        &self.output_pin
+    }
+
+    /// Number of input pins.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The cell behaviour.
+    pub fn func(&self) -> &CellFn {
+        &self.func
+    }
+
+    /// Relative cell area in NAND2 equivalents.
+    pub fn area(&self) -> u32 {
+        self.area
+    }
+
+    /// Returns `true` for sequential (flip-flop) cells.
+    pub fn is_seq(&self) -> bool {
+        matches!(self.func, CellFn::Dff)
+    }
+
+    /// The truth table of a combinational cell, or `None` for flip-flops.
+    pub fn truth_table(&self) -> Option<&TruthTable> {
+        match &self.func {
+            CellFn::Comb(tt) => Some(tt),
+            CellFn::Dff => None,
+        }
+    }
+
+    /// Index of the pin named `pin`, if present.
+    pub fn pin_index(&self, pin: &str) -> Option<usize> {
+        self.pins.iter().position(|p| p == pin)
+    }
+}
+
+/// An immutable collection of [`CellType`]s, shared by netlists via `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::Library;
+///
+/// let lib = Library::open15();
+/// let nand = lib.find("NAND2").unwrap();
+/// assert_eq!(lib.cell_type(nand).num_pins(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Library {
+    name: String,
+    types: Vec<CellType>,
+    by_name: HashMap<String, CellTypeId>,
+}
+
+impl Library {
+    /// Creates a library from a list of cell types.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate cell-type names.
+    pub fn from_types(name: &str, types: Vec<CellType>) -> Arc<Self> {
+        let mut by_name = HashMap::with_capacity(types.len());
+        for (i, t) in types.iter().enumerate() {
+            let prev = by_name.insert(t.name.clone(), CellTypeId::from_index(i));
+            assert!(prev.is_none(), "duplicate cell type {}", t.name);
+        }
+        Arc::new(Self {
+            name: name.to_owned(),
+            types,
+            by_name,
+        })
+    }
+
+    /// The library modelled after the 15nm Open Cell Library: tie cells,
+    /// inverters/buffers, NAND/NOR/AND/OR up to four inputs, XOR/XNOR,
+    /// a 2:1 MUX, AOI/OAI complex gates, XOR3 and MAJ3 (full-adder slices),
+    /// and a D flip-flop.
+    pub fn open15() -> Arc<Self> {
+        let types = vec![
+            CellType::comb("TIE0", &[], TruthTable::zero(0), 1),
+            CellType::comb("TIE1", &[], TruthTable::one(0), 1),
+            CellType::comb("INV", &["A"], TruthTable::not(), 1),
+            CellType::comb("BUF", &["A"], TruthTable::buf(), 1),
+            CellType::comb("NAND2", &["A", "B"], TruthTable::nand(2), 1),
+            CellType::comb("NAND3", &["A", "B", "C"], TruthTable::nand(3), 2),
+            CellType::comb("NAND4", &["A", "B", "C", "D"], TruthTable::nand(4), 2),
+            CellType::comb("NOR2", &["A", "B"], TruthTable::nor(2), 1),
+            CellType::comb("NOR3", &["A", "B", "C"], TruthTable::nor(3), 2),
+            CellType::comb("NOR4", &["A", "B", "C", "D"], TruthTable::nor(4), 2),
+            CellType::comb("AND2", &["A", "B"], TruthTable::and(2), 2),
+            CellType::comb("AND3", &["A", "B", "C"], TruthTable::and(3), 2),
+            CellType::comb("AND4", &["A", "B", "C", "D"], TruthTable::and(4), 3),
+            CellType::comb("OR2", &["A", "B"], TruthTable::or(2), 2),
+            CellType::comb("OR3", &["A", "B", "C"], TruthTable::or(3), 2),
+            CellType::comb("OR4", &["A", "B", "C", "D"], TruthTable::or(4), 3),
+            CellType::comb("XOR2", &["A", "B"], TruthTable::xor(2), 3),
+            CellType::comb("XNOR2", &["A", "B"], TruthTable::xnor(2), 3),
+            CellType::comb("XOR3", &["A", "B", "C"], TruthTable::xor(3), 4),
+            CellType::comb("MAJ3", &["A", "B", "C"], TruthTable::maj3(), 4),
+            CellType::comb("MUX2", &["S", "A", "B"], TruthTable::mux2(), 3),
+            CellType::comb("AOI21", &["A1", "A2", "B"], TruthTable::aoi21(), 2),
+            CellType::comb(
+                "AOI22",
+                &["A1", "A2", "B1", "B2"],
+                TruthTable::aoi22(),
+                2,
+            ),
+            CellType::comb("OAI21", &["A1", "A2", "B"], TruthTable::oai21(), 2),
+            CellType::comb(
+                "OAI22",
+                &["A1", "A2", "B1", "B2"],
+                TruthTable::oai22(),
+                2,
+            ),
+            CellType::dff("DFF", 5),
+        ];
+        Self::from_types("open15", types)
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a cell type by name.
+    pub fn find(&self, name: &str) -> Option<CellTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the cell type for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this library.
+    pub fn cell_type(&self, id: CellTypeId) -> &CellType {
+        &self.types[id.index()]
+    }
+
+    /// Iterates over all `(id, cell type)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellTypeId, &CellType)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (CellTypeId::from_index(i), t))
+    }
+
+    /// Number of cell types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` if the library has no cell types.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library {} ({} cell types)", self.name, self.types.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open15_has_expected_cells() {
+        let lib = Library::open15();
+        for name in [
+            "TIE0", "TIE1", "INV", "BUF", "NAND2", "NOR4", "XOR2", "MUX2", "AOI21", "OAI22",
+            "XOR3", "MAJ3", "DFF",
+        ] {
+            assert!(lib.find(name).is_some(), "missing {name}");
+        }
+        assert!(lib.find("NAND17").is_none());
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn pin_orders_match_truth_tables() {
+        let lib = Library::open15();
+        let mux = lib.cell_type(lib.find("MUX2").unwrap());
+        assert_eq!(mux.pins(), &["S", "A", "B"]);
+        assert_eq!(mux.pin_index("B"), Some(2));
+        assert_eq!(mux.pin_index("Z"), None);
+        let tt = mux.truth_table().unwrap();
+        // S=1 selects B (pin 2).
+        assert!(tt.eval(0b101));
+    }
+
+    #[test]
+    fn dff_properties() {
+        let lib = Library::open15();
+        let dff = lib.cell_type(lib.find("DFF").unwrap());
+        assert!(dff.is_seq());
+        assert_eq!(dff.pins(), &["D"]);
+        assert_eq!(dff.output_pin(), "Q");
+        assert!(dff.truth_table().is_none());
+    }
+
+    #[test]
+    fn comb_cells_are_not_seq() {
+        let lib = Library::open15();
+        let inv = lib.cell_type(lib.find("INV").unwrap());
+        assert!(!inv.is_seq());
+        assert_eq!(inv.output_pin(), "Y");
+        assert!(inv.area() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell type")]
+    fn duplicate_names_rejected() {
+        Library::from_types(
+            "dup",
+            vec![
+                CellType::comb("X", &["A"], TruthTable::buf(), 1),
+                CellType::comb("X", &["A"], TruthTable::not(), 1),
+            ],
+        );
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let lib = Library::open15();
+        assert_eq!(lib.iter().count(), lib.len());
+        for (id, ty) in lib.iter() {
+            assert_eq!(lib.find(ty.name()), Some(id));
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let lib = Library::open15();
+        let s = format!("{lib}");
+        assert!(s.contains("open15"));
+    }
+}

@@ -1,0 +1,527 @@
+//! The flat gate-level netlist.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::graph::Topology;
+use crate::ids::{CellId, CellTypeId, NetId};
+use crate::library::Library;
+
+/// What drives a net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Nothing drives the net yet (invalid in a validated netlist).
+    None,
+    /// The net is a primary input of the design.
+    Input,
+    /// The net is the output of the given cell.
+    Cell(CellId),
+}
+
+/// A net (wire) of the netlist.
+#[derive(Clone, Debug)]
+pub struct Net {
+    name: String,
+    driver: NetDriver,
+}
+
+impl Net {
+    /// The net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driver of this net.
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+}
+
+/// A cell instance (gate or flip-flop).
+#[derive(Clone, Debug)]
+pub struct Cell {
+    name: String,
+    ty: CellTypeId,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Cell {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell type id (resolve via [`Library::cell_type`]).
+    pub fn type_id(&self) -> CellTypeId {
+        self.ty
+    }
+
+    /// Input nets in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// Errors produced while building or validating a [`Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A referenced cell type name does not exist in the library.
+    UnknownCellType(String),
+    /// A cell was instantiated with the wrong number of input nets.
+    PinCountMismatch {
+        /// Cell instance name.
+        cell: String,
+        /// Number of pins the cell type declares.
+        expected: usize,
+        /// Number of nets supplied.
+        got: usize,
+    },
+    /// A net would be driven by two sources.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: String,
+    },
+    /// A net has no driver after construction finished.
+    Undriven {
+        /// The undriven net.
+        net: String,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// Two nets share the same name.
+    DuplicateNetName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCellType(name) => write!(f, "unknown cell type `{name}`"),
+            Self::PinCountMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(f, "cell `{cell}` expects {expected} input nets, got {got}"),
+            Self::MultipleDrivers { net } => write!(f, "net `{net}` has multiple drivers"),
+            Self::Undriven { net } => write!(f, "net `{net}` has no driver"),
+            Self::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            Self::DuplicateNetName(name) => write!(f, "duplicate net name `{name}`"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A flat gate-level synchronous netlist.
+///
+/// Nets and cells are created through the builder-style `add_*` methods;
+/// [`Netlist::validate`] checks structural sanity (single drivers, matching
+/// pin counts, acyclic combinational logic) and returns a [`Topology`] with
+/// levelized evaluation order, fan-out indices and sequential-element lists.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::prelude::*;
+///
+/// let mut n = Netlist::new("toggler", Library::open15());
+/// let q = n.add_net("q");
+/// let d = n.add_cell_named("INV", "inv0", &[q], "d")?;
+/// n.add_cell_to("DFF", "ff0", &[d], q)?;
+/// n.set_output(q);
+/// let topo = n.validate()?;
+/// assert_eq!(topo.seq_cells().len(), 1);
+/// # Ok::<(), mate_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    lib: Arc<Library>,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    net_names: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist over the given cell library.
+    pub fn new(name: &str, lib: Arc<Library>) -> Self {
+        Self {
+            name: name.to_owned(),
+            lib,
+            nets: Vec::new(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            net_names: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell library this netlist instantiates from.
+    pub fn library(&self) -> &Arc<Library> {
+        &self.lib
+    }
+
+    /// Adds an undriven net.  Nameless building blocks can pass `""` to get a
+    /// generated unique name.
+    pub fn add_net(&mut self, name: &str) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        let name = if name.is_empty() {
+            format!("_n{}", id.index())
+        } else {
+            name.to_owned()
+        };
+        let unique = self.uniquify_name(name);
+        self.net_names.insert(unique.clone(), id);
+        self.nets.push(Net {
+            name: unique,
+            driver: NetDriver::None,
+        });
+        id
+    }
+
+    fn uniquify_name(&self, name: String) -> String {
+        if !self.net_names.contains_key(&name) {
+            return name;
+        }
+        let mut i = 1;
+        loop {
+            let candidate = format!("{name}_{i}");
+            if !self.net_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Adds a primary-input net.
+    pub fn add_input(&mut self, name: &str) -> NetId {
+        let id = self.add_net(name);
+        self.nets[id.index()].driver = NetDriver::Input;
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn set_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Instantiates a cell, creating a fresh output net with a generated
+    /// name.  Returns the output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCellType`] or
+    /// [`NetlistError::PinCountMismatch`].
+    pub fn add_cell(
+        &mut self,
+        type_name: &str,
+        inst_name: &str,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        self.add_cell_named(type_name, inst_name, inputs, "")
+    }
+
+    /// Instantiates a cell, creating a fresh output net with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCellType`] or
+    /// [`NetlistError::PinCountMismatch`].
+    pub fn add_cell_named(
+        &mut self,
+        type_name: &str,
+        inst_name: &str,
+        inputs: &[NetId],
+        out_name: &str,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.add_net(out_name);
+        self.add_cell_to(type_name, inst_name, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Instantiates a cell driving an existing net (needed to close
+    /// sequential feedback loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCellType`],
+    /// [`NetlistError::PinCountMismatch`], or
+    /// [`NetlistError::MultipleDrivers`].
+    pub fn add_cell_to(
+        &mut self,
+        type_name: &str,
+        inst_name: &str,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, NetlistError> {
+        let ty = self
+            .lib
+            .find(type_name)
+            .ok_or_else(|| NetlistError::UnknownCellType(type_name.to_owned()))?;
+        let cell_type = self.lib.cell_type(ty);
+        if cell_type.num_pins() != inputs.len() {
+            return Err(NetlistError::PinCountMismatch {
+                cell: inst_name.to_owned(),
+                expected: cell_type.num_pins(),
+                got: inputs.len(),
+            });
+        }
+        if self.nets[output.index()].driver != NetDriver::None {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[output.index()].name.clone(),
+            });
+        }
+        let id = CellId::from_index(self.cells.len());
+        let name = if inst_name.is_empty() {
+            format!("_c{}", id.index())
+        } else {
+            inst_name.to_owned()
+        };
+        self.cells.push(Cell {
+            name,
+            ty,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        self.nets[output.index()].driver = NetDriver::Cell(id);
+        Ok(id)
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// A cell by id.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The cell type of a cell.
+    pub fn cell_type_of(&self, id: CellId) -> &crate::library::CellType {
+        self.lib.cell_type(self.cells[id.index()].ty)
+    }
+
+    /// Primary-input nets in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary-output nets in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Looks up a net id by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Returns `true` if the cell is a flip-flop.
+    pub fn is_seq_cell(&self, id: CellId) -> bool {
+        self.cell_type_of(id).is_seq()
+    }
+
+    /// Validates the netlist and computes its [`Topology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Undriven`] when a net has no driver and
+    /// [`NetlistError::CombinationalCycle`] when the combinational logic is
+    /// cyclic.
+    pub fn validate(&self) -> Result<Topology, NetlistError> {
+        for net in &self.nets {
+            if net.driver == NetDriver::None {
+                return Err(NetlistError::Undriven {
+                    net: net.name.clone(),
+                });
+            }
+        }
+        Topology::build(self)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nets, {} cells, {} inputs, {} outputs",
+            self.name,
+            self.nets.len(),
+            self.cells.len(),
+            self.inputs.len(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Arc<Library> {
+        Library::open15()
+    }
+
+    #[test]
+    fn build_simple_combinational() {
+        let mut n = Netlist::new("c17ish", lib());
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_cell("NAND2", "g1", &[a, b]).unwrap();
+        n.set_output(y);
+        let topo = n.validate().unwrap();
+        assert_eq!(topo.comb_order().len(), 1);
+        assert_eq!(n.num_nets(), 3);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs(), &[y]);
+    }
+
+    #[test]
+    fn unknown_cell_type_rejected() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("a");
+        let err = n.add_cell("FROB", "g", &[a]).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownCellType("FROB".into()));
+    }
+
+    #[test]
+    fn pin_count_mismatch_rejected() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("a");
+        let err = n.add_cell("NAND2", "g", &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::PinCountMismatch { .. }));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("a");
+        let y = n.add_cell("INV", "g1", &[a]).unwrap();
+        let err = n.add_cell_to("INV", "g2", &[a], y).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("x", lib());
+        let floating = n.add_net("floating");
+        n.set_output(floating);
+        let err = n.validate().unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Undriven {
+                net: "floating".into()
+            }
+        );
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_net("a");
+        let b = n.add_cell("INV", "g1", &[a]).unwrap();
+        n.add_cell_to("INV", "g2", &[b], a).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn sequential_feedback_is_legal() {
+        let mut n = Netlist::new("toggler", lib());
+        let q = n.add_net("q");
+        let d = n.add_cell("INV", "inv", &[q]).unwrap();
+        n.add_cell_to("DFF", "ff", &[d], q).unwrap();
+        n.set_output(q);
+        let topo = n.validate().unwrap();
+        assert_eq!(topo.seq_cells().len(), 1);
+        assert_eq!(topo.comb_order().len(), 1);
+    }
+
+    #[test]
+    fn net_names_are_unique_and_lookupable() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("sig");
+        let b = n.add_input("sig");
+        assert_ne!(n.net(a).name(), n.net(b).name());
+        assert_eq!(n.find_net("sig"), Some(a));
+        assert_eq!(n.find_net(n.net(b).name()), Some(b));
+        assert_eq!(n.find_net("nope"), None);
+    }
+
+    #[test]
+    fn generated_names_for_anonymous_nets() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_net("");
+        assert!(n.net(a).name().starts_with("_n"));
+    }
+
+    #[test]
+    fn set_output_dedups() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("a");
+        n.set_output(a);
+        n.set_output(a);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut n = Netlist::new("demo", lib());
+        let a = n.add_input("a");
+        n.set_output(a);
+        let s = format!("{n}");
+        assert!(s.contains("demo"));
+        assert!(s.contains("1 inputs"));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = NetlistError::UnknownCellType("X".into());
+        assert!(format!("{e}").contains("unknown cell type"));
+        let e = NetlistError::CombinationalCycle { net: "n".into() };
+        assert!(format!("{e}").contains("cycle"));
+    }
+}

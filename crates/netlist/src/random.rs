@@ -1,0 +1,182 @@
+//! Seeded random synchronous circuits for property-based testing.
+//!
+//! The MATE soundness proofs in this workspace rest on exhaustive fault
+//! injection into *random* circuits; this module provides the deterministic
+//! generator those tests use.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Topology;
+use crate::ids::NetId;
+use crate::library::Library;
+use crate::netlist::Netlist;
+
+/// Parameters for [`random_circuit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs (at least 1).
+    pub inputs: usize,
+    /// Number of flip-flops.
+    pub ffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of primary outputs (at least 1).
+    pub outputs: usize,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        Self {
+            inputs: 4,
+            ffs: 8,
+            gates: 24,
+            outputs: 3,
+        }
+    }
+}
+
+/// Generates a random valid synchronous circuit.
+///
+/// The construction is DAG-by-construction: gate inputs are drawn from
+/// already-existing nets (primary inputs, flip-flop outputs, earlier gate
+/// outputs), so the result always levelizes.  Every flip-flop data input is
+/// drawn from the full net pool, which creates the feedback structures
+/// (enable muxes, counters) the MATE analysis cares about.
+///
+/// The same `seed` and config always produce the same circuit.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0` or `outputs == 0`.
+pub fn random_circuit(config: RandomCircuitConfig, seed: u64) -> (Netlist, Topology) {
+    assert!(config.inputs > 0, "need at least one primary input");
+    assert!(config.outputs > 0, "need at least one primary output");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lib = Library::open15();
+    // Gate types to draw from, weighted towards the simple cells real
+    // synthesis produces; MUX/AOI/XOR appear often enough to exercise the
+    // interesting masking rules.
+    let palette = [
+        "INV", "BUF", "NAND2", "NAND2", "NAND3", "NOR2", "NOR2", "NOR3", "AND2", "AND2", "AND3",
+        "OR2", "OR2", "OR3", "XOR2", "XNOR2", "MUX2", "MUX2", "AOI21", "OAI21", "MAJ3",
+    ];
+
+    let mut n = Netlist::new(&format!("rand_{seed}"), lib.clone());
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..config.inputs {
+        pool.push(n.add_input(&format!("in{i}")));
+    }
+    let ff_nets: Vec<NetId> = (0..config.ffs)
+        .map(|i| n.add_net(&format!("q{i}")))
+        .collect();
+    pool.extend(ff_nets.iter().copied());
+
+    for g in 0..config.gates {
+        let ty_name = *palette.choose(&mut rng).expect("non-empty palette");
+        let ty = lib.find(ty_name).expect("palette cell exists");
+        let pins = lib.cell_type(ty).num_pins();
+        let inputs: Vec<NetId> = (0..pins)
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect();
+        let out = n
+            .add_cell(ty_name, &format!("g{g}"), &inputs)
+            .expect("random gate instantiation is valid");
+        pool.push(out);
+    }
+
+    for (i, &q) in ff_nets.iter().enumerate() {
+        // Draw D from anywhere except the FF output itself to avoid inert
+        // self-loops that never see new values.
+        let d = loop {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if cand != q || pool.len() == 1 {
+                break cand;
+            }
+        };
+        n.add_cell_to("DFF", &format!("ff{i}"), &[d], q)
+            .expect("ff instantiation is valid");
+    }
+
+    for _ in 0..config.outputs {
+        let net = pool[rng.gen_range(0..pool.len())];
+        n.set_output(net);
+    }
+    // set_output dedups, so ensure at least one output exists.
+    if n.outputs().is_empty() {
+        let first = pool[0];
+        n.set_output(first);
+    }
+
+    let topo = n.validate().expect("random circuit is valid by construction");
+    (n, topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomCircuitConfig::default();
+        let (a, _) = random_circuit(cfg, 7);
+        let (b, _) = random_circuit(cfg, 7);
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert_eq!(a.num_cells(), b.num_cells());
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(ca.type_id(), cb.type_id());
+            assert_eq!(ca.inputs(), cb.inputs());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomCircuitConfig::default();
+        let (a, _) = random_circuit(cfg, 1);
+        let (b, _) = random_circuit(cfg, 2);
+        let same = a
+            .cells()
+            .iter()
+            .zip(b.cells())
+            .all(|(x, y)| x.type_id() == y.type_id() && x.inputs() == y.inputs());
+        assert!(!same);
+    }
+
+    #[test]
+    fn respects_config_counts() {
+        let cfg = RandomCircuitConfig {
+            inputs: 3,
+            ffs: 5,
+            gates: 11,
+            outputs: 2,
+        };
+        let (n, topo) = random_circuit(cfg, 42);
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(topo.seq_cells().len(), 5);
+        assert_eq!(topo.comb_order().len(), 11);
+        assert!(!n.outputs().is_empty());
+    }
+
+    #[test]
+    fn many_seeds_validate() {
+        for seed in 0..50 {
+            let (_, topo) = random_circuit(RandomCircuitConfig::default(), seed);
+            assert!(!topo.seq_cells().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input")]
+    fn zero_inputs_panics() {
+        random_circuit(
+            RandomCircuitConfig {
+                inputs: 0,
+                ffs: 1,
+                gates: 1,
+                outputs: 1,
+            },
+            0,
+        );
+    }
+}

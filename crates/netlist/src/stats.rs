@@ -1,0 +1,133 @@
+//! Netlist statistics (gate counts, areas, logic depth) as reported in the
+//! characterization rows of Table 1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::Topology;
+use crate::netlist::{NetDriver, Netlist};
+
+/// Aggregate statistics of a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total number of nets.
+    pub num_nets: usize,
+    /// Total number of cell instances.
+    pub num_cells: usize,
+    /// Number of flip-flops ("faulty wires" of the paper's FF fault model).
+    pub num_ffs: usize,
+    /// Number of combinational gates.
+    pub num_comb: usize,
+    /// Number of primary inputs / outputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Total area in NAND2 equivalents.
+    pub area: u64,
+    /// Maximum combinational depth in gates.
+    pub logic_depth: usize,
+    /// Instance count per cell-type name.
+    pub per_type: BTreeMap<String, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a validated netlist.
+    pub fn compute(netlist: &Netlist, topo: &Topology) -> Self {
+        let mut per_type = BTreeMap::new();
+        let mut area = 0u64;
+        for cell in netlist.cells() {
+            let ty = netlist.library().cell_type(cell.type_id());
+            *per_type.entry(ty.name().to_owned()).or_insert(0) += 1;
+            area += u64::from(ty.area());
+        }
+
+        // Logic depth: longest gate chain between state/input and endpoint.
+        let mut depth = vec![0usize; netlist.num_cells()];
+        let mut max_depth = 0usize;
+        for &cell in topo.comb_order() {
+            let mut d = 0usize;
+            for &net in netlist.cell(cell).inputs() {
+                if let NetDriver::Cell(driver) = netlist.net(net).driver() {
+                    if !netlist.is_seq_cell(driver) {
+                        d = d.max(depth[driver.index()]);
+                    }
+                }
+            }
+            depth[cell.index()] = d + 1;
+            max_depth = max_depth.max(d + 1);
+        }
+
+        Self {
+            num_nets: netlist.num_nets(),
+            num_cells: netlist.num_cells(),
+            num_ffs: topo.seq_cells().len(),
+            num_comb: topo.comb_order().len(),
+            num_inputs: netlist.inputs().len(),
+            num_outputs: netlist.outputs().len(),
+            area,
+            logic_depth: max_depth,
+            per_type,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells: {} ({} FF, {} comb), nets: {}, IO: {}/{}, area: {} NAND2eq, depth: {}",
+            self.num_cells,
+            self.num_ffs,
+            self.num_comb,
+            self.num_nets,
+            self.num_inputs,
+            self.num_outputs,
+            self.area,
+            self.logic_depth
+        )?;
+        for (name, count) in &self.per_type {
+            writeln!(f, "  {name:<8} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{counter, figure1};
+
+    #[test]
+    fn figure1_stats() {
+        let (n, topo) = figure1();
+        let s = NetlistStats::compute(&n, &topo);
+        assert_eq!(s.num_cells, 5);
+        assert_eq!(s.num_ffs, 0);
+        assert_eq!(s.num_comb, 5);
+        assert_eq!(s.num_inputs, 5);
+        assert_eq!(s.num_outputs, 3);
+        assert_eq!(s.logic_depth, 2); // XOR -> AND/OR
+        assert_eq!(s.per_type["XOR2"], 1);
+        assert_eq!(s.per_type["NAND2"], 1);
+    }
+
+    #[test]
+    fn counter_stats_depth_scales() {
+        let (n4, t4) = counter(4);
+        let (n8, t8) = counter(8);
+        let s4 = NetlistStats::compute(&n4, &t4);
+        let s8 = NetlistStats::compute(&n8, &t8);
+        assert_eq!(s4.num_ffs, 4);
+        assert_eq!(s8.num_ffs, 8);
+        assert!(s8.logic_depth > s4.logic_depth);
+        assert!(s8.area > s4.area);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let (n, topo) = figure1();
+        let s = NetlistStats::compute(&n, &topo).to_string();
+        assert!(s.contains("cells: 5"));
+        assert!(s.contains("XOR2"));
+    }
+}

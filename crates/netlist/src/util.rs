@@ -1,0 +1,283 @@
+//! Small utility containers shared across the workspace.
+
+use std::fmt;
+
+/// A fixed-capacity bit set packed into 64-bit words.
+///
+/// Used for fault-cone membership, per-cycle wire values, and fault-space
+/// bitmaps, where `HashSet<usize>` would be too slow and too large.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bit set with capacity for `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of addressable elements (the fixed capacity).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `index`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bit {index} out of range {}", self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.len && self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Sets `index` to `value`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        if value {
+            self.insert(index);
+        } else {
+            self.remove(index);
+        }
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The raw 64-bit words backing the set (low bit of word 0 is index 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over set indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over the indices contained in a [`BitSet`], produced by
+/// [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut s = BitSet::new(10);
+        s.set(5, true);
+        assert!(s.contains(5));
+        s.set(5, false);
+        assert!(s.is_empty());
+        s.insert(1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: BitSet = [1usize, 3, 5].into_iter().collect();
+        let b: BitSet = [3usize, 4, 5].into_iter().collect();
+        // Capacities from FromIterator are max+1; align them.
+        let mut a6 = BitSet::new(6);
+        a6.extend(a.iter());
+        a = a6;
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_eq!(union.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![3, 5]);
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_across_words() {
+        let mut s = BitSet::new(200);
+        for i in [0usize, 63, 64, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: BitSet = [2usize, 4].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{2, 4}");
+    }
+
+    #[test]
+    fn empty_capacity_zero() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+}

@@ -1,0 +1,498 @@
+//! Structural-Verilog export and import.
+//!
+//! The paper's flow consumes netlists produced by Synopsys Design Compiler.
+//! We support the interchange subset such tools emit for flat mapped
+//! netlists: one `module`, scalar ports, `wire` declarations, and cell
+//! instances with named pin connections.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::graph::Topology;
+use crate::ids::NetId;
+use crate::library::Library;
+use crate::netlist::{Netlist, NetlistError};
+
+/// Serializes a netlist to structural Verilog.
+///
+/// All nets keep their names (escaped-identifier syntax is used for names
+/// that are not plain Verilog identifiers).  Flip-flops gain an implicit
+/// `clk` port comment — the cycle-based model has a single global clock.
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::examples::figure1;
+/// use mate_netlist::verilog::{to_verilog, parse_verilog};
+/// use mate_netlist::Library;
+///
+/// let (n, _) = figure1();
+/// let text = to_verilog(&n);
+/// let (parsed, _) = parse_verilog(&text, Library::open15()).unwrap();
+/// assert_eq!(parsed.num_cells(), n.num_cells());
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// structural netlist `{}` emitted by mate-netlist (library {})",
+        netlist.name(),
+        netlist.library().name()
+    );
+    let ident = |name: &str| -> String {
+        let plain = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+            && !name.chars().next().unwrap().is_ascii_digit();
+        if plain {
+            name.to_owned()
+        } else {
+            format!("\\{name} ")
+        }
+    };
+
+    let mut ports: Vec<String> = Vec::new();
+    for &i in netlist.inputs() {
+        ports.push(ident(netlist.net(i).name()));
+    }
+    for &o in netlist.outputs() {
+        ports.push(ident(netlist.net(o).name()));
+    }
+    let _ = writeln!(out, "module {} ({});", ident(netlist.name()), ports.join(", "));
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "  input {};", ident(netlist.net(i).name()));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "  output {};", ident(netlist.net(o).name()));
+    }
+    for (idx, net) in netlist.nets().iter().enumerate() {
+        let id = NetId::from_index(idx);
+        if netlist.inputs().contains(&id) || netlist.outputs().contains(&id) {
+            continue;
+        }
+        let _ = writeln!(out, "  wire {};", ident(net.name()));
+    }
+    for cell in netlist.cells() {
+        let ty = netlist.library().cell_type(cell.type_id());
+        let mut conns: Vec<String> = Vec::new();
+        for (pin_name, &net) in ty.pins().iter().zip(cell.inputs()) {
+            conns.push(format!(".{pin_name}({})", ident(netlist.net(net).name())));
+        }
+        conns.push(format!(
+            ".{}({})",
+            ty.output_pin(),
+            ident(netlist.net(cell.output()).name())
+        ));
+        let _ = writeln!(out, "  {} {} ({});", ty.name(), ident(cell.name()), conns.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Errors produced by [`parse_verilog`].
+#[derive(Debug)]
+pub enum VerilogError {
+    /// Lexical or syntactic problem at the given line.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The netlist uses a cell or connection the library cannot express.
+    Semantic(String),
+    /// The parsed netlist failed structural validation.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Semantic(msg) => write!(f, "{msg}"),
+            Self::Netlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for VerilogError {}
+
+impl From<NetlistError> for VerilogError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Punct(char),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> VerilogError {
+        VerilogError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, VerilogError> {
+        let bytes = self.src.as_bytes();
+        {
+            // Skip whitespace and comments.
+            while self.pos < bytes.len() {
+                match bytes[self.pos] {
+                    b'\n' => {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                    b' ' | b'\t' | b'\r' => self.pos += 1,
+                    b'/' if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'/' => {
+                        while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                            self.pos += 1;
+                        }
+                    }
+                    b'/' if self.pos + 1 < bytes.len() && bytes[self.pos + 1] == b'*' => {
+                        self.pos += 2;
+                        while self.pos + 1 < bytes.len()
+                            && !(bytes[self.pos] == b'*' && bytes[self.pos + 1] == b'/')
+                        {
+                            if bytes[self.pos] == b'\n' {
+                                self.line += 1;
+                            }
+                            self.pos += 1;
+                        }
+                        if self.pos + 1 >= bytes.len() {
+                            return Err(self.error("unterminated block comment"));
+                        }
+                        self.pos += 2;
+                    }
+                    _ => break,
+                }
+            }
+            if self.pos >= bytes.len() {
+                return Ok(None);
+            }
+            let c = bytes[self.pos] as char;
+            if c == '\\' {
+                // Escaped identifier: up to next whitespace.
+                let start = self.pos + 1;
+                let mut end = start;
+                while end < bytes.len() && !bytes[end].is_ascii_whitespace() {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(self.error("empty escaped identifier"));
+                }
+                self.pos = end;
+                return Ok(Some(Token::Ident(self.src[start..end].to_owned())));
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = self.pos;
+                let mut end = start;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'$')
+                {
+                    end += 1;
+                }
+                self.pos = end;
+                return Ok(Some(Token::Ident(self.src[start..end].to_owned())));
+            }
+            if "(),.;".contains(c) {
+                self.pos += 1;
+                return Ok(Some(Token::Punct(c)));
+            }
+            Err(self.error(format!("unexpected character `{c}`")))
+        }
+    }
+}
+
+/// Parses a structural-Verilog module against a cell library.
+///
+/// Returns the netlist and its validated topology.
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] on lexical/syntactic problems, on cells or pins
+/// missing from `library`, and on structural problems (multiple drivers,
+/// combinational cycles, undriven nets).
+pub fn parse_verilog(
+    src: &str,
+    library: Arc<Library>,
+) -> Result<(Netlist, Topology), VerilogError> {
+    let mut lex = Lexer::new(src);
+    let mut tokens: Vec<(Token, usize)> = Vec::new();
+    while let Some(t) = lex.next_token()? {
+        tokens.push((t, lex.line));
+    }
+    let mut it = tokens.into_iter().peekable();
+
+    let syntax = |line: usize, msg: &str| VerilogError::Syntax {
+        line,
+        message: msg.to_owned(),
+    };
+
+    macro_rules! expect_ident {
+        ($it:expr, $what:literal) => {
+            match $it.next() {
+                Some((Token::Ident(s), _)) => s,
+                Some((t, line)) => {
+                    return Err(syntax(line, &format!("expected {}, got {:?}", $what, t)))
+                }
+                None => return Err(syntax(0, concat!("expected ", $what, ", got EOF"))),
+            }
+        };
+    }
+    macro_rules! expect_punct {
+        ($it:expr, $p:literal) => {
+            match $it.next() {
+                Some((Token::Punct(c), _)) if c == $p => {}
+                Some((t, line)) => {
+                    return Err(syntax(line, &format!("expected `{}`, got {:?}", $p, t)))
+                }
+                None => return Err(syntax(0, concat!("expected `", $p, "`, got EOF"))),
+            }
+        };
+    }
+
+    let kw = expect_ident!(it, "`module`");
+    if kw != "module" {
+        return Err(VerilogError::Semantic(format!(
+            "expected `module`, got `{kw}`"
+        )));
+    }
+    let mod_name = expect_ident!(it, "module name");
+    let mut netlist = Netlist::new(&mod_name, library.clone());
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+
+    // Port list (names only; directions come from input/output items).
+    expect_punct!(it, '(');
+    loop {
+        match it.next() {
+            Some((Token::Punct(')'), _)) => break,
+            Some((Token::Ident(_), _)) => {}
+            Some((Token::Punct(','), _)) => {}
+            Some((t, line)) => return Err(syntax(line, &format!("bad port list token {t:?}"))),
+            None => return Err(syntax(0, "EOF in port list")),
+        }
+    }
+    expect_punct!(it, ';');
+
+    let mut pending_outputs: Vec<String> = Vec::new();
+    loop {
+        let (tok, line) = match it.next() {
+            Some(t) => t,
+            None => return Err(syntax(0, "missing `endmodule`")),
+        };
+        let word = match tok {
+            Token::Ident(s) => s,
+            t => return Err(syntax(line, &format!("expected item, got {t:?}"))),
+        };
+        match word.as_str() {
+            "endmodule" => break,
+            "input" | "output" | "wire" => {
+                // Comma-separated name list terminated by ';'.
+                loop {
+                    let name = expect_ident!(it, "net name");
+                    if word == "input" {
+                        let id = netlist.add_input(&name);
+                        nets.insert(name, id);
+                    } else {
+                        nets.entry(name.clone()).or_insert_with(|| netlist.add_net(&name));
+                        if word == "output" {
+                            pending_outputs.push(name);
+                        }
+                    }
+                    match it.next() {
+                        Some((Token::Punct(','), _)) => continue,
+                        Some((Token::Punct(';'), _)) => break,
+                        Some((t, line)) => {
+                            return Err(syntax(line, &format!("expected `,` or `;`, got {t:?}")))
+                        }
+                        None => return Err(syntax(0, "EOF in declaration")),
+                    }
+                }
+            }
+            cell_type => {
+                let ty_id = library.find(cell_type).ok_or_else(|| {
+                    VerilogError::Semantic(format!("unknown cell type `{cell_type}`"))
+                })?;
+                let ty = library.cell_type(ty_id).clone();
+                let inst = expect_ident!(it, "instance name");
+                expect_punct!(it, '(');
+                let mut pin_conns: HashMap<String, String> = HashMap::new();
+                loop {
+                    match it.next() {
+                        Some((Token::Punct(')'), _)) => break,
+                        Some((Token::Punct(','), _)) => continue,
+                        Some((Token::Punct('.'), _)) => {
+                            let pin = expect_ident!(it, "pin name");
+                            expect_punct!(it, '(');
+                            let net = expect_ident!(it, "net name");
+                            expect_punct!(it, ')');
+                            if pin_conns.insert(pin.clone(), net).is_some() {
+                                return Err(VerilogError::Semantic(format!(
+                                    "pin `{pin}` connected twice on `{inst}`"
+                                )));
+                            }
+                        }
+                        Some((t, line)) => {
+                            return Err(syntax(line, &format!("bad connection token {t:?}")))
+                        }
+                        None => return Err(syntax(0, "EOF in instance")),
+                    }
+                }
+                expect_punct!(it, ';');
+
+                let mut resolve = |name: &str, netlist: &mut Netlist| -> NetId {
+                    *nets
+                        .entry(name.to_owned())
+                        .or_insert_with(|| netlist.add_net(name))
+                };
+                let mut input_nets = Vec::with_capacity(ty.num_pins());
+                for pin in ty.pins() {
+                    let net_name = pin_conns.remove(pin).ok_or_else(|| {
+                        VerilogError::Semantic(format!(
+                            "instance `{inst}` misses pin `{pin}` of `{cell_type}`"
+                        ))
+                    })?;
+                    input_nets.push(resolve(&net_name, &mut netlist));
+                }
+                let out_name = pin_conns.remove(ty.output_pin()).ok_or_else(|| {
+                    VerilogError::Semantic(format!(
+                        "instance `{inst}` misses output pin `{}`",
+                        ty.output_pin()
+                    ))
+                })?;
+                if let Some(extra) = pin_conns.keys().next() {
+                    return Err(VerilogError::Semantic(format!(
+                        "instance `{inst}` connects unknown pin `{extra}`"
+                    )));
+                }
+                let out = resolve(&out_name, &mut netlist);
+                netlist.add_cell_to(cell_type, &inst, &input_nets, out)?;
+            }
+        }
+    }
+
+    for name in pending_outputs {
+        let id = nets[&name];
+        netlist.set_output(id);
+    }
+    let topo = netlist.validate()?;
+    Ok((netlist, topo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{counter, figure1, tmr_register};
+
+    #[test]
+    fn roundtrip_figure1() {
+        let (n, _) = figure1();
+        let text = to_verilog(&n);
+        let (parsed, topo) = parse_verilog(&text, Library::open15()).unwrap();
+        assert_eq!(parsed.num_cells(), n.num_cells());
+        assert_eq!(parsed.inputs().len(), n.inputs().len());
+        assert_eq!(parsed.outputs().len(), n.outputs().len());
+        assert_eq!(topo.comb_order().len(), 5);
+        // Net names survive.
+        assert!(parsed.find_net("g").is_some());
+    }
+
+    #[test]
+    fn roundtrip_sequential() {
+        let (n, topo) = counter(5);
+        let text = to_verilog(&n);
+        let (parsed, ptopo) = parse_verilog(&text, Library::open15()).unwrap();
+        assert_eq!(ptopo.seq_cells().len(), topo.seq_cells().len());
+        assert_eq!(parsed.num_nets(), n.num_nets());
+    }
+
+    #[test]
+    fn roundtrip_tmr() {
+        let (n, _) = tmr_register();
+        let text = to_verilog(&n);
+        let (parsed, _) = parse_verilog(&text, Library::open15()).unwrap();
+        assert_eq!(parsed.num_cells(), n.num_cells());
+    }
+
+    #[test]
+    fn parses_hand_written_module() {
+        let src = r"
+            // a comment
+            module tiny (a, b, y);
+              input a, b;
+              output y;
+              /* block
+                 comment */
+              NAND2 g0 (.A(a), .B(b), .Y(y));
+            endmodule
+        ";
+        let (n, topo) = parse_verilog(src, Library::open15()).unwrap();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(topo.comb_order().len(), 1);
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        let src = "module m (\\a$b , y); input \\a$b ; output y; INV i0 (.A(\\a$b ), .Y(y)); endmodule";
+        let (n, _) = parse_verilog(src, Library::open15()).unwrap();
+        assert!(n.find_net("a$b").is_some());
+    }
+
+    #[test]
+    fn unknown_cell_is_semantic_error() {
+        let src = "module m (a, y); input a; output y; BOGUS g (.A(a), .Y(y)); endmodule";
+        let err = parse_verilog(src, Library::open15()).unwrap_err();
+        assert!(matches!(err, VerilogError::Semantic(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_pin_is_semantic_error() {
+        let src = "module m (a, y); input a; output y; NAND2 g (.A(a), .Y(y)); endmodule";
+        let err = parse_verilog(src, Library::open15()).unwrap_err();
+        assert!(format!("{err}").contains("misses pin"));
+    }
+
+    #[test]
+    fn double_driver_detected() {
+        let src = "module m (a, y); input a; output y; INV g0 (.A(a), .Y(y)); INV g1 (.A(a), .Y(y)); endmodule";
+        let err = parse_verilog(src, Library::open15()).unwrap_err();
+        assert!(matches!(err, VerilogError::Netlist(_)), "{err}");
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "module m (a, y);\ninput a;\noutput y;\n@\nendmodule";
+        let err = parse_verilog(src, Library::open15()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 4"), "{msg}");
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let src = "module m (a, y); input a; output y; endmodule";
+        let err = parse_verilog(src, Library::open15()).unwrap_err();
+        assert!(matches!(err, VerilogError::Netlist(_)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+
+use mate_netlist::prelude::*;
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+use mate_netlist::verilog::{parse_verilog, to_verilog};
+
+fn arb_truth_table(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
+    (1..=max_inputs, any::<u64>()).prop_map(|(n, bits)| TruthTable::new(n, bits))
+}
+
+proptest! {
+    /// Every cube returned by `masking_cubes` must actually mask the fault
+    /// for every assignment it matches, and every masking assignment must be
+    /// covered by some cube (soundness + completeness).
+    #[test]
+    fn masking_cubes_sound_and_complete(
+        tt in arb_truth_table(5),
+        faulty_bits in 1u8..32,
+    ) {
+        let n = tt.inputs();
+        let faulty = faulty_bits & ((1u8 << n) - 1);
+        prop_assume!(faulty != 0);
+        let cubes = masking_cubes(&tt, faulty);
+        let trusted = ((1usize << n) - 1) & !(faulty as usize);
+        let mut t = trusted;
+        loop {
+            let masked = tt.masks_fault(faulty, t);
+            let covered = cubes.iter().any(|c| c.matches(t));
+            prop_assert_eq!(masked, covered);
+            if t == 0 { break; }
+            t = (t - 1) & trusted;
+        }
+    }
+
+    /// Masking cubes never constrain faulty pins.
+    #[test]
+    fn masking_cubes_only_trusted_pins(
+        tt in arb_truth_table(5),
+        faulty_bits in 1u8..32,
+    ) {
+        let n = tt.inputs();
+        let faulty = faulty_bits & ((1u8 << n) - 1);
+        prop_assume!(faulty != 0);
+        for cube in masking_cubes(&tt, faulty) {
+            prop_assert_eq!(cube.care() & faulty, 0);
+        }
+    }
+
+    /// Prime cubes are mutually non-subsuming (a prime cover has no
+    /// redundant member that another one implies).
+    #[test]
+    fn masking_cubes_are_prime(
+        tt in arb_truth_table(4),
+        faulty_bits in 1u8..16,
+    ) {
+        let n = tt.inputs();
+        let faulty = faulty_bits & ((1u8 << n) - 1);
+        prop_assume!(faulty != 0);
+        let cubes = masking_cubes(&tt, faulty);
+        for (i, a) in cubes.iter().enumerate() {
+            for (j, b) in cubes.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.subsumes(b), "{a:?} subsumes {b:?}");
+                }
+            }
+        }
+    }
+
+    /// Cube conjunction is commutative and detects exactly the conflicting
+    /// cases.
+    #[test]
+    fn net_cube_conjoin_commutes(
+        lits_a in proptest::collection::vec((0usize..8, any::<bool>()), 0..5),
+        lits_b in proptest::collection::vec((0usize..8, any::<bool>()), 0..5),
+    ) {
+        let a = NetCube::from_literals(
+            lits_a.iter().map(|&(n, p)| (NetId::from_index(n), p)));
+        let b = NetCube::from_literals(
+            lits_b.iter().map(|&(n, p)| (NetId::from_index(n), p)));
+        prop_assume!(a.is_some() && b.is_some());
+        let (a, b) = (a.unwrap(), b.unwrap());
+        prop_assert_eq!(a.conjoin(&b), b.conjoin(&a));
+        if let Some(ab) = a.conjoin(&b) {
+            // Conjunction implies both operands.
+            prop_assert!(a.subsumes(&ab));
+            prop_assert!(b.subsumes(&ab));
+        }
+    }
+
+    /// NetCube evaluation agrees with literal-by-literal checking.
+    #[test]
+    fn net_cube_eval_matches_literals(
+        lits in proptest::collection::vec((0usize..10, any::<bool>()), 0..6),
+        valuation in any::<u16>(),
+    ) {
+        if let Some(cube) = NetCube::from_literals(
+            lits.iter().map(|&(n, p)| (NetId::from_index(n), p)))
+        {
+            let value = |net: NetId| valuation & (1 << net.index()) != 0;
+            let expected = cube.literals().all(|(n, p)| value(n) == p);
+            prop_assert_eq!(cube.eval(value), expected);
+        }
+    }
+
+    /// Random circuits always validate, and a Verilog round-trip preserves
+    /// the structure exactly (cell types, pin connections, ports).
+    #[test]
+    fn verilog_roundtrip_random_circuits(seed in 0u64..500) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 6, gates: 18, outputs: 2 };
+        let (n, topo) = random_circuit(cfg, seed);
+        let text = to_verilog(&n);
+        let (p, ptopo) = parse_verilog(&text, Library::open15()).unwrap();
+        prop_assert_eq!(p.num_cells(), n.num_cells());
+        prop_assert_eq!(p.num_nets(), n.num_nets());
+        prop_assert_eq!(ptopo.seq_cells().len(), topo.seq_cells().len());
+        // Structure match by net names.
+        for cell in n.cells() {
+            let pcell = p.cells().iter().find(|c| c.name() == cell.name()).unwrap();
+            prop_assert_eq!(pcell.type_id(), cell.type_id());
+            let names = |nl: &Netlist, ids: &[NetId]| -> Vec<String> {
+                ids.iter().map(|&i| nl.net(i).name().to_owned()).collect()
+            };
+            prop_assert_eq!(names(&n, cell.inputs()), names(&p, pcell.inputs()));
+            prop_assert_eq!(
+                n.net(cell.output()).name(),
+                p.net(pcell.output()).name()
+            );
+        }
+    }
+
+    /// Fault cones are monotone: every cell in the cone has at least one
+    /// input inside the cone, and endpoints are exactly reachable FF pins /
+    /// outputs.
+    #[test]
+    fn fault_cone_structure(seed in 0u64..200) {
+        let cfg = RandomCircuitConfig::default();
+        let (n, topo) = random_circuit(cfg, seed);
+        for &ff in topo.seq_cells() {
+            let origin = n.cell(ff).output();
+            let cone = FaultCone::compute(&n, &topo, origin);
+            prop_assert!(cone.contains_net(origin));
+            for &cell in cone.cells() {
+                prop_assert!(cone.faulty_pin_mask(&n, cell) != 0);
+                prop_assert!(cone.contains_net(n.cell(cell).output()));
+            }
+            for &b in &cone.border_nets(&n) {
+                prop_assert!(!cone.contains_net(b));
+            }
+            for ep in cone.endpoints() {
+                match *ep {
+                    ConeEndpoint::SeqPin { cell, pin } => {
+                        let net = n.cell(cell).inputs()[pin];
+                        prop_assert!(cone.contains_net(net));
+                    }
+                    ConeEndpoint::Output(net) => {
+                        prop_assert!(cone.contains_net(net));
+                        prop_assert!(n.outputs().contains(&net));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! A small hardware-construction DSL that elaborates word-level designs
+//! directly into [`mate_netlist`] standard cells.
+//!
+//! The paper evaluates MATEs on netlists produced by an ASIC synthesis flow.
+//! We replace that flow with structural elaboration: multi-bit
+//! [`Signal`]s are combined with word-level operators (`add`, `mux`, `eq`,
+//! shifts, register files) and every operator instantiates gates from the
+//! `open15` cell library.  The result is a flat, mapped, gate-level netlist —
+//! exactly the input format the MATE search consumes.
+//!
+//! # Example
+//!
+//! A 4-bit accumulator:
+//!
+//! ```
+//! use mate_rtl::ModuleBuilder;
+//!
+//! let mut m = ModuleBuilder::new("accu");
+//! let din = m.input("din", 4);
+//! let acc = m.reg("acc", 4);
+//! let sum = m.add(&acc, &din);
+//! m.drive_reg(&acc, &sum);
+//! m.output(&acc);
+//! let (netlist, topo) = m.finish().unwrap();
+//! assert_eq!(topo.seq_cells().len(), 4);
+//! ```
+
+pub mod builder;
+pub mod regfile;
+pub mod signal;
+
+pub use builder::ModuleBuilder;
+pub use regfile::RegisterFile;
+pub use signal::Signal;

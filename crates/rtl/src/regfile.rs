@@ -1,0 +1,299 @@
+//! Register files, decoders, and wide multiplexers.
+
+use crate::builder::ModuleBuilder;
+use crate::signal::Signal;
+
+impl ModuleBuilder {
+    /// One-hot decoder: output `i` is high iff `sel == i`.
+    ///
+    /// Returns `2^sel.width()` one-bit signals.
+    pub fn decoder(&mut self, sel: &Signal) -> Vec<Signal> {
+        let w = sel.width();
+        let inv: Vec<Signal> = (0..w)
+            .map(|i| {
+                let bit = sel.bit_signal(i);
+                self.not(&bit)
+            })
+            .collect();
+        (0..1usize << w)
+            .map(|value| {
+                let mut bits = Vec::with_capacity(w);
+                for (i, inverted) in inv.iter().enumerate() {
+                    if value & (1 << i) != 0 {
+                        bits.push(sel.bit(i));
+                    } else {
+                        bits.push(inverted.bit(0));
+                    }
+                }
+                let lits = Signal::from_nets(bits);
+                self.reduce_and(&lits)
+            })
+            .collect()
+    }
+
+    /// Selects `items[sel]` with a balanced MUX2 tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `items.len() == 2^sel.width()` and all items share one
+    /// width.
+    pub fn mux_tree(&mut self, sel: &Signal, items: &[Signal]) -> Signal {
+        assert_eq!(
+            items.len(),
+            1usize << sel.width(),
+            "mux tree needs 2^{} items, got {}",
+            sel.width(),
+            items.len()
+        );
+        let width = items[0].width();
+        assert!(
+            items.iter().all(|s| s.width() == width),
+            "mux tree items must share a width"
+        );
+        let mut layer: Vec<Signal> = items.to_vec();
+        for level in 0..sel.width() {
+            let s = sel.bit_signal(level);
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                next.push(self.mux(&s, &pair[0], &pair[1]));
+            }
+            layer = next;
+        }
+        layer.pop().expect("mux tree reduces to one signal")
+    }
+}
+
+/// A flip-flop-based register file with one synchronous write port and
+/// combinational read ports.
+///
+/// Matches the paper's cores: the AVR register file is 31/32 × 8-bit DFFs,
+/// the MSP430's is 16 × 16-bit — all plain flip-flops, which is why the
+/// paper evaluates a separate "FF w/o RF" fault set.
+///
+/// # Example
+///
+/// ```
+/// use mate_rtl::{ModuleBuilder, RegisterFile};
+///
+/// let mut m = ModuleBuilder::new("rf_demo");
+/// let we = m.input("we", 1);
+/// let waddr = m.input("waddr", 2);
+/// let wdata = m.input("wdata", 8);
+/// let raddr = m.input("raddr", 2);
+/// let rf = RegisterFile::new(&mut m, "r", 4, 8);
+/// let rdata = rf.read(&mut m, &raddr);
+/// m.output(&rdata);
+/// rf.finish_write(&mut m, &we, &waddr, &wdata);
+/// let (netlist, topo) = m.finish().unwrap();
+/// assert_eq!(topo.seq_cells().len(), 32); // 4 regs x 8 bit
+/// ```
+#[derive(Debug)]
+pub struct RegisterFile {
+    regs: Vec<Signal>,
+    addr_width: usize,
+}
+
+impl RegisterFile {
+    /// Creates `num_regs` registers of `width` bits named `{name}{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_regs` is a power of two (the read port is a full
+    /// mux tree).
+    pub fn new(m: &mut ModuleBuilder, name: &str, num_regs: usize, width: usize) -> Self {
+        assert!(
+            num_regs.is_power_of_two() && num_regs >= 2,
+            "register count must be a power of two, got {num_regs}"
+        );
+        let regs = (0..num_regs)
+            .map(|i| m.reg(&format!("{name}{i}"), width))
+            .collect();
+        Self {
+            regs,
+            addr_width: num_regs.trailing_zeros() as usize,
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Returns `true` if the file has no registers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Address width in bits.
+    pub fn addr_width(&self) -> usize {
+        self.addr_width
+    }
+
+    /// Direct access to register `i`'s Q bus (for architectural inspection
+    /// and special registers like PC/SP).
+    pub fn register(&self, i: usize) -> &Signal {
+        &self.regs[i]
+    }
+
+    /// A combinational read port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address width does not match.
+    pub fn read(&self, m: &mut ModuleBuilder, addr: &Signal) -> Signal {
+        assert_eq!(addr.width(), self.addr_width, "read address width");
+        m.mux_tree(addr, &self.regs)
+    }
+
+    /// Closes the register file with one synchronous write port: register
+    /// `waddr` loads `wdata` when `we` is high, all others hold.
+    ///
+    /// Consumes the write capability — each register file is driven exactly
+    /// once.  For registers needing extra update logic (e.g. an
+    /// auto-incrementing PC inside the file), use
+    /// [`RegisterFile::finish_write_with`].
+    pub fn finish_write(self, m: &mut ModuleBuilder, we: &Signal, waddr: &Signal, wdata: &Signal) {
+        self.finish_write_with(m, we, waddr, wdata, |_, _, d| d.clone());
+    }
+
+    /// Like [`RegisterFile::finish_write`], but `override_d(m, index, d)` may
+    /// replace the next-value signal of each register (it receives the
+    /// default write-port next value `d` and returns the actual one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths do not match.
+    pub fn finish_write_with(
+        self,
+        m: &mut ModuleBuilder,
+        we: &Signal,
+        waddr: &Signal,
+        wdata: &Signal,
+        mut override_d: impl FnMut(&mut ModuleBuilder, usize, &Signal) -> Signal,
+    ) {
+        assert_eq!(waddr.width(), self.addr_width, "write address width");
+        assert_eq!(we.width(), 1, "write enable must be one bit");
+        let onehot = m.decoder(waddr);
+        for (i, q) in self.regs.iter().enumerate() {
+            let en = m.and(we, &onehot[i]);
+            let loaded = m.mux(&en, q, wdata);
+            let next = override_d(m, i, &loaded);
+            m.drive_reg(q, &next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_sim::Simulator;
+
+    #[test]
+    fn decoder_is_onehot() {
+        let mut m = ModuleBuilder::new("dec");
+        let sel = m.input("sel", 3);
+        let outs = m.decoder(&sel);
+        for o in &outs {
+            m.output(o);
+        }
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        for v in 0..8u64 {
+            sim.write_bus(sel.nets(), v);
+            for (i, o) in outs.iter().enumerate() {
+                assert_eq!(sim.read_bus(o.nets()) == 1, i as u64 == v, "sel={v} out={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects_every_item() {
+        let mut m = ModuleBuilder::new("muxt");
+        let sel = m.input("sel", 2);
+        let items: Vec<Signal> = (0..4).map(|i| m.constant(10 + i, 6)).collect();
+        let y = m.mux_tree(&sel, &items);
+        m.output(&y);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        for v in 0..4u64 {
+            sim.write_bus(sel.nets(), v);
+            assert_eq!(sim.read_bus(y.nets()), 10 + v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mux tree needs")]
+    fn mux_tree_wrong_arity_panics() {
+        let mut m = ModuleBuilder::new("bad");
+        let sel = m.input("sel", 2);
+        let items = vec![m.constant(0, 4); 3];
+        m.mux_tree(&sel, &items);
+    }
+
+    #[test]
+    fn register_file_write_read() {
+        let mut m = ModuleBuilder::new("rf");
+        let we = m.input("we", 1);
+        let waddr = m.input("waddr", 2);
+        let wdata = m.input("wdata", 8);
+        let raddr = m.input("raddr", 2);
+        let rf = RegisterFile::new(&mut m, "r", 4, 8);
+        let rdata = rf.read(&mut m, &raddr);
+        m.output(&rdata);
+        rf.finish_write(&mut m, &we, &waddr, &wdata);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        // Write 4 distinct values.
+        sim.write_bus(we.nets(), 1);
+        for i in 0..4u64 {
+            sim.write_bus(waddr.nets(), i);
+            sim.write_bus(wdata.nets(), 0x40 + i);
+            sim.tick();
+        }
+        sim.write_bus(we.nets(), 0);
+        for i in 0..4u64 {
+            sim.write_bus(raddr.nets(), i);
+            assert_eq!(sim.read_bus(rdata.nets()), 0x40 + i);
+        }
+        // Disabled write changes nothing.
+        sim.write_bus(wdata.nets(), 0xFF);
+        sim.tick();
+        for i in 0..4u64 {
+            sim.write_bus(raddr.nets(), i);
+            assert_eq!(sim.read_bus(rdata.nets()), 0x40 + i);
+        }
+    }
+
+    #[test]
+    fn finish_write_with_override() {
+        // Register 0 acts as a free-running counter regardless of writes.
+        let mut m = ModuleBuilder::new("rf_pc");
+        let we = m.input("we", 1);
+        let waddr = m.input("waddr", 1);
+        let wdata = m.input("wdata", 4);
+        let rf = RegisterFile::new(&mut m, "r", 2, 4);
+        let r0 = rf.register(0).clone();
+        m.output(&r0);
+        rf.finish_write_with(&mut m, &we, &waddr, &wdata, |m, i, d| {
+            if i == 0 {
+                m.inc(d)
+            } else {
+                d.clone()
+            }
+        });
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.write_bus(we.nets(), 0);
+        for expect in 1..5u64 {
+            sim.tick();
+            assert_eq!(sim.read_bus(r0.nets()), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut m = ModuleBuilder::new("bad");
+        RegisterFile::new(&mut m, "r", 3, 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Multi-bit signals (buses) over netlist wires.
+
+use std::fmt;
+
+use mate_netlist::NetId;
+
+/// A bundle of nets forming a little-endian bus: bit 0 is the LSB.
+///
+/// Signals are cheap handles; all logic construction happens through
+/// [`crate::ModuleBuilder`] methods that consume signal references.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signal {
+    bits: Vec<NetId>,
+}
+
+impl Signal {
+    /// Wraps existing nets as a signal (`nets[0]` is the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty net list.
+    pub fn from_nets(nets: Vec<NetId>) -> Self {
+        assert!(!nets.is_empty(), "signals must have at least one bit");
+        Self { bits: nets }
+    }
+
+    /// Bus width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The net carrying bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// The most significant bit's net.
+    pub fn msb(&self) -> NetId {
+        *self.bits.last().expect("signals are non-empty")
+    }
+
+    /// All nets, LSB first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// A sub-bus `[lo, hi)` as a new signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Signal {
+        assert!(lo < hi && hi <= self.bits.len(), "bad slice {lo}..{hi}");
+        Signal::from_nets(self.bits[lo..hi].to_vec())
+    }
+
+    /// A single bit as a 1-bit signal.
+    pub fn bit_signal(&self, i: usize) -> Signal {
+        Signal::from_nets(vec![self.bit(i)])
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Signal) -> Signal {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Signal::from_nets(bits)
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signal[{}]{:?}", self.width(), self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = Signal::from_nets(vec![n(0), n(1), n(2)]);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.bit(1), n(1));
+        assert_eq!(s.msb(), n(2));
+        assert_eq!(s.nets(), &[n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let s = Signal::from_nets(vec![n(0), n(1), n(2), n(3)]);
+        let lo = s.slice(0, 2);
+        let hi = s.slice(2, 4);
+        assert_eq!(lo.nets(), &[n(0), n(1)]);
+        assert_eq!(hi.nets(), &[n(2), n(3)]);
+        assert_eq!(lo.concat(&hi), s);
+        assert_eq!(s.bit_signal(3).nets(), &[n(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_signal_panics() {
+        Signal::from_nets(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice")]
+    fn bad_slice_panics() {
+        Signal::from_nets(vec![n(0)]).slice(1, 1);
+    }
+}

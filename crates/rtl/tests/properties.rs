@@ -1,0 +1,149 @@
+//! Property tests: elaborated arithmetic must match `u64` semantics.
+
+use proptest::prelude::*;
+
+use mate_rtl::{ModuleBuilder, RegisterFile, Signal};
+use mate_sim::Simulator;
+
+fn mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ripple-carry addition with carry-in equals wrapping integer addition.
+    #[test]
+    fn adder_matches_u64(
+        width in 1usize..16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        cin in any::<bool>(),
+    ) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let mut m = ModuleBuilder::new("adder");
+        let sa = m.input("a", width);
+        let sb = m.input("b", width);
+        let sc = m.input("cin", 1);
+        let (sum, carries) = m.adder(&sa, &sb, &sc);
+        m.output(&sum);
+        m.output(&carries);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.write_bus(sa.nets(), a);
+        sim.write_bus(sb.nets(), b);
+        sim.write_bus(sc.nets(), cin as u64);
+        let total = a + b + cin as u64;
+        prop_assert_eq!(sim.read_bus(sum.nets()), total & mask(width));
+        let cout = sim.read_bus(carries.nets()) >> (width - 1) & 1;
+        prop_assert_eq!(cout == 1, total > mask(width));
+    }
+
+    /// Subtraction, equality, unsigned less-than.
+    #[test]
+    fn compare_ops_match_u64(
+        width in 1usize..12,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let a = a & mask(width);
+        let b = b & mask(width);
+        let mut m = ModuleBuilder::new("cmp");
+        let sa = m.input("a", width);
+        let sb = m.input("b", width);
+        let diff = m.sub(&sa, &sb);
+        let eq = m.eq(&sa, &sb);
+        let lt = m.ltu(&sa, &sb);
+        for s in [&diff, &eq, &lt] {
+            m.output(s);
+        }
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.write_bus(sa.nets(), a);
+        sim.write_bus(sb.nets(), b);
+        prop_assert_eq!(sim.read_bus(diff.nets()), a.wrapping_sub(b) & mask(width));
+        prop_assert_eq!(sim.read_bus(eq.nets()) == 1, a == b);
+        prop_assert_eq!(sim.read_bus(lt.nets()) == 1, a < b);
+    }
+
+    /// A mux tree behaves like array indexing.
+    #[test]
+    fn mux_tree_indexes(
+        sel_width in 1usize..4,
+        values in proptest::collection::vec(any::<u64>(), 16),
+        sel in any::<u64>(),
+    ) {
+        let count = 1usize << sel_width;
+        let sel = sel % count as u64;
+        let width = 7;
+        let mut m = ModuleBuilder::new("muxt");
+        let ssel = m.input("sel", sel_width);
+        let items: Vec<Signal> = values[..count]
+            .iter()
+            .map(|&v| m.constant(v & mask(width), width))
+            .collect();
+        let y = m.mux_tree(&ssel, &items);
+        m.output(&y);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.write_bus(ssel.nets(), sel);
+        prop_assert_eq!(sim.read_bus(y.nets()), values[sel as usize] & mask(width));
+    }
+
+    /// Register file behaves like an array under a random write/read script.
+    #[test]
+    fn register_file_matches_array(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..8, any::<u64>()), 1..40),
+    ) {
+        let mut m = ModuleBuilder::new("rf");
+        let we = m.input("we", 1);
+        let waddr = m.input("waddr", 3);
+        let wdata = m.input("wdata", 8);
+        let raddr = m.input("raddr", 3);
+        let rf = RegisterFile::new(&mut m, "r", 8, 8);
+        let rdata = rf.read(&mut m, &raddr);
+        m.output(&rdata);
+        rf.finish_write(&mut m, &we, &waddr, &wdata);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        let mut model = [0u64; 8];
+        for (do_write, addr, data) in ops {
+            let data = data & 0xFF;
+            sim.write_bus(we.nets(), do_write as u64);
+            sim.write_bus(waddr.nets(), addr);
+            sim.write_bus(wdata.nets(), data);
+            // Read port must reflect the *current* state before the edge.
+            sim.write_bus(raddr.nets(), addr);
+            prop_assert_eq!(sim.read_bus(rdata.nets()), model[addr as usize]);
+            sim.tick();
+            if do_write {
+                model[addr as usize] = data;
+            }
+            // And the new state after the edge.
+            prop_assert_eq!(sim.read_bus(rdata.nets()), model[addr as usize]);
+        }
+    }
+
+    /// Shift-by-constant matches integer shifts.
+    #[test]
+    fn shifts_match_u64(width in 2usize..10, a in any::<u64>(), amount in 0usize..4) {
+        let a = a & mask(width);
+        let mut m = ModuleBuilder::new("sh");
+        let sa = m.input("a", width);
+        let zero = m.zero();
+        let l = m.shl_const(&sa, amount);
+        let r = m.shr_const(&sa, amount, &zero);
+        m.output(&l);
+        m.output(&r);
+        let (n, topo) = m.finish().unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.write_bus(sa.nets(), a);
+        prop_assert_eq!(sim.read_bus(l.nets()), (a << amount) & mask(width));
+        prop_assert_eq!(sim.read_bus(r.nets()), a >> amount);
+    }
+}

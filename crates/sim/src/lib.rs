@@ -1,0 +1,45 @@
+//! Cycle-accurate gate-level simulation for synchronous netlists.
+//!
+//! The paper records value-change-dump (VCD) traces of fully synthesized
+//! processors with a commercial netlist simulator; this crate provides the
+//! equivalent substrate:
+//!
+//! * [`engine`] — a levelized two-valued simulator: evaluate the
+//!   combinational cloud in topological order, then latch every flip-flop on
+//!   the (implicit) rising clock edge.  Single-bit SEU injection flips a
+//!   flip-flop's stored value between two cycles.
+//! * [`trace`] — dense per-cycle wire traces ([`trace::WaveTrace`]), the
+//!   in-memory analogue of a VCD file.
+//! * [`vcd`] — VCD writer and reader, round-trip compatible.
+//! * [`testbench`] — drives a netlist with input stimuli and external
+//!   devices (instruction/data memories) and records traces.
+//!
+//! # Example
+//!
+//! ```
+//! use mate_netlist::examples::counter;
+//! use mate_sim::Simulator;
+//!
+//! let (n, topo) = counter(4);
+//! let mut sim = Simulator::new(&n, &topo);
+//! sim.set_input(n.find_net("en").unwrap(), true);
+//! for _ in 0..5 {
+//!     sim.tick();
+//! }
+//! // After 5 enabled cycles the counter holds 5 = 0b0101.
+//! assert!(sim.value(n.find_net("q0").unwrap()));
+//! assert!(!sim.value(n.find_net("q1").unwrap()));
+//! assert!(sim.value(n.find_net("q2").unwrap()));
+//! ```
+
+pub mod engine;
+pub mod equiv;
+pub mod testbench;
+pub mod trace;
+pub mod vcd;
+
+pub use engine::{SimSnapshot, Simulator};
+pub use equiv::{check_equiv, Mismatch};
+pub use testbench::{InputWave, Testbench};
+pub use trace::WaveTrace;
+pub use vcd::{read_vcd, write_vcd, VcdError};

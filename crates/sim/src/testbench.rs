@@ -1,0 +1,259 @@
+//! Stimulus and device harness around the [`Simulator`].
+
+use mate_netlist::prelude::*;
+
+use crate::engine::Simulator;
+use crate::trace::WaveTrace;
+
+/// A per-cycle stimulus for one primary input.
+pub struct InputWave {
+    wave: Box<dyn FnMut(u64) -> bool>,
+}
+
+impl InputWave {
+    /// A constant level.
+    pub fn constant(value: bool) -> Self {
+        Self {
+            wave: Box::new(move |_| value),
+        }
+    }
+
+    /// High for the first `cycles` cycles, low afterwards (a reset pulse).
+    pub fn pulse(cycles: u64) -> Self {
+        Self {
+            wave: Box::new(move |c| c < cycles),
+        }
+    }
+
+    /// Values from a vector; the last value is held once exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_vec(values: Vec<bool>) -> Self {
+        assert!(!values.is_empty(), "stimulus vector must not be empty");
+        Self {
+            wave: Box::new(move |c| *values.get(c as usize).unwrap_or(values.last().unwrap())),
+        }
+    }
+
+    /// An arbitrary function of the cycle number.
+    pub fn from_fn(f: impl FnMut(u64) -> bool + 'static) -> Self {
+        Self { wave: Box::new(f) }
+    }
+
+    fn sample(&mut self, cycle: u64) -> bool {
+        (self.wave)(cycle)
+    }
+}
+
+impl std::fmt::Debug for InputWave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InputWave")
+    }
+}
+
+/// A reactive external device (memory, peripheral) hooked into the cycle
+/// loop.
+///
+/// The device closure runs after the first combinational settle of each
+/// cycle: it may read settled outputs (e.g. an address bus) and drive
+/// primary inputs (e.g. a read-data bus).  The harness settles again before
+/// capturing the trace and latching, so device responses behave like
+/// asynchronous-read memories.
+///
+/// **Contract:** nets driven by a device must not combinationally influence
+/// the outputs the device reads, otherwise a second settle round would be
+/// required; CPU-style cores (address from registers, data into registers)
+/// satisfy this naturally.
+pub type Device<'n> = Box<dyn FnMut(&mut Simulator<'n>) + 'n>;
+
+/// Drives a netlist cycle by cycle and records a [`WaveTrace`].
+///
+/// # Example
+///
+/// ```
+/// use mate_netlist::examples::counter;
+/// use mate_sim::{InputWave, Testbench};
+///
+/// let (n, topo) = counter(3);
+/// let mut tb = Testbench::new(&n, &topo);
+/// tb.drive(n.find_net("en").unwrap(), InputWave::constant(true));
+/// let trace = tb.run(10);
+/// assert_eq!(trace.num_cycles(), 10);
+/// ```
+pub struct Testbench<'n> {
+    sim: Simulator<'n>,
+    stimuli: Vec<(NetId, InputWave)>,
+    devices: Vec<Device<'n>>,
+}
+
+impl<'n> Testbench<'n> {
+    /// Creates a testbench around a fresh simulator.
+    pub fn new(netlist: &'n Netlist, topo: &'n Topology) -> Self {
+        Self {
+            sim: Simulator::new(netlist, topo),
+            stimuli: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Attaches a stimulus to a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at run time) if `net` is not a primary input.
+    pub fn drive(&mut self, net: NetId, wave: InputWave) -> &mut Self {
+        self.stimuli.push((net, wave));
+        self
+    }
+
+    /// Attaches a reactive device.
+    pub fn attach(&mut self, device: Device<'n>) -> &mut Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Access to the underlying simulator (e.g. for fault injection).
+    pub fn sim_mut(&mut self) -> &mut Simulator<'n> {
+        &mut self.sim
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<'n> {
+        &self.sim
+    }
+
+    /// Runs one cycle: stimuli → settle → devices → settle → latch.
+    /// Returns after the clock edge.
+    pub fn step(&mut self) {
+        self.step_observed(|_| {});
+    }
+
+    /// Runs one cycle like [`Testbench::step`], calling `observe` on the
+    /// fully settled simulator right before the clock edge (the moment a
+    /// trace cycle is captured).
+    pub fn step_observed(&mut self, observe: impl FnOnce(&mut Simulator<'n>)) {
+        let cycle = self.sim.cycle();
+        for (net, wave) in &mut self.stimuli {
+            let v = wave.sample(cycle);
+            self.sim.set_input(*net, v);
+        }
+        self.sim.settle();
+        for device in &mut self.devices {
+            device(&mut self.sim);
+        }
+        self.sim.settle();
+        observe(&mut self.sim);
+        self.sim.tick();
+    }
+
+    /// Runs `cycles` cycles and records the settled wire values of each.
+    pub fn run(&mut self, cycles: usize) -> WaveTrace {
+        let mut trace = WaveTrace::new(self.sim.netlist().num_nets());
+        for _ in 0..cycles {
+            self.step_observed(|sim| trace.capture(sim));
+        }
+        trace
+    }
+}
+
+impl std::fmt::Debug for Testbench<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Testbench({}, {} stimuli, {} devices)",
+            self.sim.netlist().name(),
+            self.stimuli.len(),
+            self.devices.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::examples::counter;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn constant_and_pulse_waves() {
+        let mut c = InputWave::constant(true);
+        assert!(c.sample(0));
+        assert!(c.sample(99));
+        let mut p = InputWave::pulse(2);
+        assert!(p.sample(0));
+        assert!(p.sample(1));
+        assert!(!p.sample(2));
+    }
+
+    #[test]
+    fn vec_wave_holds_last() {
+        let mut w = InputWave::from_vec(vec![true, false]);
+        assert!(w.sample(0));
+        assert!(!w.sample(1));
+        assert!(!w.sample(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_vec_wave_panics() {
+        InputWave::from_vec(vec![]);
+    }
+
+    #[test]
+    fn counter_with_gated_enable() {
+        let (n, topo) = counter(4);
+        let mut tb = Testbench::new(&n, &topo);
+        // Enable only on even cycles.
+        tb.drive(
+            n.find_net("en").unwrap(),
+            InputWave::from_fn(|c| c % 2 == 0),
+        );
+        let trace = tb.run(10);
+        // 5 enabled cycles -> counter reaches 5.
+        let value: usize = (0..4)
+            .map(|i| {
+                let q = n.find_net(&format!("q{i}")).unwrap();
+                (trace.value(9, q) as usize) << i
+            })
+            .sum();
+        assert_eq!(value, 5);
+    }
+
+    #[test]
+    fn device_reacts_to_outputs() {
+        // A device that mirrors q0 onto `en`, stopping the counter at 1:
+        // once q0=1 the device drives en=0.
+        let (n, topo) = counter(3);
+        let en = n.find_net("en").unwrap();
+        let q0 = n.find_net("q0").unwrap();
+        let mut tb = Testbench::new(&n, &topo);
+        tb.drive(en, InputWave::constant(true));
+        let log: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        tb.attach(Box::new(move |sim| {
+            let v = sim.value(q0);
+            log2.borrow_mut().push(v);
+            if v {
+                sim.set_input(en, false);
+            }
+        }));
+        tb.run(6);
+        // Counter increments in cycle 0 (q0 becomes 1 in cycle 1), then the
+        // device freezes it; q0 stays 1 forever after.
+        assert_eq!(
+            log.borrow().as_slice(),
+            &[false, true, true, true, true, true]
+        );
+    }
+
+    #[test]
+    fn debug_formats() {
+        let (n, topo) = counter(2);
+        let tb = Testbench::new(&n, &topo);
+        assert!(format!("{tb:?}").contains("counter"));
+        assert!(format!("{:?}", InputWave::constant(false)).contains("InputWave"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Dense per-cycle wire traces.
+
+use std::fmt;
+
+use mate_netlist::prelude::*;
+
+use crate::engine::Simulator;
+
+/// A recorded execution trace: the value of every net in every cycle.
+///
+/// This is the in-memory analogue of the VCD files the paper's flow records
+/// during netlist simulation; the MATE selection and fault-space evaluation
+/// replay it cycle by cycle.
+///
+/// Storage is one bit per (cycle, net), packed in 64-bit words — an
+/// 8500-cycle trace of a ~2000-net CPU costs about 2 MiB.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WaveTrace {
+    num_nets: usize,
+    words_per_cycle: usize,
+    cycles: usize,
+    data: Vec<u64>,
+}
+
+impl WaveTrace {
+    /// Creates an empty trace for circuits with `num_nets` nets.
+    pub fn new(num_nets: usize) -> Self {
+        Self {
+            num_nets,
+            words_per_cycle: num_nets.div_ceil(64).max(1),
+            cycles: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of nets per cycle.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// Number of recorded cycles.
+    pub fn num_cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Returns `true` when no cycle has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles == 0
+    }
+
+    /// Records the settled values of the simulator as the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's netlist has a different net count.
+    pub fn capture(&mut self, sim: &mut Simulator<'_>) {
+        let values = sim.values();
+        assert_eq!(
+            values.capacity(),
+            self.num_nets,
+            "trace incompatible with simulator"
+        );
+        let words = values.as_words();
+        self.data.extend_from_slice(words);
+        // BitSet stores exactly ceil(num_nets/64) words, except for the
+        // degenerate zero-net case.
+        self.data
+            .resize((self.cycles + 1) * self.words_per_cycle, 0);
+        self.cycles += 1;
+    }
+
+    /// Appends a cycle from an explicit bit vector (used by the VCD reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != num_nets`.
+    pub fn push_cycle(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.num_nets);
+        let base = self.data.len();
+        self.data.resize(base + self.words_per_cycle, 0);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                self.data[base + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// The value of `net` in `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` or `net` is out of range.
+    #[inline]
+    pub fn value(&self, cycle: usize, net: NetId) -> bool {
+        assert!(cycle < self.cycles, "cycle {cycle} beyond trace");
+        let i = net.index();
+        assert!(i < self.num_nets, "net {net} beyond trace");
+        let word = self.data[cycle * self.words_per_cycle + i / 64];
+        word & (1u64 << (i % 64)) != 0
+    }
+
+    /// A closure reading net values of one cycle (handy for
+    /// [`NetCube::eval`]).
+    pub fn cycle_reader(&self, cycle: usize) -> impl Fn(NetId) -> bool + '_ {
+        move |net| self.value(cycle, net)
+    }
+
+    /// Iterates over the values of one net across all cycles.
+    pub fn net_history(&self, net: NetId) -> impl Iterator<Item = bool> + '_ {
+        (0..self.cycles).map(move |c| self.value(c, net))
+    }
+
+    /// Counts the cycles in which a net is `true`.
+    pub fn high_cycles(&self, net: NetId) -> usize {
+        self.net_history(net).filter(|&v| v).count()
+    }
+
+    /// A copy of the first `cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` exceeds the recorded length.
+    pub fn truncated(&self, cycles: usize) -> WaveTrace {
+        assert!(cycles <= self.cycles, "cannot extend a trace");
+        WaveTrace {
+            num_nets: self.num_nets,
+            words_per_cycle: self.words_per_cycle,
+            cycles,
+            data: self.data[..cycles * self.words_per_cycle].to_vec(),
+        }
+    }
+
+    /// Reads a multi-bit bus as an integer in the given cycle (`nets[0]` is
+    /// the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 nets are given or the cycle is out of range.
+    pub fn bus_value(&self, cycle: usize, nets: &[NetId]) -> u64 {
+        assert!(nets.len() <= 64, "bus wider than 64 bits");
+        let mut v = 0u64;
+        for (i, &net) in nets.iter().enumerate() {
+            v |= (self.value(cycle, net) as u64) << i;
+        }
+        v
+    }
+}
+
+impl fmt::Debug for WaveTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WaveTrace({} nets x {} cycles, {} KiB)",
+            self.num_nets,
+            self.cycles,
+            self.data.len() * 8 / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_netlist::examples::counter;
+
+    #[test]
+    fn capture_records_counter_bits() {
+        let (n, topo) = counter(3);
+        let mut sim = Simulator::new(&n, &topo);
+        sim.set_input(n.find_net("en").unwrap(), true);
+        let mut trace = WaveTrace::new(n.num_nets());
+        for _ in 0..8 {
+            trace.capture(&mut sim);
+            sim.tick();
+        }
+        assert_eq!(trace.num_cycles(), 8);
+        let q0 = n.find_net("q0").unwrap();
+        let q1 = n.find_net("q1").unwrap();
+        let q2 = n.find_net("q2").unwrap();
+        let values: Vec<usize> = (0..8)
+            .map(|c| {
+                (trace.value(c, q0) as usize)
+                    | (trace.value(c, q1) as usize) << 1
+                    | (trace.value(c, q2) as usize) << 2
+            })
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn push_cycle_and_value() {
+        let mut t = WaveTrace::new(70);
+        let mut bits = vec![false; 70];
+        bits[0] = true;
+        bits[69] = true;
+        t.push_cycle(&bits);
+        assert!(t.value(0, NetId::from_index(0)));
+        assert!(t.value(0, NetId::from_index(69)));
+        assert!(!t.value(0, NetId::from_index(35)));
+    }
+
+    #[test]
+    fn net_history_and_high_cycles() {
+        let mut t = WaveTrace::new(2);
+        t.push_cycle(&[true, false]);
+        t.push_cycle(&[false, false]);
+        t.push_cycle(&[true, true]);
+        let n0 = NetId::from_index(0);
+        assert_eq!(t.net_history(n0).collect::<Vec<_>>(), vec![true, false, true]);
+        assert_eq!(t.high_cycles(n0), 2);
+        assert_eq!(t.high_cycles(NetId::from_index(1)), 1);
+    }
+
+    #[test]
+    fn cycle_reader_closure() {
+        let mut t = WaveTrace::new(3);
+        t.push_cycle(&[false, true, false]);
+        let read = t.cycle_reader(0);
+        assert!(read(NetId::from_index(1)));
+        assert!(!read(NetId::from_index(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace")]
+    fn out_of_range_cycle_panics() {
+        let t = WaveTrace::new(1);
+        t.value(0, NetId::from_index(0));
+    }
+
+    #[test]
+    fn debug_mentions_dimensions() {
+        let mut t = WaveTrace::new(10);
+        t.push_cycle(&[false; 10]);
+        assert!(format!("{t:?}").contains("10 nets x 1 cycles"));
+    }
+}

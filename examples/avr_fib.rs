@@ -1,0 +1,70 @@
+//! The paper's headline experiment on the AVR core: search MATEs for every
+//! flip-flop, replay the 8500-cycle `fib()` trace, and report how much of
+//! the fault space is pruned (Table 2, first column).
+//!
+//! ```text
+//! cargo run --release --example avr_fib
+//! ```
+
+use fault_space_pruning::cores::avr::programs;
+use fault_space_pruning::cores::{AvrSystem, Termination};
+use fault_space_pruning::hafi::LutCostModel;
+use fault_space_pruning::mate::prelude::*;
+
+fn main() {
+    let cycles = 8500;
+    let sys = AvrSystem::new();
+    println!("core: {}", sys.netlist());
+
+    // Offline: MATE search over the netlist (parallel over flip-flops).
+    let wires = ff_wires(sys.netlist(), sys.topology());
+    let no_rf: Vec<_> = ff_wires_filtered(sys.netlist(), sys.topology(), |n| {
+        !(n.starts_with('r') && n.as_bytes()[1].is_ascii_digit())
+    });
+    let config = SearchConfig {
+        max_terms: 8,
+        max_candidates: 20_000,
+        ..SearchConfig::default()
+    };
+    println!("searching MATEs for {} flip-flops ...", wires.len());
+    let search = search_design(sys.netlist(), sys.topology(), &wires, &config);
+    println!(
+        "  {:?} for {} candidates; {} wires unmaskable",
+        search.stats.run_time, search.stats.candidates, search.stats.unmaskable
+    );
+    let mates = search.into_mate_set();
+    let (avg, std) = mates.input_stats();
+    println!("  {} MATEs, avg {avg:.1} ± {std:.1} inputs", mates.len());
+
+    // Online: record the workload trace and prune.
+    println!("running fib() for {cycles} cycles ...");
+    let run = sys.run(&programs::fib(Termination::Loop), &[], cycles);
+    assert_eq!(
+        &run.port_log[..8],
+        &programs::fib_expected_ports()[..8],
+        "program must compute Fibonacci numbers"
+    );
+
+    let report_all = mate::eval::evaluate(&mates, &run.trace, &wires);
+    let report_norf = mate::eval::evaluate(&mates, &run.trace, &no_rf);
+    println!();
+    println!(
+        "fault space FF        : {} ({} effective MATEs)",
+        report_all.matrix, report_all.effective
+    );
+    println!("fault space FF w/o RF : {}", report_norf.matrix);
+
+    // Select the top-50 subset for FPGA integration (Section 5.3 / 6.1).
+    let top50 = select_top_n(&mates, &run.trace, &no_rf, 50);
+    let sel_report = mate::eval::evaluate(&top50, &run.trace, &no_rf);
+    let luts = LutCostModel::default().luts_for_set(&top50);
+    println!();
+    println!(
+        "top-50 subset: {:.2}% of the w/o-RF fault space pruned at a cost of {luts} LUTs",
+        100.0 * sel_report.masked_fraction()
+    );
+    println!(
+        "(the paper's FI controllers alone use 1500-6000 LUTs, so the MATE overhead is {:.1}%)",
+        100.0 * LutCostModel::default().relative_overhead(&top50)
+    );
+}

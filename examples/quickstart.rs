@@ -1,0 +1,58 @@
+//! Quickstart: find fault-masking terms (MATEs) for a small circuit, prune
+//! its fault space, and validate the claims by actual fault injection.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fault_space_pruning::hafi::{validate_mates, StimulusHarness};
+use fault_space_pruning::mate::prelude::*;
+use fault_space_pruning::netlist::examples::tmr_register;
+
+fn main() {
+    // 1. A netlist: a triple-modular-redundant register with majority vote.
+    let (netlist, topo) = tmr_register();
+    println!("design: {netlist}");
+
+    // 2. The fault space: an SEU can hit any flip-flop in any cycle.
+    let wires = ff_wires(&netlist, &topo);
+    println!("faulty wires: {} flip-flops", wires.len());
+
+    // 3. Offline MATE search over the netlist.
+    let design_search = search_design(&netlist, &topo, &wires, &SearchConfig::default());
+    println!(
+        "search: {} candidates tried, {} unmaskable wires",
+        design_search.stats.candidates, design_search.stats.unmaskable
+    );
+    let mates = design_search.into_mate_set();
+    for mate in &mates {
+        let cube: Vec<String> = mate
+            .cube
+            .literals()
+            .map(|(net, pol)| format!("{}{}", if pol { "" } else { "¬" }, netlist.net(net).name()))
+            .collect();
+        let masked: Vec<&str> = mate.masked.iter().map(|&w| netlist.net(w).name()).collect();
+        println!("  MATE {} masks {{{}}}", cube.join("∧"), masked.join(","));
+    }
+
+    // 4. A workload: load a value, then let the voter hold it.
+    let load = netlist.find_net("load").unwrap();
+    let din = netlist.find_net("din").unwrap();
+    let harness = StimulusHarness::new(netlist, topo)
+        .drive(load, vec![true, false, false, false, true, false, false, false])
+        .drive(din, vec![true, true, true, true, false]);
+
+    // 5. Evaluate the MATEs on the trace AND validate every claim by
+    //    injecting the fault for real.
+    let (report, validation) = validate_mates(&harness, &mates, &wires, 16, None, 0);
+    println!();
+    println!("fault space: {}", report.matrix);
+    println!(
+        "ground truth: {} claims injected, {} confirmed, {} violations",
+        validation.checked,
+        validation.confirmed,
+        validation.violations.len()
+    );
+    assert!(validation.sound(), "MATE claims must be sound");
+    println!("=> every pruned fault was provably masked within one cycle");
+}

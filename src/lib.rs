@@ -1,0 +1,19 @@
+//! Umbrella crate for the DAC'18 *fault-masking term* (MATE) reproduction.
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`netlist`] — gate-level netlists, cell library, fault cones
+//! * [`sim`] — cycle-accurate simulator, traces, VCD
+//! * [`rtl`] — hardware-construction DSL lowering to standard cells
+//! * [`cores`] — AVR-like and MSP430-like gate-level CPUs + programs
+//! * [`mate`] — the paper's contribution: MATE search, evaluation, selection
+//! * [`hafi`] — fault-injection campaigns and FPGA platform cost models
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the full inventory.
+
+pub use mate;
+pub use mate_cores as cores;
+pub use mate_hafi as hafi;
+pub use mate_netlist as netlist;
+pub use mate_rtl as rtl;
+pub use mate_sim as sim;

@@ -1,0 +1,150 @@
+//! End-to-end pipeline tests across crates: netlist → simulate → trace →
+//! MATE search → evaluate → select → validate, plus the file-format round
+//! trips of the paper's flow (structural Verilog in, VCD out).
+
+use std::io::BufReader;
+
+use fault_space_pruning::hafi::{validate_mates, StimulusHarness};
+use fault_space_pruning::mate::eval::evaluate;
+use fault_space_pruning::mate::prelude::*;
+use fault_space_pruning::netlist::examples::{counter, figure1b, tmr_register};
+use fault_space_pruning::netlist::random::{random_circuit, RandomCircuitConfig};
+use fault_space_pruning::netlist::verilog::{parse_verilog, to_verilog};
+use fault_space_pruning::netlist::Library;
+use fault_space_pruning::sim::{read_vcd, write_vcd, InputWave, Testbench};
+
+#[test]
+fn full_flow_on_figure1b() {
+    let (n, topo) = figure1b();
+    let wires = ff_wires(&n, &topo);
+    let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+    assert!(!mates.is_empty());
+
+    let trace = {
+        let mut tb = Testbench::new(&n, &topo);
+        tb.drive(
+            n.find_net("in").unwrap(),
+            InputWave::from_vec(vec![true, false, false, true]),
+        );
+        tb.run(32)
+    };
+    let report = evaluate(&mates, &trace, &wires);
+    assert!(report.masked_fraction() > 0.0);
+
+    // Selection of everything equals the full set.
+    let all = select_top_n(&mates, &trace, &wires, mates.len());
+    let sel_report = evaluate(&all, &trace, &wires);
+    assert_eq!(report.matrix, sel_report.matrix);
+}
+
+#[test]
+fn vcd_roundtrip_preserves_pruning_results() {
+    // The paper's flow stores traces as VCD files and replays them for the
+    // evaluation; pruning results must be identical either way.
+    let (n, topo) = figure1b();
+    let wires = ff_wires(&n, &topo);
+    let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+    let trace = {
+        let mut tb = Testbench::new(&n, &topo);
+        tb.drive(
+            n.find_net("in").unwrap(),
+            InputWave::from_vec(vec![false, true, true]),
+        );
+        tb.run(24)
+    };
+
+    let mut vcd = Vec::new();
+    write_vcd(&n, &trace, &mut vcd).unwrap();
+    let replayed = read_vcd(&n, BufReader::new(vcd.as_slice())).unwrap();
+
+    let direct = evaluate(&mates, &trace, &wires);
+    let via_vcd = evaluate(&mates, &replayed, &wires);
+    assert_eq!(direct.matrix, via_vcd.matrix);
+    assert_eq!(direct.triggers, via_vcd.triggers);
+}
+
+#[test]
+fn verilog_roundtrip_preserves_mate_search() {
+    // Export a random circuit to structural Verilog, parse it back, and
+    // check the MATE search finds the same terms (by net names).
+    let cfg = RandomCircuitConfig {
+        inputs: 4,
+        ffs: 8,
+        gates: 30,
+        outputs: 2,
+    };
+    let (original, orig_topo) = random_circuit(cfg, 99);
+    let text = to_verilog(&original);
+    let (parsed, parsed_topo) = parse_verilog(&text, Library::open15()).unwrap();
+
+    let config = SearchConfig::default();
+    for &ff in orig_topo.seq_cells() {
+        let wire = original.cell(ff).output();
+        let orig = search_wire(&original, &orig_topo, wire, &config);
+        let parsed_wire = parsed.find_net(original.net(wire).name()).unwrap();
+        let back = search_wire(&parsed, &parsed_topo, parsed_wire, &config);
+        assert_eq!(orig.unmaskable, back.unmaskable);
+        let render = |nl: &fault_space_pruning::netlist::Netlist,
+                      mates: &[fault_space_pruning::mate::Mate]| {
+            let mut v: Vec<Vec<(String, bool)>> = mates
+                .iter()
+                .map(|m| {
+                    m.cube
+                        .literals()
+                        .map(|(net, pol)| (nl.net(net).name().to_owned(), pol))
+                        .collect()
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            render(&original, &orig.mates),
+            render(&parsed, &back.mates),
+            "wire {}",
+            original.net(wire).name()
+        );
+    }
+}
+
+#[test]
+fn counter_has_no_mates_but_tmr_is_fully_maskable() {
+    // A binary counter exposes every bit as primary output: nothing can be
+    // pruned.  TMR is the opposite extreme.
+    let (counter, ctopo) = counter(4);
+    let cwires = ff_wires(&counter, &ctopo);
+    let csearch = search_design(&counter, &ctopo, &cwires, &SearchConfig::default());
+    assert_eq!(csearch.stats.unmaskable, 4);
+    assert_eq!(csearch.into_mate_set().len(), 0);
+
+    let (tmr, ttopo) = tmr_register();
+    let twires = ff_wires(&tmr, &ttopo);
+    let tsearch = search_design(&tmr, &ttopo, &twires, &SearchConfig::default());
+    assert_eq!(tsearch.stats.unmaskable, 0);
+    assert!(tsearch.into_mate_set().len() >= 6);
+}
+
+#[test]
+fn validation_pipeline_on_random_circuit() {
+    let cfg = RandomCircuitConfig {
+        inputs: 3,
+        ffs: 10,
+        gates: 40,
+        outputs: 2,
+    };
+    let (n, topo) = random_circuit(cfg, 4242);
+    let wires = ff_wires(&n, &topo);
+    let inputs = n.inputs().to_vec();
+    let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+    let mut harness = StimulusHarness::new(n, topo);
+    for (i, input) in inputs.into_iter().enumerate() {
+        let values: Vec<bool> = (0..40).map(|c| (c + i) % 3 == 0).collect();
+        harness = harness.drive(input, values);
+    }
+    let (_, validation) = validate_mates(&harness, &mates, &wires, 32, None, 0);
+    assert!(
+        validation.sound(),
+        "violations: {:?}",
+        validation.violations
+    );
+}
