@@ -1,0 +1,175 @@
+//! Campaign-engine throughput: scalar per-point `inject` vs. the batched
+//! 64-lane wide engine, in faults per second.
+//!
+//! Two circuits: the paper's Figure-1b example and a random ≥200-FF
+//! netlist (the scale where bit-parallel packing pays off).  Besides the
+//! criterion reporting, the bench emits a machine-readable
+//! `BENCH_campaign.json` at the workspace root with both numbers and the
+//! speedup per circuit.
+
+use std::time::Instant;
+
+use criterion::{Criterion, Throughput};
+
+use mate_hafi::{
+    run_campaign, run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, StimulusHarness,
+};
+use mate_netlist::examples::figure1b;
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+
+/// Deterministic pseudo-random stimulus, same scheme as the soundness tests.
+fn drive_all_inputs(mut harness: StimulusHarness, seed: u64, cycles: usize) -> StimulusHarness {
+    let inputs = harness.netlist().inputs().to_vec();
+    for (i, input) in inputs.into_iter().enumerate() {
+        let values: Vec<bool> = (0..cycles)
+            .map(|c| {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64) << 32 | c as u64)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x >> 37) & 1 == 1
+            })
+            .collect();
+        harness = harness.drive(input, values);
+    }
+    harness
+}
+
+struct Measured {
+    name: &'static str,
+    ffs: usize,
+    points: usize,
+    cycles: usize,
+    scalar_fps: f64,
+    wide_fps: f64,
+}
+
+impl Measured {
+    fn speedup(&self) -> f64 {
+        self.wide_fps / self.scalar_fps
+    }
+}
+
+/// Best-of-`reps` wall-clock for one full campaign, in faults/second.
+fn faults_per_sec(reps: usize, points: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    points as f64 / best
+}
+
+fn measure(
+    c: &mut Criterion,
+    name: &'static str,
+    harness: &StimulusHarness,
+    config: &CampaignConfig,
+) -> Measured {
+    let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), config.cycles);
+
+    // Sanity: both engines must produce identical records before we compare
+    // their speed.
+    let scalar = run_campaign(harness, &space, config);
+    let wide = run_campaign_wide(harness, &space, config);
+    assert_eq!(scalar.records, wide.records, "engines diverge on {name}");
+    let points = scalar.len();
+
+    let mut group = c.benchmark_group(&format!("campaign/{name}"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| run_campaign(harness, &space, config))
+    });
+    group.bench_function("wide", |b| {
+        b.iter(|| run_campaign_wide(harness, &space, config))
+    });
+    group.finish();
+
+    let scalar_fps = faults_per_sec(3, points, || {
+        run_campaign(harness, &space, config);
+    });
+    let wide_fps = faults_per_sec(3, points, || {
+        run_campaign_wide(harness, &space, config);
+    });
+    Measured {
+        name,
+        ffs: harness.topology().seq_cells().len(),
+        points,
+        cycles: config.cycles,
+        scalar_fps,
+        wide_fps,
+    }
+}
+
+fn write_json(results: &[Measured]) {
+    let mut out = String::from("{\n  \"bench\": \"campaign\",\n  \"circuits\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ffs\": {}, \"points\": {}, \"cycles\": {}, \
+             \"scalar_faults_per_sec\": {:.1}, \"wide_faults_per_sec\": {:.1}, \
+             \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.ffs,
+            m.points,
+            m.cycles,
+            m.scalar_fps,
+            m.wide_fps,
+            m.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, out).expect("write BENCH_campaign.json");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut results = Vec::new();
+
+    // The paper's Figure-1b example: 5 FFs, exhaustive space.
+    {
+        let cycles = 64;
+        let (n, topo) = figure1b();
+        let harness = drive_all_inputs(StimulusHarness::new(n, topo), 2018, cycles + 1);
+        let config = CampaignConfig {
+            cycles,
+            sample: None,
+            seed: 0,
+        };
+        results.push(measure(&mut c, "figure1b", &harness, &config));
+    }
+
+    // A random ≥200-FF netlist — campaign scale.
+    {
+        let cycles = 32;
+        let cfg = RandomCircuitConfig {
+            inputs: 8,
+            ffs: 220,
+            gates: 800,
+            outputs: 8,
+        };
+        let (n, topo) = random_circuit(cfg, 424_242);
+        let harness = drive_all_inputs(StimulusHarness::new(n, topo), 77, cycles + 1);
+        let config = CampaignConfig {
+            cycles,
+            sample: Some(2048),
+            seed: 9,
+        };
+        results.push(measure(&mut c, "random_220ff", &harness, &config));
+    }
+
+    for m in &results {
+        eprintln!(
+            "{}: scalar {:.0} faults/s, wide {:.0} faults/s, speedup {:.1}x",
+            m.name,
+            m.scalar_fps,
+            m.wide_fps,
+            m.speedup()
+        );
+    }
+    write_json(&results);
+}

@@ -63,7 +63,11 @@ fn main() {
         "{:>6} {:>8} {:>12} {:>10} {:>12} {:>8}",
         "terms", "#MATEs", "#unmaskable", "FF %", "w/o RF %", "time"
     );
-    let terms: &[usize] = if fast { &[2, 4, 8] } else { &[1, 2, 4, 6, 8, 10] };
+    let terms: &[usize] = if fast {
+        &[2, 4, 8]
+    } else {
+        &[1, 2, 4, 6, 8, 10]
+    };
     for &max_terms in terms {
         let (m, u, all, norf, secs) = measure(&SearchConfig { max_terms, ..base });
         println!("{max_terms:>6} {m:>8} {u:>12} {all:>9.2}% {norf:>11.2}% {secs:>7.1}s");
@@ -113,5 +117,9 @@ fn main() {
         let pct = 100.0 * evaluate(&sel, &run.trace, &sets.no_rf).masked_fraction();
         println!("{n:>6} {pct:>9.2}%");
     }
-    println!("{:>6} {full:>9.2}%  (full set of {} MATEs)", "all", mates.len());
+    println!(
+        "{:>6} {full:>9.2}%  (full set of {} MATEs)",
+        "all",
+        mates.len()
+    );
 }

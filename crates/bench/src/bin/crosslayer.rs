@@ -19,7 +19,7 @@ use mate_bench::is_register_file;
 use mate_cores::avr::model::AvrModel;
 use mate_cores::avr::programs;
 use mate_cores::{AvrWorkload, Termination};
-use mate_hafi::{golden_run, inject, DesignHarness, FaultSpace};
+use mate_hafi::{classify_points, golden_run, DesignHarness, FaultSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,16 +34,13 @@ fn main() {
     // --------------------------------------------------------------
     let workload = AvrWorkload::new(program.clone(), vec![]);
     let rf_wires = ff_wires_filtered(workload.netlist(), workload.topology(), is_register_file);
-    let space = FaultSpace::for_wires(
-        workload.netlist(),
-        workload.topology(),
-        &rf_wires,
-        CYCLES,
-    );
+    let space = FaultSpace::for_wires(workload.netlist(), workload.topology(), &rf_wires, CYCLES);
     let golden = golden_run(&workload, CYCLES + 1);
     let mut gate_hist: BTreeMap<&str, usize> = BTreeMap::new();
-    for point in space.sample(SAMPLES, 7) {
-        let effect = inject(&workload, &golden, point);
+    // Batched classification: the snapshotable AVR memories select the
+    // checkpoint engine, so no per-point warm-up replay.
+    let points = space.sample(SAMPLES, 7);
+    for effect in classify_points(&workload, &golden, &points) {
         *gate_hist.entry(effect_key(effect)).or_insert(0) += 1;
     }
 

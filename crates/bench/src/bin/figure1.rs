@@ -19,7 +19,9 @@ fn main() {
     // ------------------------------------------------------------------
     let (n, topo) = figure1();
     println!("## Figure 1a: fault cones of the example circuit");
-    println!("(gates: A=NAND2(a,b)->f  B=XOR2(c,d)->g  C=INV(e)->h  D=AND2(g,f)->k  E=OR2(g,h)->l)");
+    println!(
+        "(gates: A=NAND2(a,b)->f  B=XOR2(c,d)->g  C=INV(e)->h  D=AND2(g,f)->k  E=OR2(g,h)->l)"
+    );
     println!();
     for name in ["a", "b", "c", "d", "e"] {
         let w = n.find_net(name).unwrap();

@@ -32,7 +32,10 @@ fn main() {
         .collect();
     let pairs: Vec<[mate_netlist::NetId; 2]> = ffs.windows(2).map(|w| [w[0], w[1]]).collect();
 
-    eprintln!("searching 2-bit MATEs for {} adjacent pairs ...", pairs.len());
+    eprintln!(
+        "searching 2-bit MATEs for {} adjacent pairs ...",
+        pairs.len()
+    );
     let start = std::time::Instant::now();
     let results: Vec<_> = pairs
         .iter()

@@ -167,7 +167,11 @@ pub fn print_performance_table(
     .collect();
     println!(
         "{:<34} {:>10} {:>12} {:>10} {:>12}",
-        "#Effective MATEs", full[0].effective, full[1].effective, full[2].effective, full[3].effective
+        "#Effective MATEs",
+        full[0].effective,
+        full[1].effective,
+        full[2].effective,
+        full[3].effective
     );
     println!(
         "{:<34} {:>10} {:>12} {:>10} {:>12}",

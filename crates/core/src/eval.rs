@@ -53,10 +53,6 @@ impl PruneMatrix {
         self.bits.insert(cycle * self.wires.len() + wire_idx);
     }
 
-    fn mark(&mut self, wire_idx: usize, cycle: usize) {
-        self.mark_index(wire_idx, cycle);
-    }
-
     /// Whether the fault `(wire, cycle)` was proven benign.
     ///
     /// # Panics
@@ -153,27 +149,30 @@ pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalRepo
     let mut matrix = PruneMatrix::new(wires, trace.num_cycles());
     let mut triggers = vec![0usize; mates.len()];
 
-    // Restrict each MATE's masked list to wire indices of the fault space.
-    let masked_indices: Vec<Vec<usize>> = mates
+    // Restrict each MATE's masked list to wire indices of the fault space,
+    // and prefilter the MATEs once: a MATE masking nothing in this space can
+    // never mark a point, so it is dropped before the cycle loop instead of
+    // being re-checked `num_cycles` times.
+    let relevant: Vec<(usize, &crate::mates::Mate, Vec<usize>)> = mates
         .iter()
-        .map(|m| {
-            m.masked
+        .enumerate()
+        .filter_map(|(i, m)| {
+            let indices: Vec<usize> = m
+                .masked
                 .iter()
                 .filter_map(|w| matrix.wire_index.get(w).copied())
-                .collect()
+                .collect();
+            (!indices.is_empty()).then_some((i, m, indices))
         })
         .collect();
 
     for cycle in 0..trace.num_cycles() {
         let read = trace.cycle_reader(cycle);
-        for (i, mate) in mates.iter().enumerate() {
-            if masked_indices[i].is_empty() {
-                continue;
-            }
+        for (i, mate, indices) in &relevant {
             if mate.cube.eval(&read) {
-                triggers[i] += 1;
-                for &w in &masked_indices[i] {
-                    matrix.mark(w, cycle);
+                triggers[*i] += 1;
+                for &w in indices {
+                    matrix.mark_index(w, cycle);
                 }
             }
         }

@@ -77,9 +77,7 @@ pub fn write_mates(netlist: &Netlist, mates: &MateSet, mut out: impl Write) -> i
         let cube: Vec<String> = mate
             .cube
             .literals()
-            .map(|(net, pol)| {
-                format!("{}{}", if pol { "" } else { "!" }, netlist.net(net).name())
-            })
+            .map(|(net, pol)| format!("{}{}", if pol { "" } else { "!" }, netlist.net(net).name()))
             .collect();
         let wires: Vec<&str> = mate.masked.iter().map(|&w| netlist.net(w).name()).collect();
         let cube_text = if cube.is_empty() {
@@ -192,7 +190,10 @@ mod tests {
         let (n, _) = mate_netlist::examples::tmr_register();
         let text = "bogus :: r0\n";
         let err = read_mates(&n, BufReader::new(text.as_bytes())).unwrap_err();
-        assert!(matches!(err, MateIoError::UnknownNet { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, MateIoError::UnknownNet { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ pub mod prelude {
     pub use crate::mates::{summarize, Mate, MateSet};
     pub use crate::paths::{enumerate_paths, PathSet};
     pub use crate::search::{
-        search_design, search_wire, SearchConfig, SearchStats, SearchStrategy,
-        WireSearchResult,
+        search_design, search_wire, SearchConfig, SearchStats, SearchStrategy, WireSearchResult,
     };
     pub use crate::select::{select_top_n, Ranking};
     pub use crate::{ff_wires, ff_wires_filtered};

@@ -75,7 +75,12 @@ impl MateSet {
             return (0.0, 0.0);
         }
         let n = self.mates.len() as f64;
-        let mean = self.mates.iter().map(|m| m.num_inputs() as f64).sum::<f64>() / n;
+        let mean = self
+            .mates
+            .iter()
+            .map(|m| m.num_inputs() as f64)
+            .sum::<f64>()
+            / n;
         let var = self
             .mates
             .iter()

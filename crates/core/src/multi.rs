@@ -144,10 +144,7 @@ mod tests {
             .literals()
             .map(|(net, pol)| (n.net(net).name().to_owned(), pol))
             .collect();
-        assert_eq!(
-            lits,
-            vec![("b".to_owned(), false), ("d".to_owned(), true)]
-        );
+        assert_eq!(lits, vec![("b".to_owned(), false), ("d".to_owned(), true)]);
     }
 
     #[test]

@@ -113,14 +113,7 @@ pub fn enumerate_paths(
 
     let mut trail = Vec::new();
     dfs(
-        netlist,
-        topo,
-        origin,
-        origin,
-        depth,
-        &mut trail,
-        &mut set,
-        max_paths,
+        netlist, topo, origin, origin, depth, &mut trail, &mut set, max_paths,
     );
 
     // Sanity: every gate on every path is combinational and inside the cone.
@@ -154,8 +147,7 @@ mod tests {
         let (n, set) = paths_for("d");
         assert!(!set.origin_is_endpoint);
         assert!(!set.truncated);
-        let mut names: Vec<Vec<String>> =
-            set.paths.iter().map(|p| gate_names(&n, p)).collect();
+        let mut names: Vec<Vec<String>> = set.paths.iter().map(|p| gate_names(&n, p)).collect();
         names.sort();
         assert_eq!(names, vec![vec!["B", "D"], vec!["B", "E"]]);
     }
@@ -165,8 +157,7 @@ mod tests {
         // e -> C -> h; h is a primary output, so one path is just [C], plus
         // the continuation [C, E] to output l.
         let (n, set) = paths_for("e");
-        let mut names: Vec<Vec<String>> =
-            set.paths.iter().map(|p| gate_names(&n, p)).collect();
+        let mut names: Vec<Vec<String>> = set.paths.iter().map(|p| gate_names(&n, p)).collect();
         names.sort();
         assert_eq!(names, vec![vec!["C"], vec!["C", "E"]]);
     }

@@ -237,9 +237,7 @@ pub fn search_wire_cached(
                 let net_cubes: Vec<NetCube> = cubes
                     .iter()
                     .filter_map(|pc| {
-                        NetCube::from_literals(
-                            pc.literals().map(|(pin, pol)| (inputs[pin], pol)),
-                        )
+                        NetCube::from_literals(pc.literals().map(|(pin, pol)| (inputs[pin], pol)))
                     })
                     .collect();
                 gate_slot.insert(cell, gates.len());
@@ -558,8 +556,7 @@ fn propagate_cube(
     // constant propagation through the cone (so `we = 0` is derived from
     // the state literals that force it, and one literal can disable a whole
     // bank of write muxes).
-    let mut known: std::collections::HashMap<NetId, bool> =
-        cube.literals().collect();
+    let mut known: std::collections::HashMap<NetId, bool> = cube.literals().collect();
     for &cell in cone.cells() {
         let inputs = netlist.cell(cell).inputs();
         let out = netlist.cell(cell).output();
@@ -680,9 +677,7 @@ fn relevant_cuts(
                 p_mask |= 1 << pin;
             }
         }
-        if p_mask != 0
-            && cache.can_mask(netlist.library(), netlist.cell(cell).type_id(), p_mask)
-        {
+        if p_mask != 0 && cache.can_mask(netlist.library(), netlist.cell(cell).type_id(), p_mask) {
             out.push((cell, p_mask));
             if out.len() >= 2 * REPAIR_BRANCH_WIDTH {
                 break;
@@ -822,8 +817,10 @@ pub fn search_design(
             }
         });
     }
-    let results: Vec<WireSearchResult> =
-        results.into_iter().map(|r| r.expect("all slots filled")).collect();
+    let results: Vec<WireSearchResult> = results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect();
 
     let mut cones: Vec<usize> = results.iter().map(|r| r.cone_gates).collect();
     cones.sort_unstable();

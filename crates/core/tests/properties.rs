@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use mate::search::cube_masks_wire;
-use mate::{
-    ff_wires, search_design, search_wire, summarize, SearchConfig, SearchStrategy,
-};
+use mate::{ff_wires, search_design, search_wire, summarize, SearchConfig, SearchStrategy};
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 use mate_netlist::FaultCone;
 

@@ -280,10 +280,7 @@ impl Assembler {
                             (-1024..1024).contains(&off),
                             "rjmp offset {off} out of range at address {addr}"
                         );
-                        Instr::Rjmp {
-                            offset: off as i16,
-                        }
-                        .encode()
+                        Instr::Rjmp { offset: off as i16 }.encode()
                     }
                 }
             })

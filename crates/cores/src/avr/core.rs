@@ -385,7 +385,13 @@ pub fn build_avr() -> (Netlist, Topology, AvrPorts) {
     let wdata_gate_bus = Signal::from_nets(vec![wdata_strobe.bit(0); dmem_wdata.width()]);
     let dmem_wdata = m.and(&dmem_wdata, &wdata_gate_bus);
     for s in [
-        &pc, &dmem_addr, &dmem_wdata, &dmem_we, &port, &halted, &is_out,
+        &pc,
+        &dmem_addr,
+        &dmem_wdata,
+        &dmem_we,
+        &port,
+        &halted,
+        &is_out,
     ] {
         m.output(s);
     }

@@ -402,9 +402,7 @@ impl Instr {
             Instr::Asr { rd } => r_format(ASR, rd, 0),
             Instr::Ld { rd, ptr, postinc } => m_format(LD, rd, ptr, postinc),
             Instr::St { ptr, postinc, rr } => m_format(ST, rr, ptr, postinc),
-            Instr::Br { cond, offset } => {
-                BR << 11 | cond.code() << 8 | u16::from(offset as u8)
-            }
+            Instr::Br { cond, offset } => BR << 11 | cond.code() << 8 | u16::from(offset as u8),
             Instr::Rjmp { offset } => {
                 assert!(
                     (-1024..1024).contains(&offset),
@@ -516,8 +514,16 @@ mod tests {
         ];
         for ptr in [Ptr::X, Ptr::Y, Ptr::Z] {
             for postinc in [false, true] {
-                v.push(Instr::Ld { rd: 4, ptr, postinc });
-                v.push(Instr::St { ptr, postinc, rr: 28 });
+                v.push(Instr::Ld {
+                    rd: 4,
+                    ptr,
+                    postinc,
+                });
+                v.push(Instr::St {
+                    ptr,
+                    postinc,
+                    rr: 28,
+                });
             }
         }
         for cond in [

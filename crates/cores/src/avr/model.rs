@@ -236,7 +236,11 @@ impl AvrModel {
 
     fn shift(&mut self, rd: u8, msb_in: bool, arithmetic: bool) {
         let a = self.regs[rd as usize];
-        let top = if arithmetic { a & 0x80 } else { (msb_in as u8) << 7 };
+        let top = if arithmetic {
+            a & 0x80
+        } else {
+            (msb_in as u8) << 7
+        };
         let r = (a >> 1) | top;
         let c = a & 1 != 0;
         let n = r & 0x80 != 0;
@@ -416,7 +420,10 @@ mod tests {
     #[test]
     fn shifts_and_rotate() {
         let m = run(&[
-            Instr::Ldi { rd: 16, imm: 0b1000_0101 },
+            Instr::Ldi {
+                rd: 16,
+                imm: 0b1000_0101,
+            },
             Instr::Lsr { rd: 16 }, // 0100_0010, C=1
             Instr::Ror { rd: 16 }, // 1010_0001, C=0
             Instr::Halt,
@@ -424,7 +431,10 @@ mod tests {
         assert_eq!(m.regs[16], 0b1010_0001);
         assert!(!m.flags.c);
         let m = run(&[
-            Instr::Ldi { rd: 16, imm: 0b1000_0100 },
+            Instr::Ldi {
+                rd: 16,
+                imm: 0b1000_0100,
+            },
             Instr::Asr { rd: 16 },
             Instr::Halt,
         ]);

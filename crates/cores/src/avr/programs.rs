@@ -86,7 +86,7 @@ pub fn conv(termination: Termination) -> (Vec<u16>, Vec<u8>) {
     a.bind(inner);
     a.ld(0, Ptr::X, true); // r0 = x[n+k]
     a.ld(1, Ptr::Y, true); // r1 = h[k]
-    // Inline shift-add multiply: r2 = r0 * r1 (low byte), clobbers r0/r1/r23.
+                           // Inline shift-add multiply: r2 = r0 * r1 (low byte), clobbers r0/r1/r23.
     a.eor(2, 2);
     a.ldi(23, 8);
     let mloop = a.new_label();

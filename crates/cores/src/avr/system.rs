@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mate_netlist::{Netlist, Topology};
-use mate_sim::{Testbench, WaveTrace};
+use mate_sim::{Simulator, SnapshotDevice, Testbench, WaveTrace};
 
 use super::core::{build_avr, AvrPorts};
 use super::isa::Flags;
@@ -13,6 +13,68 @@ use super::isa::Flags;
 pub const DMEM_SIZE: usize = 256;
 /// Size of the instruction memory in 16-bit words.
 pub const IMEM_SIZE: usize = 4096;
+
+/// The instruction ROM device: feeds `imem_data` from the fetched address.
+/// Read-only, so its snapshot state is empty.
+struct AvrRom {
+    rom: Vec<u16>,
+    ports: AvrPorts,
+}
+
+impl<'n> SnapshotDevice<'n> for AvrRom {
+    fn on_cycle(&mut self, sim: &mut Simulator<'n>) {
+        let addr = sim.read_bus(self.ports.imem_addr.nets()) as usize;
+        let word = self.rom.get(addr).copied().unwrap_or(0);
+        sim.write_bus(self.ports.imem_data.nets(), u64::from(word));
+    }
+
+    fn state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        assert!(state.is_empty(), "ROM carries no mutable state");
+    }
+}
+
+/// The data RAM device: asynchronous read every cycle, write when `dmem_we`
+/// is high.  Snapshots capture the full memory image, eight bytes per word.
+struct AvrRam {
+    ram: Rc<RefCell<Vec<u8>>>,
+    ports: AvrPorts,
+}
+
+impl<'n> SnapshotDevice<'n> for AvrRam {
+    fn on_cycle(&mut self, sim: &mut Simulator<'n>) {
+        let addr = sim.read_bus(self.ports.dmem_addr.nets()) as usize;
+        let rdata = self.ram.borrow()[addr];
+        sim.write_bus(self.ports.dmem_rdata.nets(), u64::from(rdata));
+        if sim.value(self.ports.dmem_we.bit(0)) {
+            let wdata = sim.read_bus(self.ports.dmem_wdata.nets()) as u8;
+            self.ram.borrow_mut()[addr] = wdata;
+        }
+    }
+
+    fn state(&self) -> Vec<u64> {
+        self.ram
+            .borrow()
+            .chunks(8)
+            .map(|chunk| {
+                let mut bytes = [0u8; 8];
+                bytes[..chunk.len()].copy_from_slice(chunk);
+                u64::from_le_bytes(bytes)
+            })
+            .collect()
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        let mut ram = self.ram.borrow_mut();
+        assert_eq!(state.len(), ram.len().div_ceil(8), "RAM snapshot mismatch");
+        for (i, byte) in ram.iter_mut().enumerate() {
+            *byte = state[i / 8].to_le_bytes()[i % 8];
+        }
+    }
+}
 
 /// The result of running a program on the gate-level core.
 #[derive(Clone, Debug)]
@@ -94,7 +156,11 @@ impl AvrSystem {
     /// # Panics
     ///
     /// Panics if the program or data image exceed the memory sizes.
-    pub fn testbench(&self, program: &[u16], dmem_init: &[u8]) -> (Testbench<'_>, Rc<RefCell<Vec<u8>>>) {
+    pub fn testbench(
+        &self,
+        program: &[u16],
+        dmem_init: &[u8],
+    ) -> (Testbench<'_>, Rc<RefCell<Vec<u8>>>) {
         assert!(program.len() <= IMEM_SIZE, "program overflows imem");
         assert!(dmem_init.len() <= DMEM_SIZE, "data image overflows dmem");
         let mut rom = vec![0u16; IMEM_SIZE];
@@ -104,26 +170,17 @@ impl AvrSystem {
         let ram = Rc::new(RefCell::new(ram));
 
         let mut tb = Testbench::new(&self.netlist, &self.topo);
-        let p = self.ports.clone();
-        let rom_dev = move |sim: &mut mate_sim::Simulator<'_>| {
-            let addr = sim.read_bus(p.imem_addr.nets()) as usize;
-            let word = rom.get(addr).copied().unwrap_or(0);
-            sim.write_bus(p.imem_data.nets(), u64::from(word));
-        };
-        tb.attach(Box::new(rom_dev));
-
-        let p = self.ports.clone();
-        let ram_handle = ram.clone();
-        let ram_dev = move |sim: &mut mate_sim::Simulator<'_>| {
-            let addr = sim.read_bus(p.dmem_addr.nets()) as usize;
-            let rdata = ram_handle.borrow()[addr];
-            sim.write_bus(p.dmem_rdata.nets(), u64::from(rdata));
-            if sim.value(p.dmem_we.bit(0)) {
-                let wdata = sim.read_bus(p.dmem_wdata.nets()) as u8;
-                ram_handle.borrow_mut()[addr] = wdata;
-            }
-        };
-        tb.attach(Box::new(ram_dev));
+        // Both memories are snapshotable, so AVR campaigns can seed faulty
+        // runs from golden-state checkpoints instead of replaying the
+        // warm-up prefix.
+        tb.attach_snapshot(Box::new(AvrRom {
+            rom,
+            ports: self.ports.clone(),
+        }));
+        tb.attach_snapshot(Box::new(AvrRam {
+            ram: ram.clone(),
+            ports: self.ports.clone(),
+        }));
         (tb, ram)
     }
 

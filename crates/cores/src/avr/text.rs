@@ -62,7 +62,10 @@ fn parse_reg(token: &str, line: usize) -> Result<u8, AsmError> {
 }
 
 fn parse_imm(token: &str, line: usize) -> Result<u8, AsmError> {
-    let value = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    let value = if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         i64::from_str_radix(hex, 16)
     } else {
         token.parse::<i64>()
@@ -115,8 +118,7 @@ pub fn parse_asm(source: &str) -> Result<Vec<u16>, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (name, tail) = rest.split_at(colon);
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 break;
             }
             if bound.insert(name.to_owned(), line_no).is_some() {
@@ -145,7 +147,10 @@ pub fn parse_asm(source: &str) -> Result<Vec<u16>, AsmError> {
             } else {
                 Err(err(
                     line_no,
-                    format!("`{mnemonic}` expects {n} operand(s), got {}", operands.len()),
+                    format!(
+                        "`{mnemonic}` expects {n} operand(s), got {}",
+                        operands.len()
+                    ),
                 ))
             }
         };
@@ -291,7 +296,10 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        assert!(parse_asm("  frobnicate r1\n").unwrap_err().message.contains("unknown"));
+        assert!(parse_asm("  frobnicate r1\n")
+            .unwrap_err()
+            .message
+            .contains("unknown"));
         assert_eq!(parse_asm("  ldi r5, 1\n").unwrap_err().line, 1);
         assert!(parse_asm("x:\nx:\n  halt\n")
             .unwrap_err()
@@ -301,8 +309,14 @@ mod tests {
             .unwrap_err()
             .message
             .contains("never defined"));
-        assert!(parse_asm("  ld r1, W\n").unwrap_err().message.contains("pointer"));
-        assert!(parse_asm("  add r1\n").unwrap_err().message.contains("expects 2"));
+        assert!(parse_asm("  ld r1, W\n")
+            .unwrap_err()
+            .message
+            .contains("pointer"));
+        assert!(parse_asm("  add r1\n")
+            .unwrap_err()
+            .message
+            .contains("expects 2"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! assert!(image.len() >= 6);
 //! ```
 
-use super::isa::{Dst, Instr, JumpCond, Op1, Op2, Src, SrFlags};
+use super::isa::{Dst, Instr, JumpCond, Op1, Op2, SrFlags, Src};
 
 /// A jump target; create with [`Assembler::new_label`], place with
 /// [`Assembler::bind`].

@@ -353,7 +353,12 @@ pub fn build_msp430() -> (Netlist, Topology, Msp430Ports) {
     let pc_plus1 = m.inc(&r0);
 
     let flag_sigs = (c_new.clone(), z_new.clone(), n_new.clone(), v_new.clone());
-    let pc_sigs = (pc_ev.clone(), jump_ev.clone(), pc_plus1.clone(), target.clone());
+    let pc_sigs = (
+        pc_ev.clone(),
+        jump_ev.clone(),
+        pc_plus1.clone(),
+        target.clone(),
+    );
     let flags_we_c = flags_we.clone();
     let regs: Vec<Signal> = (0..16).map(|i| rf.register(i).clone()).collect();
     rf.finish_write_with(&mut m, &we, &waddr, &wdata, |m, i, loaded| match i {

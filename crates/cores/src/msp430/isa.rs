@@ -304,11 +304,8 @@ impl Instr {
                     Dst::Indexed(r, x) => (r, 1, Some(x)),
                 };
                 assert!(rs < 16 && rd < 16, "register out of range");
-                let word = op.opcode() << 12
-                    | u16::from(rs) << 8
-                    | ad << 7
-                    | a_s << 4
-                    | u16::from(rd);
+                let word =
+                    op.opcode() << 12 | u16::from(rs) << 8 | ad << 7 | a_s << 4 | u16::from(rd);
                 let mut words = vec![word];
                 words.extend(src_ext);
                 words.extend(dst_ext);

@@ -23,7 +23,7 @@ pub mod text;
 
 pub use asm::Assembler;
 pub use core::{build_msp430, Msp430Ports};
-pub use isa::{Dst, Instr, JumpCond, Op1, Op2, Src, SrFlags};
+pub use isa::{Dst, Instr, JumpCond, Op1, Op2, SrFlags, Src};
 pub use model::Msp430Model;
 pub use system::Msp430System;
 pub use text::parse_asm;

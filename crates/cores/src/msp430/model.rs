@@ -1,6 +1,6 @@
 //! ISA-level reference interpreter for the MSP430 subset.
 
-use super::isa::{Dst, Instr, Op1, Op2, Src, SrFlags};
+use super::isa::{Dst, Instr, Op1, Op2, SrFlags, Src};
 
 /// Number of 16-bit words in the unified memory.
 pub const MEM_WORDS: usize = 4096;
@@ -86,11 +86,7 @@ impl Msp430Model {
         // Peek the following words for decode; the interpreter re-fetches
         // operand extension words itself to keep PC exact.
         let pc = self.regs[0];
-        let lookahead = [
-            first,
-            self.mem_read(pc),
-            self.mem_read(pc.wrapping_add(1)),
-        ];
+        let lookahead = [first, self.mem_read(pc), self.mem_read(pc.wrapping_add(1))];
         let Some((instr, _)) = Instr::decode(&lookahead) else {
             return; // unsupported encodings are NOPs
         };
@@ -371,7 +367,7 @@ mod tests {
             a.halt(); // word 2 (skipped? no: mov imm occupies 0-1, halt at 2)
             a.nop(); // 3
             a.nop(); // 4
-            // word 5:
+                     // word 5:
             a.mov(Src::Imm(7), Dst::Reg(10));
             a.halt();
         });

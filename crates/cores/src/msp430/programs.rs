@@ -87,7 +87,7 @@ pub fn conv(termination: Termination) -> Vec<u16> {
     a.bind(inner);
     a.mov(Src::AutoInc(11), Dst::Reg(7)); // R7 = x[n+k]
     a.mov(Src::AutoInc(12), Dst::Reg(8)); // R8 = h[k]
-    // R9 = R7 * R8 (shift-add, 16 rounds).
+                                          // R9 = R7 * R8 (shift-add, 16 rounds).
     a.mov(Src::Imm(0), Dst::Reg(9));
     a.mov(Src::Imm(16), Dst::Reg(10));
     let mloop = a.new_label();

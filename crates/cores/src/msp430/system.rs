@@ -4,11 +4,57 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mate_netlist::{Netlist, Topology};
-use mate_sim::{Testbench, WaveTrace};
+use mate_sim::{Simulator, SnapshotDevice, Testbench, WaveTrace};
 
 use super::core::{build_msp430, Msp430Ports};
 use super::isa::SrFlags;
 use super::model::MEM_WORDS;
+
+/// The unified memory device: asynchronous read every cycle, write when
+/// `mem_we` is high.  Snapshots capture the full image, four 16-bit words
+/// per `u64`.
+struct Msp430Mem {
+    mem: Rc<RefCell<Vec<u16>>>,
+    ports: Msp430Ports,
+}
+
+impl<'n> SnapshotDevice<'n> for Msp430Mem {
+    fn on_cycle(&mut self, sim: &mut Simulator<'n>) {
+        let addr = sim.read_bus(self.ports.mem_addr.nets()) as usize % MEM_WORDS;
+        let rdata = self.mem.borrow()[addr];
+        sim.write_bus(self.ports.mem_rdata.nets(), u64::from(rdata));
+        if sim.value(self.ports.mem_we.bit(0)) {
+            let wdata = sim.read_bus(self.ports.mem_wdata.nets()) as u16;
+            self.mem.borrow_mut()[addr] = wdata;
+        }
+    }
+
+    fn state(&self) -> Vec<u64> {
+        self.mem
+            .borrow()
+            .chunks(4)
+            .map(|chunk| {
+                let mut packed = 0u64;
+                for (i, &w) in chunk.iter().enumerate() {
+                    packed |= u64::from(w) << (16 * i);
+                }
+                packed
+            })
+            .collect()
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        let mut mem = self.mem.borrow_mut();
+        assert_eq!(
+            state.len(),
+            mem.len().div_ceil(4),
+            "memory snapshot mismatch"
+        );
+        for (i, word) in mem.iter_mut().enumerate() {
+            *word = (state[i / 4] >> (16 * (i % 4))) as u16;
+        }
+    }
+}
 
 /// The result of running a program on the gate-level core.
 #[derive(Clone, Debug)]
@@ -97,16 +143,11 @@ impl Msp430System {
         let mem = Rc::new(RefCell::new(words));
 
         let mut tb = Testbench::new(&self.netlist, &self.topo);
-        let p = self.ports.clone();
-        let handle = mem.clone();
-        tb.attach(Box::new(move |sim: &mut mate_sim::Simulator<'_>| {
-            let addr = sim.read_bus(p.mem_addr.nets()) as usize % MEM_WORDS;
-            let rdata = handle.borrow()[addr];
-            sim.write_bus(p.mem_rdata.nets(), u64::from(rdata));
-            if sim.value(p.mem_we.bit(0)) {
-                let wdata = sim.read_bus(p.mem_wdata.nets()) as u16;
-                handle.borrow_mut()[addr] = wdata;
-            }
+        // Snapshotable, so MSP430 campaigns can seed faulty runs from
+        // golden-state checkpoints instead of replaying the warm-up prefix.
+        tb.attach_snapshot(Box::new(Msp430Mem {
+            mem: mem.clone(),
+            ports: self.ports.clone(),
         }));
         (tb, mem)
     }
@@ -280,7 +321,7 @@ mod tests {
                 a.mov(Src::Imm(5), Dst::Reg(0)); // words 0-1; jump to 5
                 a.halt(); // words 2-3
                 a.nop(); // word 4
-                // word 5:
+                         // word 5:
                 a.mov(Src::Imm(0xCAFE), Dst::Reg(10)); // words 5-6
                 a.halt();
             },

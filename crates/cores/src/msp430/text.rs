@@ -47,7 +47,10 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
 }
 
 fn parse_number(token: &str, line: usize) -> Result<u16, AsmError> {
-    let value = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    let value = if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         i64::from_str_radix(hex, 16)
     } else if let Some(neg) = token.strip_prefix('-') {
         neg.parse::<i64>().map(|v| -v)
@@ -142,8 +145,7 @@ pub fn parse_asm(source: &str) -> Result<Vec<u16>, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (name, tail) = rest.split_at(colon);
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 break;
             }
             if bound.insert(name.to_owned(), line_no).is_some() {
@@ -172,7 +174,10 @@ pub fn parse_asm(source: &str) -> Result<Vec<u16>, AsmError> {
             } else {
                 Err(err(
                     line_no,
-                    format!("`{mnemonic}` expects {n} operand(s), got {}", operands.len()),
+                    format!(
+                        "`{mnemonic}` expects {n} operand(s), got {}",
+                        operands.len()
+                    ),
                 ))
             }
         };
@@ -283,10 +288,7 @@ mod tests {
     #[test]
     fn register_aliases() {
         // `mov #addr, pc` is a branch.
-        let image = parse_asm(
-            "    mov #4, pc\n    halt\n    mov #7, r10\n    halt\n",
-        )
-        .unwrap();
+        let image = parse_asm("    mov #4, pc\n    halt\n    mov #7, r10\n    halt\n").unwrap();
         let mut m = Msp430Model::new(&image);
         m.run(100);
         assert!(m.halted());
@@ -305,10 +307,25 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        assert!(parse_asm("    frob r1\n").unwrap_err().message.contains("unknown"));
-        assert!(parse_asm("    mov #1\n").unwrap_err().message.contains("expects 2"));
-        assert!(parse_asm("    mov #1, r99\n").unwrap_err().message.contains("range"));
-        assert!(parse_asm("    mov 2(r4, r5\n").unwrap_err().message.contains(")"));
-        assert!(parse_asm("    jmp away\n").unwrap_err().message.contains("never defined"));
+        assert!(parse_asm("    frob r1\n")
+            .unwrap_err()
+            .message
+            .contains("unknown"));
+        assert!(parse_asm("    mov #1\n")
+            .unwrap_err()
+            .message
+            .contains("expects 2"));
+        assert!(parse_asm("    mov #1, r99\n")
+            .unwrap_err()
+            .message
+            .contains("range"));
+        assert!(parse_asm("    mov 2(r4, r5\n")
+            .unwrap_err()
+            .message
+            .contains(")"));
+        assert!(parse_asm("    jmp away\n")
+            .unwrap_err()
+            .message
+            .contains("never defined"));
     }
 }

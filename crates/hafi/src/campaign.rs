@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use mate_netlist::{NetId, Netlist, Topology};
-use mate_sim::WaveTrace;
+use mate_sim::{WaveTrace, WideSimulator};
 
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
@@ -154,6 +154,178 @@ fn classify(
         Some(after) => FaultEffect::SilentRecovery { after },
         None => FaultEffect::Latent,
     }
+}
+
+/// Classifies a batch of fault points against `golden`, choosing the
+/// fastest sound engine the harness supports:
+///
+/// 1. **Wide** — no external devices and pure stimuli: up to 64 fault points
+///    per injection cycle are packed into the lanes of a [`WideSimulator`]
+///    seeded directly from the golden trace at the injection cycle, then
+///    classified in lock-step with per-lane early retirement.
+/// 2. **Checkpointed scalar** — all devices snapshotable and pure stimuli:
+///    one incremental golden run captures a checkpoint at every injection
+///    cycle; each faulty run is seeded by restore instead of replaying the
+///    warm-up prefix.
+/// 3. **Scalar fallback** — anything else: one [`inject`] per point.
+///
+/// All three paths produce bit-identical [`FaultEffect`] classifications.
+/// Results are returned in the order of `points`.
+///
+/// # Panics
+///
+/// Panics if any injection cycle lies beyond the golden trace.
+pub fn classify_points(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+) -> Vec<FaultEffect> {
+    let horizon = golden.trace.num_cycles();
+    assert!(
+        points.iter().all(|p| p.cycle < horizon),
+        "injection cycle beyond golden trace"
+    );
+    let probe = harness.testbench();
+    if probe.can_run_wide() {
+        classify_points_wide(harness, golden, points)
+    } else if probe.can_checkpoint() {
+        classify_points_checkpoint(harness, golden, points)
+    } else {
+        points.iter().map(|&p| inject(harness, golden, p)).collect()
+    }
+}
+
+/// Broadcasts a golden bit across all 64 lanes.
+#[inline]
+fn broadcast(bit: bool) -> u64 {
+    if bit {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// The wide engine behind [`classify_points`]: groups points by injection
+/// cycle, packs up to 64 of them into one lane-parallel run seeded from the
+/// golden trace, and compares every lane against golden with word XORs.
+///
+/// Early retirement is sound here because the wide path requires a harness
+/// without devices: once a lane's full flip-flop state re-converges to the
+/// golden state (inputs are golden by construction), *every* net of that
+/// lane equals golden in all later cycles, so its classification is already
+/// decided — `OutputFailure` can no longer occur and the recorded
+/// convergence offset is final, exactly as the scalar classifier would
+/// conclude after running out the horizon.
+fn classify_points_wide(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+) -> Vec<FaultEffect> {
+    let horizon = golden.trace.num_cycles();
+    // The testbench is used purely as a stimulus source; pure waves may be
+    // sampled at arbitrary cycles.
+    let mut stim = harness.testbench();
+    let mut wide = WideSimulator::new(harness.netlist(), harness.topology());
+
+    let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        by_cycle.entry(p.cycle).or_default().push(idx);
+    }
+
+    let mut effects = vec![FaultEffect::Latent; points.len()];
+    for (&cycle, indices) in &by_cycle {
+        for chunk in indices.chunks(64) {
+            wide.load_from_trace(&golden.trace, cycle);
+            for (lane, &idx) in chunk.iter().enumerate() {
+                wide.flip_ff(points[idx].ff, lane);
+            }
+            let mut active = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            for t in cycle..horizon {
+                stim.apply_stimuli_wide(&mut wide, t as u64);
+                wide.settle();
+                // Outputs first, mirroring the scalar classifier's priority.
+                let mut out_diff = 0u64;
+                for &net in &golden.output_nets {
+                    out_diff |= wide.value_word(net) ^ broadcast(golden.trace.value(t, net));
+                }
+                let failed = out_diff & active;
+                if failed != 0 {
+                    for (lane, &idx) in chunk.iter().enumerate() {
+                        if failed & (1 << lane) != 0 {
+                            effects[idx] = FaultEffect::OutputFailure { after: t - cycle };
+                        }
+                    }
+                    active &= !failed;
+                }
+                if t > cycle && active != 0 {
+                    let mut state_diff = 0u64;
+                    for &net in &golden.state_nets {
+                        state_diff |= wide.value_word(net) ^ broadcast(golden.trace.value(t, net));
+                    }
+                    let converged = active & !state_diff;
+                    if converged != 0 {
+                        let after = t - cycle;
+                        for (lane, &idx) in chunk.iter().enumerate() {
+                            if converged & (1 << lane) != 0 {
+                                effects[idx] = if after == 1 {
+                                    FaultEffect::MaskedWithinOneCycle
+                                } else {
+                                    FaultEffect::SilentRecovery { after }
+                                };
+                            }
+                        }
+                        active &= !converged;
+                    }
+                }
+                if active == 0 {
+                    break;
+                }
+                wide.tick();
+            }
+            // Lanes still active at the horizon never re-converged: Latent,
+            // which `effects` was initialized with.
+        }
+    }
+    effects
+}
+
+/// The checkpointed scalar engine behind [`classify_points`]: one
+/// incremental golden run captures a [`mate_sim::TestbenchCheckpoint`] at
+/// every distinct injection cycle, then each point restores its checkpoint
+/// into a reusable work testbench instead of replaying cycles `0..c`.
+fn classify_points_checkpoint(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+) -> Vec<FaultEffect> {
+    let needed: std::collections::BTreeSet<usize> = points.iter().map(|p| p.cycle).collect();
+    let mut checkpoints = BTreeMap::new();
+    if let Some(&last) = needed.iter().next_back() {
+        let mut gtb = harness.testbench();
+        for c in 0..=last {
+            if needed.contains(&c) {
+                // State at the *start* of cycle `c`: captured before the
+                // testbench steps through it.
+                checkpoints.insert(c, gtb.checkpoint());
+            }
+            if c < last {
+                gtb.step();
+            }
+        }
+    }
+    let mut work = harness.testbench();
+    points
+        .iter()
+        .map(|&p| {
+            work.restore(&checkpoints[&p.cycle]);
+            work.sim_mut().flip_ff(p.ff);
+            classify(&mut work, golden, p.cycle)
+        })
+        .collect()
 }
 
 /// Injects a *simultaneous* multi-bit SEU (all points in the same cycle)
@@ -352,6 +524,28 @@ pub fn run_campaign(
         result.records.push((point, effect));
     }
     result
+}
+
+/// Runs a full (or sampled) injection campaign over `space` on the batched
+/// engine: identical records to [`run_campaign`], at up to 64 fault
+/// scenarios per simulation via [`classify_points`].
+pub fn run_campaign_wide(
+    harness: &dyn DesignHarness,
+    space: &FaultSpace,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let golden = golden_run(harness, config.cycles + 1);
+    let points: Vec<FaultPoint> = match config.sample {
+        Some(count) => space.sample(count, config.seed),
+        None => space.iter().collect(),
+    }
+    .into_iter()
+    .filter(|p| p.cycle < config.cycles)
+    .collect();
+    let effects = classify_points(harness, &golden, &points);
+    CampaignResult {
+        records: points.into_iter().zip(effects).collect(),
+    }
 }
 
 #[cfg(test)]

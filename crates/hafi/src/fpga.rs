@@ -169,8 +169,7 @@ mod tests {
         let set = summarize([
             mate_with_inputs(3, 100),
             Mate::single(
-                NetCube::from_literals([(net(5), false), (net(6), true), (net(7), true)])
-                    .unwrap(),
+                NetCube::from_literals([(net(5), false), (net(6), true), (net(7), true)]).unwrap(),
                 net(100),
             ),
         ]);

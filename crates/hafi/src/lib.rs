@@ -22,8 +22,8 @@ pub mod space;
 pub mod validate;
 
 pub use campaign::{
-    golden_run, inject, inject_multi, inject_persistent, run_campaign, CampaignConfig,
-    CampaignResult, FaultEffect,
+    classify_points, golden_run, inject, inject_multi, inject_persistent, run_campaign,
+    run_campaign_wide, CampaignConfig, CampaignResult, FaultEffect,
 };
 pub use fpga::{CommandModel, LutCostModel};
 pub use harness::{DesignHarness, StimulusHarness};

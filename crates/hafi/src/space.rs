@@ -82,11 +82,9 @@ impl FaultSpace {
     /// Iterates over every fault point (cycle-major order).
     pub fn iter(&self) -> impl Iterator<Item = FaultPoint> + '_ {
         (0..self.cycles).flat_map(move |cycle| {
-            self.ffs.iter().map(move |&(ff, wire)| FaultPoint {
-                ff,
-                wire,
-                cycle,
-            })
+            self.ffs
+                .iter()
+                .map(move |&(ff, wire)| FaultPoint { ff, wire, cycle })
         })
     }
 

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::campaign::{golden_run, inject, FaultEffect};
+use crate::campaign::{classify_points, golden_run, FaultEffect};
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
 
@@ -65,10 +65,7 @@ pub fn validate_mates(
     let ff_of: std::collections::HashMap<NetId, _> =
         space.ffs().map(|(ff, wire)| (wire, ff)).collect();
     for &w in wires {
-        assert!(
-            ff_of.contains_key(&w),
-            "wire {w} is not a flip-flop output"
-        );
+        assert!(ff_of.contains_key(&w), "wire {w} is not a flip-flop output");
     }
 
     let mut claimed_points: Vec<FaultPoint> = Vec::new();
@@ -95,8 +92,10 @@ pub fn validate_mates(
             claimed_points.truncate(limit);
         }
     }
-    for point in claimed_points {
-        let effect = inject(harness, &golden, point);
+    // Batched classification: up to 64 claimed points share one wide run
+    // (or one checkpoint-seeded run) instead of one full replay each.
+    let effects = classify_points(harness, &golden, &claimed_points);
+    for (point, effect) in claimed_points.into_iter().zip(effects) {
         validation.checked += 1;
         if effect.is_masked_one_cycle() {
             validation.confirmed += 1;
@@ -122,10 +121,13 @@ mod tests {
         let input = n.find_net("in").unwrap();
         let harness = StimulusHarness::new(n, topo)
             .drive(input, vec![false, true, true, false, true, false, false]);
-        let (report, validation) =
-            validate_mates(&harness, &mates, &wires, 24, None, 0);
+        let (report, validation) = validate_mates(&harness, &mates, &wires, 24, None, 0);
         assert!(validation.claimed > 0, "MATEs must trigger on this trace");
-        assert!(validation.sound(), "violations: {:?}", validation.violations);
+        assert!(
+            validation.sound(),
+            "violations: {:?}",
+            validation.violations
+        );
         assert!(report.masked_fraction() > 0.0);
     }
 
@@ -140,7 +142,11 @@ mod tests {
             .drive(load, vec![true, false, false, true, false])
             .drive(din, vec![true, true, false]);
         let (report, validation) = validate_mates(&harness, &mates, &wires, 16, None, 0);
-        assert!(validation.sound(), "violations: {:?}", validation.violations);
+        assert!(
+            validation.sound(),
+            "violations: {:?}",
+            validation.violations
+        );
         // TMR voting masks replica upsets in most cycles.
         assert!(report.masked_fraction() > 0.5);
     }

@@ -216,13 +216,10 @@ mod extensions {
             for i in 0..ffs.len() {
                 for j in (i + 1)..ffs.len() {
                     let wires = [ffs[i].1, ffs[j].1];
-                    let result =
-                        search_wire_set(netlist, topo, &wires, &SearchConfig::default());
+                    let result = search_wire_set(netlist, topo, &wires, &SearchConfig::default());
                     for mate in &result.mates {
                         for cycle in 0..cycles {
-                            let triggered = mate
-                                .cube
-                                .eval(|net| golden.trace.value(cycle, net));
+                            let triggered = mate.cube.eval(|net| golden.trace.value(cycle, net));
                             if !triggered {
                                 continue;
                             }
@@ -275,11 +272,7 @@ mod extensions {
             let mates =
                 search_design(netlist, topo, &wires, &SearchConfig::default()).into_mate_set();
             let golden = golden_run(&harness, cycles + 1);
-            let report = mate::eval::evaluate(
-                &mates,
-                &golden.trace.truncated(cycles),
-                &wires,
-            );
+            let report = mate::eval::evaluate(&mates, &golden.trace.truncated(cycles), &wires);
             let ff_of: std::collections::HashMap<_, _> = topo
                 .seq_cells()
                 .iter()

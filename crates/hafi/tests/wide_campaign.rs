@@ -1,0 +1,159 @@
+//! The batched campaign engine must be a pure performance change: every
+//! path through [`classify_points`] — wide, checkpointed scalar, and the
+//! scalar fallback — has to produce classifications bit-identical to one
+//! [`inject`] call per fault point.
+
+use proptest::prelude::*;
+
+use mate_hafi::{
+    classify_points, golden_run, inject, run_campaign, run_campaign_wide, CampaignConfig,
+    DesignHarness, FaultPoint, FaultSpace, StimulusHarness,
+};
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+
+fn harness_for(seed: u64, cfg: RandomCircuitConfig, cycles: usize) -> StimulusHarness {
+    let (netlist, topo) = random_circuit(cfg, seed);
+    let inputs = netlist.inputs().to_vec();
+    let mut harness = StimulusHarness::new(netlist, topo);
+    for (i, input) in inputs.into_iter().enumerate() {
+        let values: Vec<bool> = (0..cycles)
+            .map(|c| {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64) << 32 | c as u64)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x >> 37) & 1 == 1
+            })
+            .collect();
+        harness = harness.drive(input, values);
+    }
+    harness
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exhaustive fault space on random circuits: the wide engine classifies
+    /// every point exactly like the scalar `inject` path.
+    #[test]
+    fn wide_classifications_match_scalar_inject(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 7, gates: 24, outputs: 2 };
+        let cycles = 14;
+        let harness = harness_for(seed, cfg, cycles + 1);
+        // A stimulus-only harness takes the wide path.
+        prop_assert!(harness.testbench().can_run_wide());
+
+        let golden = golden_run(&harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points: Vec<FaultPoint> = space.iter().collect();
+
+        let batched = classify_points(&harness, &golden, &points);
+        for (&point, wide_effect) in points.iter().zip(&batched) {
+            let scalar_effect = inject(&harness, &golden, point);
+            prop_assert_eq!(
+                *wide_effect,
+                scalar_effect,
+                "seed {} ff {:?} cycle {}",
+                seed, point.ff, point.cycle
+            );
+        }
+    }
+
+    /// The two campaign drivers agree record-for-record.
+    #[test]
+    fn wide_campaign_matches_scalar_campaign(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 4, ffs: 6, gates: 20, outputs: 2 };
+        let cycles = 10;
+        let harness = harness_for(seed.wrapping_add(13), cfg, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let config = CampaignConfig { cycles, sample: Some(40), seed };
+        let scalar = run_campaign(&harness, &space, &config);
+        let wide = run_campaign_wide(&harness, &space, &config);
+        prop_assert_eq!(scalar.records, wide.records);
+    }
+}
+
+mod checkpoint_path {
+    use super::*;
+    use mate_cores::avr::programs as avr_programs;
+    use mate_cores::avr::system::AvrSystem;
+    use mate_cores::msp430::programs as msp_programs;
+    use mate_cores::msp430::system::Msp430System;
+    use mate_cores::Termination;
+    use mate_sim::Testbench;
+
+    struct AvrHarness {
+        sys: AvrSystem,
+        program: Vec<u16>,
+        dmem: Vec<u8>,
+    }
+
+    impl DesignHarness for AvrHarness {
+        fn netlist(&self) -> &mate_netlist::Netlist {
+            self.sys.netlist()
+        }
+        fn topology(&self) -> &mate_netlist::Topology {
+            self.sys.topology()
+        }
+        fn testbench(&self) -> Testbench<'_> {
+            self.sys.testbench(&self.program, &self.dmem).0
+        }
+    }
+
+    struct MspHarness {
+        sys: Msp430System,
+        image: Vec<u16>,
+    }
+
+    impl DesignHarness for MspHarness {
+        fn netlist(&self) -> &mate_netlist::Netlist {
+            self.sys.netlist()
+        }
+        fn topology(&self) -> &mate_netlist::Topology {
+            self.sys.topology()
+        }
+        fn testbench(&self) -> Testbench<'_> {
+            self.sys.testbench(&self.image).0
+        }
+    }
+
+    fn assert_checkpoint_matches_scalar(harness: &dyn DesignHarness, cycles: usize, sample: usize) {
+        // The cores carry external memory devices, so the wide path is out —
+        // but their memories snapshot, which selects the checkpoint engine.
+        let probe = harness.testbench();
+        assert!(!probe.can_run_wide(), "cores have devices");
+        assert!(probe.can_checkpoint(), "core memories must snapshot");
+
+        let golden = golden_run(harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points = space.sample(sample, 42);
+        let batched = classify_points(harness, &golden, &points);
+        for (&point, checkpointed) in points.iter().zip(&batched) {
+            let scalar = inject(harness, &golden, point);
+            assert_eq!(
+                *checkpointed, scalar,
+                "ff {:?} cycle {}",
+                point.ff, point.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn avr_checkpoint_classifications_match_scalar_inject() {
+        let harness = AvrHarness {
+            sys: AvrSystem::new(),
+            program: avr_programs::fib(Termination::Loop),
+            dmem: Vec::new(),
+        };
+        assert_checkpoint_matches_scalar(&harness, 80, 48);
+    }
+
+    #[test]
+    fn msp430_checkpoint_classifications_match_scalar_inject() {
+        let harness = MspHarness {
+            sys: Msp430System::new(),
+            image: msp_programs::fib(Termination::Loop),
+        };
+        assert_checkpoint_matches_scalar(&harness, 80, 48);
+    }
+}

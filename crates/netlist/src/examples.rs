@@ -1,7 +1,6 @@
 //! Small hand-built circuits used in documentation, tests, and the
 //! reproduction of Figure 1 of the paper.
 
-
 use crate::graph::Topology;
 use crate::library::Library;
 use crate::netlist::Netlist;
@@ -37,9 +36,7 @@ pub fn figure1() -> (Netlist, Topology) {
     let g = n
         .add_cell_named("XOR2", "B", &[c, d], "g")
         .expect("valid cell");
-    let h = n
-        .add_cell_named("INV", "C", &[e], "h")
-        .expect("valid cell");
+    let h = n.add_cell_named("INV", "C", &[e], "h").expect("valid cell");
     let k = n
         .add_cell_named("AND2", "D", &[g, f], "k")
         .expect("valid cell");
@@ -121,12 +118,7 @@ pub fn counter(width: usize) -> (Netlist, Topology) {
             .expect("ff");
         if i + 1 < width {
             carry = n
-                .add_cell_named(
-                    "AND2",
-                    &format!("carry{i}"),
-                    &[q, carry],
-                    &format!("c{i}"),
-                )
+                .add_cell_named("AND2", &format!("carry{i}"), &[q, carry], &format!("c{i}"))
                 .expect("valid cell");
         }
         n.set_output(q);

@@ -181,19 +181,9 @@ impl Library {
             CellType::comb("MAJ3", &["A", "B", "C"], TruthTable::maj3(), 4),
             CellType::comb("MUX2", &["S", "A", "B"], TruthTable::mux2(), 3),
             CellType::comb("AOI21", &["A1", "A2", "B"], TruthTable::aoi21(), 2),
-            CellType::comb(
-                "AOI22",
-                &["A1", "A2", "B1", "B2"],
-                TruthTable::aoi22(),
-                2,
-            ),
+            CellType::comb("AOI22", &["A1", "A2", "B1", "B2"], TruthTable::aoi22(), 2),
             CellType::comb("OAI21", &["A1", "A2", "B"], TruthTable::oai21(), 2),
-            CellType::comb(
-                "OAI22",
-                &["A1", "A2", "B1", "B2"],
-                TruthTable::oai22(),
-                2,
-            ),
+            CellType::comb("OAI22", &["A1", "A2", "B1", "B2"], TruthTable::oai22(), 2),
             CellType::dff("DFF", 5),
         ];
         Self::from_types("open15", types)

@@ -229,6 +229,47 @@ impl TruthTable {
         self.eval(row)
     }
 
+    /// Evaluates the function on 64 packed input assignments at once.
+    ///
+    /// Bit lane `l` of `rows[pin]` carries the value of input `pin` in
+    /// scenario `l`; lane `l` of the returned word carries the corresponding
+    /// output.  This is the word-level primitive of bit-parallel fault
+    /// simulation: one call evaluates the cell for 64 independent fault
+    /// scenarios.
+    ///
+    /// The function is expanded as a sum of minterms over whichever polarity
+    /// of the table has fewer rows (complementing at the end when the
+    /// off-set was used), so common cells cost only a handful of word ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` differs from [`TruthTable::inputs`].
+    pub fn eval_wide(&self, rows: &[u64]) -> u64 {
+        assert_eq!(rows.len(), self.inputs(), "one packed word per input pin");
+        let num_rows = 1usize << self.inputs;
+        let ones = self.bits.count_ones() as usize;
+        let (mut remaining, invert) = if ones * 2 <= num_rows {
+            (self.bits, false)
+        } else {
+            (!self.bits & Self::row_mask(self.inputs()), true)
+        };
+        let mut acc = 0u64;
+        while remaining != 0 {
+            let row = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let mut term = u64::MAX;
+            for (pin, &word) in rows.iter().enumerate() {
+                term &= if row & (1 << pin) != 0 { word } else { !word };
+            }
+            acc |= term;
+        }
+        if invert {
+            !acc
+        } else {
+            acc
+        }
+    }
+
     /// The complemented function.
     pub fn complement(&self) -> Self {
         Self::new(self.inputs(), !self.bits)
@@ -510,6 +551,49 @@ pub fn masking_cubes(tt: &TruthTable, faulty_mask: u8) -> Vec<PinCube> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn eval_wide_matches_scalar_eval() {
+        // Every interesting shape: sparse on-set, sparse off-set, constants,
+        // parity (worst case for minterm expansion), and a 6-input table.
+        let tables = [
+            TruthTable::zero(0),
+            TruthTable::one(0),
+            TruthTable::buf(),
+            TruthTable::not(),
+            TruthTable::and(2),
+            TruthTable::or(4),
+            TruthTable::nand(3),
+            TruthTable::nor(2),
+            TruthTable::xor(4),
+            TruthTable::xnor(3),
+            TruthTable::mux2(),
+            TruthTable::maj3(),
+            TruthTable::new(6, 0xDEAD_BEEF_0123_4567),
+        ];
+        for tt in tables {
+            let pins = tt.inputs();
+            // Pack lane l with input row (l * 2654435761) % 2^pins so the 64
+            // lanes cover a scrambled spread of assignments.
+            let lane_row = |l: usize| (l.wrapping_mul(2654435761)) & ((1 << pins) - 1);
+            let mut rows = vec![0u64; pins];
+            for (pin, word) in rows.iter_mut().enumerate() {
+                for l in 0..64 {
+                    if lane_row(l) & (1 << pin) != 0 {
+                        *word |= 1u64 << l;
+                    }
+                }
+            }
+            let wide = tt.eval_wide(&rows);
+            for l in 0..64 {
+                assert_eq!(
+                    wide & (1 << l) != 0,
+                    tt.eval(lane_row(l)),
+                    "lane {l} of {tt:?} disagrees with scalar eval"
+                );
+            }
+        }
+    }
 
     #[test]
     fn basic_gates_eval() {

@@ -98,11 +98,8 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
             continue;
         };
         let out = cell.output().index();
-        let resolved: Vec<(Option<bool>, NetId)> = cell
-            .inputs()
-            .iter()
-            .map(|&n| resolve(&value, n))
-            .collect();
+        let resolved: Vec<(Option<bool>, NetId)> =
+            cell.inputs().iter().map(|&n| resolve(&value, n)).collect();
 
         // Full constant folding: every input known.
         if resolved.iter().all(|(c, _)| c.is_some()) {
@@ -284,10 +281,7 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
         let cell = netlist.cell(id);
         let (type_name, inputs_src): (&str, &[NetId]) = match fuse.get(&id) {
             Some(&(fused_name, inner)) => (fused_name, netlist.cell(inner).inputs()),
-            None => (
-                lib.cell_type(cell.type_id()).name(),
-                cell.inputs(),
-            ),
+            None => (lib.cell_type(cell.type_id()).name(), cell.inputs()),
         };
         let new_inputs: Vec<NetId> = inputs_src
             .iter()

@@ -109,7 +109,9 @@ pub fn random_circuit(config: RandomCircuitConfig, seed: u64) -> (Netlist, Topol
         n.set_output(first);
     }
 
-    let topo = n.validate().expect("random circuit is valid by construction");
+    let topo = n
+        .validate()
+        .expect("random circuit is valid by construction");
     (n, topo)
 }
 

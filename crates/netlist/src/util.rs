@@ -261,10 +261,7 @@ mod tests {
         for i in [0usize, 63, 64, 127, 128, 199] {
             s.insert(i);
         }
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![0, 63, 64, 127, 128, 199]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
     }
 
     #[test]

@@ -62,7 +62,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     for &o in netlist.outputs() {
         ports.push(ident(netlist.net(o).name()));
     }
-    let _ = writeln!(out, "module {} ({});", ident(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        ident(netlist.name()),
+        ports.join(", ")
+    );
     for &i in netlist.inputs() {
         let _ = writeln!(out, "  input {};", ident(netlist.net(i).name()));
     }
@@ -87,7 +92,13 @@ pub fn to_verilog(netlist: &Netlist) -> String {
             ty.output_pin(),
             ident(netlist.net(cell.output()).name())
         ));
-        let _ = writeln!(out, "  {} {} ({});", ty.name(), ident(cell.name()), conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            ty.name(),
+            ident(cell.name()),
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
     out
@@ -141,7 +152,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { src, pos: 0, line: 1 }
+        Self {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> VerilogError {
@@ -315,7 +330,8 @@ pub fn parse_verilog(
                         let id = netlist.add_input(&name);
                         nets.insert(name, id);
                     } else {
-                        nets.entry(name.clone()).or_insert_with(|| netlist.add_net(&name));
+                        nets.entry(name.clone())
+                            .or_insert_with(|| netlist.add_net(&name));
                         if word == "output" {
                             pending_outputs.push(name);
                         }
@@ -455,7 +471,8 @@ mod tests {
 
     #[test]
     fn escaped_identifiers() {
-        let src = "module m (\\a$b , y); input \\a$b ; output y; INV i0 (.A(\\a$b ), .Y(y)); endmodule";
+        let src =
+            "module m (\\a$b , y); input \\a$b ; output y; INV i0 (.A(\\a$b ), .Y(y)); endmodule";
         let (n, _) = parse_verilog(src, Library::open15()).unwrap();
         assert!(n.find_net("a$b").is_some());
     }

@@ -296,13 +296,7 @@ impl ModuleBuilder {
         let zero = self.zero().bit(0);
         let w = a.width();
         let bits = (0..w)
-            .map(|i| {
-                if i >= amount {
-                    a.bit(i - amount)
-                } else {
-                    zero
-                }
-            })
+            .map(|i| if i >= amount { a.bit(i - amount) } else { zero })
             .collect();
         Signal::from_nets(bits)
     }

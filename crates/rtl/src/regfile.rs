@@ -201,7 +201,11 @@ mod tests {
         for v in 0..8u64 {
             sim.write_bus(sel.nets(), v);
             for (i, o) in outs.iter().enumerate() {
-                assert_eq!(sim.read_bus(o.nets()) == 1, i as u64 == v, "sel={v} out={i}");
+                assert_eq!(
+                    sim.read_bus(o.nets()) == 1,
+                    i as u64 == v,
+                    "sel={v} out={i}"
+                );
             }
         }
     }

@@ -13,6 +13,27 @@ pub struct SimSnapshot {
     pub cycle: u64,
 }
 
+/// A full checkpoint of simulator state: the complete net-value bitmap plus
+/// the cycle counter.
+///
+/// Unlike [`SimSnapshot`], which covers only the flip-flops, a checkpoint
+/// restores the simulator *exactly* — including primary-input levels and the
+/// settled flag — so a fault-injection campaign can resume at the injection
+/// cycle without replaying the warm-up prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimCheckpoint {
+    values: BitSet,
+    settled: bool,
+    cycle: u64,
+}
+
+impl SimCheckpoint {
+    /// The cycle counter at capture time.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
 /// A cycle-based simulator for a validated netlist.
 ///
 /// The lifecycle per clock cycle is:
@@ -37,6 +58,9 @@ pub struct Simulator<'n> {
     /// `true` while `values` reflects the current inputs/state.
     settled: bool,
     cycle: u64,
+    /// Reusable latch buffer for [`Simulator::tick`], so the per-cycle hot
+    /// path allocates nothing.
+    latch_scratch: Vec<bool>,
 }
 
 impl<'n> Simulator<'n> {
@@ -48,6 +72,7 @@ impl<'n> Simulator<'n> {
             values: BitSet::new(netlist.num_nets()),
             settled: false,
             cycle: 0,
+            latch_scratch: Vec::with_capacity(topo.seq_cells().len()),
         }
     }
 
@@ -129,19 +154,22 @@ impl<'n> Simulator<'n> {
     pub fn tick(&mut self) {
         self.settle();
         // Two-phase: sample all D pins first, then update the Q nets, so
-        // FF-to-FF shifts behave like real edge-triggered logic.
-        let mut next: Vec<bool> = Vec::with_capacity(self.topo.seq_cells().len());
+        // FF-to-FF shifts behave like real edge-triggered logic.  The latch
+        // buffer is reused across ticks to keep the hot path allocation-free.
+        let mut next = std::mem::take(&mut self.latch_scratch);
+        next.clear();
         for &ff in self.topo.seq_cells() {
             let d = self.netlist.cell(ff).inputs()[0];
             next.push(self.values.contains(d.index()));
         }
-        for (&ff, v) in self.topo.seq_cells().iter().zip(next) {
+        for (&ff, &v) in self.topo.seq_cells().iter().zip(&next) {
             let q = self.netlist.cell(ff).output();
             if self.values.contains(q.index()) != v {
                 self.values.set(q.index(), v);
                 self.settled = false;
             }
         }
+        self.latch_scratch = next;
         self.cycle += 1;
     }
 
@@ -199,10 +227,7 @@ impl<'n> Simulator<'n> {
             .topo
             .seq_cells()
             .iter()
-            .map(|&ff| {
-                self.values
-                    .contains(self.netlist.cell(ff).output().index())
-            })
+            .map(|&ff| self.values.contains(self.netlist.cell(ff).output().index()))
             .collect();
         SimSnapshot {
             state,
@@ -229,6 +254,33 @@ impl<'n> Simulator<'n> {
         self.cycle = snapshot.cycle;
         self.settled = false;
     }
+
+    /// Captures the complete simulator state (every net value, the settled
+    /// flag, and the cycle counter).
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint {
+            values: self.values.clone(),
+            settled: self.settled,
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a checkpoint captured by [`Simulator::checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken from a netlist with a different
+    /// net count.
+    pub fn restore_checkpoint(&mut self, checkpoint: &SimCheckpoint) {
+        assert_eq!(
+            checkpoint.values.capacity(),
+            self.values.capacity(),
+            "checkpoint incompatible with this netlist"
+        );
+        self.values.clone_from(&checkpoint.values);
+        self.settled = checkpoint.settled;
+        self.cycle = checkpoint.cycle;
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +294,13 @@ mod tests {
         let mut sim = Simulator::new(&n, &topo);
         let get = |name: &str| n.find_net(name).unwrap();
         // a=1 b=1 -> f = NAND = 0; c=0 d=1 -> g = 1; e=0 -> h=1
-        for (name, v) in [("a", true), ("b", true), ("c", false), ("d", true), ("e", false)] {
+        for (name, v) in [
+            ("a", true),
+            ("b", true),
+            ("c", false),
+            ("d", true),
+            ("e", false),
+        ] {
             sim.set_input(get(name), v);
         }
         assert!(!sim.value(get("f")));
@@ -344,6 +402,37 @@ mod tests {
         sim.restore(&snap);
         assert_eq!(sim.snapshot(), snap);
         assert_eq!(sim.cycle(), 11);
+    }
+
+    #[test]
+    fn checkpoint_restores_exact_state() {
+        let (n, topo) = counter(5);
+        let mut sim = Simulator::new(&n, &topo);
+        let en = n.find_net("en").unwrap();
+        sim.set_input(en, true);
+        for _ in 0..9 {
+            sim.tick();
+        }
+        let cp = sim.checkpoint();
+        assert_eq!(cp.cycle(), 9);
+        // Diverge: different input level and more cycles.
+        sim.set_input(en, false);
+        for _ in 0..6 {
+            sim.tick();
+        }
+        sim.restore_checkpoint(&cp);
+        assert_eq!(sim.cycle(), 9);
+        // The restored run must continue exactly like the original would
+        // have, including the restored input level (en=1 keeps counting).
+        for _ in 0..3 {
+            sim.tick();
+        }
+        let mut value = 0usize;
+        for i in 0..5 {
+            let q = n.find_net(&format!("q{i}")).unwrap();
+            value |= (sim.value(q) as usize) << i;
+        }
+        assert_eq!(value, 12);
     }
 
     #[test]

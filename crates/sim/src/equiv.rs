@@ -58,11 +58,7 @@ pub fn check_equiv(
         .collect();
     let outputs_a: Vec<NetId> = na.outputs().to_vec();
     let outputs_b: Vec<NetId> = nb.outputs().to_vec();
-    assert_eq!(
-        outputs_a.len(),
-        outputs_b.len(),
-        "output counts must match"
-    );
+    assert_eq!(outputs_a.len(), outputs_b.len(), "output counts must match");
 
     let mut sim_a = Simulator::new(na, ta);
     let mut sim_b = Simulator::new(nb, tb);

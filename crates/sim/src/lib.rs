@@ -13,6 +13,8 @@
 //! * [`vcd`] — VCD writer and reader, round-trip compatible.
 //! * [`testbench`] — drives a netlist with input stimuli and external
 //!   devices (instruction/data memories) and records traces.
+//! * [`wide`] — a 64-lane bit-parallel engine: one `u64` per net carries 64
+//!   independent fault scenarios, the substrate of batched campaigns.
 //!
 //! # Example
 //!
@@ -37,9 +39,11 @@ pub mod equiv;
 pub mod testbench;
 pub mod trace;
 pub mod vcd;
+pub mod wide;
 
-pub use engine::{SimSnapshot, Simulator};
+pub use engine::{SimCheckpoint, SimSnapshot, Simulator};
 pub use equiv::{check_equiv, Mismatch};
-pub use testbench::{InputWave, Testbench};
+pub use testbench::{InputWave, SnapshotDevice, Testbench, TestbenchCheckpoint};
 pub use trace::WaveTrace;
 pub use vcd::{read_vcd, write_vcd, VcdError};
+pub use wide::WideSimulator;

@@ -2,12 +2,16 @@
 
 use mate_netlist::prelude::*;
 
-use crate::engine::Simulator;
+use crate::engine::{SimCheckpoint, Simulator};
 use crate::trace::WaveTrace;
+use crate::wide::WideSimulator;
 
 /// A per-cycle stimulus for one primary input.
 pub struct InputWave {
     wave: Box<dyn FnMut(u64) -> bool>,
+    /// `true` when the wave is a pure function of the cycle number, i.e. it
+    /// may be sampled at an arbitrary cycle without replaying the prefix.
+    pure: bool,
 }
 
 impl InputWave {
@@ -15,6 +19,7 @@ impl InputWave {
     pub fn constant(value: bool) -> Self {
         Self {
             wave: Box::new(move |_| value),
+            pure: true,
         }
     }
 
@@ -22,6 +27,7 @@ impl InputWave {
     pub fn pulse(cycles: u64) -> Self {
         Self {
             wave: Box::new(move |c| c < cycles),
+            pure: true,
         }
     }
 
@@ -34,12 +40,38 @@ impl InputWave {
         assert!(!values.is_empty(), "stimulus vector must not be empty");
         Self {
             wave: Box::new(move |c| *values.get(c as usize).unwrap_or(values.last().unwrap())),
+            pure: true,
         }
     }
 
     /// An arbitrary function of the cycle number.
+    ///
+    /// The closure may be stateful, so the wave is treated as *impure*:
+    /// checkpoint-based and wide campaigns fall back to replaying from cycle
+    /// 0.  Use [`InputWave::from_fn_pure`] for stateless closures.
     pub fn from_fn(f: impl FnMut(u64) -> bool + 'static) -> Self {
-        Self { wave: Box::new(f) }
+        Self {
+            wave: Box::new(f),
+            pure: false,
+        }
+    }
+
+    /// A *pure* function of the cycle number.
+    ///
+    /// By constructing the wave this way the caller asserts the closure's
+    /// result depends only on its argument; campaigns may then sample it at
+    /// arbitrary cycles (out of order, repeatedly) when seeding runs from
+    /// checkpoints.
+    pub fn from_fn_pure(f: impl Fn(u64) -> bool + 'static) -> Self {
+        Self {
+            wave: Box::new(f),
+            pure: true,
+        }
+    }
+
+    /// `true` when the wave may be sampled at arbitrary cycles.
+    pub fn is_pure(&self) -> bool {
+        self.pure
     }
 
     fn sample(&mut self, cycle: u64) -> bool {
@@ -68,6 +100,60 @@ impl std::fmt::Debug for InputWave {
 /// satisfy this naturally.
 pub type Device<'n> = Box<dyn FnMut(&mut Simulator<'n>) + 'n>;
 
+/// A device whose external state (memory contents, peripheral registers) can
+/// be captured and restored.
+///
+/// Campaigns use this to checkpoint a golden run at each injection cycle and
+/// seed faulty runs from there instead of replaying the warm-up prefix; a
+/// testbench whose devices all implement this trait reports
+/// [`Testbench::can_checkpoint`].
+pub trait SnapshotDevice<'n> {
+    /// Runs the device for the current cycle, like a plain [`Device`]
+    /// closure: read settled outputs, drive primary inputs.
+    fn on_cycle(&mut self, sim: &mut Simulator<'n>);
+
+    /// Serializes every piece of state mutated by [`Self::on_cycle`].
+    /// Read-only devices (ROMs) return an empty vector.
+    fn state(&self) -> Vec<u64>;
+
+    /// Restores state previously captured by [`Self::state`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `state` has the wrong shape.
+    fn load_state(&mut self, state: &[u64]);
+}
+
+/// A device slot: either an opaque closure or a snapshotable device.
+enum DeviceSlot<'n> {
+    Opaque(Device<'n>),
+    Snapshot(Box<dyn SnapshotDevice<'n> + 'n>),
+}
+
+impl<'n> DeviceSlot<'n> {
+    fn on_cycle(&mut self, sim: &mut Simulator<'n>) {
+        match self {
+            DeviceSlot::Opaque(f) => f(sim),
+            DeviceSlot::Snapshot(d) => d.on_cycle(sim),
+        }
+    }
+}
+
+/// A full checkpoint of a testbench: simulator state plus the state of every
+/// snapshotable device.  Captured by [`Testbench::checkpoint`].
+#[derive(Clone, Debug)]
+pub struct TestbenchCheckpoint {
+    sim: SimCheckpoint,
+    devices: Vec<Vec<u64>>,
+}
+
+impl TestbenchCheckpoint {
+    /// The cycle counter at capture time.
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+}
+
 /// Drives a netlist cycle by cycle and records a [`WaveTrace`].
 ///
 /// # Example
@@ -85,7 +171,7 @@ pub type Device<'n> = Box<dyn FnMut(&mut Simulator<'n>) + 'n>;
 pub struct Testbench<'n> {
     sim: Simulator<'n>,
     stimuli: Vec<(NetId, InputWave)>,
-    devices: Vec<Device<'n>>,
+    devices: Vec<DeviceSlot<'n>>,
 }
 
 impl<'n> Testbench<'n> {
@@ -108,10 +194,103 @@ impl<'n> Testbench<'n> {
         self
     }
 
-    /// Attaches a reactive device.
+    /// Attaches a reactive device as an opaque closure.  The testbench then
+    /// cannot be checkpointed; prefer [`Testbench::attach_snapshot`] for
+    /// devices that can serialize their state.
     pub fn attach(&mut self, device: Device<'n>) -> &mut Self {
-        self.devices.push(device);
+        self.devices.push(DeviceSlot::Opaque(device));
         self
+    }
+
+    /// Attaches a snapshotable reactive device.
+    pub fn attach_snapshot(&mut self, device: Box<dyn SnapshotDevice<'n> + 'n>) -> &mut Self {
+        self.devices.push(DeviceSlot::Snapshot(device));
+        self
+    }
+
+    /// `true` when at least one external device is attached.
+    pub fn has_devices(&self) -> bool {
+        !self.devices.is_empty()
+    }
+
+    /// `true` when every stimulus is a pure function of the cycle number.
+    pub fn pure_stimuli(&self) -> bool {
+        self.stimuli.iter().all(|(_, wave)| wave.is_pure())
+    }
+
+    /// `true` when the whole testbench can be checkpointed and restored:
+    /// every stimulus is pure and every device is snapshotable.
+    pub fn can_checkpoint(&self) -> bool {
+        self.pure_stimuli()
+            && self
+                .devices
+                .iter()
+                .all(|slot| matches!(slot, DeviceSlot::Snapshot(_)))
+    }
+
+    /// `true` when the run can be re-created lane-parallel in a
+    /// [`WideSimulator`]: pure stimuli and no external devices at all.
+    pub fn can_run_wide(&self) -> bool {
+        self.devices.is_empty() && self.pure_stimuli()
+    }
+
+    /// Captures a checkpoint of the simulator and all device state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Testbench::can_checkpoint`] holds.
+    pub fn checkpoint(&self) -> TestbenchCheckpoint {
+        assert!(
+            self.can_checkpoint(),
+            "testbench has impure stimuli or opaque devices"
+        );
+        let devices = self
+            .devices
+            .iter()
+            .map(|slot| match slot {
+                DeviceSlot::Snapshot(d) => d.state(),
+                DeviceSlot::Opaque(_) => unreachable!("checked by can_checkpoint"),
+            })
+            .collect();
+        TestbenchCheckpoint {
+            sim: self.sim.checkpoint(),
+            devices,
+        }
+    }
+
+    /// Restores a checkpoint captured by [`Testbench::checkpoint`] (possibly
+    /// on a different testbench instance of the same design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device count differs or the simulator is incompatible.
+    pub fn restore(&mut self, checkpoint: &TestbenchCheckpoint) {
+        assert_eq!(
+            checkpoint.devices.len(),
+            self.devices.len(),
+            "checkpoint has a different device count"
+        );
+        self.sim.restore_checkpoint(&checkpoint.sim);
+        for (slot, state) in self.devices.iter_mut().zip(&checkpoint.devices) {
+            match slot {
+                DeviceSlot::Snapshot(d) => d.load_state(state),
+                DeviceSlot::Opaque(_) => panic!("cannot restore into an opaque device"),
+            }
+        }
+    }
+
+    /// Broadcasts this testbench's stimuli for `cycle` to all 64 lanes of a
+    /// wide simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Testbench::pure_stimuli`] holds — impure waves cannot
+    /// be sampled at arbitrary cycles.
+    pub fn apply_stimuli_wide(&mut self, wide: &mut WideSimulator<'n>, cycle: u64) {
+        assert!(self.pure_stimuli(), "wide stimuli require pure waves");
+        for (net, wave) in &mut self.stimuli {
+            wide.set_input(*net, wave.sample(cycle));
+        }
     }
 
     /// Access to the underlying simulator (e.g. for fault injection).
@@ -141,7 +320,7 @@ impl<'n> Testbench<'n> {
         }
         self.sim.settle();
         for device in &mut self.devices {
-            device(&mut self.sim);
+            device.on_cycle(&mut self.sim);
         }
         self.sim.settle();
         observe(&mut self.sim);

@@ -100,6 +100,18 @@ impl WaveTrace {
         word & (1u64 << (i % 64)) != 0
     }
 
+    /// The packed value words of one cycle (bit `i % 64` of word `i / 64`
+    /// is net `i`), as stored — the zero-copy input for broadcasting a
+    /// golden cycle into a wide simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    pub fn cycle_words(&self, cycle: usize) -> &[u64] {
+        assert!(cycle < self.cycles, "cycle {cycle} beyond trace");
+        &self.data[cycle * self.words_per_cycle..(cycle + 1) * self.words_per_cycle]
+    }
+
     /// A closure reading net values of one cycle (handy for
     /// [`NetCube::eval`]).
     pub fn cycle_reader(&self, cycle: usize) -> impl Fn(NetId) -> bool + '_ {
@@ -207,7 +219,10 @@ mod tests {
         t.push_cycle(&[false, false]);
         t.push_cycle(&[true, true]);
         let n0 = NetId::from_index(0);
-        assert_eq!(t.net_history(n0).collect::<Vec<_>>(), vec![true, false, true]);
+        assert_eq!(
+            t.net_history(n0).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
         assert_eq!(t.high_cycles(n0), 2);
         assert_eq!(t.high_cycles(NetId::from_index(1)), 1);
     }

@@ -80,11 +80,7 @@ fn id_code(mut index: usize) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from `out`.
-pub fn write_vcd(
-    netlist: &Netlist,
-    trace: &WaveTrace,
-    mut out: impl Write,
-) -> io::Result<()> {
+pub fn write_vcd(netlist: &Netlist, trace: &WaveTrace, mut out: impl Write) -> io::Result<()> {
     writeln!(out, "$date replayed by mate-sim $end")?;
     writeln!(out, "$version mate-sim 0.1 $end")?;
     writeln!(out, "$timescale 1ns $end")?;
@@ -126,8 +122,7 @@ pub fn write_vcd(
 /// vector (multi-bit) variables.
 pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, VcdError> {
     let mut trace = WaveTrace::new(netlist.num_nets());
-    let mut id_to_net: std::collections::HashMap<String, NetId> =
-        std::collections::HashMap::new();
+    let mut id_to_net: std::collections::HashMap<String, NetId> = std::collections::HashMap::new();
     let mut current = vec![false; netlist.num_nets()];
     let mut in_header = true;
     let mut last_time: Option<u64> = None;
@@ -177,9 +172,7 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Vcd
             continue;
         }
         if let Some(ts) = trimmed.strip_prefix('#') {
-            let t: u64 = ts
-                .parse()
-                .map_err(|_| parse_err("invalid timestamp"))?;
+            let t: u64 = ts.parse().map_err(|_| parse_err("invalid timestamp"))?;
             if let Some(prev) = last_time {
                 if t <= prev {
                     return Err(parse_err("non-monotonic timestamp"));
@@ -261,7 +254,11 @@ mod tests {
         for c in 0..trace.num_cycles() {
             for i in 0..n.num_nets() {
                 let net = NetId::from_index(i);
-                assert_eq!(back.value(c, net), trace.value(c, net), "cycle {c} net {net}");
+                assert_eq!(
+                    back.value(c, net),
+                    trace.value(c, net),
+                    "cycle {c} net {net}"
+                );
             }
         }
     }
@@ -337,7 +334,10 @@ mod tests {
     fn error_display() {
         let e = VcdError::UnknownNet("x".into());
         assert!(format!("{e}").contains("unknown net"));
-        let e = VcdError::Parse { line: 3, message: "bad".into() };
+        let e = VcdError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(format!("{e}").contains("line 3"));
     }
 }

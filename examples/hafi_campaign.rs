@@ -13,7 +13,7 @@
 use fault_space_pruning::cores::avr::programs;
 use fault_space_pruning::cores::{AvrWorkload, Termination};
 use fault_space_pruning::hafi::{
-    golden_run, inject, CommandModel, DesignHarness, FaultSpace,
+    classify_points, golden_run, CommandModel, DesignHarness, FaultSpace,
 };
 use fault_space_pruning::mate::prelude::*;
 
@@ -49,16 +49,15 @@ fn main() {
         report.effective
     );
 
-    // The campaign: sample points, skip pruned ones, classify the rest.
+    // The campaign: sample points, skip pruned ones, classify the rest in
+    // one checkpoint-seeded batch (the AVR memories are snapshotable).
     let points = space.sample(sample, 2026);
-    let mut skipped = 0usize;
+    let (pruned, to_run): (Vec<_>, Vec<_>) = points
+        .into_iter()
+        .partition(|point| report.matrix.is_masked(point.wire, point.cycle));
+    let skipped = pruned.len();
     let mut histogram = std::collections::BTreeMap::<&str, usize>::new();
-    for point in points {
-        if report.matrix.is_masked(point.wire, point.cycle) {
-            skipped += 1;
-            continue;
-        }
-        let effect = inject(&workload, &golden, point);
+    for effect in classify_points(&workload, &golden, &to_run) {
         let key = match effect {
             fault_space_pruning::hafi::FaultEffect::MaskedWithinOneCycle => "masked-1-cycle",
             fault_space_pruning::hafi::FaultEffect::SilentRecovery { .. } => "silent-recovery",

@@ -39,7 +39,10 @@ fn main() {
     let load = netlist.find_net("load").unwrap();
     let din = netlist.find_net("din").unwrap();
     let harness = StimulusHarness::new(netlist, topo)
-        .drive(load, vec![true, false, false, false, true, false, false, false])
+        .drive(
+            load,
+            vec![true, false, false, false, true, false, false, false],
+        )
         .drive(din, vec![true, true, true, true, false]);
 
     // 5. Evaluate the MATEs on the trace AND validate every claim by

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment of this repository cannot reach crates.io, so this
+//! vendored crate reimplements the subset of the criterion 0.5 API the bench
+//! suite uses: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a plain wall-clock harness: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples whose iteration counts are sized so
+//! one sample takes a measurable slice of time. It reports mean time per
+//! iteration and, when a throughput is configured, elements or bytes per
+//! second. There is no statistical analysis, HTML report, or comparison with
+//! previous runs — the numbers are for relative, same-machine comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration unit used to derive a rate from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function_id/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value into one identifier.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness handle; created by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput config.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that borrows a fixed input value.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark analysis to flush in this stub.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: find an iteration count where one sample takes >= ~25 ms,
+        // so short routines are timed over many iterations.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(25) || iters >= (1 << 30) {
+                break;
+            }
+            iters = if b.elapsed.is_zero() {
+                iters * 8
+            } else {
+                // Aim directly at the target sample duration.
+                let scale = 25_000_000f64 / b.elapsed.as_nanos().max(1) as f64;
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>14} elem/s", fmt_count(n as f64 * 1e9 / mean))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>14} B/s", fmt_count(n as f64 * 1e9 / mean))
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{}/{id:<32} mean {:>12}  min {:>12}{rate}",
+            self.name,
+            fmt_ns(mean),
+            fmt_ns(min),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.1}")
+    } else if v < 1e6 {
+        format!("{:.2}K", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2}M", v / 1e6)
+    } else {
+        format!("{:.2}G", v / 1e9)
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); this
+            // minimal harness runs everything and ignores the arguments.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("search", 42).to_string(), "search/42");
+    }
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

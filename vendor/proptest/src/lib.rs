@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! [`Strategy`] with `prop_map`, integer-range and tuple strategies,
+//! [`any`], `collection::vec`, and the `prop_assert*` / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from upstream, all acceptable for these tests:
+//!
+//! * cases are generated from a fixed per-test seed (derived from the test
+//!   name), so runs are fully deterministic;
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message directly;
+//! * `.proptest-regressions` files are ignored.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator backing every test case (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-block test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not produce a verdict.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed; the test panics with this message.
+    Fail(String),
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over the whole domain of `A` — `any::<u64>()` etc.
+pub struct AnyStrategy<A> {
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (uniform over its domain).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (self.start as i128, self.end as i128);
+                assert!(low < high, "cannot sample empty range");
+                (low + (rng.next_u64() as u128 % (high - low) as u128) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start() as i128, *self.end() as i128);
+                assert!(low <= high, "cannot sample empty range");
+                (low + (rng.next_u64() as u128 % (high - low + 1) as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + (rng.next_u64() as usize % (self.end - self.start))
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + (rng.next_u64() as usize % (self.end() - self.start() + 1))
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` values with a length drawn from
+    /// `len` (an exact `usize` or a range).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The proptest entry macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let one_case = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match one_case {
+                    Ok(()) | Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", _case, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pair in (any::<bool>(), 0u8..9), v in collection::vec(any::<u64>(), 1..5)) {
+            prop_assert!(pair.1 < 9);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn map_applies(doubled in (0u8..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..=255) {
+            prop_assert!(u16::from(x) < 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_assert_panics() {
+        proptest! {
+            fn inner(x in 0u8..1) { prop_assert_eq!(x, 99); }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::from_name("same");
+        let mut b = super::TestRng::from_name("same");
+        assert_eq!(
+            (0..10).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..10).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
