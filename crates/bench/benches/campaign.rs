@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use criterion::{Criterion, Throughput};
+use criterion::{is_quick_test, Criterion, Throughput};
 
 use mate_hafi::{
     run_campaign, run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, StimulusHarness,
@@ -87,10 +87,11 @@ fn measure(
     });
     group.finish();
 
-    let scalar_fps = faults_per_sec(3, points, || {
+    let reps = if is_quick_test() { 1 } else { 3 };
+    let scalar_fps = faults_per_sec(reps, points, || {
         run_campaign(harness, &space, config);
     });
-    let wide_fps = faults_per_sec(3, points, || {
+    let wide_fps = faults_per_sec(reps, points, || {
         run_campaign_wide(harness, &space, config);
     });
     Measured {
@@ -138,19 +139,28 @@ fn main() {
         let config = CampaignConfig {
             cycles,
             sample: None,
-            seed: 0,
+            ..CampaignConfig::default()
         };
         results.push(measure(&mut c, "figure1b", &harness, &config));
     }
 
-    // A random ≥200-FF netlist — campaign scale.
+    // A random ≥200-FF netlist — campaign scale (shrunk in quick mode).
     {
         let cycles = 32;
-        let cfg = RandomCircuitConfig {
-            inputs: 8,
-            ffs: 220,
-            gates: 800,
-            outputs: 8,
+        let cfg = if is_quick_test() {
+            RandomCircuitConfig {
+                inputs: 8,
+                ffs: 24,
+                gates: 80,
+                outputs: 8,
+            }
+        } else {
+            RandomCircuitConfig {
+                inputs: 8,
+                ffs: 220,
+                gates: 800,
+                outputs: 8,
+            }
         };
         let (n, topo) = random_circuit(cfg, 424_242);
         let harness = drive_all_inputs(StimulusHarness::new(n, topo), 77, cycles + 1);
@@ -158,6 +168,7 @@ fn main() {
             cycles,
             sample: Some(2048),
             seed: 9,
+            ..CampaignConfig::default()
         };
         results.push(measure(&mut c, "random_220ff", &harness, &config));
     }
@@ -171,5 +182,9 @@ fn main() {
             m.speedup()
         );
     }
-    write_json(&results);
+    if is_quick_test() {
+        eprintln!("quick test mode: skipping BENCH_campaign.json");
+    } else {
+        write_json(&results);
+    }
 }

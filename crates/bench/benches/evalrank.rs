@@ -1,0 +1,315 @@
+//! Trace-analysis throughput: scalar per-cycle MATE evaluation vs. the
+//! word-parallel transposed path, eager greedy ranking vs. lazy-greedy
+//! (CELF), and 1-thread vs. N-thread wide campaigns.
+//!
+//! Besides the criterion reporting, the bench emits a machine-readable
+//! `BENCH_evalrank.json` at the workspace root.  Every fast path is
+//! asserted bit-identical to its reference before any timing starts.
+//! `host_cpus` is recorded because the campaign-sharding speedup is bounded
+//! by the physical core count of the machine running the bench.
+
+use std::time::Instant;
+
+use criterion::{is_quick_test, Criterion, Throughput};
+
+use mate::eval::{evaluate, evaluate_scalar};
+use mate::mates::{summarize, Mate, MateSet};
+use mate::select::{rank, rank_eager};
+use mate_hafi::{run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, StimulusHarness};
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+use mate_netlist::{NetCube, NetId};
+use mate_sim::WaveTrace;
+
+/// SplitMix-style deterministic stream, same scheme as the soundness tests.
+fn mix(seed: u64, tag: u64, index: u64) -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(tag << 32 | index);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn drive_all_inputs(mut harness: StimulusHarness, seed: u64, cycles: usize) -> StimulusHarness {
+    let inputs = harness.netlist().inputs().to_vec();
+    for (i, input) in inputs.into_iter().enumerate() {
+        let values: Vec<bool> = (0..cycles)
+            .map(|c| mix(seed, 1 + i as u64, c as u64) & 1 == 1)
+            .collect();
+        harness = harness.drive(input, values);
+    }
+    harness
+}
+
+/// Synthetic MATE set: random 1–3-literal cubes, each masking 1–8 wires.
+/// Evaluation and ranking only see cubes and masked lists, so synthetic
+/// sets measure the kernels without paying for a full MATE search.
+fn synthetic_mates(seed: u64, num_nets: usize, wires: &[NetId], count: usize) -> MateSet {
+    summarize((0..count).filter_map(|m| {
+        let m = m as u64;
+        let nlits = 1 + (mix(seed, 100 + m, 0) % 3) as usize;
+        let cube = NetCube::from_literals((0..nlits).map(|l| {
+            let r = mix(seed, 200 + m, l as u64);
+            (
+                NetId::from_index((r % num_nets as u64) as usize),
+                r >> 32 & 1 == 1,
+            )
+        }))?;
+        let nmask = 1 + (mix(seed, 300 + m, 0) % 8) as usize;
+        let masked: Vec<NetId> = (0..nmask)
+            .map(|k| wires[(mix(seed, 400 + m, k as u64) % wires.len() as u64) as usize])
+            .collect();
+        Some(Mate { cube, masked })
+    }))
+}
+
+/// Best-of-`reps` wall-clock seconds.
+fn best_secs(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct EvalMeasured {
+    mates: usize,
+    wires: usize,
+    cycles: usize,
+    points: usize,
+    scalar_pps: f64,
+    word_pps: f64,
+}
+
+struct RankMeasured {
+    mates: usize,
+    points: usize,
+    eager_ms: f64,
+    lazy_ms: f64,
+}
+
+struct CampaignMeasured {
+    ffs: usize,
+    points: usize,
+    cycles: usize,
+    threads: usize,
+    one_thread_fps: f64,
+    n_thread_fps: f64,
+}
+
+fn measure_eval_and_rank(
+    c: &mut Criterion,
+    trace: &WaveTrace,
+    mates: &MateSet,
+    wires: &[NetId],
+) -> (EvalMeasured, RankMeasured) {
+    // Sanity: the fast paths must match their references before we compare
+    // their speed.
+    let word = evaluate(mates, trace, wires);
+    let scalar = evaluate_scalar(mates, trace, wires);
+    assert_eq!(word.matrix, scalar.matrix, "evaluate paths diverge");
+    assert_eq!(word.triggers, scalar.triggers, "trigger counts diverge");
+    assert_eq!(
+        rank(mates, trace, wires),
+        rank_eager(mates, trace, wires),
+        "rank paths diverge"
+    );
+    let points = word.matrix.total_points();
+
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| evaluate_scalar(mates, trace, wires))
+    });
+    group.bench_function("word_parallel", |b| {
+        b.iter(|| evaluate(mates, trace, wires))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rank");
+    group.sample_size(10);
+    group.bench_function("eager", |b| b.iter(|| rank_eager(mates, trace, wires)));
+    group.bench_function("lazy_celf", |b| b.iter(|| rank(mates, trace, wires)));
+    group.finish();
+
+    let reps = if is_quick_test() { 1 } else { 3 };
+    let scalar_s = best_secs(reps, || {
+        evaluate_scalar(mates, trace, wires);
+    });
+    let word_s = best_secs(reps, || {
+        evaluate(mates, trace, wires);
+    });
+    let eager_s = best_secs(reps, || {
+        rank_eager(mates, trace, wires);
+    });
+    let lazy_s = best_secs(reps, || {
+        rank(mates, trace, wires);
+    });
+
+    (
+        EvalMeasured {
+            mates: mates.len(),
+            wires: wires.len(),
+            cycles: trace.num_cycles(),
+            points,
+            scalar_pps: points as f64 / scalar_s,
+            word_pps: points as f64 / word_s,
+        },
+        RankMeasured {
+            mates: mates.len(),
+            points,
+            eager_ms: eager_s * 1e3,
+            lazy_ms: lazy_s * 1e3,
+        },
+    )
+}
+
+fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignMeasured {
+    let cycles = 32;
+    let cfg = RandomCircuitConfig {
+        inputs: 8,
+        ffs: if quick { 24 } else { 220 },
+        gates: if quick { 80 } else { 800 },
+        outputs: 8,
+    };
+    let (n, topo) = random_circuit(cfg, 424_242);
+    let harness = drive_all_inputs(StimulusHarness::new(n, topo), 77, cycles + 1);
+    let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+    let one = CampaignConfig {
+        cycles,
+        sample: Some(if quick { 64 } else { 2048 }),
+        seed: 9,
+        threads: 1,
+    };
+    let many = CampaignConfig { threads, ..one };
+
+    let single = run_campaign_wide(&harness, &space, &one);
+    let sharded = run_campaign_wide(&harness, &space, &many);
+    assert_eq!(single.records, sharded.records, "thread counts diverge");
+    let points = single.len();
+
+    let mut group = c.benchmark_group("campaign_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points as u64));
+    group.bench_function("1_thread", |b| {
+        b.iter(|| run_campaign_wide(&harness, &space, &one))
+    });
+    group.bench_function(format!("{threads}_threads"), |b| {
+        b.iter(|| run_campaign_wide(&harness, &space, &many))
+    });
+    group.finish();
+
+    let reps = if quick { 1 } else { 3 };
+    let one_s = best_secs(reps, || {
+        run_campaign_wide(&harness, &space, &one);
+    });
+    let many_s = best_secs(reps, || {
+        run_campaign_wide(&harness, &space, &many);
+    });
+    CampaignMeasured {
+        ffs: harness.topology().seq_cells().len(),
+        points,
+        cycles,
+        threads,
+        one_thread_fps: points as f64 / one_s,
+        n_thread_fps: points as f64 / many_s,
+    }
+}
+
+fn write_json(
+    host_cpus: usize,
+    eval: &EvalMeasured,
+    rank: &RankMeasured,
+    campaign: &CampaignMeasured,
+) {
+    let out = format!(
+        "{{\n  \"bench\": \"evalrank\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"evaluate\": {{\"mates\": {}, \"wires\": {}, \"cycles\": {}, \"points\": {}, \
+         \"scalar_fault_points_per_sec\": {:.1}, \"word_fault_points_per_sec\": {:.1}, \
+         \"speedup\": {:.2}}},\n  \
+         \"rank\": {{\"mates\": {}, \"points\": {}, \"eager_ms\": {:.3}, \"lazy_ms\": {:.3}, \
+         \"speedup\": {:.2}}},\n  \
+         \"campaign\": {{\"ffs\": {}, \"points\": {}, \"cycles\": {}, \"threads\": {}, \
+         \"one_thread_faults_per_sec\": {:.1}, \"n_thread_faults_per_sec\": {:.1}, \
+         \"speedup\": {:.2}, \
+         \"note\": \"thread-scaling speedup is bounded by host_cpus; records are \
+         bit-identical for every thread count\"}}\n}}\n",
+        eval.mates,
+        eval.wires,
+        eval.cycles,
+        eval.points,
+        eval.scalar_pps,
+        eval.word_pps,
+        eval.word_pps / eval.scalar_pps,
+        rank.mates,
+        rank.points,
+        rank.eager_ms,
+        rank.lazy_ms,
+        rank.eager_ms / rank.lazy_ms,
+        campaign.ffs,
+        campaign.points,
+        campaign.cycles,
+        campaign.threads,
+        campaign.one_thread_fps,
+        campaign.n_thread_fps,
+        campaign.n_thread_fps / campaign.one_thread_fps,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_evalrank.json");
+    std::fs::write(path, out).expect("write BENCH_evalrank.json");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let quick = is_quick_test();
+    let mut c = Criterion::default();
+
+    // Analysis workload: a ~96-FF random circuit, a multi-thousand-cycle
+    // trace, and a synthetic MATE set big enough that evaluation dominates.
+    let (cycles, num_mates) = if quick { (256, 24) } else { (4096, 160) };
+    let cfg = RandomCircuitConfig {
+        inputs: 8,
+        ffs: 96,
+        gates: 400,
+        outputs: 8,
+    };
+    let (n, topo) = random_circuit(cfg, 20_18);
+    let wires = mate::ff_wires(&n, &topo);
+    let harness = drive_all_inputs(StimulusHarness::new(n, topo), 41, cycles);
+    let trace = harness.testbench().run(cycles);
+    let mates = synthetic_mates(7, harness.netlist().num_nets(), &wires, num_mates);
+
+    let (eval_m, rank_m) = measure_eval_and_rank(&mut c, &trace, &mates, &wires);
+    let campaign_m = measure_campaign(&mut c, 4, quick);
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!(
+        "evaluate: scalar {:.0} points/s, word {:.0} points/s, speedup {:.1}x",
+        eval_m.scalar_pps,
+        eval_m.word_pps,
+        eval_m.word_pps / eval_m.scalar_pps
+    );
+    eprintln!(
+        "rank: eager {:.1} ms, lazy {:.1} ms, speedup {:.1}x",
+        rank_m.eager_ms,
+        rank_m.lazy_ms,
+        rank_m.eager_ms / rank_m.lazy_ms
+    );
+    eprintln!(
+        "campaign: 1 thread {:.0} faults/s, {} threads {:.0} faults/s, speedup {:.1}x ({} cpus)",
+        campaign_m.one_thread_fps,
+        campaign_m.threads,
+        campaign_m.n_thread_fps,
+        campaign_m.n_thread_fps / campaign_m.one_thread_fps,
+        host_cpus
+    );
+    if quick {
+        eprintln!("quick test mode: skipping BENCH_evalrank.json");
+    } else {
+        write_json(host_cpus, &eval_m, &rank_m, &campaign_m);
+    }
+}

@@ -1,34 +1,48 @@
 //! Trace replay and fault-space pruning evaluation (Section 5.3).
+//!
+//! Evaluation is word-parallel on the cycle axis: the trace is transposed
+//! into per-net bit-planes ([`TransposedTrace`]) once, and every MATE cube
+//! then evaluates over 64 cycles with one AND/ANDN per literal
+//! ([`TransposedTrace::cube_word`]).  The per-cycle scalar path is kept as
+//! [`evaluate_scalar`], the bit-identical reference the equivalence tests
+//! and benches compare against.
 
 use std::collections::HashMap;
 use std::fmt;
 
-use mate_netlist::{BitSet, NetId};
-use mate_sim::WaveTrace;
+use mate_netlist::NetId;
+use mate_sim::{TransposedTrace, WaveTrace};
 
-use crate::mates::MateSet;
+use crate::mates::{Mate, MateSet};
 
 /// The pruned fault space: for every `(wire, cycle)` point, whether some
 /// MATE proved the fault benign.
 ///
 /// This is the data structure rendered as the dot matrix of Figure 1b.
+/// Storage is wire-major packed words — bit `c % 64` of word `c / 64` in a
+/// wire's row is cycle `c` — so a MATE's 64-cycle trigger word ORs straight
+/// into a row ([`PruneMatrix::mark_cycle_word`]) and coverage counts are
+/// popcounts.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PruneMatrix {
     wires: Vec<NetId>,
     wire_index: HashMap<NetId, usize>,
     cycles: usize,
-    bits: BitSet,
+    words_per_wire: usize,
+    words: Vec<u64>,
 }
 
 impl PruneMatrix {
     /// Creates an all-unpruned matrix.
     pub fn new(wires: &[NetId], cycles: usize) -> Self {
         let wire_index = wires.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+        let words_per_wire = cycles.div_ceil(64);
         Self {
             wires: wires.to_vec(),
             wire_index,
             cycles,
-            bits: BitSet::new(wires.len() * cycles.max(1)),
+            words_per_wire,
+            words: vec![0u64; wires.len() * words_per_wire],
         }
     }
 
@@ -42,6 +56,11 @@ impl PruneMatrix {
         self.cycles
     }
 
+    /// The row position of `wire` in [`PruneMatrix::wires`], if present.
+    pub fn wire_position(&self, wire: NetId) -> Option<usize> {
+        self.wire_index.get(&wire).copied()
+    }
+
     /// Marks `(wire index, cycle)` as benign.  The index refers to the
     /// position in [`PruneMatrix::wires`].
     ///
@@ -50,7 +69,41 @@ impl PruneMatrix {
     /// Panics when the index or cycle is out of range.
     pub fn mark_index(&mut self, wire_idx: usize, cycle: usize) {
         assert!(wire_idx < self.wires.len() && cycle < self.cycles);
-        self.bits.insert(cycle * self.wires.len() + wire_idx);
+        self.words[wire_idx * self.words_per_wire + cycle / 64] |= 1u64 << (cycle % 64);
+    }
+
+    /// ORs a 64-cycle trigger word into a wire's row: bit `c` of `mask`
+    /// marks cycle `64 * word + c` as benign.  This is the word-parallel
+    /// marking path of [`evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index or word is out of range, or `mask` has bits at
+    /// cycles beyond the matrix (which would corrupt the popcount-based
+    /// [`PruneMatrix::masked_points`]).
+    pub fn mark_cycle_word(&mut self, wire_idx: usize, word: usize, mask: u64) {
+        assert!(wire_idx < self.wires.len() && word < self.words_per_wire);
+        let tail = self.cycles - word * 64;
+        if tail < 64 {
+            assert_eq!(
+                mask >> tail,
+                0,
+                "mask has bits beyond cycle {}",
+                self.cycles
+            );
+        }
+        self.words[wire_idx * self.words_per_wire + word] |= mask;
+    }
+
+    /// One wire's packed benign-cycle row (bit `c % 64` of word `c / 64` is
+    /// cycle `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn row_words(&self, wire_idx: usize) -> &[u64] {
+        assert!(wire_idx < self.wires.len());
+        &self.words[wire_idx * self.words_per_wire..(wire_idx + 1) * self.words_per_wire]
     }
 
     /// Whether the fault `(wire, cycle)` was proven benign.
@@ -62,12 +115,12 @@ impl PruneMatrix {
     pub fn is_masked(&self, wire: NetId, cycle: usize) -> bool {
         assert!(cycle < self.cycles, "cycle out of range");
         let idx = self.wire_index[&wire];
-        self.bits.contains(cycle * self.wires.len() + idx)
+        self.words[idx * self.words_per_wire + cycle / 64] & (1u64 << (cycle % 64)) != 0
     }
 
     /// Number of pruned fault-space points.
     pub fn masked_points(&self) -> usize {
-        self.bits.count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Total fault-space size (`wires × cycles`).
@@ -92,8 +145,9 @@ impl PruneMatrix {
         for (i, &wire) in self.wires.iter().enumerate() {
             let name = name_of(wire);
             out.push_str(&format!("{name:>8} "));
+            let row = self.row_words(i);
             for cycle in 0..self.cycles {
-                out.push(if self.bits.contains(cycle * self.wires.len() + i) {
+                out.push(if row[cycle / 64] & (1u64 << (cycle % 64)) != 0 {
                     '○'
                 } else {
                     '●'
@@ -139,21 +193,13 @@ impl EvalReport {
     }
 }
 
-/// Replays `trace` and computes which fault-space points over `wires` are
-/// pruned by `mates`.
-///
-/// MATE cubes are evaluated against the *fault-free* trace of each cycle —
-/// border wires are outside the fault cone, so their recorded values are
-/// valid even in the presence of the hypothetical fault.
-pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalReport {
-    let mut matrix = PruneMatrix::new(wires, trace.num_cycles());
-    let mut triggers = vec![0usize; mates.len()];
-
-    // Restrict each MATE's masked list to wire indices of the fault space,
-    // and prefilter the MATEs once: a MATE masking nothing in this space can
-    // never mark a point, so it is dropped before the cycle loop instead of
-    // being re-checked `num_cycles` times.
-    let relevant: Vec<(usize, &crate::mates::Mate, Vec<usize>)> = mates
+/// Restricts each MATE's masked list to wire indices of the fault space and
+/// drops MATEs that can never mark a point.
+fn relevant_mates<'m>(
+    mates: &'m MateSet,
+    matrix: &PruneMatrix,
+) -> Vec<(usize, &'m Mate, Vec<usize>)> {
+    mates
         .iter()
         .enumerate()
         .filter_map(|(i, m)| {
@@ -164,20 +210,12 @@ pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalRepo
                 .collect();
             (!indices.is_empty()).then_some((i, m, indices))
         })
-        .collect();
+        .collect()
+}
 
-    for cycle in 0..trace.num_cycles() {
-        let read = trace.cycle_reader(cycle);
-        for (i, mate, indices) in &relevant {
-            if mate.cube.eval(&read) {
-                triggers[*i] += 1;
-                for &w in indices {
-                    matrix.mark_index(w, cycle);
-                }
-            }
-        }
-    }
-
+/// Turns the raw marking state into an [`EvalReport`] with the effective-MATE
+/// statistics of the paper's Table 1.
+fn finish_report(mates: &MateSet, matrix: PruneMatrix, triggers: Vec<usize>) -> EvalReport {
     let effective_idx: Vec<usize> = (0..mates.len()).filter(|&i| triggers[i] > 0).collect();
     let effective = effective_idx.len();
     let (avg_inputs, std_inputs) = if effective == 0 {
@@ -199,6 +237,69 @@ pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalRepo
         avg_inputs,
         std_inputs,
     }
+}
+
+/// Replays `trace` and computes which fault-space points over `wires` are
+/// pruned by `mates`.
+///
+/// MATE cubes are evaluated against the *fault-free* trace of each cycle —
+/// border wires are outside the fault cone, so their recorded values are
+/// valid even in the presence of the hypothetical fault.
+///
+/// The trace is transposed once and each cube then evaluates 64 cycles per
+/// step; [`evaluate_scalar`] is the bit-identical per-cycle reference.
+pub fn evaluate(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalReport {
+    evaluate_transposed(mates, &TransposedTrace::from_trace(trace), wires)
+}
+
+/// Word-parallel evaluation over an already-transposed trace (use this when
+/// the caller also ranks, to share the transposition).
+pub fn evaluate_transposed(
+    mates: &MateSet,
+    trace: &TransposedTrace,
+    wires: &[NetId],
+) -> EvalReport {
+    let mut matrix = PruneMatrix::new(wires, trace.num_cycles());
+    let mut triggers = vec![0usize; mates.len()];
+    let relevant = relevant_mates(mates, &matrix);
+
+    for (i, mate, indices) in &relevant {
+        for word in 0..trace.num_words() {
+            let hit = trace.cube_word(&mate.cube, word);
+            if hit == 0 {
+                continue;
+            }
+            triggers[*i] += hit.count_ones() as usize;
+            for &w in indices {
+                matrix.mark_cycle_word(w, word, hit);
+            }
+        }
+    }
+
+    finish_report(mates, matrix, triggers)
+}
+
+/// The per-cycle scalar reference for [`evaluate`]: one cube probe per
+/// `(MATE, cycle)`, exactly the pre-transposition implementation.  Kept for
+/// the equivalence proptests and as the baseline of `BENCH_evalrank.json`.
+pub fn evaluate_scalar(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> EvalReport {
+    let mut matrix = PruneMatrix::new(wires, trace.num_cycles());
+    let mut triggers = vec![0usize; mates.len()];
+    let relevant = relevant_mates(mates, &matrix);
+
+    for cycle in 0..trace.num_cycles() {
+        let read = trace.cycle_reader(cycle);
+        for (i, mate, indices) in &relevant {
+            if mate.cube.eval(&read) {
+                triggers[*i] += 1;
+                for &w in indices {
+                    matrix.mark_index(w, cycle);
+                }
+            }
+        }
+    }
+
+    finish_report(mates, matrix, triggers)
 }
 
 #[cfg(test)]
@@ -255,6 +356,41 @@ mod tests {
             report.matrix.total_points(),
             wires.len() * trace.num_cycles()
         );
+    }
+
+    #[test]
+    fn scalar_and_word_parallel_agree_on_figure1b() {
+        for (stimulus, cycles) in [(vec![false], 6), (vec![true, false, true], 70)] {
+            let (_, mates, trace, wires) = figure1b_setup(stimulus, cycles);
+            let word = evaluate(&mates, &trace, &wires);
+            let scalar = evaluate_scalar(&mates, &trace, &wires);
+            assert_eq!(word.matrix, scalar.matrix);
+            assert_eq!(word.triggers, scalar.triggers);
+            assert_eq!(word.effective, scalar.effective);
+        }
+    }
+
+    #[test]
+    fn mark_cycle_word_matches_per_cycle_marks() {
+        let wires: Vec<NetId> = (0..3).map(NetId::from_index).collect();
+        let mut by_word = PruneMatrix::new(&wires, 70);
+        let mut by_bit = PruneMatrix::new(&wires, 70);
+        by_word.mark_cycle_word(1, 0, 0b1010_0001);
+        by_word.mark_cycle_word(1, 1, 0b10_0000); // cycle 69
+        for c in [0usize, 5, 7, 69] {
+            by_bit.mark_index(1, c);
+        }
+        assert_eq!(by_word, by_bit);
+        assert_eq!(by_word.masked_points(), 4);
+        assert_eq!(by_word.row_words(0), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits beyond cycle")]
+    fn mark_cycle_word_rejects_tail_bits() {
+        let wires = [NetId::from_index(0)];
+        let mut m = PruneMatrix::new(&wires, 10);
+        m.mark_cycle_word(0, 0, 1 << 10);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod paths;
 pub mod search;
 pub mod select;
 
-pub use eval::{EvalReport, PruneMatrix};
+pub use eval::{evaluate, evaluate_scalar, evaluate_transposed, EvalReport, PruneMatrix};
 pub use gmt::GmtCache;
 pub use io::{read_mates, write_mates, MateIoError};
 pub use mates::{summarize, Mate, MateSet};
@@ -59,18 +59,18 @@ pub use paths::{enumerate_paths, PathSet};
 pub use search::{
     search_design, search_wire, SearchConfig, SearchStats, SearchStrategy, WireSearchResult,
 };
-pub use select::{select_top_n, Ranking};
+pub use select::{rank, rank_eager, rank_transposed, select_top_n, Ranking};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::eval::{EvalReport, PruneMatrix};
+    pub use crate::eval::{evaluate, EvalReport, PruneMatrix};
     pub use crate::gmt::GmtCache;
     pub use crate::mates::{summarize, Mate, MateSet};
     pub use crate::paths::{enumerate_paths, PathSet};
     pub use crate::search::{
         search_design, search_wire, SearchConfig, SearchStats, SearchStrategy, WireSearchResult,
     };
-    pub use crate::select::{select_top_n, Ranking};
+    pub use crate::select::{rank, select_top_n, Ranking};
     pub use crate::{ff_wires, ff_wires_filtered};
 }
 

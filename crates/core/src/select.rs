@@ -1,39 +1,52 @@
 //! Greedy top-N MATE selection (step 3 of Section 4).
 //!
-//! Replaying an exemplary trace, each cycle processes the triggered MATEs in
-//! order of decreasing masked-fault count; a MATE's *hit counter* grows by
-//! the number of fault-space points it masks that no earlier MATE of the
-//! same cycle already covered.  The top-N MATEs by hit count form the subset
-//! synthesized into the HAFI platform.
+//! Each MATE covers a set of fault-space points on the exemplary trace: the
+//! `(wire, cycle)` pairs where the wire is in its masked list and its cube
+//! is true.  Selection is greedy maximum coverage: repeatedly pick the MATE
+//! with the largest *marginal* gain — the points it covers that no earlier
+//! pick already covers — until no MATE adds anything.  The top-N MATEs by
+//! pick order form the subset synthesized into the HAFI platform.
+//!
+//! The production path ([`rank`]) runs lazy-greedy (CELF): coverage lives in
+//! packed 64-cycle words (popcount gains, AND-NOT marginals) and a max-heap
+//! keeps *stale* gains, re-evaluating only the top candidate — marginal
+//! gains never grow as the covered set grows (submodularity), so a stale
+//! bound that still tops the heap after refresh is exact.  This removes the
+//! O(|MATEs|² · points) rescan of eager greedy while staying bit-identical
+//! to the eager scalar reference ([`rank_eager`]).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use mate_netlist::NetId;
-use mate_sim::WaveTrace;
+use mate_sim::{TransposedTrace, WaveTrace};
 
 use crate::mates::MateSet;
 
 /// The outcome of rating a MATE set against a trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ranking {
-    /// MATE indices ordered by descending hit count (ties by index).
+    /// MATE indices in greedy pick order: descending marginal hit count,
+    /// ties by ascending index; zero-gain MATEs trail in index order.
     pub order: Vec<usize>,
-    /// Hit counter per MATE (indexed like the input set).
+    /// Marginal hit count per MATE at the moment it was picked (indexed
+    /// like the input set).
     pub hits: Vec<usize>,
 }
 
 impl Ranking {
-    /// The indices of the `n` highest-rated MATEs.
+    /// The indices of the `n` highest-rated MATEs (clamped to the ranked
+    /// length, so `n > len` returns everything instead of panicking).
     pub fn top(&self, n: usize) -> &[usize] {
         &self.order[..n.min(self.order.len())]
     }
 }
 
-/// Rates every MATE by its marginal fault-space contribution on `trace`.
-pub fn rank(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> Ranking {
+/// Per-mate wire indices restricted to the fault space.
+fn masked_indices(mates: &MateSet, wires: &[NetId]) -> Vec<Vec<usize>> {
     let wire_index: HashMap<NetId, usize> =
         wires.iter().enumerate().map(|(i, &w)| (w, i)).collect();
-    let masked_indices: Vec<Vec<usize>> = mates
+    mates
         .iter()
         .map(|m| {
             m.masked
@@ -41,36 +54,172 @@ pub fn rank(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> Ranking {
                 .filter_map(|w| wire_index.get(w).copied())
                 .collect()
         })
+        .collect()
+}
+
+/// Appends the never-picked MATEs (zero marginal gain) in index order.
+fn drain_zero_gain(order: &mut Vec<usize>, picked: &[bool]) {
+    order.extend((0..picked.len()).filter(|&i| !picked[i]));
+}
+
+/// Rates every MATE by its marginal fault-space contribution on `trace`
+/// (lazy-greedy over packed coverage words; transposes the trace once).
+pub fn rank(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> Ranking {
+    rank_transposed(mates, &TransposedTrace::from_trace(trace), wires)
+}
+
+/// Lazy-greedy (CELF) ranking over an already-transposed trace.
+///
+/// A mate's coverage factorizes: it covers `masked wires × trigger cycles`,
+/// so one 64-cycle trigger word per mate plus one covered-word row per wire
+/// is the whole state.  Marginal gain = Σ over the mate's wires of
+/// `popcount(trigger & !covered[wire])`.
+pub fn rank_transposed(mates: &MateSet, trace: &TransposedTrace, wires: &[NetId]) -> Ranking {
+    let indices = masked_indices(mates, wires);
+    let num_words = trace.num_words();
+
+    // Trigger bit-planes, only for mates that can cover anything.
+    let triggers: Vec<Option<Vec<u64>>> = mates
+        .iter()
+        .zip(&indices)
+        .map(|(m, idx)| {
+            if idx.is_empty() {
+                return None;
+            }
+            let words: Vec<u64> = (0..num_words)
+                .map(|w| trace.cube_word(&m.cube, w))
+                .collect();
+            words.iter().any(|&w| w != 0).then_some(words)
+        })
         .collect();
 
-    // Process order within a cycle: by masked-fault count descending.  The
-    // summarized MateSet is already sorted that way, but we do not rely on
-    // it.
-    let mut process_order: Vec<usize> = (0..mates.len()).collect();
-    process_order.sort_by_key(|&i| std::cmp::Reverse(masked_indices[i].len()));
+    let mut covered = vec![0u64; wires.len() * num_words];
+    let gain_of = |i: usize, covered: &[u64]| -> usize {
+        let trig = triggers[i].as_ref().expect("gain of coverless mate");
+        indices[i]
+            .iter()
+            .map(|&w| {
+                trig.iter()
+                    .zip(&covered[w * num_words..(w + 1) * num_words])
+                    .map(|(&t, &c)| (t & !c).count_ones() as usize)
+                    .sum::<usize>()
+            })
+            .sum()
+    };
+
+    // CELF heap: (stale gain, index ascending on ties, commit-count stamp).
+    // An entry is fresh iff its stamp equals the current number of commits —
+    // nothing changed the covered set since the gain was computed.
+    let mut heap: BinaryHeap<(usize, Reverse<usize>, usize)> = (0..mates.len())
+        .filter(|&i| triggers[i].is_some())
+        .map(|i| (gain_of(i, &covered), Reverse(i), 0))
+        .filter(|&(g, _, _)| g > 0)
+        .collect();
 
     let mut hits = vec![0usize; mates.len()];
-    let mut cycle_mask = vec![usize::MAX; wires.len()]; // last cycle a wire was masked
-    for cycle in 0..trace.num_cycles() {
-        let read = trace.cycle_reader(cycle);
-        for &i in &process_order {
-            if masked_indices[i].is_empty() {
-                continue;
+    let mut order = Vec::with_capacity(mates.len());
+    let mut picked = vec![false; mates.len()];
+    let mut commits = 0usize;
+
+    while let Some((gain, Reverse(i), stamp)) = heap.pop() {
+        if stamp != commits {
+            // Stale: refresh and re-queue.  Submodularity guarantees the
+            // fresh gain is ≤ the stale one, so the heap order stays sound.
+            let fresh = gain_of(i, &covered);
+            debug_assert!(fresh <= gain);
+            if fresh > 0 {
+                heap.push((fresh, Reverse(i), commits));
             }
-            if !mates.mates()[i].cube.eval(&read) {
-                continue;
-            }
-            for &w in &masked_indices[i] {
-                if cycle_mask[w] != cycle {
-                    cycle_mask[w] = cycle;
-                    hits[i] += 1;
-                }
+            continue;
+        }
+        if gain == 0 {
+            break;
+        }
+        // Fresh maximum: commit the pick.
+        let trig = triggers[i].as_ref().expect("picked coverless mate");
+        for &w in &indices[i] {
+            for (c, &t) in covered[w * num_words..(w + 1) * num_words]
+                .iter_mut()
+                .zip(trig)
+            {
+                *c |= t;
             }
         }
+        hits[i] = gain;
+        order.push(i);
+        picked[i] = true;
+        commits += 1;
     }
 
-    let mut order: Vec<usize> = (0..mates.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(hits[i]), i));
+    drain_zero_gain(&mut order, &picked);
+    Ranking { order, hits }
+}
+
+/// Eager greedy scalar reference for [`rank`]: per-cycle cube evaluation,
+/// boolean point set, and a full rescan of all candidates on every pick —
+/// the O(|MATEs|² · points) baseline of `BENCH_evalrank.json`.  Kept to
+/// prove the lazy path exact; both produce identical [`Ranking`]s.
+pub fn rank_eager(mates: &MateSet, trace: &WaveTrace, wires: &[NetId]) -> Ranking {
+    let indices = masked_indices(mates, wires);
+    let cycles = trace.num_cycles();
+
+    // Per-mate triggered cycles, per-cycle scalar evaluation.
+    let triggered: Vec<Vec<usize>> = mates
+        .iter()
+        .zip(&indices)
+        .map(|(m, idx)| {
+            if idx.is_empty() {
+                return Vec::new();
+            }
+            (0..cycles)
+                .filter(|&c| m.cube.eval(trace.cycle_reader(c)))
+                .collect()
+        })
+        .collect();
+
+    let mut covered = vec![false; wires.len() * cycles];
+    let gain_of = |i: usize, covered: &[bool]| -> usize {
+        indices[i]
+            .iter()
+            .map(|&w| {
+                triggered[i]
+                    .iter()
+                    .filter(|&&c| !covered[w * cycles + c])
+                    .count()
+            })
+            .sum()
+    };
+
+    let mut hits = vec![0usize; mates.len()];
+    let mut order = Vec::with_capacity(mates.len());
+    let mut picked = vec![false; mates.len()];
+
+    loop {
+        // Full rescan: recompute every unpicked candidate's marginal gain.
+        let mut best = 0usize;
+        let mut best_i = None;
+        for (i, &done) in picked.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let g = gain_of(i, &covered);
+            if g > best {
+                best = g;
+                best_i = Some(i);
+            }
+        }
+        let Some(i) = best_i else { break };
+        for &w in &indices[i] {
+            for &c in &triggered[i] {
+                covered[w * cycles + c] = true;
+            }
+        }
+        hits[i] = best;
+        order.push(i);
+        picked[i] = true;
+    }
+
+    drain_zero_gain(&mut order, &picked);
     Ranking { order, hits }
 }
 
@@ -122,6 +271,79 @@ mod tests {
         // → 2 hits.  Small masks net2 in cycle 1 only → 1 hit.
         assert_eq!(ranking.hits, vec![2, 1]);
         assert_eq!(ranking.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        // Overlapping coverage forces real marginal updates in the heap.
+        let mates = summarize([
+            Mate {
+                cube: NetCube::literal(net(0), true),
+                masked: vec![net(1), net(2)],
+            },
+            Mate {
+                cube: NetCube::literal(net(1), true),
+                masked: vec![net(2)],
+            },
+            Mate {
+                cube: NetCube::literal(net(0), false),
+                masked: vec![net(1)],
+            },
+            Mate {
+                cube: NetCube::from_literals([(net(0), true), (net(1), false)]).unwrap(),
+                masked: vec![net(2), net(1)],
+            },
+        ]);
+        let wires = [net(1), net(2)];
+        let trace = trace_of(&[
+            [true, true, false],
+            [false, true, false],
+            [true, false, true],
+            [false, false, false],
+            [true, true, true],
+        ]);
+        assert_eq!(
+            rank(&mates, &trace, &wires),
+            rank_eager(&mates, &trace, &wires)
+        );
+    }
+
+    #[test]
+    fn zero_gain_mates_trail_in_index_order() {
+        let mates = summarize([
+            Mate::single(NetCube::literal(net(0), true), net(2)), // never triggers
+            Mate::single(NetCube::literal(net(1), true), net(2)),
+            Mate::single(NetCube::literal(net(2), true), net(0)), // net0 not a wire
+        ]);
+        let trace = trace_of(&[[false, true, true]]);
+        let wires = [net(1), net(2)];
+        let ranking = rank(&mates, &trace, &wires);
+        assert_eq!(ranking, rank_eager(&mates, &trace, &wires));
+        // Exactly one pick; the other two drain by ascending index.
+        assert_eq!(ranking.hits.iter().filter(|&&h| h > 0).count(), 1);
+        assert_eq!(ranking.order.len(), 3);
+        let picked = ranking.order[0];
+        let mut rest: Vec<usize> = (0..3).filter(|&i| i != picked).collect();
+        rest.sort_unstable();
+        assert_eq!(&ranking.order[1..], &rest[..]);
+    }
+
+    #[test]
+    fn top_clamps_to_ranked_length() {
+        let ranking = Ranking {
+            order: vec![2, 0, 1],
+            hits: vec![1, 0, 3],
+        };
+        assert_eq!(ranking.top(2), &[2, 0]);
+        assert_eq!(ranking.top(3), &[2, 0, 1]);
+        // Beyond the ranked length: clamped, not a panic.
+        assert_eq!(ranking.top(99), &[2, 0, 1]);
+        assert_eq!(ranking.top(0), &[] as &[usize]);
+        let empty = Ranking {
+            order: vec![],
+            hits: vec![],
+        };
+        assert_eq!(empty.top(5), &[] as &[usize]);
     }
 
     #[test]

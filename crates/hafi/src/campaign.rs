@@ -443,6 +443,10 @@ pub struct CampaignConfig {
     pub sample: Option<usize>,
     /// Seed for sampling.
     pub seed: u64,
+    /// Worker threads for [`run_campaign_wide`]; `0` uses all available
+    /// cores (the [`crate::SearchConfig`]-style convention).  Results are
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -451,6 +455,7 @@ impl Default for CampaignConfig {
             cycles: 64,
             sample: None,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -526,11 +531,30 @@ pub fn run_campaign(
     result
 }
 
+/// Resolves a `threads` setting (`0` = all cores) against the work size.
+fn effective_threads(threads: usize, points: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    t.min(points).max(1)
+}
+
 /// Runs a full (or sampled) injection campaign over `space` on the batched
 /// engine: identical records to [`run_campaign`], at up to 64 fault
-/// scenarios per simulation via [`classify_points`].
+/// scenarios per simulation via [`classify_points`], sharded over
+/// [`CampaignConfig::threads`] worker threads (threads × 64 concurrent
+/// fault scenarios).
+///
+/// Each thread classifies one contiguous chunk of the point list into its
+/// slice of the result buffer, so the records come back in the original
+/// point order and are bit-identical for every thread count — including the
+/// single-threaded path, which skips thread spawning entirely.
 pub fn run_campaign_wide(
-    harness: &dyn DesignHarness,
+    harness: &(dyn DesignHarness + Sync),
     space: &FaultSpace,
     config: &CampaignConfig,
 ) -> CampaignResult {
@@ -542,7 +566,22 @@ pub fn run_campaign_wide(
     .into_iter()
     .filter(|p| p.cycle < config.cycles)
     .collect();
-    let effects = classify_points(harness, &golden, &points);
+    let threads = effective_threads(config.threads, points.len());
+    let effects = if threads <= 1 {
+        classify_points(harness, &golden, &points)
+    } else {
+        let chunk = points.len().div_ceil(threads);
+        let mut effects = vec![FaultEffect::Latent; points.len()];
+        let golden = &golden;
+        std::thread::scope(|scope| {
+            for (pts, out) in points.chunks(chunk).zip(effects.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    out.copy_from_slice(&classify_points(harness, golden, pts));
+                });
+            }
+        });
+        effects
+    };
     CampaignResult {
         records: points.into_iter().zip(effects).collect(),
     }
@@ -641,7 +680,7 @@ mod tests {
             &CampaignConfig {
                 cycles: 6,
                 sample: None,
-                seed: 0,
+                ..CampaignConfig::default()
             },
         );
         assert_eq!(result.len(), space.len());
@@ -665,9 +704,40 @@ mod tests {
                 cycles: 12,
                 sample: Some(9),
                 seed: 7,
+                ..CampaignConfig::default()
             },
         );
         assert_eq!(result.len(), 9);
+    }
+
+    #[test]
+    fn threaded_campaign_matches_single_thread() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true, false, false, true])
+            .drive(din, vec![true, false]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 10);
+        let base = CampaignConfig {
+            cycles: 10,
+            sample: None,
+            seed: 0,
+            threads: 1,
+        };
+        let single = run_campaign_wide(&harness, &space, &base);
+        for threads in [0usize, 2, 4, 7, 1000] {
+            let sharded = run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base });
+            assert_eq!(single.records, sharded.records, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_work() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(4, 100), 4);
+        assert_eq!(effective_threads(3, 0), 1);
+        assert!(effective_threads(0, 100) >= 1);
     }
 
     #[test]

@@ -6,15 +6,25 @@
 //! live wire values of every cycle, so no trace has to be recorded and the
 //! platform continuously knows which faults are currently benign.
 //! [`OnlinePruner`] does exactly that against the running simulator.
+//!
+//! Internally the pruner buffers the observed value rows and flushes every
+//! 64 cycles through the same word-parallel column kernels as offline
+//! evaluation ([`TransposedTrace::cube_word`] feeding
+//! [`PruneMatrix::mark_cycle_word`]), so online pruning costs one AND/ANDN
+//! per literal per 64 cycles instead of one cube probe per cycle.
 
 use mate::eval::PruneMatrix;
 use mate::MateSet;
 use mate_netlist::NetId;
-use mate_sim::Simulator;
+use mate_sim::{Simulator, TransposedTrace};
 
 use crate::harness::DesignHarness;
 
-/// Evaluates a MATE set cycle by cycle against live simulator state.
+/// Cycles per flushed evaluation block (one packed trace word).
+const BLOCK: usize = 64;
+
+/// Evaluates a MATE set against live simulator state, batched in 64-cycle
+/// blocks.
 ///
 /// # Example
 ///
@@ -38,6 +48,15 @@ pub struct OnlinePruner<'m> {
     masked_indices: Vec<Vec<usize>>,
     matrix: PruneMatrix,
     cycle: usize,
+    /// Row-major buffer of up to [`BLOCK`] pending cycles (sized lazily on
+    /// the first observation).
+    rows: Vec<u64>,
+    words_per_cycle: usize,
+    num_nets: usize,
+    pending: usize,
+    /// Matrix word index of the next flush (blocks are 64-aligned from
+    /// cycle 0).
+    flushed_words: usize,
 }
 
 impl<'m> OnlinePruner<'m> {
@@ -58,34 +77,72 @@ impl<'m> OnlinePruner<'m> {
             masked_indices,
             matrix,
             cycle: 0,
+            rows: Vec::new(),
+            words_per_cycle: 0,
+            num_nets: 0,
+            pending: 0,
+            flushed_words: 0,
         }
     }
 
-    /// Observes one settled cycle: evaluates every MATE against the live
-    /// wire values and records the pruned points.  Call once per cycle,
-    /// right before the clock edge (e.g. from
-    /// [`mate_sim::Testbench::step_observed`]).
+    /// Observes one settled cycle: records the live wire values into the
+    /// pending block, flushing through the word-parallel cube kernels every
+    /// 64 cycles.  Call once per cycle, right before the clock edge (e.g.
+    /// from [`mate_sim::Testbench::step_observed`]).
     ///
     /// # Panics
     ///
     /// Panics when called more often than the horizon allows.
     pub fn observe(&mut self, sim: &mut Simulator<'_>) {
         assert!(self.cycle < self.matrix.cycles(), "horizon exceeded");
+        if self.words_per_cycle == 0 {
+            self.num_nets = sim.netlist().num_nets();
+            self.words_per_cycle = self.num_nets.div_ceil(64).max(1);
+            self.rows = vec![0u64; BLOCK * self.words_per_cycle];
+        }
+        let words = sim.values().as_words();
+        let base = self.pending * self.words_per_cycle;
+        self.rows[base..base + words.len()].copy_from_slice(words);
+        self.pending += 1;
+        self.cycle += 1;
+        if self.pending == BLOCK {
+            self.flush();
+        }
+    }
+
+    /// Evaluates every MATE over the pending block with one AND/ANDN per
+    /// literal and ORs the trigger words into the matrix.
+    fn flush(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        let block = TransposedTrace::from_row_words(
+            self.num_nets,
+            self.pending,
+            &self.rows[..self.pending * self.words_per_cycle],
+            self.words_per_cycle,
+        );
         for (i, mate) in self.mates.iter().enumerate() {
             if self.masked_indices[i].is_empty() {
                 continue;
             }
-            if mate.cube.eval(|net| sim.value(net)) {
-                for &w in &self.masked_indices[i] {
-                    self.matrix.mark_index(w, self.cycle);
-                }
+            let hit = block.cube_word(&mate.cube, 0);
+            if hit == 0 {
+                continue;
+            }
+            for &w in &self.masked_indices[i] {
+                self.matrix.mark_cycle_word(w, self.flushed_words, hit);
             }
         }
-        self.cycle += 1;
+        self.rows[..self.pending * self.words_per_cycle].fill(0);
+        self.pending = 0;
+        self.flushed_words += 1;
     }
 
-    /// Finishes the campaign and returns the pruned fault space.
-    pub fn into_matrix(self) -> PruneMatrix {
+    /// Finishes the campaign (flushing any partial block) and returns the
+    /// pruned fault space.
+    pub fn into_matrix(mut self) -> PruneMatrix {
+        self.flush();
         self.matrix
     }
 
@@ -131,6 +188,24 @@ mod tests {
         let trace = harness.testbench().run(20);
         let offline = evaluate(&mates, &trace, &wires);
         assert_eq!(online, offline.matrix);
+    }
+
+    /// Horizons straddling the 64-cycle block size exercise both the full
+    /// in-loop flush and the partial flush in `into_matrix`.
+    #[test]
+    fn online_equals_offline_across_block_boundaries() {
+        let (n, topo) = figure1b();
+        let wires = ff_wires(&n, &topo);
+        let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+        let input = n.find_net("in").unwrap();
+        for cycles in [63usize, 64, 65, 130] {
+            let harness = StimulusHarness::new(n.clone(), topo.clone())
+                .drive(input, vec![true, false, true, true, false]);
+            let online = OnlinePruner::run(&harness, &mates, &wires, cycles);
+            let trace = harness.testbench().run(cycles);
+            let offline = evaluate(&mates, &trace, &wires);
+            assert_eq!(online, offline.matrix, "{cycles} cycles");
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ proptest! {
         let cycles = 10;
         let harness = harness_for(seed.wrapping_add(13), cfg, cycles + 1);
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
-        let config = CampaignConfig { cycles, sample: Some(40), seed };
+        let config = CampaignConfig { cycles, sample: Some(40), seed, ..CampaignConfig::default() };
         let scalar = run_campaign(&harness, &space, &config);
         let wide = run_campaign_wide(&harness, &space, &config);
         prop_assert_eq!(scalar.records, wide.records);

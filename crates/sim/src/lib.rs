@@ -15,6 +15,10 @@
 //!   devices (instruction/data memories) and records traces.
 //! * [`wide`] — a 64-lane bit-parallel engine: one `u64` per net carries 64
 //!   independent fault scenarios, the substrate of batched campaigns.
+//! * [`transposed`] — column-major bit-plane traces
+//!   ([`transposed::TransposedTrace`]): one packed word covers 64 cycles of
+//!   one net, so trace analyses (MATE evaluation, coverage ranking) run
+//!   word-parallel on the cycle axis.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ pub mod engine;
 pub mod equiv;
 pub mod testbench;
 pub mod trace;
+pub mod transposed;
 pub mod vcd;
 pub mod wide;
 
@@ -45,5 +50,6 @@ pub use engine::{SimCheckpoint, SimSnapshot, Simulator};
 pub use equiv::{check_equiv, Mismatch};
 pub use testbench::{InputWave, SnapshotDevice, Testbench, TestbenchCheckpoint};
 pub use trace::WaveTrace;
+pub use transposed::TransposedTrace;
 pub use vcd::{read_vcd, write_vcd, VcdError};
 pub use wide::WideSimulator;

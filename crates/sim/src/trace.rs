@@ -54,13 +54,15 @@ impl WaveTrace {
     ///
     /// Panics if the simulator's netlist has a different net count.
     pub fn capture(&mut self, sim: &mut Simulator<'_>) {
-        let values = sim.values();
+        // Compare against the netlist's logical net count, not the value
+        // bitmap's capacity: a bitmap rounded up to its word allocation
+        // would spuriously fail (or spuriously pass) a capacity check.
         assert_eq!(
-            values.capacity(),
+            sim.netlist().num_nets(),
             self.num_nets,
             "trace incompatible with simulator"
         );
-        let words = values.as_words();
+        let words = sim.values().as_words();
         self.data.extend_from_slice(words);
         // BitSet stores exactly ceil(num_nets/64) words, except for the
         // degenerate zero-net case.
@@ -118,14 +120,53 @@ impl WaveTrace {
         move |net| self.value(cycle, net)
     }
 
-    /// Iterates over the values of one net across all cycles.
-    pub fn net_history(&self, net: NetId) -> impl Iterator<Item = bool> + '_ {
-        (0..self.cycles).map(move |c| self.value(c, net))
+    /// Words per stored cycle row (`>= num_nets.div_ceil(64)`), the stride
+    /// of [`WaveTrace::raw_words`].
+    pub fn words_per_cycle(&self) -> usize {
+        self.words_per_cycle
     }
 
-    /// Counts the cycles in which a net is `true`.
+    /// The raw row-major storage: `num_cycles` consecutive rows of
+    /// [`WaveTrace::words_per_cycle`] words each, in
+    /// [`WaveTrace::cycle_words`] layout.  This is the zero-copy input for
+    /// block-transposing into a [`crate::TransposedTrace`].
+    pub fn raw_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Gathers one net's bit-plane: bit `c % 64` of word `c / 64` is the
+    /// net's value in cycle `c`.  This single strided walk backs both
+    /// [`WaveTrace::net_history`] and [`WaveTrace::high_cycles`]; bits
+    /// beyond the recorded cycles are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn column_words(&self, net: NetId) -> Vec<u64> {
+        let i = net.index();
+        assert!(i < self.num_nets, "net {net} beyond trace");
+        let (word, shift) = (i / 64, i % 64);
+        let mut column = vec![0u64; self.cycles.div_ceil(64)];
+        for c in 0..self.cycles {
+            let bit = self.data[c * self.words_per_cycle + word] >> shift & 1;
+            column[c / 64] |= bit << (c % 64);
+        }
+        column
+    }
+
+    /// Iterates over the values of one net across all cycles.
+    pub fn net_history(&self, net: NetId) -> impl Iterator<Item = bool> + '_ {
+        let column = self.column_words(net);
+        (0..self.cycles).map(move |c| column[c / 64] & (1u64 << (c % 64)) != 0)
+    }
+
+    /// Counts the cycles in which a net is `true` (one popcount per 64
+    /// cycles over the gathered column).
     pub fn high_cycles(&self, net: NetId) -> usize {
-        self.net_history(net).filter(|&v| v).count()
+        self.column_words(net)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// A copy of the first `cycles` cycles.
@@ -234,6 +275,54 @@ mod tests {
         let read = t.cycle_reader(0);
         assert!(read(NetId::from_index(1)));
         assert!(!read(NetId::from_index(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "trace incompatible")]
+    fn capture_rejects_mismatched_net_count() {
+        let (n, topo) = counter(3);
+        let mut sim = Simulator::new(&n, &topo);
+        // A trace sized for a different design must be rejected by net
+        // count, regardless of how the value bitmap rounds its allocation.
+        let mut trace = WaveTrace::new(n.num_nets() + 1);
+        trace.capture(&mut sim);
+    }
+
+    #[test]
+    fn capture_accepts_non_word_aligned_net_count() {
+        // num_nets not a multiple of 64: a capacity-based check would
+        // depend on the bitmap's internal rounding here.
+        let (n, topo) = counter(5);
+        assert_ne!(n.num_nets() % 64, 0);
+        let mut sim = Simulator::new(&n, &topo);
+        let mut trace = WaveTrace::new(n.num_nets());
+        trace.capture(&mut sim);
+        assert_eq!(trace.num_cycles(), 1);
+    }
+
+    #[test]
+    fn column_words_match_per_cycle_values() {
+        let mut t = WaveTrace::new(70);
+        for c in 0..130usize {
+            let bits: Vec<bool> = (0..70).map(|i| (c * 31 + i * 7) % 3 == 0).collect();
+            t.push_cycle(&bits);
+        }
+        for i in [0usize, 35, 63, 64, 69] {
+            let net = NetId::from_index(i);
+            let column = t.column_words(net);
+            assert_eq!(column.len(), 130usize.div_ceil(64));
+            for c in 0..130 {
+                assert_eq!(
+                    column[c / 64] & (1u64 << (c % 64)) != 0,
+                    t.value(c, net),
+                    "net {i} cycle {c}"
+                );
+            }
+            assert_eq!(
+                t.high_cycles(net),
+                (0..130).filter(|&c| t.value(c, net)).count()
+            );
+        }
     }
 
     #[test]

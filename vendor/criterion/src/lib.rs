@@ -21,6 +21,15 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// `true` when the process was invoked with `--test` (criterion's "run each
+/// benchmark once, just to check it works" mode; `cargo bench -- --test`).
+/// CI smoke jobs use it to exercise every bench without the timing cost;
+/// custom `fn main()` benches should also consult it to skip slow setup and
+/// artifact writes.
+pub fn is_quick_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Work-per-iteration unit used to derive a rate from the measured time.
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
@@ -133,6 +142,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if is_quick_test() {
+            // Quick mode: one iteration, no warm-up, no timing report —
+            // the point is that the routine runs without panicking.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            eprintln!("{}/{id}: ok (quick test)", self.name);
+            return;
+        }
         // Warm-up: find an iteration count where one sample takes >= ~25 ms,
         // so short routines are timed over many iterations.
         let mut iters: u64 = 1;
@@ -250,6 +270,12 @@ mod tests {
         b.iter(|| count += 1);
         assert_eq!(count, 17);
         assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn quick_test_mode_reflects_process_args() {
+        // The test binary is not invoked with `--test` as a literal arg.
+        assert!(!is_quick_test());
     }
 
     #[test]
