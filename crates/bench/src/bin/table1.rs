@@ -33,6 +33,9 @@ fn main() {
         Default::default(), // unmaskable
         Default::default(), // candidates
         Default::default(), // mates
+        Default::default(), // gmt entries
+        Default::default(), // max wire time
+        Default::default(), // total wire time
     ];
 
     for (col, (netlist, topo, wires)) in [
@@ -53,6 +56,9 @@ fn main() {
         rows[4][col] = s.unmaskable.to_string();
         rows[5][col] = format!("{:.1e}", s.candidates as f64);
         rows[6][col] = s.num_mates.to_string();
+        rows[7][col] = s.gmt_entries.to_string();
+        rows[8][col] = format!("{:.2}s", s.max_wire_time.as_secs_f64());
+        rows[9][col] = format!("{:.1}s", s.total_wire_time.as_secs_f64());
     }
 
     for (label, row) in [
@@ -63,6 +69,9 @@ fn main() {
         "#Unmaskable",
         "#MATE candidates",
         "#MATE (per wire)",
+        "#GMT entries",
+        "Max Wire Time",
+        "Σ Wire Time",
     ]
     .iter()
     .zip(&rows)

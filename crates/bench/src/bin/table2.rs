@@ -14,13 +14,21 @@ fn main() {
     let sets = WireSets::of(sys.netlist(), sys.topology());
 
     eprintln!("searching MATEs (AVR, {} wires)...", sets.all.len());
-    let mates = search_design(
+    let searched = search_design(
         sys.netlist(),
         sys.topology(),
         &sets.all,
         &table_search_config(),
-    )
-    .into_mate_set();
+    );
+    let s = &searched.stats;
+    eprintln!(
+        "search: {:.1}s wall, {} GMT entries, slowest wire {:.2}s, Σ wire time {:.1}s",
+        s.run_time.as_secs_f64(),
+        s.gmt_entries,
+        s.max_wire_time.as_secs_f64(),
+        s.total_wire_time.as_secs_f64(),
+    );
+    let mates = searched.into_mate_set();
 
     eprintln!("recording {TRACE_CYCLES}-cycle traces...");
     let fib_run = sys.run(&programs::fib(Termination::Loop), &[], TRACE_CYCLES);

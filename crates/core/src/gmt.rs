@@ -5,11 +5,16 @@
 //! [`mate_netlist::masking_cubes`]) and shared by all wire searches.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
 
 use mate_netlist::{masking_cubes, CellFn, CellTypeId, Library, PinCube};
 
 /// A thread-safe memo table of gate-masking cubes.
+///
+/// The table is read-mostly: after a short warm-up every lookup is a hit, so
+/// entries live behind an [`RwLock`] and are returned as shared
+/// `Arc<[PinCube]>` slices — concurrent wire searches neither clone the cube
+/// vectors nor serialize on a mutex.
 ///
 /// # Example
 ///
@@ -24,9 +29,12 @@ use mate_netlist::{masking_cubes, CellFn, CellTypeId, Library, PinCube};
 /// let cubes = cache.cubes(&lib, mux, 0b001);
 /// assert_eq!(cubes.len(), 2);
 /// ```
+/// Cache key: cell type plus the faulty-pin mask.
+type GmtKey = (CellTypeId, u8);
+
 #[derive(Debug, Default)]
 pub struct GmtCache {
-    table: Mutex<HashMap<(CellTypeId, u8), Vec<PinCube>>>,
+    table: RwLock<HashMap<GmtKey, Arc<[PinCube]>>>,
 }
 
 impl GmtCache {
@@ -37,33 +45,37 @@ impl GmtCache {
 
     /// The masking cubes for cell type `ty` with faulty pins `faulty_mask`.
     ///
-    /// Returns an empty vector for flip-flops (a fault that reached a
+    /// Returns an empty slice for flip-flops (a fault that reached a
     /// flip-flop data pin is latched, never masked) and for gates without
     /// masking capability for this faulty set (e.g. XOR).
     ///
     /// # Panics
     ///
     /// Panics if `faulty_mask` selects no pin of a combinational cell.
-    pub fn cubes(&self, library: &Library, ty: CellTypeId, faulty_mask: u8) -> Vec<PinCube> {
-        if let Some(hit) = self.table.lock().unwrap().get(&(ty, faulty_mask)) {
-            return hit.clone();
+    pub fn cubes(&self, library: &Library, ty: CellTypeId, faulty_mask: u8) -> Arc<[PinCube]> {
+        if let Some(hit) = self.table.read().unwrap().get(&(ty, faulty_mask)) {
+            return Arc::clone(hit);
         }
         let cell = library.cell_type(ty);
-        let cubes = match cell.func() {
-            CellFn::Dff => Vec::new(),
+        let cubes: Arc<[PinCube]> = match cell.func() {
+            CellFn::Dff => Arc::from([]),
             CellFn::Comb(tt) => {
                 if tt.inputs() == 0 {
-                    Vec::new()
+                    Arc::from([])
                 } else {
-                    masking_cubes(tt, faulty_mask)
+                    Arc::from(masking_cubes(tt, faulty_mask))
                 }
             }
         };
-        self.table
-            .lock()
-            .unwrap()
-            .insert((ty, faulty_mask), cubes.clone());
-        cubes
+        // Two threads may race to compute the same entry; both arrive at the
+        // same value, so keep whichever got there first and share it.
+        Arc::clone(
+            self.table
+                .write()
+                .unwrap()
+                .entry((ty, faulty_mask))
+                .or_insert(cubes),
+        )
     }
 
     /// Returns `true` if the cell can mask a fault on the given pins at all.
@@ -73,7 +85,7 @@ impl GmtCache {
 
     /// Number of memoized entries (for diagnostics).
     pub fn len(&self) -> usize {
-        self.table.lock().unwrap().len()
+        self.table.read().unwrap().len()
     }
 
     /// Returns `true` when nothing has been memoized yet.
@@ -96,6 +108,8 @@ mod tests {
         let first = cache.cubes(&lib, and2, 0b01);
         let second = cache.cubes(&lib, and2, 0b01);
         assert_eq!(first, second);
+        // Repeated lookups share one allocation instead of cloning.
+        assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 1);
         assert_eq!(first.len(), 1);
     }

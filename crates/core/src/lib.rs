@@ -47,6 +47,7 @@ pub mod io;
 pub mod mates;
 pub mod multi;
 pub mod paths;
+pub mod propagate;
 pub mod search;
 pub mod select;
 
@@ -56,8 +57,11 @@ pub use io::{read_mates, write_mates, MateIoError};
 pub use mates::{summarize, Mate, MateSet};
 pub use multi::{search_wire_set, MultiMate, MultiSearchResult};
 pub use paths::{enumerate_paths, PathSet};
+pub use propagate::{ConeSession, Mark, PropagationScratch};
 pub use search::{
-    search_design, search_wire, SearchConfig, SearchStats, SearchStrategy, WireSearchResult,
+    cube_masks_wire, propagate_cube_reference, search_design, search_wire, search_wire_cached,
+    search_wire_scratch, PropagationMode, PropagationOutcome, SearchConfig, SearchStats,
+    SearchStrategy, WireSearchResult,
 };
 pub use select::{rank, rank_eager, rank_transposed, select_top_n, Ranking};
 
@@ -67,8 +71,10 @@ pub mod prelude {
     pub use crate::gmt::GmtCache;
     pub use crate::mates::{summarize, Mate, MateSet};
     pub use crate::paths::{enumerate_paths, PathSet};
+    pub use crate::propagate::PropagationScratch;
     pub use crate::search::{
-        search_design, search_wire, SearchConfig, SearchStats, SearchStrategy, WireSearchResult,
+        search_design, search_wire, PropagationMode, SearchConfig, SearchStats, SearchStrategy,
+        WireSearchResult,
     };
     pub use crate::select::{rank, select_top_n, Ranking};
     pub use crate::{ff_wires, ff_wires_filtered};

@@ -1,0 +1,613 @@
+//! Allocation-free trust propagation over fault cones.
+//!
+//! [`crate::search::propagate_cube_reference`] — the paper-faithful verifier
+//! — allocates a fresh [`mate_netlist::BitSet`] and a `HashMap` per MATE
+//! candidate and re-enumerates every free pin assignment of every cone gate.
+//! For searches that try up to 100 000 candidates per wire this dominates
+//! the offline phase.  This module removes all three costs while staying
+//! bit-identical to the reference:
+//!
+//! * [`PropagationScratch`] — a dense, generation-stamped per-net state
+//!   array (3-valued constant knowledge + possibly-faulty flag).  Bumping
+//!   the generation invalidates the whole array in O(1); nothing is
+//!   allocated per candidate after warm-up.
+//! * A gate-outcome memo keyed on `(CellTypeId, p_mask, fixed_mask,
+//!   fixed_vals)`: the free-assignment enumeration that decides whether a
+//!   gate masks its faulty pins (and whether its output is a derived
+//!   constant) runs once per distinct situation and is a table lookup ever
+//!   after.
+//! * [`ConeSession`] — incremental re-propagation.  The repair search
+//!   conjoins a few literals per branch; instead of re-walking the whole
+//!   cone, the session seeds the child from the parent's propagation state
+//!   and re-evaluates only the topological fan-out of the changed nets via
+//!   an event-driven worklist, with an undo trail to restore the parent
+//!   state when the branch returns.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use mate_netlist::{ConeEndpoint, ConeReaders, FaultCone, NetId, Netlist, TruthTable};
+
+/// Cube literal present on this net (assumption made by the candidate).
+const CUBE: u8 = 1 << 0;
+/// Value of the cube literal.
+const CUBE_VAL: u8 = 1 << 1;
+/// Derived constant (3-valued constant propagation through the cone).
+const KNOWN: u8 = 1 << 2;
+/// Value of the derived constant.
+const KNOWN_VAL: u8 = 1 << 3;
+/// The net is possibly faulty.
+const POSSIBLY: u8 = 1 << 4;
+
+/// Gate-outcome memo value: the gate masks its possibly-faulty pins.
+const OUT_MASKED: u8 = 1 << 0;
+/// The gate output is a derived constant under the fixed pins.
+const OUT_CONST: u8 = 1 << 1;
+/// Value of the derived constant output.
+const OUT_CONST_VAL: u8 = 1 << 2;
+
+/// Number of slots in the direct-mapped memo front cache (power of two).
+const MEMO_CACHE_SLOTS: usize = 1 << 15;
+/// Shift extracting the cache slot from the mixed key (64 - log2(slots)).
+const MEMO_CACHE_SHIFT: u32 = 64 - 15;
+
+/// Multiplicative hasher for the packed `u64` memo keys — the memo lookup
+/// sits on the innermost propagation loop, where SipHash is measurable.
+#[derive(Default)]
+struct FxU64(u64);
+
+impl Hasher for FxU64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Reusable propagation state.  One scratch per worker thread serves every
+/// wire search and every candidate; per-candidate work touches only the
+/// nets that actually change.
+#[derive(Default)]
+pub struct PropagationScratch {
+    /// Per-net packed `stamp << 8 | state`: the low byte is the state bits,
+    /// valid iff the high bits equal `gen`.  One array (one cache line per
+    /// net) instead of separate state/stamp arrays — `read` sits on the
+    /// innermost propagation loop.
+    packed: Vec<u64>,
+    gen: u32,
+    /// Gate-outcome memo: `(type, p_mask, fixed_mask, fixed_vals)` packed
+    /// into a `u64` key, outcome bits as value.
+    memo: HashMap<u64, u8, BuildHasherDefault<FxU64>>,
+    /// Identity of the library the memo was filled against (cell-type ids
+    /// are only meaningful per library).
+    lib_tag: usize,
+    /// Direct-mapped front cache for `memo`, indexed by a hash of the key.
+    /// Slot sentinel is `u64::MAX` (never a real key).
+    memo_cache: Vec<(u64, u8)>,
+    /// Worklist bits, one per cone cell position.  Cone cells are
+    /// topologically sorted and a gate's readers sit at strictly larger
+    /// positions, so draining lowest-bit-first is an exact replacement for
+    /// a min-heap — without the per-event sift cost.
+    queued: Vec<u64>,
+    /// Lowest `queued` word that may hold a set bit.
+    dirty_lo: usize,
+    /// Flattened per-position cone geometry, rebuilt per session so the
+    /// inner loop never chases `Netlist` indirections or binary-searches
+    /// the reader index: cell-type index, output net, input nets (CSR via
+    /// `pos_pin_off`), and reader positions (CSR via `pos_reader_off`).
+    pos_ty: Vec<u32>,
+    pos_out: Vec<u32>,
+    pos_pin_off: Vec<u32>,
+    pos_pins: Vec<u32>,
+    pos_reader_off: Vec<u32>,
+    pos_readers: Vec<u32>,
+    /// Undo trail: `(net index, previous state byte)`.
+    trail: Vec<(u32, u8)>,
+    /// How many endpoints of the current session's cone read each net
+    /// (dense; reset per session via `ep_nets`).
+    ep_weight: Vec<u32>,
+    /// Net indices carrying endpoint weight, for O(endpoints) reset.
+    ep_nets: Vec<u32>,
+    /// Endpoint-weighted count of possibly-faulty nets, maintained on every
+    /// state write so `masked()` is O(1) instead of an endpoint scan per
+    /// candidate.
+    faulty_weight: u64,
+}
+
+impl PropagationScratch {
+    /// Creates an empty scratch; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized gate outcomes (for diagnostics).
+    pub fn memo_entries(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Starts a propagation session for `origins` over `cone`: runs the
+    /// initial full propagation of the empty (always-true) cube, then
+    /// serves incremental [`ConeSession::assume`] / [`ConeSession::undo`]
+    /// calls.
+    ///
+    /// `readers` must be `cone.reader_index(netlist)` — passed in so the
+    /// per-wire index is built once, not per session.
+    pub fn session<'a>(
+        &'a mut self,
+        netlist: &'a Netlist,
+        cone: &'a FaultCone,
+        readers: &'a ConeReaders,
+        origins: &[NetId],
+    ) -> ConeSession<'a> {
+        let lib_tag = Arc::as_ptr(netlist.library()) as usize;
+        if self.memo_cache.is_empty() {
+            self.memo_cache = vec![(u64::MAX, 0); MEMO_CACHE_SLOTS];
+        }
+        if self.lib_tag != lib_tag {
+            self.memo.clear();
+            self.memo_cache.fill((u64::MAX, 0));
+            self.lib_tag = lib_tag;
+        }
+        let nets = netlist.num_nets();
+        if self.packed.len() < nets {
+            self.packed.resize(nets, 0);
+            self.ep_weight.resize(nets, 0);
+        }
+        for &n in &self.ep_nets {
+            self.ep_weight[n as usize] = 0;
+        }
+        self.ep_nets.clear();
+        for ep in cone.endpoints() {
+            let net = match *ep {
+                ConeEndpoint::SeqPin { cell, pin } => netlist.cell(cell).inputs()[pin],
+                ConeEndpoint::Output(net) => net,
+            };
+            self.ep_weight[net.index()] += 1;
+            self.ep_nets.push(net.index() as u32);
+        }
+        self.faulty_weight = 0;
+        if self.gen == u32::MAX {
+            self.packed.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        let words = cone.cells().len().div_ceil(64);
+        self.queued.clear();
+        self.queued.resize(words, 0);
+        self.dirty_lo = words;
+        self.trail.clear();
+
+        self.pos_ty.clear();
+        self.pos_out.clear();
+        self.pos_pins.clear();
+        self.pos_readers.clear();
+        self.pos_pin_off.clear();
+        self.pos_reader_off.clear();
+        self.pos_pin_off.push(0);
+        self.pos_reader_off.push(0);
+        for &cell in cone.cells() {
+            let c = netlist.cell(cell);
+            self.pos_ty.push(c.type_id().index() as u32);
+            self.pos_out.push(c.output().index() as u32);
+            for &net in c.inputs() {
+                self.pos_pins.push(net.index() as u32);
+            }
+            self.pos_pin_off.push(self.pos_pins.len() as u32);
+            self.pos_readers.extend_from_slice(readers.of(c.output()));
+            self.pos_reader_off.push(self.pos_readers.len() as u32);
+        }
+
+        let mut session = ConeSession {
+            scratch: self,
+            netlist,
+            cone,
+            readers,
+        };
+        for &origin in origins {
+            let old = session.read(origin.index());
+            session.write_untrailed(origin.index(), old, POSSIBLY);
+        }
+        // Initial fixpoint: one in-order sweep over the whole cone, exactly
+        // like the reference pass.  No trail — `undo` never unwinds past
+        // session creation.
+        for pos in 0..cone.cells().len() {
+            session.recompute(pos, false);
+        }
+        // The sweep reached the fixpoint; drop the reader events it queued
+        // so the first `assume` does not re-prove it.
+        session.scratch.queued.fill(0);
+        session.scratch.dirty_lo = words;
+        session
+    }
+}
+
+/// Undo point returned by [`ConeSession::assume`].
+#[derive(Clone, Copy, Debug)]
+pub struct Mark(usize);
+
+/// An active propagation session: the scratch bound to one fault cone, with
+/// the propagation state of the current candidate cube materialized.
+pub struct ConeSession<'a> {
+    scratch: &'a mut PropagationScratch,
+    netlist: &'a Netlist,
+    cone: &'a FaultCone,
+    readers: &'a ConeReaders,
+}
+
+impl<'a> ConeSession<'a> {
+    /// Current state byte of a net (0 when untouched this session).
+    #[inline]
+    fn read(&self, net: usize) -> u8 {
+        let e = self.scratch.packed[net];
+        if (e >> 8) as u32 == self.scratch.gen {
+            e as u8
+        } else {
+            0
+        }
+    }
+
+    /// Writes `state` to `net`; `old` must be the current `read(net)`.
+    #[inline]
+    fn write_untrailed(&mut self, net: usize, old: u8, state: u8) {
+        if (old ^ state) & POSSIBLY != 0 {
+            let w = u64::from(self.scratch.ep_weight[net]);
+            if state & POSSIBLY != 0 {
+                self.scratch.faulty_weight += w;
+            } else {
+                debug_assert!(self.scratch.faulty_weight >= w);
+                self.scratch.faulty_weight -= w;
+            }
+        }
+        self.scratch.packed[net] = (self.scratch.gen as u64) << 8 | state as u64;
+    }
+
+    #[inline]
+    fn write_trailed(&mut self, net: usize, old: u8, state: u8) {
+        self.scratch.trail.push((net as u32, old));
+        self.write_untrailed(net, old, state);
+    }
+
+    #[inline]
+    fn enqueue(&mut self, pos: u32) {
+        let (word, bit) = (pos as usize / 64, pos as usize % 64);
+        self.scratch.queued[word] |= 1 << bit;
+        if word < self.scratch.dirty_lo {
+            self.scratch.dirty_lo = word;
+        }
+    }
+
+    /// Re-evaluates the cone gate at `pos` from its current input states
+    /// and, if its output state changes, records the old state (when
+    /// `trailed`) and enqueues the gate's cone readers.
+    fn recompute(&mut self, pos: usize, trailed: bool) {
+        let pin_lo = self.scratch.pos_pin_off[pos] as usize;
+        let pin_hi = self.scratch.pos_pin_off[pos + 1] as usize;
+        let mut p_mask = 0u8;
+        let mut fixed_mask = 0u8;
+        let mut fixed_vals = 0u8;
+        for (pin, i) in (pin_lo..pin_hi).enumerate() {
+            let net = self.scratch.pos_pins[i] as usize;
+            let s = self.read(net);
+            if s & POSSIBLY != 0 {
+                p_mask |= 1 << pin;
+            } else if s & KNOWN != 0 {
+                fixed_mask |= 1 << pin;
+                if s & KNOWN_VAL != 0 {
+                    fixed_vals |= 1 << pin;
+                }
+            } else if s & CUBE != 0 {
+                fixed_mask |= 1 << pin;
+                if s & CUBE_VAL != 0 {
+                    fixed_vals |= 1 << pin;
+                }
+            }
+        }
+        let key = (self.scratch.pos_ty[pos] as u64) << 24
+            | (p_mask as u64) << 16
+            | (fixed_mask as u64) << 8
+            | fixed_vals as u64;
+        let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> MEMO_CACHE_SHIFT) as usize;
+        let outcome = if self.scratch.memo_cache[slot].0 == key {
+            self.scratch.memo_cache[slot].1
+        } else {
+            let o = match self.scratch.memo.get(&key) {
+                Some(&o) => o,
+                None => {
+                    let cell = self.cone.cells()[pos];
+                    let tt = self
+                        .netlist
+                        .cell_type_of(cell)
+                        .truth_table()
+                        .expect("cone cells are combinational");
+                    let o = gate_outcome(tt, p_mask, fixed_mask, fixed_vals);
+                    self.scratch.memo.insert(key, o);
+                    o
+                }
+            };
+            self.scratch.memo_cache[slot] = (key, o);
+            o
+        };
+        let out = self.scratch.pos_out[pos] as usize;
+        let old = self.read(out);
+        let derived = if outcome & OUT_MASKED == 0 {
+            POSSIBLY
+        } else if outcome & OUT_CONST != 0 {
+            KNOWN
+                | if outcome & OUT_CONST_VAL != 0 {
+                    KNOWN_VAL
+                } else {
+                    0
+                }
+        } else {
+            0
+        };
+        let new = (old & (CUBE | CUBE_VAL)) | derived;
+        if new != old {
+            if trailed {
+                self.write_trailed(out, old, new);
+            } else {
+                self.write_untrailed(out, old, new);
+            }
+            let rd_lo = self.scratch.pos_reader_off[pos] as usize;
+            let rd_hi = self.scratch.pos_reader_off[pos + 1] as usize;
+            for i in rd_lo..rd_hi {
+                let r = self.scratch.pos_readers[i];
+                debug_assert!(r as usize > pos, "cone cells are topologically sorted");
+                self.enqueue(r);
+            }
+        }
+    }
+
+    /// Drains the worklist in topological-position order.  Recomputes only
+    /// ever enqueue strictly larger positions, so one lowest-bit-first scan
+    /// over the `queued` words visits events in exactly the order the old
+    /// min-heap produced.
+    fn settle(&mut self) {
+        let words = self.scratch.queued.len();
+        let mut w = self.scratch.dirty_lo;
+        while w < words {
+            let bits = self.scratch.queued[w];
+            if bits == 0 {
+                w += 1;
+                continue;
+            }
+            let bit = bits.trailing_zeros() as usize;
+            self.scratch.queued[w] = bits & (bits - 1);
+            self.recompute(w * 64 + bit, true);
+        }
+        self.scratch.dirty_lo = words;
+    }
+
+    /// Conjoins additional cube literals onto the current candidate and
+    /// incrementally re-propagates their fan-out.  Literals already assumed
+    /// with the same polarity are no-ops; assuming the opposite polarity of
+    /// an existing literal is a caller bug (the candidate cube would be
+    /// unsatisfiable) and panics in debug builds.
+    ///
+    /// Returns a [`Mark`]; pass it to [`ConeSession::undo`] to restore the
+    /// parent candidate's state.
+    pub fn assume(&mut self, literals: impl Iterator<Item = (NetId, bool)>) -> Mark {
+        let mark = Mark(self.scratch.trail.len());
+        for (net, value) in literals {
+            let old = self.read(net.index());
+            let lit = CUBE | if value { CUBE_VAL } else { 0 };
+            if old & (CUBE | CUBE_VAL) == lit {
+                continue;
+            }
+            debug_assert!(old & CUBE == 0, "contradictory literal assumed");
+            self.write_trailed(net.index(), old, old | lit);
+            let readers = self.readers;
+            for &r in readers.of(net) {
+                self.enqueue(r);
+            }
+        }
+        self.settle();
+        Mark(mark.0)
+    }
+
+    /// Rolls the propagation state back to `mark` (the parent candidate).
+    pub fn undo(&mut self, mark: Mark) {
+        while self.scratch.trail.len() > mark.0 {
+            let (net, old) = self.scratch.trail.pop().expect("trail length checked");
+            let net = net as usize;
+            // Trailed nets were written this session, so the stamp is
+            // current and the raw state byte is live.
+            let cur = self.scratch.packed[net] as u8;
+            if (cur ^ old) & POSSIBLY != 0 {
+                let w = u64::from(self.scratch.ep_weight[net]);
+                if old & POSSIBLY != 0 {
+                    self.scratch.faulty_weight += w;
+                } else {
+                    debug_assert!(self.scratch.faulty_weight >= w);
+                    self.scratch.faulty_weight -= w;
+                }
+            }
+            self.scratch.packed[net] = (self.scratch.gen as u64) << 8 | old as u64;
+        }
+    }
+
+    /// `true` iff no cone endpoint is possibly faulty under the current
+    /// candidate — the fault is masked within one cycle.  O(1): the
+    /// endpoint-weighted possibly-faulty count is maintained on every state
+    /// write instead of scanning the endpoint list per query.
+    pub fn masked(&self) -> bool {
+        self.scratch.faulty_weight == 0
+    }
+
+    /// The first (in endpoint order) still-faulty endpoint net, if any.
+    pub fn first_faulty_endpoint(&self) -> Option<NetId> {
+        for ep in self.cone.endpoints() {
+            let net = match *ep {
+                ConeEndpoint::SeqPin { cell, pin } => self.netlist.cell(cell).inputs()[pin],
+                ConeEndpoint::Output(net) => net,
+            };
+            if self.read(net.index()) & POSSIBLY != 0 {
+                return Some(net);
+            }
+        }
+        None
+    }
+
+    /// Whether `net` is possibly faulty under the current candidate.
+    pub fn possibly(&self, net: NetId) -> bool {
+        self.read(net.index()) & POSSIBLY != 0
+    }
+}
+
+/// The free-assignment enumeration of the reference verifier, run once per
+/// distinct `(truth table, p_mask, fixed_mask, fixed_vals)` situation:
+/// decides whether the gate masks its possibly-faulty pins everywhere and
+/// whether its output is a constant under the fixed pins.
+fn gate_outcome(tt: &TruthTable, p_mask: u8, fixed_mask: u8, fixed_vals: u8) -> u8 {
+    let all_pins = ((1u16 << tt.inputs()) - 1) as u8;
+    let free_mask = all_pins & !p_mask & !fixed_mask;
+    let mut masked = true;
+    let mut constant: Option<bool> = None;
+    let mut constant_valid = true;
+    let mut free = free_mask as usize;
+    loop {
+        let base = free | fixed_vals as usize;
+        if p_mask != 0 && !tt.masks_fault(p_mask, base) {
+            masked = false;
+            break;
+        }
+        if constant_valid {
+            let v = tt.eval(base & !(p_mask as usize));
+            match constant {
+                None => constant = Some(v),
+                Some(prev) if prev != v => constant_valid = false,
+                _ => {}
+            }
+        }
+        if free == 0 {
+            break;
+        }
+        free = (free - 1) & free_mask as usize;
+    }
+    let mut out = 0u8;
+    if masked {
+        out |= OUT_MASKED;
+        if constant_valid {
+            if let Some(v) = constant {
+                out |= OUT_CONST;
+                if v {
+                    out |= OUT_CONST_VAL;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::propagate_cube_reference;
+    use mate_netlist::examples::{figure1, figure1b, tmr_register};
+    use mate_netlist::NetCube;
+
+    fn check_equal(netlist: &Netlist, cone: &FaultCone, origins: &[NetId], cube: &NetCube) {
+        let reference = propagate_cube_reference(netlist, cone, origins, cube);
+        let mut scratch = PropagationScratch::new();
+        let readers = cone.reader_index(netlist);
+        let mut session = scratch.session(netlist, cone, &readers, origins);
+        session.assume(cube.literals());
+        assert_eq!(session.masked(), reference.masked, "masked diverges");
+        assert_eq!(
+            session.first_faulty_endpoint(),
+            reference.first_faulty_endpoint,
+            "endpoint diverges"
+        );
+        for net in (0..netlist.num_nets()).map(NetId::from_index) {
+            assert_eq!(
+                session.possibly(net),
+                reference.possibly.contains(net.index()),
+                "possibly set diverges on {net:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cube_matches_reference_on_examples() {
+        for (n, topo) in [figure1(), figure1b(), tmr_register()] {
+            for wire in crate::ff_wires(&n, &topo) {
+                let cone = FaultCone::compute(&n, &topo, wire);
+                check_equal(&n, &cone, &[wire], &NetCube::top());
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_paper_mate_masks_via_session() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let f = n.find_net("f").unwrap();
+        let h = n.find_net("h").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        let cube = NetCube::from_literals([(f, false), (h, true)]).unwrap();
+        check_equal(&n, &cone, &[d], &cube);
+
+        let mut scratch = PropagationScratch::new();
+        let readers = cone.reader_index(&n);
+        let mut session = scratch.session(&n, &cone, &readers, &[d]);
+        assert!(!session.masked());
+        let mark = session.assume(cube.literals());
+        assert!(session.masked());
+        session.undo(mark);
+        assert!(!session.masked(), "undo must restore the parent state");
+    }
+
+    #[test]
+    fn incremental_pushes_match_from_scratch() {
+        let (n, topo) = tmr_register();
+        let r0 = n.find_net("r0").unwrap();
+        let cone = FaultCone::compute(&n, &topo, r0);
+        let border = cone.border_nets(&n);
+        let readers = cone.reader_index(&n);
+        let mut scratch = PropagationScratch::new();
+        let mut session = scratch.session(&n, &cone, &readers, &[r0]);
+        // Push border literals one at a time; after each push the session
+        // must equal a from-scratch propagation of the accumulated cube.
+        let mut acc = NetCube::top();
+        for (i, &net) in border.iter().enumerate() {
+            let polarity = i % 2 == 0;
+            let lit = NetCube::literal(net, polarity);
+            let Some(next) = acc.conjoin(&lit) else {
+                continue;
+            };
+            session.assume(lit.literals());
+            acc = next;
+            let reference = propagate_cube_reference(&n, &cone, &[r0], &acc);
+            assert_eq!(session.masked(), reference.masked);
+            for net in (0..n.num_nets()).map(NetId::from_index) {
+                assert_eq!(
+                    session.possibly(net),
+                    reference.possibly.contains(net.index())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_cones() {
+        let (n, topo) = figure1b();
+        let mut scratch = PropagationScratch::new();
+        for wire in crate::ff_wires(&n, &topo) {
+            let cone = FaultCone::compute(&n, &topo, wire);
+            let readers = cone.reader_index(&n);
+            let reference = propagate_cube_reference(&n, &cone, &[wire], &NetCube::top());
+            let session = scratch.session(&n, &cone, &readers, &[wire]);
+            assert_eq!(session.masked(), reference.masked);
+        }
+        assert!(scratch.memo_entries() > 0);
+    }
+}

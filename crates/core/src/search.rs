@@ -1,5 +1,6 @@
 //! The heuristic MATE search (step 2+3 of the paper, Section 4).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use mate_netlist::{CellId, FaultCone, NetCube, NetId, Netlist, Topology};
@@ -7,6 +8,7 @@ use mate_netlist::{CellId, FaultCone, NetCube, NetId, Netlist, Topology};
 use crate::gmt::GmtCache;
 use crate::mates::{summarize, Mate, MateSet};
 use crate::paths::enumerate_paths;
+use crate::propagate::{ConeSession, Mark, PropagationScratch};
 
 /// Tuning knobs of the heuristic search.  The defaults are the paper's
 /// evaluation parameters: depth 8, at most 4 gate-masking terms per MATE,
@@ -27,6 +29,8 @@ pub struct SearchConfig {
     pub threads: usize,
     /// How MATE candidates are constructed.
     pub strategy: SearchStrategy,
+    /// Which trust-propagation engine verifies candidates.
+    pub propagation: PropagationMode,
 }
 
 /// Candidate-construction strategies.
@@ -45,6 +49,23 @@ pub enum SearchStrategy {
     Repair,
 }
 
+/// Which trust-propagation engine decides candidate verdicts.
+///
+/// Both engines return bit-identical results (proptest-enforced by
+/// `tests/search_equiv.rs`); the reference is kept as the executable
+/// specification and as the baseline of `benches/search.rs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PropagationMode {
+    /// Per-candidate from-scratch propagation: fresh bit set + hash map per
+    /// candidate, free-assignment re-enumeration per gate.
+    Reference,
+    /// Reusable [`PropagationScratch`]: dense generation-stamped state,
+    /// memoized gate outcomes, incremental re-propagation along repair
+    /// branches.
+    #[default]
+    Optimized,
+}
+
 impl Default for SearchConfig {
     fn default() -> Self {
         Self {
@@ -54,6 +75,7 @@ impl Default for SearchConfig {
             max_paths: 4096,
             threads: 0,
             strategy: SearchStrategy::Repair,
+            propagation: PropagationMode::Optimized,
         }
     }
 }
@@ -84,6 +106,9 @@ pub struct WireSearchResult {
     /// The discovered MATEs (each masking exactly this wire; deduplicated
     /// and free of subsumed cubes).
     pub mates: Vec<Mate>,
+    /// Wall-clock time spent on this wire (cone sizes vary wildly, so
+    /// per-wire times expose scheduler load imbalance).
+    pub search_time: Duration,
 }
 
 /// Aggregate search statistics — the rows of Table 1.
@@ -103,6 +128,14 @@ pub struct SearchStats {
     pub num_mates: usize,
     /// Wall-clock search time.
     pub run_time: Duration,
+    /// Memoized gate-masking-term entries in the shared [`GmtCache`].
+    pub gmt_entries: usize,
+    /// The slowest single wire — together with `total_wire_time` this makes
+    /// scheduler load imbalance observable without re-profiling.
+    pub max_wire_time: Duration,
+    /// Sum of per-wire search times across all workers (≥ `run_time` when
+    /// the parallel search scales).
+    pub total_wire_time: Duration,
 }
 
 /// A whole-design search result: per-wire detail plus aggregates.
@@ -147,6 +180,23 @@ pub fn search_wire_cached(
     config: &SearchConfig,
     cache: &GmtCache,
 ) -> WireSearchResult {
+    let mut scratch = PropagationScratch::new();
+    search_wire_scratch(netlist, topo, wire, config, cache, &mut scratch)
+}
+
+/// Like [`search_wire_cached`] but additionally reusing a
+/// [`PropagationScratch`] across wires, so steady-state candidate
+/// verification allocates nothing.  Worker threads of [`search_design`]
+/// each own one scratch for their whole share of the design.
+pub fn search_wire_scratch(
+    netlist: &Netlist,
+    topo: &Topology,
+    wire: NetId,
+    config: &SearchConfig,
+    cache: &GmtCache,
+    scratch: &mut PropagationScratch,
+) -> WireSearchResult {
+    let start = Instant::now();
     let cone = FaultCone::compute(netlist, topo, wire);
     let mut result = WireSearchResult {
         wire,
@@ -154,6 +204,7 @@ pub fn search_wire_cached(
         candidates_tried: 0,
         unmaskable: false,
         mates: Vec::new(),
+        search_time: Duration::ZERO,
     };
 
     let paths = enumerate_paths(netlist, topo, &cone, config.depth, config.max_paths);
@@ -163,6 +214,7 @@ pub fn search_wire_cached(
         // treat both cases as unmaskable (empty-path sets arise only for
         // dangling wires).
         result.unmaskable = paths.hopeless();
+        result.search_time = start.elapsed();
         return result;
     }
 
@@ -189,6 +241,7 @@ pub fn search_wire_cached(
         }
         if !cuttable {
             result.unmaskable = true;
+            result.search_time = start.elapsed();
             return result;
         }
     }
@@ -277,83 +330,188 @@ pub fn search_wire_cached(
             if coverable {
                 path_masks.sort_unstable();
                 path_masks.dedup();
-                // Enumerate gate combinations of increasing size; for
-                // covering combinations, expand the cube choices and keep
-                // the cubes the trust-propagation check confirms.  Skip
-                // combinations that are supersets of an already-successful
-                // one — their MATEs are subsumed.
-                let mut covering: Vec<u128> = Vec::new();
-                let mut verify = |cube: &NetCube| cube_masks_wire(netlist, &cone, wire, cube);
-                // Iterative deepening over combination size keeps the cheap
-                // (small) MATEs first, like the paper's preference for early
-                // masking.
-                for size in 1..=config.max_terms.min(maskable.len()) {
-                    if result.candidates_tried >= budget {
-                        break;
+                match config.propagation {
+                    PropagationMode::Reference => {
+                        let mut verifier = ReferenceCandidates {
+                            netlist,
+                            cone: &cone,
+                            wire,
+                        };
+                        run_combos(
+                            &maskable,
+                            &gate_cubes,
+                            &path_masks,
+                            config.max_terms,
+                            &mut found,
+                            &mut result.candidates_tried,
+                            budget,
+                            &mut verifier,
+                        );
                     }
-                    let mut combo: Vec<usize> = Vec::with_capacity(size);
-                    combo_rec(
-                        &maskable,
-                        &gate_cubes,
-                        &path_masks,
-                        &mut covering,
-                        &mut found,
-                        &mut combo,
-                        0,
-                        size,
-                        0u128,
-                        &mut result.candidates_tried,
-                        budget,
-                        &mut verify,
-                    );
+                    PropagationMode::Optimized => {
+                        let readers = cone.reader_index(netlist);
+                        let session = scratch.session(netlist, &cone, &readers, &[wire]);
+                        let mut verifier = SessionVerifier::new(session);
+                        run_combos(
+                            &maskable,
+                            &gate_cubes,
+                            &path_masks,
+                            config.max_terms,
+                            &mut found,
+                            &mut result.candidates_tried,
+                            budget,
+                            &mut verifier,
+                        );
+                    }
                 }
             }
         }
-        SearchStrategy::Repair => {
-            // Iterative deepening over the term limit: cheap single-cut
-            // MATEs are found first across *all* branches before expensive
-            // multi-cut ones consume budget — this both mirrors the paper's
-            // preference for early masking and yields a diverse MATE set.
-            for limit in 1..=config.max_terms {
-                if result.candidates_tried >= budget {
-                    break;
-                }
-                repair_rec(
+        SearchStrategy::Repair => match config.propagation {
+            PropagationMode::Reference => {
+                let origins = [wire];
+                let mut verifier = ReferenceVerifier::start(netlist, &cone, &origins);
+                repair_all(
                     netlist,
-                    &cone,
-                    &[wire],
                     cache,
-                    &NetCube::top(),
-                    limit,
+                    config.max_terms,
+                    budget,
                     &mut found,
                     &mut result.candidates_tried,
-                    budget,
+                    &mut verifier,
                 );
             }
-        }
+            PropagationMode::Optimized => {
+                let readers = cone.reader_index(netlist);
+                let session = scratch.session(netlist, &cone, &readers, &[wire]);
+                let mut verifier = SessionVerifier::new(session);
+                repair_all(
+                    netlist,
+                    cache,
+                    config.max_terms,
+                    budget,
+                    &mut found,
+                    &mut result.candidates_tried,
+                    &mut verifier,
+                );
+            }
+        },
     }
 
     result.mates = minimize_cubes(found)
         .into_iter()
         .map(|cube| Mate::single(cube, wire))
         .collect();
+    result.search_time = start.elapsed();
     result
 }
 
+/// How the exhaustive strategy judges complete candidate cubes.  `push` /
+/// `pop` bracket each conjoined gate cube during expansion so an
+/// incremental engine keeps its state warm; the reference implements them
+/// as no-ops and propagates from scratch at the leaf.
+trait CandidateVerifier {
+    fn push(&mut self, next: &NetCube, prev: &NetCube) -> usize;
+    fn pop(&mut self, mark: usize);
+    fn masked_candidate(&mut self, candidate: &NetCube) -> bool;
+}
+
+/// From-scratch verification at the leaf only — the specification path.
+struct ReferenceCandidates<'a> {
+    netlist: &'a Netlist,
+    cone: &'a FaultCone,
+    wire: NetId,
+}
+
+impl CandidateVerifier for ReferenceCandidates<'_> {
+    fn push(&mut self, _next: &NetCube, _prev: &NetCube) -> usize {
+        0
+    }
+
+    fn pop(&mut self, _mark: usize) {}
+
+    fn masked_candidate(&mut self, candidate: &NetCube) -> bool {
+        cube_masks_wire(self.netlist, self.cone, self.wire, candidate)
+    }
+}
+
+impl CandidateVerifier for SessionVerifier<'_> {
+    fn push(&mut self, next: &NetCube, prev: &NetCube) -> usize {
+        RepairVerifier::push(self, next, prev)
+    }
+
+    fn pop(&mut self, mark: usize) {
+        RepairVerifier::pop(self, mark);
+    }
+
+    fn masked_candidate(&mut self, _candidate: &NetCube) -> bool {
+        // The expansion already pushed every literal of the candidate; the
+        // session holds its settled fixpoint.
+        self.session.masked()
+    }
+}
+
+/// Iterative deepening over combination size for the exhaustive strategy
+/// (cheap, small MATEs first — the paper's preference for early masking).
+#[allow(clippy::too_many_arguments)]
+fn run_combos<V: CandidateVerifier>(
+    maskable: &[usize],
+    gate_cubes: &[Vec<NetCube>],
+    path_masks: &[u128],
+    max_terms: usize,
+    found: &mut Vec<NetCube>,
+    tried: &mut usize,
+    budget: usize,
+    verify: &mut V,
+) {
+    // Enumerate gate combinations of increasing size; for covering
+    // combinations, expand the cube choices and keep the cubes the
+    // trust-propagation check confirms.  Skip combinations that are
+    // supersets of an already-successful one — their MATEs are subsumed.
+    let mut covering: Vec<u128> = Vec::new();
+    for size in 1..=max_terms.min(maskable.len()) {
+        if *tried >= budget {
+            break;
+        }
+        let mut combo: Vec<usize> = Vec::with_capacity(size);
+        combo_rec(
+            maskable,
+            gate_cubes,
+            path_masks,
+            &mut covering,
+            found,
+            &mut combo,
+            0,
+            size,
+            0u128,
+            tried,
+            budget,
+            verify,
+        );
+    }
+}
+
 /// De-duplicates and drops subsumed cubes (keeps the most general ones).
+///
+/// A strictly-subsuming cube always has fewer literals, so after a stable
+/// sort by literal count each cube only needs checking against the shorter
+/// kept cubes — `O(n·k)` subsumption tests instead of the quadratic
+/// all-pairs scan (equal-length distinct cubes can never subsume each
+/// other, and duplicates are removed up front).
 fn minimize_cubes(mut found: Vec<NetCube>) -> Vec<NetCube> {
     found.sort();
     found.dedup();
+    found.sort_by_key(NetCube::len);
     let mut minimal: Vec<NetCube> = Vec::new();
-    for cube in &found {
-        if !minimal
+    for cube in found {
+        let dominated = minimal
             .iter()
-            .any(|kept| kept != cube && kept.subsumes(cube))
-        {
-            minimal.retain(|kept| !cube.subsumes(kept) || kept == cube);
-            minimal.push(cube.clone());
+            .take_while(|kept| kept.len() < cube.len())
+            .any(|kept| kept.subsumes(&cube));
+        if !dominated {
+            minimal.push(cube);
         }
     }
+    minimal.sort();
     minimal
 }
 
@@ -368,28 +526,41 @@ pub(crate) fn repair_multi(
     tried: &mut usize,
 ) -> Vec<NetCube> {
     let mut found = Vec::new();
-    for limit in 1..=config.max_terms {
-        if *tried >= config.max_candidates {
-            break;
+    match config.propagation {
+        PropagationMode::Reference => {
+            let mut verifier = ReferenceVerifier::start(netlist, cone, origins);
+            repair_all(
+                netlist,
+                cache,
+                config.max_terms,
+                config.max_candidates,
+                &mut found,
+                tried,
+                &mut verifier,
+            );
         }
-        repair_rec(
-            netlist,
-            cone,
-            origins,
-            cache,
-            &NetCube::top(),
-            limit,
-            &mut found,
-            tried,
-            config.max_candidates,
-        );
+        PropagationMode::Optimized => {
+            let readers = cone.reader_index(netlist);
+            let mut scratch = PropagationScratch::new();
+            let session = scratch.session(netlist, cone, &readers, origins);
+            let mut verifier = SessionVerifier::new(session);
+            repair_all(
+                netlist,
+                cache,
+                config.max_terms,
+                config.max_candidates,
+                &mut found,
+                tried,
+                &mut verifier,
+            );
+        }
     }
     minimize_cubes(found)
 }
 
 /// Recursive gate-combination enumeration with cube expansion.
 #[allow(clippy::too_many_arguments)]
-fn combo_rec(
+fn combo_rec<V: CandidateVerifier>(
     maskable: &[usize],
     gate_cubes: &[Vec<NetCube>],
     path_masks: &[u128],
@@ -401,7 +572,7 @@ fn combo_rec(
     mask: u128,
     tried: &mut usize,
     budget: usize,
-    verify: &mut dyn FnMut(&NetCube) -> bool,
+    verify: &mut V,
 ) {
     if *tried >= budget {
         return;
@@ -466,7 +637,7 @@ fn combo_rec(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn expand_cubes(
+fn expand_cubes<V: CandidateVerifier>(
     gate_cubes: &[Vec<NetCube>],
     combo: &[usize],
     idx: usize,
@@ -474,14 +645,14 @@ fn expand_cubes(
     found: &mut Vec<NetCube>,
     tried: &mut usize,
     budget: usize,
-    verify: &mut dyn FnMut(&NetCube) -> bool,
+    verify: &mut V,
 ) {
     if *tried >= budget {
         return;
     }
     if idx == combo.len() {
         *tried += 1;
-        if verify(acc) {
+        if verify.masked_candidate(acc) {
             found.push(acc.clone());
         }
         return;
@@ -491,16 +662,20 @@ fn expand_cubes(
             return;
         }
         match acc.conjoin(cube) {
-            Some(next) => expand_cubes(
-                gate_cubes,
-                combo,
-                idx + 1,
-                &next,
-                found,
-                tried,
-                budget,
-                verify,
-            ),
+            Some(next) => {
+                let mark = verify.push(&next, acc);
+                expand_cubes(
+                    gate_cubes,
+                    combo,
+                    idx + 1,
+                    &next,
+                    found,
+                    tried,
+                    budget,
+                    verify,
+                );
+                verify.pop(mark);
+            }
             None => {
                 // Contradictory literals — an unsatisfiable candidate still
                 // counts against the budget.
@@ -529,25 +704,33 @@ pub fn cube_masks_wire(
     wire: NetId,
     cube: &NetCube,
 ) -> bool {
-    propagate_cube(netlist, cone, &[wire], cube).masked
+    propagate_cube_reference(netlist, cone, &[wire], cube).masked
 }
 
-/// Result of one trust-propagation pass.
-struct Propagation {
+/// Result of one reference trust-propagation pass.
+#[derive(Clone, Debug)]
+pub struct PropagationOutcome {
     /// `true` iff no endpoint is possibly faulty under the cube.
-    masked: bool,
+    pub masked: bool,
     /// The set of possibly-faulty nets.
-    possibly: mate_netlist::BitSet,
+    pub possibly: mate_netlist::BitSet,
     /// The first (in endpoint order) still-faulty endpoint net, if any.
-    first_faulty_endpoint: Option<NetId>,
+    pub first_faulty_endpoint: Option<NetId>,
 }
 
-fn propagate_cube(
+/// The paper-faithful from-scratch trust propagation.
+///
+/// This is the executable specification of the optimized engine in
+/// [`crate::propagate`]: it allocates a fresh possibly-faulty bit set and
+/// known-constant map per call and re-enumerates every free pin assignment
+/// of every cone gate.  Kept verbatim so equivalence tests and benches can
+/// diff the fast path against it.
+pub fn propagate_cube_reference(
     netlist: &Netlist,
     cone: &mate_netlist::FaultCone,
     origins: &[NetId],
     cube: &NetCube,
-) -> Propagation {
+) -> PropagationOutcome {
     let mut possibly = mate_netlist::BitSet::new(netlist.num_nets());
     for &origin in origins {
         possibly.insert(origin.index());
@@ -628,7 +811,7 @@ fn propagate_cube(
             break;
         }
     }
-    Propagation {
+    PropagationOutcome {
         masked: first_faulty_endpoint.is_none(),
         possibly,
         first_faulty_endpoint,
@@ -643,26 +826,205 @@ const REPAIR_BRANCH_WIDTH: usize = 6;
 /// collecting cut candidates.
 const REPAIR_BACKWALK_LIMIT: usize = 96;
 
+/// The propagation engine the repair search runs against.  `push` extends
+/// the current candidate by the literals of `next` that `prev` lacks and
+/// re-propagates; `pop` restores the parent state.  Both implementations
+/// answer queries about the *current* candidate's propagation fixpoint.
+trait RepairVerifier {
+    fn push(&mut self, next: &NetCube, prev: &NetCube) -> usize;
+    fn pop(&mut self, mark: usize);
+    fn masked(&self) -> bool;
+    fn first_faulty_endpoint(&self) -> Option<NetId>;
+    fn possibly(&self, net: NetId) -> bool;
+}
+
+/// From-scratch propagation per candidate (a stack of full
+/// [`PropagationOutcome`]s) — the specification path.
+struct ReferenceVerifier<'a> {
+    netlist: &'a Netlist,
+    cone: &'a FaultCone,
+    origins: &'a [NetId],
+    stack: Vec<PropagationOutcome>,
+}
+
+impl<'a> ReferenceVerifier<'a> {
+    fn start(netlist: &'a Netlist, cone: &'a FaultCone, origins: &'a [NetId]) -> Self {
+        let root = propagate_cube_reference(netlist, cone, origins, &NetCube::top());
+        Self {
+            netlist,
+            cone,
+            origins,
+            stack: vec![root],
+        }
+    }
+}
+
+impl RepairVerifier for ReferenceVerifier<'_> {
+    fn push(&mut self, next: &NetCube, _prev: &NetCube) -> usize {
+        let mark = self.stack.len();
+        self.stack.push(propagate_cube_reference(
+            self.netlist,
+            self.cone,
+            self.origins,
+            next,
+        ));
+        mark
+    }
+
+    fn pop(&mut self, mark: usize) {
+        self.stack.truncate(mark);
+    }
+
+    fn masked(&self) -> bool {
+        self.stack.last().expect("root outcome present").masked
+    }
+
+    fn first_faulty_endpoint(&self) -> Option<NetId> {
+        self.stack
+            .last()
+            .expect("root outcome present")
+            .first_faulty_endpoint
+    }
+
+    fn possibly(&self, net: NetId) -> bool {
+        self.stack
+            .last()
+            .expect("root outcome present")
+            .possibly
+            .contains(net.index())
+    }
+}
+
+/// Incremental propagation via a [`ConeSession`] — the fast path.
+struct SessionVerifier<'a> {
+    session: ConeSession<'a>,
+    marks: Vec<Mark>,
+}
+
+impl<'a> SessionVerifier<'a> {
+    fn new(session: ConeSession<'a>) -> Self {
+        Self {
+            session,
+            marks: Vec::new(),
+        }
+    }
+}
+
+impl RepairVerifier for SessionVerifier<'_> {
+    fn push(&mut self, next: &NetCube, prev: &NetCube) -> usize {
+        let delta = next
+            .literals()
+            .filter(|&(net, _)| prev.polarity_of(net).is_none());
+        let mark = self.session.assume(delta);
+        self.marks.push(mark);
+        self.marks.len() - 1
+    }
+
+    fn pop(&mut self, mark: usize) {
+        let restore = self.marks[mark];
+        self.session.undo(restore);
+        self.marks.truncate(mark);
+    }
+
+    fn masked(&self) -> bool {
+        self.session.masked()
+    }
+
+    fn first_faulty_endpoint(&self) -> Option<NetId> {
+        self.session.first_faulty_endpoint()
+    }
+
+    fn possibly(&self, net: NetId) -> bool {
+        self.session.possibly(net)
+    }
+}
+
+/// Reusable buffers for the backward cut walk: a flat FIFO plus a
+/// generation-stamped visited set, so each repair node allocates neither a
+/// queue nor a hash set.  Also carries a dense per-search mirror of the
+/// shared [`GmtCache`] — the walk queries masking cubes for every visited
+/// cell, and a direct `(type, faulty-mask)` slot lookup beats hashing into
+/// the `RwLock`-guarded table on every probe.
+struct CutWalk {
+    queue: Vec<CellId>,
+    stamp: Vec<u32>,
+    gen: u32,
+    gmt: Vec<Option<std::sync::Arc<[mate_netlist::PinCube]>>>,
+}
+
+impl CutWalk {
+    fn new(netlist: &Netlist) -> Self {
+        Self {
+            queue: Vec::new(),
+            stamp: vec![0; netlist.num_cells()],
+            gen: 0,
+            // One slot per (cell type, 8-bit faulty-pin mask).
+            gmt: vec![None; netlist.library().len() * 256],
+        }
+    }
+
+    /// The masking cubes for `(ty, p_mask)`, memoized locally and filled
+    /// from the shared cache on first use.
+    fn cubes(
+        &mut self,
+        cache: &GmtCache,
+        library: &mate_netlist::Library,
+        ty: mate_netlist::CellTypeId,
+        p_mask: u8,
+    ) -> std::sync::Arc<[mate_netlist::PinCube]> {
+        let slot = &mut self.gmt[ty.index() * 256 + p_mask as usize];
+        match slot {
+            Some(hit) => std::sync::Arc::clone(hit),
+            None => std::sync::Arc::clone(slot.insert(cache.cubes(library, ty, p_mask))),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.queue.clear();
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Marks a cell visited; `true` when it was not seen this walk.
+    fn mark(&mut self, cell: CellId) -> bool {
+        let slot = &mut self.stamp[cell.index()];
+        if *slot == self.gen {
+            false
+        } else {
+            *slot = self.gen;
+            true
+        }
+    }
+}
+
 /// Collects cut candidates for the first still-faulty endpoint: a backward
 /// breadth-first walk from the endpoint's driver over possibly-faulty nets,
 /// keeping the gates whose current faulty-pin set has masking cubes.
 /// Nearest-to-the-endpoint cuts come first — those are the choke points
-/// where many fault routes have already merged.
-fn relevant_cuts(
+/// where many fault routes have already merged.  The memoized cube slice is
+/// returned alongside each cut so the branch ordering and expansion below
+/// reuse it instead of re-querying the shared cache.
+fn relevant_cuts<V: RepairVerifier>(
     netlist: &Netlist,
-    possibly: &mate_netlist::BitSet,
+    verifier: &V,
     endpoint: NetId,
     cache: &GmtCache,
-) -> Vec<(CellId, u8)> {
-    let mut queue = std::collections::VecDeque::new();
-    let mut seen = std::collections::HashSet::new();
+    walk: &mut CutWalk,
+) -> Vec<(CellId, std::sync::Arc<[mate_netlist::PinCube]>)> {
+    walk.begin();
     if let mate_netlist::NetDriver::Cell(driver) = netlist.net(endpoint).driver() {
-        queue.push_back(driver);
-        seen.insert(driver);
+        walk.mark(driver);
+        walk.queue.push(driver);
     }
     let mut out = Vec::new();
     let mut visited = 0usize;
-    while let Some(cell) = queue.pop_front() {
+    let mut head = 0usize;
+    while head < walk.queue.len() {
+        let cell = walk.queue[head];
+        head += 1;
         visited += 1;
         if visited > REPAIR_BACKWALK_LIMIT {
             break;
@@ -673,14 +1035,22 @@ fn relevant_cuts(
         let inputs = netlist.cell(cell).inputs();
         let mut p_mask = 0u8;
         for (pin, &net) in inputs.iter().enumerate() {
-            if possibly.contains(net.index()) {
+            if verifier.possibly(net) {
                 p_mask |= 1 << pin;
             }
         }
-        if p_mask != 0 && cache.can_mask(netlist.library(), netlist.cell(cell).type_id(), p_mask) {
-            out.push((cell, p_mask));
-            if out.len() >= 2 * REPAIR_BRANCH_WIDTH {
-                break;
+        if p_mask != 0 {
+            let cubes = walk.cubes(
+                cache,
+                netlist.library(),
+                netlist.cell(cell).type_id(),
+                p_mask,
+            );
+            if !cubes.is_empty() {
+                out.push((cell, cubes));
+                if out.len() >= 2 * REPAIR_BRANCH_WIDTH {
+                    break;
+                }
             }
         }
         for (pin, &net) in inputs.iter().enumerate() {
@@ -688,8 +1058,8 @@ fn relevant_cuts(
                 continue;
             }
             if let mate_netlist::NetDriver::Cell(driver) = netlist.net(net).driver() {
-                if seen.insert(driver) {
-                    queue.push_back(driver);
+                if walk.mark(driver) {
+                    walk.queue.push(driver);
                 }
             }
         }
@@ -697,24 +1067,55 @@ fn relevant_cuts(
     out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn repair_rec(
+/// Iterative deepening over the term limit: cheap single-cut MATEs are
+/// found first across *all* branches before expensive multi-cut ones
+/// consume budget — this both mirrors the paper's preference for early
+/// masking and yields a diverse MATE set.
+fn repair_all<V: RepairVerifier>(
     netlist: &Netlist,
-    cone: &mate_netlist::FaultCone,
-    origins: &[NetId],
+    cache: &GmtCache,
+    max_terms: usize,
+    budget: usize,
+    found: &mut Vec<NetCube>,
+    tried: &mut usize,
+    verifier: &mut V,
+) {
+    let mut walk = CutWalk::new(netlist);
+    for limit in 1..=max_terms {
+        if *tried >= budget {
+            break;
+        }
+        repair_rec(
+            netlist,
+            cache,
+            &NetCube::top(),
+            limit,
+            found,
+            tried,
+            budget,
+            verifier,
+            &mut walk,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn repair_rec<V: RepairVerifier>(
+    netlist: &Netlist,
     cache: &GmtCache,
     candidate: &NetCube,
     terms_left: usize,
     found: &mut Vec<NetCube>,
     tried: &mut usize,
     budget: usize,
+    verifier: &mut V,
+    walk: &mut CutWalk,
 ) {
     if *tried >= budget {
         return;
     }
     *tried += 1;
-    let outcome = propagate_cube(netlist, cone, origins, candidate);
-    if outcome.masked {
+    if verifier.masked() {
         found.push(candidate.clone());
         return;
     }
@@ -730,21 +1131,15 @@ fn repair_rec(
     // into the first still-faulty endpoint, preferring cheap cubes (a mux
     // select or an enable is both more likely to verify and more likely to
     // trigger at run time than a multi-literal operand condition).
-    let endpoint = outcome
-        .first_faulty_endpoint
+    let endpoint = verifier
+        .first_faulty_endpoint()
         .expect("unmasked propagation names an endpoint");
-    let mut cuttable = relevant_cuts(netlist, &outcome.possibly, endpoint, cache);
-    cuttable.sort_by_key(|&(cell, p_mask)| {
-        cache
-            .cubes(netlist.library(), netlist.cell(cell).type_id(), p_mask)
-            .first()
-            .map_or(usize::MAX, |c| c.num_literals())
-    });
+    let mut cuttable = relevant_cuts(netlist, verifier, endpoint, cache, walk);
+    cuttable.sort_by_key(|(_, cubes)| cubes.first().map_or(usize::MAX, |c| c.num_literals()));
     cuttable.truncate(REPAIR_BRANCH_WIDTH);
-    for (cell, p_mask) in cuttable {
-        let ty = netlist.cell(cell).type_id();
+    for (cell, cubes) in cuttable {
         let inputs = netlist.cell(cell).inputs();
-        for pc in cache.cubes(netlist.library(), ty, p_mask) {
+        for pc in cubes.iter() {
             let Some(gate_cube) =
                 NetCube::from_literals(pc.literals().map(|(pin, pol)| (inputs[pin], pol)))
             else {
@@ -759,17 +1154,19 @@ fn repair_rec(
                 // recurse forever.
                 continue;
             }
+            let mark = verifier.push(&next, candidate);
             repair_rec(
                 netlist,
-                cone,
-                origins,
                 cache,
                 &next,
                 terms_left - 1,
                 found,
                 tried,
                 budget,
+                verifier,
+                walk,
             );
+            verifier.pop(mark);
             if *tried >= budget {
                 return;
             }
@@ -780,7 +1177,11 @@ fn repair_rec(
 /// Runs the MATE search for every wire in `wires`, in parallel.
 ///
 /// The per-wire searches are independent; the paper parallelizes over faulty
-/// flip-flops the same way.
+/// flip-flops the same way.  Fault-cone sizes vary by orders of magnitude,
+/// so the workers self-schedule over a shared atomic wire index (work
+/// stealing by competitive claiming) instead of static chunking — a thread
+/// that drew cheap wires immediately claims more.  Results land in input
+/// order and are bit-identical for every thread count.
 pub fn search_design(
     netlist: &Netlist,
     topo: &Topology,
@@ -801,19 +1202,52 @@ pub fn search_design(
 
     let mut results: Vec<Option<WireSearchResult>> = vec![None; wires.len()];
     if threads <= 1 || wires.len() < 2 {
+        let mut scratch = PropagationScratch::new();
         for (slot, &wire) in results.iter_mut().zip(wires) {
-            *slot = Some(search_wire_cached(netlist, topo, wire, config, &cache));
+            *slot = Some(search_wire_scratch(
+                netlist,
+                topo,
+                wire,
+                config,
+                &cache,
+                &mut scratch,
+            ));
         }
     } else {
-        let chunk = wires.len().div_ceil(threads);
+        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for (wire_chunk, out_chunk) in wires.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let cache = &cache;
-                scope.spawn(move || {
-                    for (slot, &wire) in out_chunk.iter_mut().zip(wire_chunk) {
-                        *slot = Some(search_wire_cached(netlist, topo, wire, config, cache));
-                    }
-                });
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cache = &cache;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut scratch = PropagationScratch::new();
+                        let mut claimed: Vec<(usize, WireSearchResult)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= wires.len() {
+                                break;
+                            }
+                            claimed.push((
+                                i,
+                                search_wire_scratch(
+                                    netlist,
+                                    topo,
+                                    wires[i],
+                                    config,
+                                    cache,
+                                    &mut scratch,
+                                ),
+                            ));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, r) in worker.join().expect("search worker panicked") {
+                    results[i] = Some(r);
+                }
             }
         });
     }
@@ -836,6 +1270,13 @@ pub fn search_design(
         candidates: results.iter().map(|r| r.candidates_tried as u64).sum(),
         num_mates: results.iter().map(|r| r.mates.len()).sum(),
         run_time: start.elapsed(),
+        gmt_entries: cache.len(),
+        max_wire_time: results
+            .iter()
+            .map(|r| r.search_time)
+            .max()
+            .unwrap_or_default(),
+        total_wire_time: results.iter().map(|r| r.search_time).sum(),
     };
     DesignSearch { results, stats }
 }
@@ -949,6 +1390,8 @@ mod tests {
         assert_eq!(ds.stats.faulty_wires, 5);
         assert_eq!(ds.stats.unmaskable, 2); // d (observable), e (XOR path)
         assert_eq!(ds.stats.num_mates, 3); // a, b, c each have one MATE
+        assert!(ds.stats.gmt_entries > 0);
+        assert!(ds.stats.total_wire_time >= ds.stats.max_wire_time);
         let set = ds.into_mate_set();
         assert!(!set.is_empty());
     }
@@ -966,17 +1409,105 @@ mod tests {
                 ..SearchConfig::default()
             },
         );
-        let parallel = search_design(
-            &n,
-            &topo,
-            &wires,
-            &SearchConfig {
-                threads: 3,
-                ..SearchConfig::default()
-            },
-        );
-        let a: Vec<_> = serial.results.iter().map(|r| r.mates.clone()).collect();
-        let b: Vec<_> = parallel.results.iter().map(|r| r.mates.clone()).collect();
-        assert_eq!(a, b);
+        for threads in [2, 3, 8] {
+            let parallel = search_design(
+                &n,
+                &topo,
+                &wires,
+                &SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            let a: Vec<_> = serial.results.iter().map(|r| r.mates.clone()).collect();
+            let b: Vec<_> = parallel.results.iter().map(|r| r.mates.clone()).collect();
+            assert_eq!(a, b, "{threads}-thread work stealing diverged");
+        }
+    }
+
+    #[test]
+    fn reference_and_optimized_agree_on_examples() {
+        for strategy in [SearchStrategy::Repair, SearchStrategy::Exhaustive] {
+            for (n, topo) in [figure1(), figure1b(), tmr_register()] {
+                let wires = crate::ff_wires(&n, &topo);
+                let reference = search_design(
+                    &n,
+                    &topo,
+                    &wires,
+                    &SearchConfig {
+                        strategy,
+                        propagation: PropagationMode::Reference,
+                        threads: 1,
+                        ..SearchConfig::default()
+                    },
+                );
+                let optimized = search_design(
+                    &n,
+                    &topo,
+                    &wires,
+                    &SearchConfig {
+                        strategy,
+                        propagation: PropagationMode::Optimized,
+                        threads: 1,
+                        ..SearchConfig::default()
+                    },
+                );
+                for (a, b) in reference.results.iter().zip(&optimized.results) {
+                    assert_eq!(a.mates, b.mates, "{strategy:?} mates diverge");
+                    assert_eq!(a.candidates_tried, b.candidates_tried);
+                    assert_eq!(a.unmaskable, b.unmaskable);
+                }
+            }
+        }
+    }
+
+    /// SplitMix-style stream for the seeded minimize workload.
+    fn mix(seed: u64, tag: u64, index: u64) -> u64 {
+        let mut x = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag << 32 | index);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The pre-optimization all-pairs subsumption scan, kept as the
+    /// specification for `minimize_cubes`.
+    fn minimize_cubes_reference(mut found: Vec<NetCube>) -> Vec<NetCube> {
+        found.sort();
+        found.dedup();
+        let mut minimal: Vec<NetCube> = Vec::new();
+        for cube in &found {
+            if !minimal
+                .iter()
+                .any(|kept| kept != cube && kept.subsumes(cube))
+            {
+                minimal.retain(|kept| !cube.subsumes(kept) || kept == cube);
+                minimal.push(cube.clone());
+            }
+        }
+        minimal
+    }
+
+    #[test]
+    fn minimize_cubes_matches_reference_on_seeded_workload() {
+        for seed in 0..32u64 {
+            // Cubes over a small net universe with 1–4 literals so subsumed
+            // pairs, duplicates, and unrelated cubes all occur.
+            let cubes: Vec<NetCube> = (0..120)
+                .filter_map(|i| {
+                    let nlits = 1 + (mix(seed, 1, i) % 4) as usize;
+                    NetCube::from_literals((0..nlits).map(|l| {
+                        let r = mix(seed, 2 + i, l as u64);
+                        (NetId::from_index((r % 10) as usize), r >> 32 & 1 == 1)
+                    }))
+                })
+                .collect();
+            assert_eq!(
+                minimize_cubes(cubes.clone()),
+                minimize_cubes_reference(cubes),
+                "seed {seed}"
+            );
+        }
     }
 }

@@ -258,6 +258,37 @@ impl FaultCone {
         mask
     }
 
+    /// Builds the cone-local reader index: for every net read by a cone
+    /// gate, the positions (into [`FaultCone::cells`]) of the gates reading
+    /// it.  Incremental trust propagation uses this to re-evaluate only the
+    /// topological fan-out of a changed net instead of the whole cone.
+    pub fn reader_index(&self, netlist: &Netlist) -> ConeReaders {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (pos, &cell) in self.cells.iter().enumerate() {
+            for &net in netlist.cell(cell).inputs() {
+                pairs.push((net.index() as u32, pos as u32));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut keys: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut readers: Vec<u32> = Vec::with_capacity(pairs.len());
+        for (net, pos) in pairs {
+            if keys.last() != Some(&net) {
+                keys.push(net);
+                offsets.push(readers.len() as u32);
+            }
+            readers.push(pos);
+        }
+        offsets.push(readers.len() as u32);
+        ConeReaders {
+            keys,
+            offsets,
+            readers,
+        }
+    }
+
     /// Border wires: the nets read by cone gates that are *not* themselves in
     /// the cone, sorted and deduplicated.
     pub fn border_nets(&self, netlist: &Netlist) -> Vec<NetId> {
@@ -272,6 +303,44 @@ impl FaultCone {
         border.sort();
         border.dedup();
         border
+    }
+}
+
+/// Compressed-sparse-row map from nets to the fault-cone gates reading
+/// them, built once per cone by [`FaultCone::reader_index`].
+///
+/// Positions refer to [`FaultCone::cells`], which is topologically sorted —
+/// so a gate's readers always sit at strictly larger positions, and an
+/// event-driven worklist over positions terminates in one monotone sweep.
+#[derive(Clone, Debug)]
+pub struct ConeReaders {
+    /// Sorted distinct net indices that at least one cone gate reads.
+    keys: Vec<u32>,
+    /// `readers[offsets[i]..offsets[i + 1]]` are the cone positions for
+    /// `keys[i]`.
+    offsets: Vec<u32>,
+    /// Cone cell positions, grouped per net.
+    readers: Vec<u32>,
+}
+
+impl ConeReaders {
+    /// The cone positions of the gates reading `net` (empty when no cone
+    /// gate reads it).
+    pub fn of(&self, net: NetId) -> &[u32] {
+        match self.keys.binary_search(&(net.index() as u32)) {
+            Ok(i) => &self.readers[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Total number of (net, reader) pairs in the index.
+    pub fn len(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Returns `true` for a cone without gates.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty()
     }
 }
 
@@ -378,5 +447,40 @@ mod tests {
         let g = n.find_net("g").unwrap();
         // Net g feeds gates D and E.
         assert_eq!(topo.fanout(g).len(), 2);
+    }
+
+    #[test]
+    fn reader_index_matches_cone_inputs() {
+        let (n, topo) = figure1();
+        let d = n.find_net("d").unwrap();
+        let cone = FaultCone::compute(&n, &topo, d);
+        let readers = cone.reader_index(&n);
+        assert!(!readers.is_empty());
+        // Every listed reader really reads the net, positions are strictly
+        // increasing, and every cone-gate input is covered.
+        for net in (0..n.num_nets()).map(NetId::from_index) {
+            let positions = readers.of(net);
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            for &pos in positions {
+                let cell = cone.cells()[pos as usize];
+                assert!(n.cell(cell).inputs().contains(&net));
+            }
+        }
+        let pairs: usize = (0..n.num_nets())
+            .map(|i| readers.of(NetId::from_index(i)).len())
+            .sum();
+        let expected: std::collections::HashSet<(u32, u32)> = cone
+            .cells()
+            .iter()
+            .enumerate()
+            .flat_map(|(pos, &cell)| {
+                n.cell(cell)
+                    .inputs()
+                    .iter()
+                    .map(move |&net| (net.index() as u32, pos as u32))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(pairs, expected.len());
     }
 }

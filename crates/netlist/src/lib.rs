@@ -48,7 +48,7 @@ pub mod verilog;
 mod ids;
 
 pub use cube::NetCube;
-pub use graph::{ConeEndpoint, FaultCone, Topology};
+pub use graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
 pub use ids::{CellId, CellTypeId, NetId};
 pub use library::{CellFn, CellType, Library};
 pub use logic::{masking_cubes, PinCube, TruthTable};
@@ -59,7 +59,7 @@ pub use util::BitSet;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::cube::NetCube;
-    pub use crate::graph::{ConeEndpoint, FaultCone, Topology};
+    pub use crate::graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
     pub use crate::ids::{CellId, CellTypeId, NetId};
     pub use crate::library::{CellFn, CellType, Library};
     pub use crate::logic::{masking_cubes, PinCube, TruthTable};
