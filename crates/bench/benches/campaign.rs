@@ -71,8 +71,8 @@ fn measure(
 
     // Sanity: both engines must produce identical records before we compare
     // their speed.
-    let scalar = run_campaign(harness, &space, config);
-    let wide = run_campaign_wide(harness, &space, config);
+    let scalar = run_campaign(harness, &space, config).unwrap();
+    let wide = run_campaign_wide(harness, &space, config).unwrap();
     assert_eq!(scalar.records, wide.records, "engines diverge on {name}");
     let points = scalar.len();
 
@@ -80,19 +80,19 @@ fn measure(
     group.sample_size(10);
     group.throughput(Throughput::Elements(points as u64));
     group.bench_function("scalar", |b| {
-        b.iter(|| run_campaign(harness, &space, config))
+        b.iter(|| run_campaign(harness, &space, config).unwrap())
     });
     group.bench_function("wide", |b| {
-        b.iter(|| run_campaign_wide(harness, &space, config))
+        b.iter(|| run_campaign_wide(harness, &space, config).unwrap())
     });
     group.finish();
 
     let reps = if is_quick_test() { 1 } else { 3 };
     let scalar_fps = faults_per_sec(reps, points, || {
-        run_campaign(harness, &space, config);
+        run_campaign(harness, &space, config).unwrap();
     });
     let wide_fps = faults_per_sec(reps, points, || {
-        run_campaign_wide(harness, &space, config);
+        run_campaign_wide(harness, &space, config).unwrap();
     });
     Measured {
         name,

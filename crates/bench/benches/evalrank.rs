@@ -186,8 +186,8 @@ fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignM
     };
     let many = CampaignConfig { threads, ..one };
 
-    let single = run_campaign_wide(&harness, &space, &one);
-    let sharded = run_campaign_wide(&harness, &space, &many);
+    let single = run_campaign_wide(&harness, &space, &one).unwrap();
+    let sharded = run_campaign_wide(&harness, &space, &many).unwrap();
     assert_eq!(single.records, sharded.records, "thread counts diverge");
     let points = single.len();
 
@@ -195,19 +195,19 @@ fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignM
     group.sample_size(10);
     group.throughput(Throughput::Elements(points as u64));
     group.bench_function("1_thread", |b| {
-        b.iter(|| run_campaign_wide(&harness, &space, &one))
+        b.iter(|| run_campaign_wide(&harness, &space, &one).unwrap())
     });
     group.bench_function(format!("{threads}_threads"), |b| {
-        b.iter(|| run_campaign_wide(&harness, &space, &many))
+        b.iter(|| run_campaign_wide(&harness, &space, &many).unwrap())
     });
     group.finish();
 
     let reps = if quick { 1 } else { 3 };
     let one_s = best_secs(reps, || {
-        run_campaign_wide(&harness, &space, &one);
+        run_campaign_wide(&harness, &space, &one).unwrap();
     });
     let many_s = best_secs(reps, || {
-        run_campaign_wide(&harness, &space, &many);
+        run_campaign_wide(&harness, &space, &many).unwrap();
     });
     CampaignMeasured {
         ffs: harness.topology().seq_cells().len(),

@@ -43,6 +43,7 @@ fn simulator_benches(c: &mut Criterion) {
                     cycle: 200,
                 },
             )
+            .unwrap()
         })
     });
 

@@ -9,37 +9,46 @@
 //!   Section 5.3).
 //!
 //! Runs on the AVR core with fib(); pass `--fast` for a reduced sweep.
+//! Every search runs through the artifact-cached pipeline, so re-running
+//! the sweep (or any table binary sharing the store) reuses prior results.
 //!
 //! ```text
 //! cargo run -p mate-bench --bin ablation --release
 //! ```
 
 use mate::eval::evaluate;
-use mate::{search_design, select_top_n, SearchConfig, SearchStrategy};
-use mate_bench::{table_search_config, WireSets};
-use mate_cores::avr::programs;
-use mate_cores::{AvrSystem, Termination};
+use mate::{select_top_n, SearchConfig, SearchStrategy};
+use mate_bench::{table_search_config, Core, WireSets};
+use mate_pipeline::{Flow, WireSetSpec};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let cycles = if fast { 2000 } else { 8500 };
 
-    let sys = AvrSystem::new();
-    let sets = WireSets::of(sys.netlist(), sys.topology());
-    let run = sys.run(&programs::fib(Termination::Loop), &[], cycles);
+    let mut flow = Flow::open_default(Core::Avr.design_source()).expect("pipeline failure");
+    let sets = {
+        let design = flow.design();
+        WireSets::of(&design.netlist, &design.topology)
+    };
+    let run = flow
+        .capture(Core::Avr.fib(), cycles)
+        .expect("pipeline failure")
+        .value;
     let base = SearchConfig {
         max_candidates: if fast { 5_000 } else { 20_000 },
         ..table_search_config()
     };
 
-    let measure = |cfg: &SearchConfig| -> (usize, usize, f64, f64, f64) {
-        let ds = search_design(sys.netlist(), sys.topology(), &sets.all, cfg);
-        let unmaskable = ds.stats.unmaskable;
-        let secs = ds.stats.run_time.as_secs_f64();
-        let mates = ds.into_mate_set();
-        let all = 100.0 * evaluate(&mates, &run.trace, &sets.all).masked_fraction();
-        let norf = 100.0 * evaluate(&mates, &run.trace, &sets.no_rf).masked_fraction();
-        (mates.len(), unmaskable, all, norf, secs)
+    let mut measure = |cfg: &SearchConfig| -> (usize, usize, f64, f64, f64) {
+        let out = flow
+            .search(WireSetSpec::AllFfs, *cfg)
+            .expect("pipeline failure")
+            .value;
+        let unmaskable = out.stats.unmaskable;
+        let secs = out.stats.run_time.as_secs_f64();
+        let all = 100.0 * evaluate(&out.mates, &run, &sets.all).masked_fraction();
+        let norf = 100.0 * evaluate(&out.mates, &run, &sets.no_rf).masked_fraction();
+        (out.mates.len(), unmaskable, all, norf, secs)
     };
 
     println!("## Ablations (AVR, fib(), {cycles} cycles)");
@@ -108,13 +117,16 @@ fn main() {
 
     println!();
     println!("### Masked%% vs. selected top-N (w/o RF wire set)");
-    let ds = search_design(sys.netlist(), sys.topology(), &sets.all, &base);
-    let mates = ds.into_mate_set();
-    let full = 100.0 * evaluate(&mates, &run.trace, &sets.no_rf).masked_fraction();
+    let mates = flow
+        .search(WireSetSpec::AllFfs, base)
+        .expect("pipeline failure")
+        .value
+        .mates;
+    let full = 100.0 * evaluate(&mates, &run, &sets.no_rf).masked_fraction();
     println!("{:>6} {:>10}", "N", "w/o RF %");
     for n in [1, 5, 10, 25, 50, 100, 200, 400] {
-        let sel = select_top_n(&mates, &run.trace, &sets.no_rf, n);
-        let pct = 100.0 * evaluate(&sel, &run.trace, &sets.no_rf).masked_fraction();
+        let sel = select_top_n(&mates, &run, &sets.no_rf, n);
+        let pct = 100.0 * evaluate(&sel, &run, &sets.no_rf).masked_fraction();
         println!("{n:>6} {pct:>9.2}%");
     }
     println!(
@@ -122,4 +134,6 @@ fn main() {
         "all",
         mates.len()
     );
+
+    eprintln!("{}", flow.summary());
 }

@@ -15,11 +15,12 @@
 use std::collections::BTreeMap;
 
 use mate::ff_wires_filtered;
-use mate_bench::is_register_file;
+use mate_bench::{is_register_file, rf_spec, Core};
 use mate_cores::avr::model::AvrModel;
 use mate_cores::avr::programs;
-use mate_cores::{AvrWorkload, Termination};
-use mate_hafi::{classify_points, golden_run, DesignHarness, FaultSpace};
+use mate_cores::Termination;
+use mate_hafi::CampaignConfig;
+use mate_pipeline::Flow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,19 +31,34 @@ fn main() {
     let program = programs::fib(Termination::Loop);
 
     // --------------------------------------------------------------
-    // Gate level: SEUs in register-file flip-flops of the netlist.
+    // Gate level: SEUs in register-file flip-flops of the netlist,
+    // classified by the pipeline's campaign stage (the snapshotable AVR
+    // memories select the checkpoint engine, so no per-point warm-up
+    // replay) and persisted to the artifact store.
     // --------------------------------------------------------------
-    let workload = AvrWorkload::new(program.clone(), vec![]);
-    let rf_wires = ff_wires_filtered(workload.netlist(), workload.topology(), is_register_file);
-    let space = FaultSpace::for_wires(workload.netlist(), workload.topology(), &rf_wires, CYCLES);
-    let golden = golden_run(&workload, CYCLES + 1);
+    let mut flow = Flow::open_default(Core::Avr.design_source()).expect("pipeline failure");
+    let rf_wires = {
+        let design = flow.design();
+        ff_wires_filtered(&design.netlist, &design.topology, is_register_file)
+    };
+    let seq_cells = flow.design().topology.seq_cells().len();
+    let campaign = flow
+        .campaign(
+            Core::Avr.fib(),
+            CampaignConfig {
+                cycles: CYCLES,
+                sample: Some(SAMPLES),
+                seed: 7,
+                ..CampaignConfig::default()
+            },
+            Some(rf_spec()),
+        )
+        .expect("pipeline failure");
     let mut gate_hist: BTreeMap<&str, usize> = BTreeMap::new();
-    // Batched classification: the snapshotable AVR memories select the
-    // checkpoint engine, so no per-point warm-up replay.
-    let points = space.sample(SAMPLES, 7);
-    for effect in classify_points(&workload, &golden, &points) {
+    for &(_, effect) in &campaign.value.records {
         *gate_hist.entry(effect_key(effect)).or_insert(0) += 1;
     }
+    eprintln!("{}", flow.summary());
 
     // --------------------------------------------------------------
     // ISA level: bit flips in the architectural registers of the
@@ -99,7 +115,7 @@ fn main() {
          software FI can own them (full single-bit coverage) while MATE-pruned \
          flip-flop-level HAFI covers the remaining {} micro-architectural FFs \
          — the paper's envisioned cross-layer split.",
-        workload.topology().seq_cells().len() - rf_wires.len()
+        seq_cells - rf_wires.len()
     );
 }
 

@@ -1,15 +1,18 @@
 //! Regenerates Figure 1 of the paper: the example fault cone (1a) and the
 //! per-cycle fault-space pruning dot matrix (1b).
 //!
+//! The 1b search/trace/evaluate chain runs through the artifact-cached
+//! pipeline; the 1a per-wire cone walk keeps the direct `search_wire` calls
+//! (it introspects intermediate results no stage exposes).
+//!
 //! ```text
 //! cargo run -p mate-bench --bin figure1
 //! ```
 
-use mate::eval::evaluate;
-use mate::{ff_wires, search_design, search_wire, SearchConfig};
+use mate::{search_wire, SearchConfig};
 use mate_netlist::examples::{figure1, figure1b};
 use mate_netlist::FaultCone;
-use mate_sim::{InputWave, Testbench};
+use mate_pipeline::{DesignSource, Flow, TraceSource, WireSetSpec};
 
 fn main() {
     let config = SearchConfig::default();
@@ -64,18 +67,31 @@ fn main() {
     // Figure 1b: fault-space pruning over 8 cycles of the sequential
     // example.
     // ------------------------------------------------------------------
-    let (n, topo) = figure1b();
-    let wires = ff_wires(&n, &topo);
-    let mates = search_design(&n, &topo, &wires, &config).into_mate_set();
-    let trace = {
-        let mut tb = Testbench::new(&n, &topo);
-        tb.drive(
-            n.find_net("in").unwrap(),
-            InputWave::from_vec(vec![true, false, true, true, false, false, true, false]),
-        );
-        tb.run(8)
-    };
-    let report = evaluate(&mates, &trace, &wires);
+    let mut flow = Flow::open_default(DesignSource::Builder {
+        label: "figure1b",
+        build: figure1b,
+    })
+    .expect("pipeline failure");
+    let n = flow.design().netlist.clone();
+    let search = flow
+        .search(WireSetSpec::AllFfs, config)
+        .expect("pipeline failure");
+    let trace = flow
+        .capture(
+            TraceSource::Stimuli {
+                waves: vec![(
+                    "in".into(),
+                    vec![true, false, true, true, false, false, true, false],
+                )],
+            },
+            8,
+        )
+        .expect("pipeline failure");
+    let mates = search.value.mates;
+    let report = flow
+        .evaluate(WireSetSpec::AllFfs, (&mates, search.key), trace.part())
+        .expect("pipeline failure")
+        .value;
     println!();
     println!("## Figure 1b: fault-space pruning (5 flip-flops x 8 cycles)");
     println!("● = possibly effective fault, ○ = pruned as benign");
@@ -94,4 +110,5 @@ fn main() {
     }
     println!();
     println!("{}", report.matrix);
+    eprintln!("{}", flow.summary());
 }

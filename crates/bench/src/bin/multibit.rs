@@ -6,19 +6,24 @@
 //! flip-flop indices (elaboration order groups related bits, e.g. register
 //! slices, next to each other — the same locality a placer produces).
 //!
+//! The design, fib() trace, and single-bit reference search come from the
+//! artifact-cached pipeline; the pair search itself is direct (it is not a
+//! pipeline stage).
+//!
 //! ```text
 //! cargo run -p mate-bench --bin multibit --release
 //! ```
 
 use mate::multi::search_wire_set;
 use mate::SearchConfig;
-use mate_cores::avr::programs;
-use mate_cores::{AvrSystem, Termination};
+use mate_bench::Core;
+use mate_pipeline::{Flow, WireSetSpec};
 
 fn main() {
     let cycles = 2000;
-    let sys = AvrSystem::new();
-    let (netlist, topo) = (sys.netlist(), sys.topology());
+    let mut flow = Flow::open_default(Core::Avr.design_source()).expect("pipeline failure");
+    let design = flow.design().clone();
+    let (netlist, topo) = (&design.netlist, &design.topology);
     let config = SearchConfig {
         max_terms: 8,
         max_candidates: 2_000,
@@ -53,14 +58,17 @@ fn main() {
 
     // Evaluate against the fib() trace: a pair point (pair, cycle) is
     // pruned when some 2-bit MATE of the pair triggers in that cycle.
-    let run = sys.run(&programs::fib(Termination::Loop), &[], cycles);
+    let trace = flow
+        .capture(Core::Avr.fib(), cycles)
+        .expect("pipeline failure")
+        .value;
     let mut masked_points = 0usize;
     for result in &results {
         for cycle in 0..cycles {
             if result
                 .mates
                 .iter()
-                .any(|m| m.cube.eval(|net| run.trace.value(cycle, net)))
+                .any(|m| m.cube.eval(|net| trace.value(cycle, net)))
             {
                 masked_points += 1;
             }
@@ -74,8 +82,12 @@ fn main() {
 
     // Reference: the single-bit masked fraction of the same wires, so the
     // cost of the stronger fault model is visible.
-    let single = mate::search_design(netlist, topo, &ffs, &config).into_mate_set();
-    let single_report = mate::eval::evaluate(&single, &run.trace, &ffs);
+    let single = flow
+        .search(WireSetSpec::AllFfs, config)
+        .expect("pipeline failure")
+        .value
+        .mates;
+    let single_report = mate::eval::evaluate(&single, &trace, &ffs);
     println!(
         "single-bit reference on the same trace: {:.2}% masked",
         100.0 * single_report.masked_fraction()
@@ -84,4 +96,5 @@ fn main() {
         "=> as the paper anticipates, multi-bit MATEs exist but mask a smaller \
          share: both bits must be jointly dead in the same cycle."
     );
+    eprintln!("{}", flow.summary());
 }

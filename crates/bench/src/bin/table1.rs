@@ -1,14 +1,17 @@
 //! Regenerates Table 1: statistics of the heuristic MATE search for both
 //! processors and both faulty-wire sets.
 //!
+//! Searches run through the artifact-cached pipeline, so re-runs (and the
+//! other table binaries sharing the store) reuse the persisted results;
+//! cached timing columns report the run that produced the artifact.
+//!
 //! ```text
 //! cargo run -p mate-bench --bin table1 --release
 //! ```
 
-use mate::search_design;
-use mate_bench::{table_search_config, WireSets};
-use mate_cores::{AvrSystem, Msp430System};
+use mate_bench::{no_rf_spec, table_search_config, Core};
 use mate_netlist::stats::NetlistStats;
+use mate_pipeline::{Design, Flow, WireSetSpec};
 
 fn main() {
     let config = table_search_config();
@@ -19,11 +22,6 @@ fn main() {
         "{:<26} {:>12} {:>12} {:>12} {:>12}",
         "", "AVR FF", "AVR w/o RF", "MSP430 FF", "MSP430 w/o RF"
     );
-
-    let avr = AvrSystem::new();
-    let msp = Msp430System::new();
-    let avr_sets = WireSets::of(avr.netlist(), avr.topology());
-    let msp_sets = WireSets::of(msp.netlist(), msp.topology());
 
     let mut rows: Vec<[String; 4]> = vec![
         Default::default(), // faulty wires
@@ -38,27 +36,30 @@ fn main() {
         Default::default(), // total wire time
     ];
 
-    for (col, (netlist, topo, wires)) in [
-        (avr.netlist(), avr.topology(), &avr_sets.all),
-        (avr.netlist(), avr.topology(), &avr_sets.no_rf),
-        (msp.netlist(), msp.topology(), &msp_sets.all),
-        (msp.netlist(), msp.topology(), &msp_sets.no_rf),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let ds = search_design(netlist, topo, wires, &config);
-        let s = &ds.stats;
-        rows[0][col] = s.faulty_wires.to_string();
-        rows[1][col] = format!("{:.0}", s.avg_cone);
-        rows[2][col] = s.median_cone.to_string();
-        rows[3][col] = format!("{:.1}s", s.run_time.as_secs_f64());
-        rows[4][col] = s.unmaskable.to_string();
-        rows[5][col] = format!("{:.1e}", s.candidates as f64);
-        rows[6][col] = s.num_mates.to_string();
-        rows[7][col] = s.gmt_entries.to_string();
-        rows[8][col] = format!("{:.2}s", s.max_wire_time.as_secs_f64());
-        rows[9][col] = format!("{:.1}s", s.total_wire_time.as_secs_f64());
+    let mut designs: Vec<(&'static str, Design)> = Vec::new();
+    let mut col = 0usize;
+    for core in [Core::Avr, Core::Msp430] {
+        let mut flow = Flow::open_default(core.design_source()).expect("pipeline failure");
+        for wires in [WireSetSpec::AllFfs, no_rf_spec()] {
+            let s = flow
+                .search(wires, config)
+                .expect("pipeline failure")
+                .value
+                .stats;
+            rows[0][col] = s.faulty_wires.to_string();
+            rows[1][col] = format!("{:.0}", s.avg_cone);
+            rows[2][col] = s.median_cone.to_string();
+            rows[3][col] = format!("{:.1}s", s.run_time.as_secs_f64());
+            rows[4][col] = s.unmaskable.to_string();
+            rows[5][col] = format!("{:.1e}", s.candidates as f64);
+            rows[6][col] = s.num_mates.to_string();
+            rows[7][col] = s.gmt_entries.to_string();
+            rows[8][col] = format!("{:.2}s", s.max_wire_time.as_secs_f64());
+            rows[9][col] = format!("{:.1}s", s.total_wire_time.as_secs_f64());
+            col += 1;
+        }
+        eprintln!("{}", flow.summary());
+        designs.push((core.label(), flow.design().clone()));
     }
 
     for (label, row) in [
@@ -84,11 +85,8 @@ fn main() {
 
     println!();
     println!("netlist characteristics:");
-    for (name, netlist, topo) in [
-        ("AVR", avr.netlist(), avr.topology()),
-        ("MSP430", msp.netlist(), msp.topology()),
-    ] {
-        let stats = NetlistStats::compute(netlist, topo);
+    for (name, design) in &designs {
+        let stats = NetlistStats::compute(&design.netlist, &design.topology);
         println!("  {name:<7} {stats}");
     }
 }

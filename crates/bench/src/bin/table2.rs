@@ -1,26 +1,18 @@
 //! Regenerates Table 2: AVR MATE performance on fib() and conv().
 //!
+//! The offline prefix (search + trace capture) runs through the
+//! artifact-cached pipeline: a second run — or `table1`/`ablation` sharing
+//! the store — skips the search entirely.
+//!
 //! ```text
 //! cargo run -p mate-bench --bin table2 --release
 //! ```
 
-use mate::search_design;
-use mate_bench::{print_performance_table, table_search_config, WireSets, TRACE_CYCLES};
-use mate_cores::avr::programs;
-use mate_cores::{AvrSystem, Termination};
+use mate_bench::{print_performance_table, table_inputs, Core, TRACE_CYCLES};
 
 fn main() {
-    let sys = AvrSystem::new();
-    let sets = WireSets::of(sys.netlist(), sys.topology());
-
-    eprintln!("searching MATEs (AVR, {} wires)...", sets.all.len());
-    let searched = search_design(
-        sys.netlist(),
-        sys.topology(),
-        &sets.all,
-        &table_search_config(),
-    );
-    let s = &searched.stats;
+    let t = table_inputs(Core::Avr).expect("pipeline failure");
+    let s = &t.stats;
     eprintln!(
         "search: {:.1}s wall, {} GMT entries, slowest wire {:.2}s, Σ wire time {:.1}s",
         s.run_time.as_secs_f64(),
@@ -28,13 +20,8 @@ fn main() {
         s.max_wire_time.as_secs_f64(),
         s.total_wire_time.as_secs_f64(),
     );
-    let mates = searched.into_mate_set();
-
-    eprintln!("recording {TRACE_CYCLES}-cycle traces...");
-    let fib_run = sys.run(&programs::fib(Termination::Loop), &[], TRACE_CYCLES);
-    let (conv_prog, conv_dmem) = programs::conv(Termination::Loop);
-    let conv_run = sys.run(&conv_prog, &conv_dmem, TRACE_CYCLES);
+    eprintln!("{}", t.flow.summary());
 
     println!("## Table 2: AVR MATE performance ({TRACE_CYCLES} cycles per program)");
-    print_performance_table("AVR", &mates, &fib_run.trace, &conv_run.trace, &sets);
+    print_performance_table("AVR", &t.mates, &t.fib_trace, &t.conv_trace, &t.sets);
 }

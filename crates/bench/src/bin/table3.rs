@@ -1,31 +1,19 @@
 //! Regenerates Table 3: MSP430 MATE performance on fib() and conv().
 //!
+//! The offline prefix (search + trace capture) runs through the
+//! artifact-cached pipeline: a second run — or `table1` sharing the
+//! store — skips the search entirely.
+//!
 //! ```text
 //! cargo run -p mate-bench --bin table3 --release
 //! ```
 
-use mate::search_design;
-use mate_bench::{print_performance_table, table_search_config, WireSets, TRACE_CYCLES};
-use mate_cores::msp430::programs;
-use mate_cores::{Msp430System, Termination};
+use mate_bench::{print_performance_table, table_inputs, Core, TRACE_CYCLES};
 
 fn main() {
-    let sys = Msp430System::new();
-    let sets = WireSets::of(sys.netlist(), sys.topology());
-
-    eprintln!("searching MATEs (MSP430, {} wires)...", sets.all.len());
-    let mates = search_design(
-        sys.netlist(),
-        sys.topology(),
-        &sets.all,
-        &table_search_config(),
-    )
-    .into_mate_set();
-
-    eprintln!("recording {TRACE_CYCLES}-cycle traces...");
-    let fib_run = sys.run(&programs::fib(Termination::Loop), TRACE_CYCLES);
-    let conv_run = sys.run(&programs::conv(Termination::Loop), TRACE_CYCLES);
+    let t = table_inputs(Core::Msp430).expect("pipeline failure");
+    eprintln!("{}", t.flow.summary());
 
     println!("## Table 3: MSP430 MATE performance ({TRACE_CYCLES} cycles per program)");
-    print_performance_table("MSP430", &mates, &fib_run.trace, &conv_run.trace, &sets);
+    print_performance_table("MSP430", &t.mates, &t.fib_trace, &t.conv_trace, &t.sets);
 }

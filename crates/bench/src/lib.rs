@@ -13,9 +13,11 @@
 //! | ablations | `ablation` | depth / terms / budget / strategy sweeps |
 
 use mate::eval::{evaluate, EvalReport};
-use mate::{ff_wires, ff_wires_filtered, select_top_n, MateSet, SearchConfig};
+use mate::{ff_wires, ff_wires_filtered, select_top_n, MateSet, SearchConfig, SearchStats};
+use mate_cores::{avr, msp430, AvrSystem, Msp430System, Termination};
 use mate_hafi::LutCostModel;
-use mate_netlist::{NetId, Netlist, Topology};
+use mate_netlist::{MateError, NetId, Netlist, Topology};
+use mate_pipeline::{DesignSource, Flow, TraceSource, WireSetSpec};
 use mate_sim::WaveTrace;
 
 /// Trace length used throughout the evaluation (the paper runs both test
@@ -45,6 +47,147 @@ pub fn table_search_config() -> SearchConfig {
         max_candidates: 20_000,
         ..SearchConfig::default()
     }
+}
+
+/// The two evaluated processor cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Core {
+    /// The AVR-like 2-stage core.
+    Avr,
+    /// The MSP430-like 16-bit core.
+    Msp430,
+}
+
+fn build_avr_design() -> (Netlist, Topology) {
+    let sys = AvrSystem::new();
+    (sys.netlist().clone(), sys.topology().clone())
+}
+
+fn build_msp430_design() -> (Netlist, Topology) {
+    let sys = Msp430System::new();
+    (sys.netlist().clone(), sys.topology().clone())
+}
+
+impl Core {
+    /// Table-header name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Core::Avr => "AVR",
+            Core::Msp430 => "MSP430",
+        }
+    }
+
+    /// The elaborated core as a pipeline design source.  Elaboration is
+    /// deterministic, so every binary sharing these labels also shares the
+    /// downstream search/trace artifacts.
+    pub fn design_source(self) -> DesignSource {
+        match self {
+            Core::Avr => DesignSource::Builder {
+                label: "avr-core",
+                build: build_avr_design,
+            },
+            Core::Msp430 => DesignSource::Builder {
+                label: "msp430-core",
+                build: build_msp430_design,
+            },
+        }
+    }
+
+    /// The looping `fib()` workload of the evaluation.
+    pub fn fib(self) -> TraceSource {
+        match self {
+            Core::Avr => TraceSource::Avr {
+                program: avr::programs::fib(Termination::Loop),
+                dmem: Vec::new(),
+            },
+            Core::Msp430 => TraceSource::Msp430 {
+                image: msp430::programs::fib(Termination::Loop),
+            },
+        }
+    }
+
+    /// The looping `conv()` workload of the evaluation.
+    pub fn conv(self) -> TraceSource {
+        match self {
+            Core::Avr => {
+                let (program, dmem) = avr::programs::conv(Termination::Loop);
+                TraceSource::Avr { program, dmem }
+            }
+            Core::Msp430 => TraceSource::Msp430 {
+                image: msp430::programs::conv(Termination::Loop),
+            },
+        }
+    }
+}
+
+fn keep_no_rf(name: &str) -> bool {
+    !is_register_file(name)
+}
+
+/// The paper's "FF w/o RF" faulty-wire set as a pipeline spec.
+pub fn no_rf_spec() -> WireSetSpec {
+    WireSetSpec::FilteredFfs {
+        id: "no-register-file",
+        keep: keep_no_rf,
+    }
+}
+
+/// The register-file-only wire set (the cross-layer split of Section 6.3).
+pub fn rf_spec() -> WireSetSpec {
+    WireSetSpec::FilteredFfs {
+        id: "register-file",
+        keep: is_register_file,
+    }
+}
+
+/// Everything the performance tables (2/3) consume, produced through the
+/// artifact-cached pipeline: repeated runs — and sibling binaries sharing
+/// the same store — skip the expensive search and trace capture.
+#[derive(Debug)]
+pub struct TableInputs {
+    /// The full deduplicated MATE set.
+    pub mates: MateSet,
+    /// Statistics of the search run that produced the artifact.
+    pub stats: SearchStats,
+    /// Fault-free `fib()` trace ([`TRACE_CYCLES`] cycles).
+    pub fib_trace: WaveTrace,
+    /// Fault-free `conv()` trace ([`TRACE_CYCLES`] cycles).
+    pub conv_trace: WaveTrace,
+    /// The FF / FF-w/o-RF wire sets of the core.
+    pub sets: WireSets,
+    /// The flow, for its design and run summary.
+    pub flow: Flow,
+}
+
+/// Runs the offline prefix of Tables 2/3 for `core` through the pipeline
+/// over the default artifact store.
+///
+/// # Errors
+///
+/// Propagates pipeline stage and store errors.
+pub fn table_inputs(core: Core) -> Result<TableInputs, MateError> {
+    let mut flow = Flow::open_default(core.design_source())?;
+    let sets = {
+        let design = flow.design();
+        WireSets::of(&design.netlist, &design.topology)
+    };
+    eprintln!(
+        "searching MATEs ({}, {} wires)...",
+        core.label(),
+        sets.all.len()
+    );
+    let search = flow.search(WireSetSpec::AllFfs, table_search_config())?;
+    eprintln!("recording {TRACE_CYCLES}-cycle traces...");
+    let fib = flow.capture(core.fib(), TRACE_CYCLES)?;
+    let conv = flow.capture(core.conv(), TRACE_CYCLES)?;
+    Ok(TableInputs {
+        mates: search.value.mates,
+        stats: search.value.stats,
+        fib_trace: fib.value,
+        conv_trace: conv.value,
+        sets,
+        flow,
+    })
 }
 
 /// The two faulty-wire sets of the evaluation.

@@ -10,68 +10,22 @@
 //! load & din :: r0, r1, r2
 //! ```
 
-use std::error::Error;
-use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{BufRead, Write};
 
-use mate_netlist::{NetCube, Netlist};
+use mate_netlist::{MateError, NetCube, Netlist};
 
 use crate::mates::{Mate, MateSet};
-
-/// Errors produced by [`read_mates`].
-#[derive(Debug)]
-pub enum MateIoError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Malformed line.
-    Parse {
-        /// 1-based line number.
-        line: usize,
-        /// Description.
-        message: String,
-    },
-    /// A net name not present in the netlist.
-    UnknownNet {
-        /// 1-based line number.
-        line: usize,
-        /// The offending name.
-        name: String,
-    },
-}
-
-impl fmt::Display for MateIoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "i/o error: {e}"),
-            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
-            Self::UnknownNet { line, name } => {
-                write!(f, "line {line}: unknown net `{name}`")
-            }
-        }
-    }
-}
-
-impl Error for MateIoError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            Self::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for MateIoError {
-    fn from(e: io::Error) -> Self {
-        Self::Io(e)
-    }
-}
 
 /// Writes a MATE set in the `mate-set v1` text format.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `out`.
-pub fn write_mates(netlist: &Netlist, mates: &MateSet, mut out: impl Write) -> io::Result<()> {
+/// Propagates I/O errors from `out` as [`MateError::Io`].
+pub fn write_mates(netlist: &Netlist, mates: &MateSet, out: impl Write) -> Result<(), MateError> {
+    write_mates_io(netlist, mates, out).map_err(|e| MateError::io("mate-set output", e))
+}
+
+fn write_mates_io(netlist: &Netlist, mates: &MateSet, mut out: impl Write) -> std::io::Result<()> {
     writeln!(out, "# mate-set v1 design={}", netlist.name())?;
     for mate in mates {
         let cube: Vec<String> = mate
@@ -95,23 +49,23 @@ pub fn write_mates(netlist: &Netlist, mates: &MateSet, mut out: impl Write) -> i
 ///
 /// # Errors
 ///
-/// Returns [`MateIoError`] on I/O problems, malformed lines, or names the
+/// Returns [`MateError`] on I/O problems, malformed lines, or names the
 /// netlist does not contain.
-pub fn read_mates(netlist: &Netlist, input: impl BufRead) -> Result<MateSet, MateIoError> {
+pub fn read_mates(netlist: &Netlist, input: impl BufRead) -> Result<MateSet, MateError> {
     let mut mates = Vec::new();
     for (idx, line) in input.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| MateError::io("mate-set input", e))?;
         let line_no = idx + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let (cube_text, wires_text) = trimmed.split_once("::").ok_or(MateIoError::Parse {
+        let (cube_text, wires_text) = trimmed.split_once("::").ok_or(MateError::MateFormat {
             line: line_no,
             message: "missing `::` separator".to_owned(),
         })?;
         let resolve = |name: &str| {
-            netlist.find_net(name).ok_or(MateIoError::UnknownNet {
+            netlist.find_net(name).ok_or(MateError::UnknownNet {
                 line: line_no,
                 name: name.to_owned(),
             })
@@ -126,7 +80,7 @@ pub fn read_mates(netlist: &Netlist, input: impl BufRead) -> Result<MateSet, Mat
                     None => (token, true),
                 };
                 if name.is_empty() {
-                    return Err(MateIoError::Parse {
+                    return Err(MateError::MateFormat {
                         line: line_no,
                         message: "empty literal".to_owned(),
                     });
@@ -134,7 +88,7 @@ pub fn read_mates(netlist: &Netlist, input: impl BufRead) -> Result<MateSet, Mat
                 literals.push((resolve(name)?, polarity));
             }
         }
-        let cube = NetCube::from_literals(literals).ok_or(MateIoError::Parse {
+        let cube = NetCube::from_literals(literals).ok_or(MateError::MateFormat {
             line: line_no,
             message: "contradictory literals".to_owned(),
         })?;
@@ -147,7 +101,7 @@ pub fn read_mates(netlist: &Netlist, input: impl BufRead) -> Result<MateSet, Mat
             masked.push(resolve(name)?);
         }
         if masked.is_empty() {
-            return Err(MateIoError::Parse {
+            return Err(MateError::MateFormat {
                 line: line_no,
                 message: "a MATE must mask at least one wire".to_owned(),
             });
@@ -191,7 +145,7 @@ mod tests {
         let text = "bogus :: r0\n";
         let err = read_mates(&n, BufReader::new(text.as_bytes())).unwrap_err();
         assert!(
-            matches!(err, MateIoError::UnknownNet { line: 1, .. }),
+            matches!(err, MateError::UnknownNet { line: 1, .. }),
             "{err}"
         );
     }
@@ -201,7 +155,7 @@ mod tests {
         let (n, _) = mate_netlist::examples::tmr_register();
         for bad in ["no separator", "load :: ", " & :: r0", "load & !load :: r0"] {
             let err = read_mates(&n, BufReader::new(bad.as_bytes())).unwrap_err();
-            assert!(matches!(err, MateIoError::Parse { .. }), "{bad}: {err}");
+            assert!(matches!(err, MateError::MateFormat { .. }), "{bad}: {err}");
         }
     }
 

@@ -53,7 +53,8 @@ pub mod select;
 
 pub use eval::{evaluate, evaluate_scalar, evaluate_transposed, EvalReport, PruneMatrix};
 pub use gmt::GmtCache;
-pub use io::{read_mates, write_mates, MateIoError};
+pub use io::{read_mates, write_mates};
+pub use mate_netlist::MateError;
 pub use mates::{summarize, Mate, MateSet};
 pub use multi::{search_wire_set, MultiMate, MultiSearchResult};
 pub use paths::{enumerate_paths, PathSet};

@@ -120,8 +120,8 @@ proptest! {
         }
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
         let base = CampaignConfig { cycles, sample: Some(30), seed, threads: 1 };
-        let single = run_campaign_wide(&harness, &space, &base);
-        let sharded = run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base });
+        let single = run_campaign_wide(&harness, &space, &base).unwrap();
+        let sharded = run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base }).unwrap();
         prop_assert_eq!(single.records, sharded.records);
     }
 }

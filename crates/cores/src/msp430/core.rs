@@ -177,7 +177,7 @@ pub fn build_msp430() -> (Netlist, Topology, Msp430Ports) {
     let low_msb = srcv.bit_signal(7);
     let sxt_r = {
         let mut bits = srcv.slice(0, 8).nets().to_vec();
-        bits.extend(std::iter::repeat_n(low_msb.bit(0), 8));
+        bits.extend(std::iter::repeat(low_msb.bit(0)).take(8));
         Signal::from_nets(bits)
     };
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use mate_netlist::{NetId, Netlist, Topology};
+use mate_netlist::{MateError, NetId, Netlist, Topology};
 use mate_sim::{WaveTrace, WideSimulator};
 
 use crate::harness::DesignHarness;
@@ -88,12 +88,22 @@ fn state_nets(netlist: &Netlist, topo: &Topology) -> Vec<NetId> {
 /// Injects a single SEU at `point` and classifies its effect against
 /// `golden` over the remaining horizon.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `point.cycle` lies beyond the golden trace.
-pub fn inject(harness: &dyn DesignHarness, golden: &GoldenRun, point: FaultPoint) -> FaultEffect {
+/// Returns [`MateError::Campaign`] if `point.cycle` lies beyond the golden
+/// trace.
+pub fn inject(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    point: FaultPoint,
+) -> Result<FaultEffect, MateError> {
     let horizon = golden.trace.num_cycles();
-    assert!(point.cycle < horizon, "injection cycle beyond golden trace");
+    if point.cycle >= horizon {
+        return Err(MateError::campaign(format!(
+            "injection cycle {} beyond golden trace of {horizon} cycles",
+            point.cycle
+        )));
+    }
     let mut tb = harness.testbench();
 
     // Advance fault-free to the injection cycle.
@@ -102,7 +112,7 @@ pub fn inject(harness: &dyn DesignHarness, golden: &GoldenRun, point: FaultPoint
     }
     // Flip the victim flip-flop; its faulty value is live during this cycle.
     tb.sim_mut().flip_ff(point.ff);
-    classify(&mut tb, golden, point.cycle)
+    Ok(classify(&mut tb, golden, point.cycle))
 }
 
 /// Runs the remaining horizon and classifies the divergence from golden.
@@ -172,27 +182,34 @@ fn classify(
 /// All three paths produce bit-identical [`FaultEffect`] classifications.
 /// Results are returned in the order of `points`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any injection cycle lies beyond the golden trace.
+/// Returns [`MateError::Campaign`] if any injection cycle lies beyond the
+/// golden trace.
 pub fn classify_points(
     harness: &dyn DesignHarness,
     golden: &GoldenRun,
     points: &[FaultPoint],
-) -> Vec<FaultEffect> {
+) -> Result<Vec<FaultEffect>, MateError> {
     let horizon = golden.trace.num_cycles();
-    assert!(
-        points.iter().all(|p| p.cycle < horizon),
-        "injection cycle beyond golden trace"
-    );
+    if let Some(p) = points.iter().find(|p| p.cycle >= horizon) {
+        return Err(MateError::campaign(format!(
+            "injection cycle {} beyond golden trace of {horizon} cycles",
+            p.cycle
+        )));
+    }
     let probe = harness.testbench();
-    if probe.can_run_wide() {
+    Ok(if probe.can_run_wide() {
         classify_points_wide(harness, golden, points)
     } else if probe.can_checkpoint() {
         classify_points_checkpoint(harness, golden, points)
     } else {
-        points.iter().map(|&p| inject(harness, golden, p)).collect()
-    }
+        let mut effects = Vec::with_capacity(points.len());
+        for &p in points {
+            effects.push(inject(harness, golden, p)?);
+        }
+        effects
+    })
 }
 
 /// Broadcasts a golden bit across all 64 lanes.
@@ -332,22 +349,30 @@ fn classify_points_checkpoint(
 /// and classifies it against `golden` — the fault model of the paper's
 /// Section 6.2.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the points lie in different cycles or beyond the golden trace.
+/// Returns [`MateError::Campaign`] if the points lie in different cycles,
+/// no point is given, or the cycle lies beyond the golden trace.
 pub fn inject_multi(
     harness: &dyn DesignHarness,
     golden: &GoldenRun,
     points: &[FaultPoint],
-) -> FaultEffect {
-    assert!(!points.is_empty(), "need at least one fault point");
-    let cycle = points[0].cycle;
-    assert!(
-        points.iter().all(|p| p.cycle == cycle),
-        "multi-bit upsets are simultaneous"
-    );
+) -> Result<FaultEffect, MateError> {
+    let Some(first) = points.first() else {
+        return Err(MateError::campaign("need at least one fault point"));
+    };
+    let cycle = first.cycle;
+    if points.iter().any(|p| p.cycle != cycle) {
+        return Err(MateError::campaign(
+            "multi-bit upsets are simultaneous: all points must share one cycle",
+        ));
+    }
     let horizon = golden.trace.num_cycles();
-    assert!(cycle < horizon, "injection cycle beyond golden trace");
+    if cycle >= horizon {
+        return Err(MateError::campaign(format!(
+            "injection cycle {cycle} beyond golden trace of {horizon} cycles"
+        )));
+    }
     let mut tb = harness.testbench();
     for _ in 0..cycle {
         tb.step();
@@ -355,29 +380,35 @@ pub fn inject_multi(
     for point in points {
         tb.sim_mut().flip_ff(point.ff);
     }
-    classify(&mut tb, golden, cycle)
+    Ok(classify(&mut tb, golden, cycle))
 }
 
 /// Injects an upset that *holds* for `hold_cycles` cycles: the flip-flop is
 /// forced to the complement of its golden value at the start of every
 /// affected cycle (an SEU "that holds more than one cycle", Section 6.2).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `hold_cycles` is zero or the affected window leaves the golden
-/// trace.
+/// Returns [`MateError::Campaign`] if `hold_cycles` is zero or the affected
+/// window leaves the golden trace.
 pub fn inject_persistent(
     harness: &dyn DesignHarness,
     golden: &GoldenRun,
     point: FaultPoint,
     hold_cycles: usize,
-) -> FaultEffect {
-    assert!(hold_cycles > 0, "upset must hold for at least one cycle");
+) -> Result<FaultEffect, MateError> {
+    if hold_cycles == 0 {
+        return Err(MateError::campaign(
+            "upset must hold for at least one cycle",
+        ));
+    }
     let horizon = golden.trace.num_cycles();
-    assert!(
-        point.cycle + hold_cycles <= horizon,
-        "persistent upset leaves the golden trace"
-    );
+    if point.cycle + hold_cycles > horizon {
+        return Err(MateError::campaign(format!(
+            "persistent upset (cycle {} + hold {hold_cycles}) leaves the golden trace of {horizon} cycles",
+            point.cycle
+        )));
+    }
     let mut tb = harness.testbench();
     for _ in 0..point.cycle {
         tb.step();
@@ -410,9 +441,9 @@ pub fn inject_persistent(
             }
         });
         if !outputs_ok {
-            return FaultEffect::OutputFailure {
+            return Ok(FaultEffect::OutputFailure {
                 after: cycle - point.cycle,
-            };
+            });
         }
         if cycle > point.cycle {
             if state_ok {
@@ -427,11 +458,11 @@ pub fn inject_persistent(
             }
         }
     }
-    match state_equal_at {
+    Ok(match state_equal_at {
         Some(1) if !diverged_again => FaultEffect::MaskedWithinOneCycle,
         Some(after) => FaultEffect::SilentRecovery { after },
         None => FaultEffect::Latent,
-    }
+    })
 }
 
 /// Campaign parameters.
@@ -508,11 +539,17 @@ impl CampaignResult {
 }
 
 /// Runs a full (or sampled) injection campaign over `space`.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] when an injection is invalid (cannot
+/// happen for points drawn from `space` with an in-range cycle filter, but
+/// propagated for API uniformity).
 pub fn run_campaign(
     harness: &dyn DesignHarness,
     space: &FaultSpace,
     config: &CampaignConfig,
-) -> CampaignResult {
+) -> Result<CampaignResult, MateError> {
     // One extra golden cycle so an injection at the last campaign cycle
     // still has a `t+1` state to be judged against.
     let golden = golden_run(harness, config.cycles + 1);
@@ -525,10 +562,10 @@ pub fn run_campaign(
         if point.cycle >= config.cycles {
             continue;
         }
-        let effect = inject(harness, &golden, point);
+        let effect = inject(harness, &golden, point)?;
         result.records.push((point, effect));
     }
-    result
+    Ok(result)
 }
 
 /// Resolves a `threads` setting (`0` = all cores) against the work size.
@@ -553,11 +590,14 @@ fn effective_threads(threads: usize, points: usize) -> usize {
 /// slice of the result buffer, so the records come back in the original
 /// point order and are bit-identical for every thread count — including the
 /// single-threaded path, which skips thread spawning entirely.
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] when an injection is invalid.
 pub fn run_campaign_wide(
     harness: &(dyn DesignHarness + Sync),
     space: &FaultSpace,
     config: &CampaignConfig,
-) -> CampaignResult {
+) -> Result<CampaignResult, MateError> {
     let golden = golden_run(harness, config.cycles + 1);
     let points: Vec<FaultPoint> = match config.sample {
         Some(count) => space.sample(count, config.seed),
@@ -568,23 +608,28 @@ pub fn run_campaign_wide(
     .collect();
     let threads = effective_threads(config.threads, points.len());
     let effects = if threads <= 1 {
-        classify_points(harness, &golden, &points)
+        classify_points(harness, &golden, &points)?
     } else {
         let chunk = points.len().div_ceil(threads);
-        let mut effects = vec![FaultEffect::Latent; points.len()];
+        let mut shards: Vec<Result<Vec<FaultEffect>, MateError>> =
+            points.chunks(chunk).map(|_| Ok(Vec::new())).collect();
         let golden = &golden;
         std::thread::scope(|scope| {
-            for (pts, out) in points.chunks(chunk).zip(effects.chunks_mut(chunk)) {
+            for (pts, out) in points.chunks(chunk).zip(shards.iter_mut()) {
                 scope.spawn(move || {
-                    out.copy_from_slice(&classify_points(harness, golden, pts));
+                    *out = classify_points(harness, golden, pts);
                 });
             }
         });
+        let mut effects = Vec::with_capacity(points.len());
+        for shard in shards {
+            effects.extend(shard?);
+        }
         effects
     };
-    CampaignResult {
+    Ok(CampaignResult {
         records: points.into_iter().zip(effects).collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -612,7 +657,8 @@ mod tests {
                 wire,
                 cycle: 3,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(effect, FaultEffect::OutputFailure { after: 0 });
     }
 
@@ -636,7 +682,8 @@ mod tests {
                 wire,
                 cycle: 3,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(effect, FaultEffect::MaskedWithinOneCycle);
     }
 
@@ -661,7 +708,8 @@ mod tests {
                 wire,
                 cycle: 2,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(effect, FaultEffect::MaskedWithinOneCycle);
     }
 
@@ -682,7 +730,8 @@ mod tests {
                 sample: None,
                 ..CampaignConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(result.len(), space.len());
         let histogram = result.histogram();
         let total: usize = histogram.values().sum();
@@ -706,7 +755,8 @@ mod tests {
                 seed: 7,
                 ..CampaignConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(result.len(), 9);
     }
 
@@ -725,9 +775,10 @@ mod tests {
             seed: 0,
             threads: 1,
         };
-        let single = run_campaign_wide(&harness, &space, &base);
+        let single = run_campaign_wide(&harness, &space, &base).unwrap();
         for threads in [0usize, 2, 4, 7, 1000] {
-            let sharded = run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base });
+            let sharded =
+                run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base }).unwrap();
             assert_eq!(single.records, sharded.records, "{threads} threads");
         }
     }

@@ -7,7 +7,7 @@
 //! sample) and comparing against the golden run.
 
 use mate::{EvalReport, MateSet};
-use mate_netlist::NetId;
+use mate_netlist::{MateError, NetId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -43,9 +43,10 @@ impl ValidationReport {
 /// `sample` bounds the number of injections (`None` = exhaustive over all
 /// claimed points); sampling is deterministic in `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `wires` contains nets that are not flip-flop outputs.
+/// Returns [`MateError::Campaign`] if `wires` contains nets that are not
+/// flip-flop outputs, or an injection is invalid.
 pub fn validate_mates(
     harness: &dyn DesignHarness,
     mates: &MateSet,
@@ -53,7 +54,7 @@ pub fn validate_mates(
     cycles: usize,
     sample: Option<usize>,
     seed: u64,
-) -> (EvalReport, ValidationReport) {
+) -> Result<(EvalReport, ValidationReport), MateError> {
     // One extra golden cycle so claims in the final evaluated cycle can be
     // judged against a `t+1` state.
     let golden = golden_run(harness, cycles + 1);
@@ -65,7 +66,11 @@ pub fn validate_mates(
     let ff_of: std::collections::HashMap<NetId, _> =
         space.ffs().map(|(ff, wire)| (wire, ff)).collect();
     for &w in wires {
-        assert!(ff_of.contains_key(&w), "wire {w} is not a flip-flop output");
+        if !ff_of.contains_key(&w) {
+            return Err(MateError::campaign(format!(
+                "wire {w} is not a flip-flop output"
+            )));
+        }
     }
 
     let mut claimed_points: Vec<FaultPoint> = Vec::new();
@@ -94,7 +99,7 @@ pub fn validate_mates(
     }
     // Batched classification: up to 64 claimed points share one wide run
     // (or one checkpoint-seeded run) instead of one full replay each.
-    let effects = classify_points(harness, &golden, &claimed_points);
+    let effects = classify_points(harness, &golden, &claimed_points)?;
     for (point, effect) in claimed_points.into_iter().zip(effects) {
         validation.checked += 1;
         if effect.is_masked_one_cycle() {
@@ -103,7 +108,7 @@ pub fn validate_mates(
             validation.violations.push((point, effect));
         }
     }
-    (report, validation)
+    Ok((report, validation))
 }
 
 #[cfg(test)]
@@ -121,7 +126,7 @@ mod tests {
         let input = n.find_net("in").unwrap();
         let harness = StimulusHarness::new(n, topo)
             .drive(input, vec![false, true, true, false, true, false, false]);
-        let (report, validation) = validate_mates(&harness, &mates, &wires, 24, None, 0);
+        let (report, validation) = validate_mates(&harness, &mates, &wires, 24, None, 0).unwrap();
         assert!(validation.claimed > 0, "MATEs must trigger on this trace");
         assert!(
             validation.sound(),
@@ -141,7 +146,7 @@ mod tests {
         let harness = StimulusHarness::new(n, topo)
             .drive(load, vec![true, false, false, true, false])
             .drive(din, vec![true, true, false]);
-        let (report, validation) = validate_mates(&harness, &mates, &wires, 16, None, 0);
+        let (report, validation) = validate_mates(&harness, &mates, &wires, 16, None, 0).unwrap();
         assert!(
             validation.sound(),
             "violations: {:?}",
@@ -161,7 +166,7 @@ mod tests {
         let harness = StimulusHarness::new(n, topo)
             .drive(load, vec![true, false])
             .drive(din, vec![true]);
-        let (_, validation) = validate_mates(&harness, &mates, &wires, 20, Some(5), 3);
+        let (_, validation) = validate_mates(&harness, &mates, &wires, 20, Some(5), 3).unwrap();
         assert_eq!(validation.checked, 5);
         assert!(validation.claimed >= 5);
         assert!(validation.sound());

@@ -47,7 +47,7 @@ proptest! {
             &SearchConfig::default(),
         )
         .into_mate_set();
-        let (_, validation) = validate_mates(&harness, &mates, &wires, cycles, None, seed);
+        let (_, validation) = validate_mates(&harness, &mates, &wires, cycles, None, seed).unwrap();
         prop_assert!(
             validation.sound(),
             "seed {seed}: violations {:?}",
@@ -70,7 +70,7 @@ proptest! {
         )
         .into_mate_set();
         let (_, validation) =
-            validate_mates(&harness, &mates, &wires, cycles, Some(64), seed);
+            validate_mates(&harness, &mates, &wires, cycles, Some(64), seed).unwrap();
         prop_assert!(
             validation.sound(),
             "seed {seed}: violations {:?}",
@@ -151,7 +151,8 @@ mod core_soundness {
         )
         .into_mate_set();
         assert!(!mates.is_empty(), "AVR must yield MATEs");
-        let (report, validation) = validate_mates(&harness, &mates, &wires, 160, Some(120), 1);
+        let (report, validation) =
+            validate_mates(&harness, &mates, &wires, 160, Some(120), 1).unwrap();
         assert!(report.masked_fraction() > 0.0);
         assert!(
             validation.sound(),
@@ -175,7 +176,8 @@ mod core_soundness {
         )
         .into_mate_set();
         assert!(!mates.is_empty(), "MSP430 must yield MATEs");
-        let (report, validation) = validate_mates(&harness, &mates, &wires, 160, Some(120), 2);
+        let (report, validation) =
+            validate_mates(&harness, &mates, &wires, 160, Some(120), 2).unwrap();
         assert!(report.masked_fraction() > 0.0);
         assert!(
             validation.sound(),
@@ -235,7 +237,7 @@ mod extensions {
                                     cycle,
                                 },
                             ];
-                            let effect = inject_multi(&harness, &golden, &points);
+                            let effect = inject_multi(&harness, &golden, &points).unwrap();
                             assert!(
                                 effect.is_masked_one_cycle(),
                                 "seed {seed} pair ({},{}) cycle {cycle}: {effect}",
@@ -294,7 +296,8 @@ mod extensions {
                             cycle: start,
                         },
                         hold,
-                    );
+                    )
+                    .unwrap();
                     assert!(
                         effect.is_silent(),
                         "seed {seed} wire {} start {start}: {effect}",

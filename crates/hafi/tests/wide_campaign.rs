@@ -47,9 +47,9 @@ proptest! {
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
         let points: Vec<FaultPoint> = space.iter().collect();
 
-        let batched = classify_points(&harness, &golden, &points);
+        let batched = classify_points(&harness, &golden, &points).unwrap();
         for (&point, wide_effect) in points.iter().zip(&batched) {
-            let scalar_effect = inject(&harness, &golden, point);
+            let scalar_effect = inject(&harness, &golden, point).unwrap();
             prop_assert_eq!(
                 *wide_effect,
                 scalar_effect,
@@ -67,8 +67,8 @@ proptest! {
         let harness = harness_for(seed.wrapping_add(13), cfg, cycles + 1);
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
         let config = CampaignConfig { cycles, sample: Some(40), seed, ..CampaignConfig::default() };
-        let scalar = run_campaign(&harness, &space, &config);
-        let wide = run_campaign_wide(&harness, &space, &config);
+        let scalar = run_campaign(&harness, &space, &config).unwrap();
+        let wide = run_campaign_wide(&harness, &space, &config).unwrap();
         prop_assert_eq!(scalar.records, wide.records);
     }
 }
@@ -127,9 +127,9 @@ mod checkpoint_path {
         let golden = golden_run(harness, cycles + 1);
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
         let points = space.sample(sample, 42);
-        let batched = classify_points(harness, &golden, &points);
+        let batched = classify_points(harness, &golden, &points).unwrap();
         for (&point, checkpointed) in points.iter().zip(&batched) {
-            let scalar = inject(harness, &golden, point);
+            let scalar = inject(harness, &golden, point).unwrap();
             assert_eq!(
                 *checkpointed, scalar,
                 "ff {:?} cycle {}",

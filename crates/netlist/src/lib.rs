@@ -34,6 +34,7 @@
 //! ```
 
 pub mod cube;
+pub mod error;
 pub mod examples;
 pub mod graph;
 pub mod library;
@@ -48,6 +49,7 @@ pub mod verilog;
 mod ids;
 
 pub use cube::NetCube;
+pub use error::MateError;
 pub use graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
 pub use ids::{CellId, CellTypeId, NetId};
 pub use library::{CellFn, CellType, Library};
@@ -59,6 +61,7 @@ pub use util::BitSet;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::cube::NetCube;
+    pub use crate::error::MateError;
     pub use crate::graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
     pub use crate::ids::{CellId, CellTypeId, NetId};
     pub use crate::library::{CellFn, CellType, Library};

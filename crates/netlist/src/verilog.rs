@@ -6,15 +6,14 @@
 //! instances with named pin connections.
 
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use crate::error::MateError;
 use crate::graph::Topology;
 use crate::ids::NetId;
 use crate::library::Library;
-use crate::netlist::{Netlist, NetlistError};
+use crate::netlist::Netlist;
 
 /// Serializes a netlist to structural Verilog.
 ///
@@ -47,7 +46,7 @@ pub fn to_verilog(netlist: &Netlist) -> String {
             && name
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
-            && !name.chars().next().unwrap().is_ascii_digit();
+            && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
         if plain {
             name.to_owned()
         } else {
@@ -104,40 +103,6 @@ pub fn to_verilog(netlist: &Netlist) -> String {
     out
 }
 
-/// Errors produced by [`parse_verilog`].
-#[derive(Debug)]
-pub enum VerilogError {
-    /// Lexical or syntactic problem at the given line.
-    Syntax {
-        /// 1-based source line.
-        line: usize,
-        /// Human-readable description.
-        message: String,
-    },
-    /// The netlist uses a cell or connection the library cannot express.
-    Semantic(String),
-    /// The parsed netlist failed structural validation.
-    Netlist(NetlistError),
-}
-
-impl fmt::Display for VerilogError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            Self::Semantic(msg) => write!(f, "{msg}"),
-            Self::Netlist(e) => write!(f, "invalid netlist: {e}"),
-        }
-    }
-}
-
-impl Error for VerilogError {}
-
-impl From<NetlistError> for VerilogError {
-    fn from(e: NetlistError) -> Self {
-        Self::Netlist(e)
-    }
-}
-
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Token {
     Ident(String),
@@ -159,14 +124,14 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> VerilogError {
-        VerilogError::Syntax {
+    fn error(&self, message: impl Into<String>) -> MateError {
+        MateError::Verilog {
             line: self.line,
             message: message.into(),
         }
     }
 
-    fn next_token(&mut self) -> Result<Option<Token>, VerilogError> {
+    fn next_token(&mut self) -> Result<Option<Token>, MateError> {
         let bytes = self.src.as_bytes();
         {
             // Skip whitespace and comments.
@@ -245,13 +210,10 @@ impl<'a> Lexer<'a> {
 ///
 /// # Errors
 ///
-/// Returns [`VerilogError`] on lexical/syntactic problems, on cells or pins
+/// Returns [`MateError`] on lexical/syntactic problems, on cells or pins
 /// missing from `library`, and on structural problems (multiple drivers,
 /// combinational cycles, undriven nets).
-pub fn parse_verilog(
-    src: &str,
-    library: Arc<Library>,
-) -> Result<(Netlist, Topology), VerilogError> {
+pub fn parse_verilog(src: &str, library: Arc<Library>) -> Result<(Netlist, Topology), MateError> {
     let mut lex = Lexer::new(src);
     let mut tokens: Vec<(Token, usize)> = Vec::new();
     while let Some(t) = lex.next_token()? {
@@ -259,7 +221,7 @@ pub fn parse_verilog(
     }
     let mut it = tokens.into_iter().peekable();
 
-    let syntax = |line: usize, msg: &str| VerilogError::Syntax {
+    let syntax = |line: usize, msg: &str| MateError::Verilog {
         line,
         message: msg.to_owned(),
     };
@@ -289,7 +251,7 @@ pub fn parse_verilog(
 
     let kw = expect_ident!(it, "`module`");
     if kw != "module" {
-        return Err(VerilogError::Semantic(format!(
+        return Err(MateError::Semantic(format!(
             "expected `module`, got `{kw}`"
         )));
     }
@@ -348,7 +310,7 @@ pub fn parse_verilog(
             }
             cell_type => {
                 let ty_id = library.find(cell_type).ok_or_else(|| {
-                    VerilogError::Semantic(format!("unknown cell type `{cell_type}`"))
+                    MateError::Semantic(format!("unknown cell type `{cell_type}`"))
                 })?;
                 let ty = library.cell_type(ty_id).clone();
                 let inst = expect_ident!(it, "instance name");
@@ -364,7 +326,7 @@ pub fn parse_verilog(
                             let net = expect_ident!(it, "net name");
                             expect_punct!(it, ')');
                             if pin_conns.insert(pin.clone(), net).is_some() {
-                                return Err(VerilogError::Semantic(format!(
+                                return Err(MateError::Semantic(format!(
                                     "pin `{pin}` connected twice on `{inst}`"
                                 )));
                             }
@@ -385,20 +347,20 @@ pub fn parse_verilog(
                 let mut input_nets = Vec::with_capacity(ty.num_pins());
                 for pin in ty.pins() {
                     let net_name = pin_conns.remove(pin).ok_or_else(|| {
-                        VerilogError::Semantic(format!(
+                        MateError::Semantic(format!(
                             "instance `{inst}` misses pin `{pin}` of `{cell_type}`"
                         ))
                     })?;
                     input_nets.push(resolve(&net_name, &mut netlist));
                 }
                 let out_name = pin_conns.remove(ty.output_pin()).ok_or_else(|| {
-                    VerilogError::Semantic(format!(
+                    MateError::Semantic(format!(
                         "instance `{inst}` misses output pin `{}`",
                         ty.output_pin()
                     ))
                 })?;
                 if let Some(extra) = pin_conns.keys().next() {
-                    return Err(VerilogError::Semantic(format!(
+                    return Err(MateError::Semantic(format!(
                         "instance `{inst}` connects unknown pin `{extra}`"
                     )));
                 }
@@ -481,7 +443,7 @@ mod tests {
     fn unknown_cell_is_semantic_error() {
         let src = "module m (a, y); input a; output y; BOGUS g (.A(a), .Y(y)); endmodule";
         let err = parse_verilog(src, Library::open15()).unwrap_err();
-        assert!(matches!(err, VerilogError::Semantic(_)), "{err}");
+        assert!(matches!(err, MateError::Semantic(_)), "{err}");
     }
 
     #[test]
@@ -495,7 +457,7 @@ mod tests {
     fn double_driver_detected() {
         let src = "module m (a, y); input a; output y; INV g0 (.A(a), .Y(y)); INV g1 (.A(a), .Y(y)); endmodule";
         let err = parse_verilog(src, Library::open15()).unwrap_err();
-        assert!(matches!(err, VerilogError::Netlist(_)), "{err}");
+        assert!(matches!(err, MateError::Netlist(_)), "{err}");
     }
 
     #[test]
@@ -510,6 +472,6 @@ mod tests {
     fn undriven_output_rejected() {
         let src = "module m (a, y); input a; output y; endmodule";
         let err = parse_verilog(src, Library::open15()).unwrap_err();
-        assert!(matches!(err, VerilogError::Netlist(_)));
+        assert!(matches!(err, MateError::Netlist(_)));
     }
 }

@@ -1,0 +1,143 @@
+//! Stable content hashing for artifact keys.
+//!
+//! Artifact keys must be identical across runs, platforms, and (ideally)
+//! compiler versions, so the store cannot use [`std::hash`] (whose hashers
+//! are explicitly unstable).  This module implements 128-bit FNV-1a over a
+//! tagged byte stream: every field written through [`ContentHasher`] is
+//! prefixed with a type tag and a length, so `("ab", "c")` and `("a", "bc")`
+//! hash differently.
+
+use std::fmt;
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit content hash, the key of one artifact in the store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// The 32-character lowercase hex form used as the on-disk file name.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher over tagged, length-prefixed fields.
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes raw bytes with a length prefix.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.raw(b"b");
+        self.raw(&(bytes.len() as u64).to_le_bytes());
+        self.raw(bytes);
+    }
+
+    /// Hashes a string field.
+    pub fn str(&mut self, s: &str) {
+        self.raw(b"s");
+        self.raw(&(s.len() as u64).to_le_bytes());
+        self.raw(s.as_bytes());
+    }
+
+    /// Hashes an integer field.
+    pub fn u64(&mut self, v: u64) {
+        self.raw(b"u");
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` field (widened, so 32/64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Hashes a boolean field.
+    pub fn bool(&mut self, v: bool) {
+        self.raw(b"t");
+        self.raw(&[u8::from(v)]);
+    }
+
+    /// Hashes an `f64` field by its bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.raw(b"f");
+        self.raw(&v.to_bits().to_le_bytes());
+    }
+
+    /// Folds another content hash in (artifact-key chaining).
+    pub fn hash(&mut self, h: &ContentHash) {
+        self.raw(b"h");
+        self.raw(&h.0.to_le_bytes());
+    }
+
+    /// Finalizes the key.
+    pub fn finish(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = ContentHasher::new();
+        a.str("hello");
+        a.u64(7);
+        let mut b = ContentHasher::new();
+        b.str("hello");
+        b.u64(7);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = ContentHasher::new();
+        c.u64(7);
+        c.str("hello");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = ContentHasher::new();
+        a.str("ab");
+        a.str("c");
+        let mut b = ContentHasher::new();
+        b.str("a");
+        b.str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_32_chars() {
+        let h = ContentHasher::new().finish();
+        assert_eq!(h.hex().len(), 32);
+        assert_eq!(h.hex(), h.to_string());
+    }
+}

@@ -1,0 +1,138 @@
+//! The on-disk content-addressed artifact store.
+//!
+//! Layout: `<root>/<stage-name>/<32-hex-key>.art`.  Writes go through a
+//! temporary file in the same directory followed by an atomic rename, so a
+//! concurrent reader never observes a half-written artifact and a crashed
+//! run never poisons the cache.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mate_netlist::MateError;
+
+use crate::hash::ContentHash;
+
+/// Environment variable overriding the default store location.
+pub const STORE_ENV: &str = "MATE_ARTIFACT_DIR";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed artifact store rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (lazily — no I/O happens until the first save) a store rooted
+    /// at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The default store root: `$MATE_ARTIFACT_DIR` if set, else
+    /// `target/mate-artifacts` under the current directory.
+    pub fn default_root() -> PathBuf {
+        match std::env::var_os(STORE_ENV) {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("target").join("mate-artifacts"),
+        }
+    }
+
+    /// Opens the default store (see [`ArtifactStore::default_root`]).
+    pub fn open_default() -> Self {
+        Self::new(Self::default_root())
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, stage: &str, key: &ContentHash) -> PathBuf {
+        self.root.join(stage).join(format!("{}.art", key.hex()))
+    }
+
+    /// Returns `true` when an artifact for `(stage, key)` exists.
+    pub fn contains(&self, stage: &str, key: &ContentHash) -> bool {
+        self.path(stage, key).is_file()
+    }
+
+    /// Loads the artifact bytes for `(stage, key)`, or `None` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MateError::Io`] for I/O failures other than the file not
+    /// existing.
+    pub fn load(&self, stage: &str, key: &ContentHash) -> Result<Option<Vec<u8>>, MateError> {
+        let path = self.path(stage, key);
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(MateError::io(path.display().to_string(), e)),
+        }
+    }
+
+    /// Persists `bytes` as the artifact for `(stage, key)` via a temp file
+    /// and atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MateError::Io`] when the store directory cannot be created
+    /// or written.
+    pub fn save(&self, stage: &str, key: &ContentHash, bytes: &[u8]) -> Result<(), MateError> {
+        let path = self.path(stage, key);
+        let dir = path.parent().expect("artifact path always has a parent");
+        fs::create_dir_all(dir).map_err(|e| MateError::io(dir.display().to_string(), e))?;
+        let tmp = dir.join(format!(
+            ".{}.{}.{}.tmp",
+            key.hex(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes).map_err(|e| MateError::io(tmp.display().to_string(), e))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            MateError::io(path.display().to_string(), e)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mate-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let root = scratch("roundtrip");
+        let store = ArtifactStore::new(&root);
+        let key = ContentHash(42);
+        assert!(!store.contains("search", &key));
+        assert_eq!(store.load("search", &key).unwrap(), None);
+        store.save("search", &key, b"payload").unwrap();
+        assert!(store.contains("search", &key));
+        assert_eq!(
+            store.load("search", &key).unwrap().as_deref(),
+            Some(&b"payload"[..])
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn keys_do_not_collide_across_stages() {
+        let root = scratch("stages");
+        let store = ArtifactStore::new(&root);
+        let key = ContentHash(7);
+        store.save("a", &key, b"one").unwrap();
+        assert!(!store.contains("b", &key));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,213 @@
+//! Acceptance tests for the artifact cache: pipeline results are
+//! bit-identical to direct calls, unchanged prefixes are served from the
+//! store, and config changes miss.
+
+use std::path::PathBuf;
+
+use mate::{ff_wires, search_design, SearchConfig};
+use mate_hafi::CampaignConfig;
+use mate_netlist::examples::{figure1b, tmr_register};
+use mate_netlist::verilog::to_verilog;
+use mate_pipeline::{ArtifactStore, DesignSource, Flow, TraceSource, WireSetSpec};
+
+/// A fresh scratch store root, removed by [`Scratch::drop`].
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mate-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::new(&self.0)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tmr_source() -> DesignSource {
+    DesignSource::Builder {
+        label: "tmr-register",
+        build: tmr_register,
+    }
+}
+
+fn tmr_waves() -> TraceSource {
+    TraceSource::Stimuli {
+        waves: vec![
+            ("load".into(), vec![true, false, false, false, true, false]),
+            ("din".into(), vec![true, true, true, true, false]),
+        ],
+    }
+}
+
+#[test]
+fn pipeline_search_is_bit_identical_to_direct_calls() {
+    let scratch = Scratch::new("bit-identical");
+    let config = SearchConfig::default();
+
+    // Direct path: the repo's classic hand-wired flow.
+    let (n, topo) = tmr_register();
+    let wires = ff_wires(&n, &topo);
+    let direct = search_design(&n, &topo, &wires, &config).into_mate_set();
+
+    // Pipeline path, computed (first run) and decoded (second run).
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let computed = flow.search(WireSetSpec::AllFfs, config).unwrap();
+    assert_eq!(computed.value.mates, direct);
+
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let decoded = flow.search(WireSetSpec::AllFfs, config).unwrap();
+    assert_eq!(decoded.value.mates, direct);
+    assert_eq!(decoded.key, computed.key);
+    assert_eq!(flow.summary().hits(), flow.summary().len());
+}
+
+#[test]
+fn unchanged_inputs_serve_every_stage_from_the_cache() {
+    let scratch = Scratch::new("all-hit");
+    let config = SearchConfig::default();
+
+    let run = |store: ArtifactStore| {
+        let mut flow = Flow::new(store, tmr_source()).unwrap();
+        flow.gmt_library().unwrap();
+        let search = flow.search(WireSetSpec::AllFfs, config).unwrap();
+        let trace = flow.capture(tmr_waves(), 16).unwrap();
+        let report = flow
+            .evaluate(
+                WireSetSpec::AllFfs,
+                (&search.value.mates, search.key),
+                trace.part(),
+            )
+            .unwrap();
+        let selected = flow
+            .select(
+                WireSetSpec::AllFfs,
+                2,
+                (&search.value.mates, search.key),
+                trace.part(),
+            )
+            .unwrap();
+        let campaign = flow
+            .campaign(
+                tmr_waves(),
+                CampaignConfig {
+                    cycles: 12,
+                    ..CampaignConfig::default()
+                },
+                None,
+            )
+            .unwrap();
+        (flow.into_summary(), search, report, selected, campaign)
+    };
+
+    let (first, search1, report1, selected1, campaign1) = run(scratch.store());
+    assert_eq!(first.len(), 7, "{first}");
+    assert_eq!(first.hits(), 0, "{first}");
+
+    let (second, search2, report2, selected2, campaign2) = run(scratch.store());
+    // Zero work on the second run: cache-hit counter == stage count.
+    assert_eq!(second.hits(), second.len(), "{second}");
+    assert!(second.all_cached(), "{second}");
+
+    // ... and the decoded artifacts are bit-identical to the computed ones.
+    assert_eq!(search2.value.mates, search1.value.mates);
+    assert_eq!(report2.value.matrix, report1.value.matrix);
+    assert_eq!(report2.value.triggers, report1.value.triggers);
+    assert_eq!(report2.value.effective, report1.value.effective);
+    assert_eq!(selected2.value, selected1.value);
+    assert_eq!(campaign2.value.records, campaign1.value.records);
+}
+
+#[test]
+fn changed_search_config_misses_while_the_prefix_hits() {
+    let scratch = Scratch::new("config-miss");
+
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    flow.search(WireSetSpec::AllFfs, SearchConfig::default())
+        .unwrap();
+    assert_eq!(flow.summary().misses(), 2);
+
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let changed = SearchConfig {
+        depth: 2,
+        ..SearchConfig::default()
+    };
+    flow.search(WireSetSpec::AllFfs, changed).unwrap();
+    let summary = flow.summary();
+    assert!(summary.records[0].cached, "design should hit: {summary}");
+    assert!(
+        !summary.records[1].cached,
+        "changed SearchConfig must miss: {summary}"
+    );
+
+    // The thread count is not part of the identity: results are
+    // bit-identical for every thread count, so it must hit.
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let threads_only = SearchConfig {
+        threads: 3,
+        ..SearchConfig::default()
+    };
+    flow.search(WireSetSpec::AllFfs, threads_only).unwrap();
+    assert!(flow.summary().records[1].cached, "{}", flow.summary());
+}
+
+#[test]
+fn verilog_sources_flow_and_wire_specs_key_separately() {
+    let scratch = Scratch::new("verilog");
+    let (n, _) = figure1b();
+    let source = || DesignSource::Verilog {
+        label: "figure1b".into(),
+        text: to_verilog(&n),
+    };
+
+    let mut flow = Flow::new(scratch.store(), source()).unwrap();
+    let design = flow.design();
+    let wires = ff_wires(&design.netlist, &design.topology);
+    let direct = search_design(
+        &design.netlist,
+        &design.topology,
+        &wires,
+        &SearchConfig::default(),
+    )
+    .into_mate_set();
+    let names: Vec<String> = wires
+        .iter()
+        .map(|&w| design.netlist.net(w).name().to_owned())
+        .collect();
+    let all = flow
+        .search(WireSetSpec::AllFfs, SearchConfig::default())
+        .unwrap();
+    assert_eq!(all.value.mates, direct);
+    let named = flow
+        .search(WireSetSpec::Named(names), SearchConfig::default())
+        .unwrap();
+    // Same wires, but a different spec identity: separate artifact.
+    assert_ne!(named.key, all.key);
+    assert_eq!(named.value.mates, all.value.mates);
+
+    // A second Verilog load of identical text is a cache hit.
+    let flow = Flow::new(scratch.store(), source()).unwrap();
+    assert!(flow.summary().records[0].cached);
+}
+
+#[test]
+fn gmt_report_roundtrips_and_counts_entries() {
+    let scratch = Scratch::new("gmt");
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let first = flow.gmt_library().unwrap();
+    assert!(first.value.total_entries > 0);
+    assert!(!first.value.rows.is_empty());
+
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let second = flow.gmt_library().unwrap();
+    assert!(flow.summary().records[1].cached);
+    assert_eq!(second.value, first.value);
+}

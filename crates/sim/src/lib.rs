@@ -48,8 +48,9 @@ pub mod wide;
 
 pub use engine::{SimCheckpoint, SimSnapshot, Simulator};
 pub use equiv::{check_equiv, Mismatch};
+pub use mate_netlist::MateError;
 pub use testbench::{InputWave, SnapshotDevice, Testbench, TestbenchCheckpoint};
 pub use trace::WaveTrace;
 pub use transposed::TransposedTrace;
-pub use vcd::{read_vcd, write_vcd, VcdError};
+pub use vcd::{read_vcd, write_vcd};
 pub use wide::WideSimulator;

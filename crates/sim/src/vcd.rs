@@ -5,57 +5,11 @@
 //! IEEE-1364-style VCD for scalar wires and reads the same subset back into a
 //! [`WaveTrace`].
 
-use std::error::Error;
-use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{BufRead, Write};
 
 use mate_netlist::prelude::*;
 
 use crate::trace::WaveTrace;
-
-/// Errors produced by [`read_vcd`].
-#[derive(Debug)]
-pub enum VcdError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Malformed VCD content.
-    Parse {
-        /// 1-based line number.
-        line: usize,
-        /// Description of the problem.
-        message: String,
-    },
-    /// The VCD declares a wire the netlist does not contain.
-    UnknownNet(String),
-    /// The VCD uses a feature outside the supported scalar-wire subset.
-    Unsupported(String),
-}
-
-impl fmt::Display for VcdError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "i/o error: {e}"),
-            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
-            Self::UnknownNet(name) => write!(f, "unknown net `{name}` in VCD"),
-            Self::Unsupported(what) => write!(f, "unsupported VCD feature: {what}"),
-        }
-    }
-}
-
-impl Error for VcdError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            Self::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for VcdError {
-    fn from(e: io::Error) -> Self {
-        Self::Io(e)
-    }
-}
 
 /// Builds the printable short identifier for a net index (the standard VCD
 /// scheme over ASCII `!`..`~`).
@@ -79,8 +33,12 @@ fn id_code(mut index: usize) -> String {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `out`.
-pub fn write_vcd(netlist: &Netlist, trace: &WaveTrace, mut out: impl Write) -> io::Result<()> {
+/// Propagates I/O errors from `out` as [`MateError::Io`].
+pub fn write_vcd(netlist: &Netlist, trace: &WaveTrace, out: impl Write) -> Result<(), MateError> {
+    write_vcd_io(netlist, trace, out).map_err(|e| MateError::io("vcd output", e))
+}
+
+fn write_vcd_io(netlist: &Netlist, trace: &WaveTrace, mut out: impl Write) -> std::io::Result<()> {
     writeln!(out, "$date replayed by mate-sim $end")?;
     writeln!(out, "$version mate-sim 0.1 $end")?;
     writeln!(out, "$timescale 1ns $end")?;
@@ -118,9 +76,9 @@ pub fn write_vcd(netlist: &Netlist, trace: &WaveTrace, mut out: impl Write) -> i
 ///
 /// # Errors
 ///
-/// Returns [`VcdError`] for I/O problems, syntax errors, unknown nets, and
+/// Returns [`MateError`] for I/O problems, syntax errors, unknown nets, and
 /// vector (multi-bit) variables.
-pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, VcdError> {
+pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, MateError> {
     let mut trace = WaveTrace::new(netlist.num_nets());
     let mut id_to_net: std::collections::HashMap<String, NetId> = std::collections::HashMap::new();
     let mut current = vec![false; netlist.num_nets()];
@@ -128,9 +86,9 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Vcd
     let mut last_time: Option<u64> = None;
 
     for (line_no, line) in input.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| MateError::io("vcd input", e))?;
         let line_no = line_no + 1;
-        let parse_err = |message: &str| VcdError::Parse {
+        let parse_err = |message: &str| MateError::Vcd {
             line: line_no,
             message: message.to_owned(),
         };
@@ -146,22 +104,25 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Vcd
                     return Err(parse_err("malformed $var"));
                 }
                 if tokens[1] != "wire" && tokens[1] != "reg" {
-                    return Err(VcdError::Unsupported(format!(
-                        "variable kind `{}`",
-                        tokens[1]
-                    )));
+                    return Err(MateError::Vcd {
+                        line: line_no,
+                        message: format!("unsupported variable kind `{}`", tokens[1]),
+                    });
                 }
                 if tokens[2] != "1" {
-                    return Err(VcdError::Unsupported(format!(
-                        "vector variable of width {}",
-                        tokens[2]
-                    )));
+                    return Err(MateError::Vcd {
+                        line: line_no,
+                        message: format!("unsupported vector variable of width {}", tokens[2]),
+                    });
                 }
                 let id = tokens[3].to_owned();
                 let name = tokens[4];
                 let net = netlist
                     .find_net(name)
-                    .ok_or_else(|| VcdError::UnknownNet(name.to_owned()))?;
+                    .ok_or_else(|| MateError::UnknownNet {
+                        line: line_no,
+                        name: name.to_owned(),
+                    })?;
                 id_to_net.insert(id, net);
             } else if trimmed.starts_with("$enddefinitions") {
                 in_header = false;
@@ -190,10 +151,10 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Vcd
             Some('0') => false,
             Some('1') => true,
             Some('x') | Some('X') | Some('z') | Some('Z') => {
-                return Err(VcdError::Unsupported("x/z values".to_owned()))
+                return Err(parse_err("unsupported x/z values"))
             }
             Some('b') | Some('B') | Some('r') | Some('R') => {
-                return Err(VcdError::Unsupported("vector value change".to_owned()))
+                return Err(parse_err("unsupported vector value change"))
             }
             _ => return Err(parse_err("unrecognized value change")),
         };
@@ -201,7 +162,10 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Vcd
         let net = id_to_net
             .get(id.trim())
             .copied()
-            .ok_or_else(|| VcdError::UnknownNet(id.clone()))?;
+            .ok_or_else(|| MateError::UnknownNet {
+                line: line_no,
+                name: id.clone(),
+            })?;
         current[net.index()] = v;
     }
     if last_time.is_some() {
@@ -291,7 +255,7 @@ mod tests {
         let (n, _) = counter(2);
         let vcd = "$var wire 1 ! bogus $end\n$enddefinitions $end\n#0\n1!\n";
         let err = read_vcd(&n, BufReader::new(vcd.as_bytes())).unwrap_err();
-        assert!(matches!(err, VcdError::UnknownNet(_)), "{err}");
+        assert!(matches!(err, MateError::UnknownNet { .. }), "{err}");
     }
 
     #[test]
@@ -299,7 +263,7 @@ mod tests {
         let (n, _) = counter(2);
         let vcd = "$var wire 8 ! q0 $end\n$enddefinitions $end\n";
         let err = read_vcd(&n, BufReader::new(vcd.as_bytes())).unwrap_err();
-        assert!(matches!(err, VcdError::Unsupported(_)), "{err}");
+        assert!(matches!(err, MateError::Vcd { .. }), "{err}");
     }
 
     #[test]
@@ -307,7 +271,7 @@ mod tests {
         let (n, _) = counter(2);
         let vcd = "$var wire 1 ! q0 $end\n$enddefinitions $end\n#1\n#1\n";
         let err = read_vcd(&n, BufReader::new(vcd.as_bytes())).unwrap_err();
-        assert!(matches!(err, VcdError::Parse { .. }), "{err}");
+        assert!(matches!(err, MateError::Vcd { .. }), "{err}");
     }
 
     #[test]
@@ -332,9 +296,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = VcdError::UnknownNet("x".into());
+        let e = MateError::UnknownNet {
+            line: 0,
+            name: "x".into(),
+        };
         assert!(format!("{e}").contains("unknown net"));
-        let e = VcdError::Parse {
+        let e = MateError::Vcd {
             line: 3,
             message: "bad".into(),
         };

@@ -2,51 +2,59 @@
 //! flip-flop, replay the 8500-cycle `fib()` trace, and report how much of
 //! the fault space is pruned (Table 2, first column).
 //!
+//! The search and trace run through the artifact-cached pipeline — re-run
+//! the example and both are served from `target/mate-artifacts`.
+//!
 //! ```text
 //! cargo run --release --example avr_fib
 //! ```
 
 use fault_space_pruning::cores::avr::programs;
-use fault_space_pruning::cores::{AvrSystem, Termination};
+use fault_space_pruning::cores::AvrSystem;
 use fault_space_pruning::hafi::LutCostModel;
 use fault_space_pruning::mate::prelude::*;
+use fault_space_pruning::netlist::MateError;
+use fault_space_pruning::pipeline::{Flow, WireSetSpec};
+use mate_bench::{no_rf_spec, Core};
 
-fn main() {
+fn main() -> Result<(), MateError> {
     let cycles = 8500;
-    let sys = AvrSystem::new();
-    println!("core: {}", sys.netlist());
+    let mut flow = Flow::open_default(Core::Avr.design_source())?;
+    println!("core: {}", flow.design().netlist);
 
     // Offline: MATE search over the netlist (parallel over flip-flops).
-    let wires = ff_wires(sys.netlist(), sys.topology());
-    let no_rf: Vec<_> = ff_wires_filtered(sys.netlist(), sys.topology(), |n| {
-        !(n.starts_with('r') && n.as_bytes()[1].is_ascii_digit())
-    });
+    let wires = WireSetSpec::AllFfs.resolve(flow.design())?;
     let config = SearchConfig {
         max_terms: 8,
         max_candidates: 20_000,
         ..SearchConfig::default()
     };
     println!("searching MATEs for {} flip-flops ...", wires.len());
-    let search = search_design(sys.netlist(), sys.topology(), &wires, &config);
+    let search = flow.search(WireSetSpec::AllFfs, config)?;
     println!(
         "  {:?} for {} candidates; {} wires unmaskable",
-        search.stats.run_time, search.stats.candidates, search.stats.unmaskable
+        search.value.stats.run_time, search.value.stats.candidates, search.value.stats.unmaskable
     );
-    let mates = search.into_mate_set();
+    let mates = &search.value.mates;
     let (avg, std) = mates.input_stats();
     println!("  {} MATEs, avg {avg:.1} ± {std:.1} inputs", mates.len());
 
     // Online: record the workload trace and prune.
     println!("running fib() for {cycles} cycles ...");
-    let run = sys.run(&programs::fib(Termination::Loop), &[], cycles);
+    let trace = flow.capture(Core::Avr.fib(), cycles)?;
+    let run = AvrSystem::new().collect(trace.value.clone(), &[]);
     assert_eq!(
         &run.port_log[..8],
         &programs::fib_expected_ports()[..8],
         "program must compute Fibonacci numbers"
     );
 
-    let report_all = mate::eval::evaluate(&mates, &run.trace, &wires);
-    let report_norf = mate::eval::evaluate(&mates, &run.trace, &no_rf);
+    let report_all = flow
+        .evaluate(WireSetSpec::AllFfs, (mates, search.key), trace.part())?
+        .value;
+    let report_norf = flow
+        .evaluate(no_rf_spec(), (mates, search.key), trace.part())?
+        .value;
     println!();
     println!(
         "fault space FF        : {} ({} effective MATEs)",
@@ -55,9 +63,11 @@ fn main() {
     println!("fault space FF w/o RF : {}", report_norf.matrix);
 
     // Select the top-50 subset for FPGA integration (Section 5.3 / 6.1).
-    let top50 = select_top_n(&mates, &run.trace, &no_rf, 50);
-    let sel_report = mate::eval::evaluate(&top50, &run.trace, &no_rf);
-    let luts = LutCostModel::default().luts_for_set(&top50);
+    let top50 = flow.select(no_rf_spec(), 50, (mates, search.key), trace.part())?;
+    let sel_report = flow
+        .evaluate(no_rf_spec(), (&top50.value, top50.key), trace.part())?
+        .value;
+    let luts = LutCostModel::default().luts_for_set(&top50.value);
     println!();
     println!(
         "top-50 subset: {:.2}% of the w/o-RF fault space pruned at a cost of {luts} LUTs",
@@ -65,6 +75,9 @@ fn main() {
     );
     println!(
         "(the paper's FI controllers alone use 1500-6000 LUTs, so the MATE overhead is {:.1}%)",
-        100.0 * LutCostModel::default().relative_overhead(&top50)
+        100.0 * LutCostModel::default().relative_overhead(&top50.value)
     );
+    println!();
+    println!("{}", flow.summary());
+    Ok(())
 }

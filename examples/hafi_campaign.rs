@@ -4,7 +4,9 @@
 //! The campaign injects SEUs into the AVR core running `fib()`; MATE
 //! pruning removes the points that are provably benign *before* any
 //! experiment runs, and the remaining experiments are classified against
-//! the golden run.
+//! the golden run.  The offline half (search, trace, prune matrix) runs
+//! through the artifact-cached pipeline; the injection loop itself stays on
+//! the checkpoint-seeded batch engine.
 //!
 //! ```text
 //! cargo run --release --example hafi_campaign
@@ -12,18 +14,19 @@
 
 use fault_space_pruning::cores::avr::programs;
 use fault_space_pruning::cores::{AvrWorkload, Termination};
-use fault_space_pruning::hafi::{
-    classify_points, golden_run, CommandModel, DesignHarness, FaultSpace,
-};
+use fault_space_pruning::hafi::{classify_points, golden_run, CommandModel, FaultSpace};
 use fault_space_pruning::mate::prelude::*;
+use fault_space_pruning::netlist::MateError;
+use fault_space_pruning::pipeline::{Flow, WireSetSpec};
+use mate_bench::Core;
 
-fn main() {
+fn main() -> Result<(), MateError> {
     let cycles = 300;
     let sample = 400; // experiments to run from the (pruned) space
 
-    let workload = AvrWorkload::new(programs::fib(Termination::Loop), vec![]);
-    let wires = ff_wires(workload.netlist(), workload.topology());
-    let space = FaultSpace::all_ffs(workload.netlist(), workload.topology(), cycles);
+    let mut flow = Flow::open_default(Core::Avr.design_source())?;
+    let wires = WireSetSpec::AllFfs.resolve(flow.design())?;
+    let space = FaultSpace::all_ffs(&flow.design().netlist, &flow.design().topology, cycles);
     println!(
         "fault space: {} flip-flops x {} cycles = {} points",
         wires.len(),
@@ -31,17 +34,19 @@ fn main() {
         space.len()
     );
 
-    // Offline analysis + golden trace.
+    // Offline analysis + golden trace, served from the artifact store on
+    // re-runs.
     let config = SearchConfig {
         max_terms: 8,
         max_candidates: 5_000,
         ..SearchConfig::default()
     };
-    let mates =
-        search_design(workload.netlist(), workload.topology(), &wires, &config).into_mate_set();
-    let golden = golden_run(&workload, cycles + 1);
-    let eval_trace = golden.trace.truncated(cycles);
-    let report = mate::eval::evaluate(&mates, &eval_trace, &wires);
+    let search = flow.search(WireSetSpec::AllFfs, config)?;
+    let mates = &search.value.mates;
+    let trace = flow.capture(Core::Avr.fib(), cycles)?;
+    let report = flow
+        .evaluate(WireSetSpec::AllFfs, (mates, search.key), trace.part())?
+        .value;
     println!(
         "MATE pruning: {} ({} MATEs, {} effective)",
         report.matrix,
@@ -51,13 +56,15 @@ fn main() {
 
     // The campaign: sample points, skip pruned ones, classify the rest in
     // one checkpoint-seeded batch (the AVR memories are snapshotable).
+    let workload = AvrWorkload::new(programs::fib(Termination::Loop), vec![]);
+    let golden = golden_run(&workload, cycles + 1);
     let points = space.sample(sample, 2026);
     let (pruned, to_run): (Vec<_>, Vec<_>) = points
         .into_iter()
         .partition(|point| report.matrix.is_masked(point.wire, point.cycle));
     let skipped = pruned.len();
     let mut histogram = std::collections::BTreeMap::<&str, usize>::new();
-    for effect in classify_points(&workload, &golden, &to_run) {
+    for effect in classify_points(&workload, &golden, &to_run)? {
         let key = match effect {
             fault_space_pruning::hafi::FaultEffect::MaskedWithinOneCycle => "masked-1-cycle",
             fault_space_pruning::hafi::FaultEffect::SilentRecovery { .. } => "silent-recovery",
@@ -84,4 +91,7 @@ fn main() {
          inject(cycle, wire) when the FPGA prunes online",
         100.0 * cmd.savings(sample)
     );
+    println!();
+    println!("{}", flow.summary());
+    Ok(())
 }

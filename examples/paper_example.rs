@@ -9,10 +9,11 @@
 
 use fault_space_pruning::mate::prelude::*;
 use fault_space_pruning::netlist::examples::figure1;
-use fault_space_pruning::netlist::{masking_cubes, FaultCone, Library, TruthTable};
+use fault_space_pruning::netlist::{masking_cubes, FaultCone, Library, MateError, TruthTable};
+use fault_space_pruning::pipeline::{DesignSource, Flow};
 use fault_space_pruning::sim::Simulator;
 
-fn main() {
+fn main() -> Result<(), MateError> {
     // Gate-masking terms of the library (step 1 of the heuristic).
     println!("## Gate-masking capabilities (paper Section 4, step 1)");
     let lib = Library::open15();
@@ -29,8 +30,20 @@ fn main() {
     // The paper's multiplexer example: GM(MUX, {x}) = {(¬a∧¬b), (a∧b)}.
     assert_eq!(masking_cubes(&TruthTable::mux2(), 0b001).len(), 2);
 
-    // The example circuit.
-    let (n, topo) = figure1();
+    // The example circuit, loaded through the pipeline; the gate-library
+    // stage tabulates the masking-term table the walkthrough samples above.
+    let mut flow = Flow::open_default(DesignSource::Builder {
+        label: "figure1",
+        build: figure1,
+    })?;
+    let gmt = flow.gmt_library()?;
+    println!(
+        "library-wide: {} masking cubes across {} combinational cell types",
+        gmt.value.total_entries,
+        gmt.value.rows.len()
+    );
+    let n = flow.design().netlist.clone();
+    let topo = flow.design().topology.clone();
     println!();
     println!("## Fault cone of input d (Figure 1a)");
     let d = n.find_net("d").unwrap();
@@ -89,4 +102,5 @@ fn main() {
     let e = n.find_net("e").unwrap();
     assert!(search_wire(&n, &topo, e, &SearchConfig::default()).unmaskable);
     println!("input e is unmaskable, exactly as the paper argues");
+    Ok(())
 }

@@ -1,5 +1,10 @@
-//! Quickstart: find fault-masking terms (MATEs) for a small circuit, prune
-//! its fault space, and validate the claims by actual fault injection.
+//! Quickstart: find fault-masking terms (MATEs) for a small circuit through
+//! the staged pipeline, prune its fault space, and validate the claims by
+//! actual fault injection.
+//!
+//! Stage outputs are persisted to the content-addressed artifact store
+//! (`target/mate-artifacts`, override with `MATE_ARTIFACT_DIR`): run this
+//! example twice and the second run is served entirely from the cache.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,24 +13,31 @@
 use fault_space_pruning::hafi::{validate_mates, StimulusHarness};
 use fault_space_pruning::mate::prelude::*;
 use fault_space_pruning::netlist::examples::tmr_register;
+use fault_space_pruning::netlist::MateError;
+use fault_space_pruning::pipeline::{DesignSource, Flow, TraceSource, WireSetSpec};
 
-fn main() {
-    // 1. A netlist: a triple-modular-redundant register with majority vote.
-    let (netlist, topo) = tmr_register();
-    println!("design: {netlist}");
+fn main() -> Result<(), MateError> {
+    // 1. A netlist: a triple-modular-redundant register with majority vote,
+    //    loaded as the pipeline's source stage.
+    let mut flow = Flow::open_default(DesignSource::Builder {
+        label: "tmr-register",
+        build: tmr_register,
+    })?;
+    println!("design: {}", flow.design().netlist);
 
     // 2. The fault space: an SEU can hit any flip-flop in any cycle.
-    let wires = ff_wires(&netlist, &topo);
+    let wires = WireSetSpec::AllFfs.resolve(flow.design())?;
     println!("faulty wires: {} flip-flops", wires.len());
 
-    // 3. Offline MATE search over the netlist.
-    let design_search = search_design(&netlist, &topo, &wires, &SearchConfig::default());
+    // 3. Offline MATE search over the netlist (cached as an artifact).
+    let search = flow.search(WireSetSpec::AllFfs, SearchConfig::default())?;
     println!(
         "search: {} candidates tried, {} unmaskable wires",
-        design_search.stats.candidates, design_search.stats.unmaskable
+        search.value.stats.candidates, search.value.stats.unmaskable
     );
-    let mates = design_search.into_mate_set();
-    for mate in &mates {
+    let netlist = flow.design().netlist.clone();
+    let mates = &search.value.mates;
+    for mate in mates {
         let cube: Vec<String> = mate
             .cube
             .literals()
@@ -36,20 +48,32 @@ fn main() {
     }
 
     // 4. A workload: load a value, then let the voter hold it.
-    let load = netlist.find_net("load").unwrap();
-    let din = netlist.find_net("din").unwrap();
-    let harness = StimulusHarness::new(netlist, topo)
-        .drive(
-            load,
+    let waves = vec![
+        (
+            "load".to_owned(),
             vec![true, false, false, false, true, false, false, false],
-        )
-        .drive(din, vec![true, true, true, true, false]);
+        ),
+        ("din".to_owned(), vec![true, true, true, true, false]),
+    ];
+    let trace = flow.capture(
+        TraceSource::Stimuli {
+            waves: waves.clone(),
+        },
+        16,
+    )?;
 
-    // 5. Evaluate the MATEs on the trace AND validate every claim by
-    //    injecting the fault for real.
-    let (report, validation) = validate_mates(&harness, &mates, &wires, 16, None, 0);
+    // 5. Evaluate the MATEs on the trace (the prune matrix, also cached)...
+    let report = flow.evaluate(WireSetSpec::AllFfs, (mates, search.key), trace.part())?;
     println!();
-    println!("fault space: {}", report.matrix);
+    println!("fault space: {}", report.value.matrix);
+
+    // 6. ...AND validate every claim by injecting the fault for real.
+    let mut harness = StimulusHarness::new(netlist.clone(), flow.design().topology.clone());
+    for (name, values) in waves {
+        let net = netlist.find_net(&name).expect("primary input");
+        harness = harness.drive(net, values);
+    }
+    let (_, validation) = validate_mates(&harness, mates, &wires, 16, None, 0)?;
     println!(
         "ground truth: {} claims injected, {} confirmed, {} violations",
         validation.checked,
@@ -58,4 +82,10 @@ fn main() {
     );
     assert!(validation.sound(), "MATE claims must be sound");
     println!("=> every pruned fault was provably masked within one cycle");
+
+    // 7. The run summary: per-stage timings and cache hits. A second run of
+    //    this example reports every stage as served from the artifact cache.
+    println!();
+    println!("{}", flow.summary());
+    Ok(())
 }

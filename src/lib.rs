@@ -8,6 +8,7 @@
 //! * [`cores`] — AVR-like and MSP430-like gate-level CPUs + programs
 //! * [`mate`] — the paper's contribution: MATE search, evaluation, selection
 //! * [`hafi`] — fault-injection campaigns and FPGA platform cost models
+//! * [`pipeline`] — the staged flow with its content-addressed artifact cache
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the full inventory.
 
@@ -15,5 +16,6 @@ pub use mate;
 pub use mate_cores as cores;
 pub use mate_hafi as hafi;
 pub use mate_netlist as netlist;
+pub use mate_pipeline as pipeline;
 pub use mate_rtl as rtl;
 pub use mate_sim as sim;

@@ -1,8 +1,10 @@
 //! End-to-end pipeline tests across crates: netlist → simulate → trace →
-//! MATE search → evaluate → select → validate, plus the file-format round
+//! MATE search → evaluate → select → validate — driven through the staged
+//! [`Flow`] API over a scratch artifact store — plus the file-format round
 //! trips of the paper's flow (structural Verilog in, VCD out).
 
 use std::io::BufReader;
+use std::path::PathBuf;
 
 use fault_space_pruning::hafi::{validate_mates, StimulusHarness};
 use fault_space_pruning::mate::eval::evaluate;
@@ -11,30 +13,92 @@ use fault_space_pruning::netlist::examples::{counter, figure1b, tmr_register};
 use fault_space_pruning::netlist::random::{random_circuit, RandomCircuitConfig};
 use fault_space_pruning::netlist::verilog::{parse_verilog, to_verilog};
 use fault_space_pruning::netlist::Library;
+use fault_space_pruning::pipeline::{ArtifactStore, DesignSource, Flow, TraceSource, WireSetSpec};
 use fault_space_pruning::sim::{read_vcd, write_vcd, InputWave, Testbench};
+
+/// A per-test scratch store root, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mate-e2e-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::new(&self.0)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 #[test]
 fn full_flow_on_figure1b() {
-    let (n, topo) = figure1b();
-    let wires = ff_wires(&n, &topo);
-    let mates = search_design(&n, &topo, &wires, &SearchConfig::default()).into_mate_set();
+    let scratch = Scratch::new("full-flow");
+    let mut flow = Flow::new(
+        scratch.store(),
+        DesignSource::Builder {
+            label: "figure1b",
+            build: figure1b,
+        },
+    )
+    .unwrap();
+
+    let search = flow
+        .search(WireSetSpec::AllFfs, SearchConfig::default())
+        .unwrap();
+    let mates = &search.value.mates;
     assert!(!mates.is_empty());
 
-    let trace = {
-        let mut tb = Testbench::new(&n, &topo);
-        tb.drive(
-            n.find_net("in").unwrap(),
-            InputWave::from_vec(vec![true, false, false, true]),
-        );
-        tb.run(32)
-    };
-    let report = evaluate(&mates, &trace, &wires);
-    assert!(report.masked_fraction() > 0.0);
+    let trace = flow
+        .capture(
+            TraceSource::Stimuli {
+                waves: vec![("in".into(), vec![true, false, false, true])],
+            },
+            32,
+        )
+        .unwrap();
+    let report = flow
+        .evaluate(WireSetSpec::AllFfs, (mates, search.key), trace.part())
+        .unwrap();
+    assert!(report.value.masked_fraction() > 0.0);
 
     // Selection of everything equals the full set.
-    let all = select_top_n(&mates, &trace, &wires, mates.len());
-    let sel_report = evaluate(&all, &trace, &wires);
-    assert_eq!(report.matrix, sel_report.matrix);
+    let all = flow
+        .select(
+            WireSetSpec::AllFfs,
+            mates.len(),
+            (mates, search.key),
+            trace.part(),
+        )
+        .unwrap();
+    let sel_report = flow
+        .evaluate(WireSetSpec::AllFfs, (&all.value, all.key), trace.part())
+        .unwrap();
+    assert_eq!(report.value.matrix, sel_report.value.matrix);
+
+    // Nothing was in the scratch store, so every stage computed; the same
+    // chain again is served entirely from the cache.
+    assert_eq!(flow.summary().hits(), 0);
+
+    let mut flow = Flow::new(
+        scratch.store(),
+        DesignSource::Builder {
+            label: "figure1b",
+            build: figure1b,
+        },
+    )
+    .unwrap();
+    let again = flow
+        .search(WireSetSpec::AllFfs, SearchConfig::default())
+        .unwrap();
+    assert_eq!(again.value.mates, *mates);
+    assert!(flow.summary().all_cached(), "{}", flow.summary());
 }
 
 #[test]
@@ -141,7 +205,7 @@ fn validation_pipeline_on_random_circuit() {
         let values: Vec<bool> = (0..40).map(|c| (c + i) % 3 == 0).collect();
         harness = harness.drive(input, values);
     }
-    let (_, validation) = validate_mates(&harness, &mates, &wires, 32, None, 0);
+    let (_, validation) = validate_mates(&harness, &mates, &wires, 32, None, 0).unwrap();
     assert!(
         validation.sound(),
         "violations: {:?}",
