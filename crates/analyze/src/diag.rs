@@ -1,0 +1,198 @@
+//! Diagnostics: severity, locus, deterministic ordering, and renderers.
+//!
+//! Every lint pass reports [`Diagnostic`]s; [`sort_diagnostics`] establishes
+//! the canonical order (severity, code, locus, message) so that text and
+//! JSON artifacts are byte-stable regardless of pass execution order or
+//! thread count.
+
+use std::fmt;
+
+use mate_netlist::{CellId, NetId, Netlist};
+
+/// How bad a finding is.  `Error` sorts first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The netlist violates a structural invariant the MATE pipeline relies
+    /// on; downstream results are not trustworthy.
+    Error,
+    /// Suspicious but not fatal — the pipeline produces defined results.
+    Warning,
+    /// Statistics and coverage notes.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Locus {
+    /// A specific net.
+    Net(NetId),
+    /// A specific cell instance.
+    Cell(CellId),
+    /// The design as a whole (aggregate statistics).
+    Design,
+}
+
+impl Locus {
+    /// Sort rank: nets before cells before design-wide notes.
+    fn rank(self) -> (u8, usize) {
+        match self {
+            Locus::Net(n) => (0, n.index()),
+            Locus::Cell(c) => (1, c.index()),
+            Locus::Design => (2, 0),
+        }
+    }
+
+    /// Human-readable locus name, resolved against `netlist`.
+    pub fn name(self, netlist: &Netlist) -> String {
+        match self {
+            Locus::Net(n) => netlist.net(n).name().to_owned(),
+            Locus::Cell(c) => netlist.cell(c).name().to_owned(),
+            Locus::Design => "<design>".to_owned(),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable pass identifier, e.g. `"comb-loop"`.
+    pub code: &'static str,
+    /// What it points at.
+    pub locus: Locus,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Canonical ordering key: (severity, code, locus kind, locus index,
+    /// message).  Total and deterministic, so sorted output is byte-stable.
+    fn sort_key(&self) -> (Severity, &'static str, (u8, usize), &str) {
+        (self.severity, self.code, self.locus.rank(), &self.message)
+    }
+}
+
+/// Sorts diagnostics into the canonical deterministic order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+/// Renders diagnostics as one line each:
+/// `severity[code] locus: message`.
+pub fn render_text(netlist: &Netlist, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}[{}] {}: {}\n",
+            d.severity,
+            d.code,
+            d.locus.name(netlist),
+            d.message
+        ));
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array (hand-rolled — the workspace has no
+/// serde).  Output is byte-stable for canonically sorted input.
+pub fn render_json(netlist: &Netlist, diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let kind = match d.locus {
+            Locus::Net(_) => "net",
+            Locus::Cell(_) => "cell",
+            Locus::Design => "design",
+        };
+        out.push_str(&format!(
+            "  {{\"severity\":\"{}\",\"code\":\"{}\",\"locus_kind\":\"{}\",\"locus\":\"{}\",\"message\":\"{}\"}}{}\n",
+            d.severity,
+            json_escape(d.code),
+            kind,
+            json_escape(&d.locus.name(netlist)),
+            json_escape(&d.message),
+            if i + 1 == diags.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The number of diagnostics at or above `deny` severity (severities sort
+/// `Error < Warning < Info`, so "at or above" means `<= deny`).
+pub fn count_denied(diags: &[Diagnostic], deny: Severity) -> usize {
+    diags.iter().filter(|d| d.severity <= deny).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+
+    #[test]
+    fn sort_is_deterministic_and_total() {
+        let mk = |sev, code, locus, msg: &str| Diagnostic {
+            severity: sev,
+            code,
+            locus,
+            message: msg.to_owned(),
+        };
+        let a = mk(Severity::Info, "b", Locus::Design, "z");
+        let b = mk(Severity::Error, "a", Locus::Net(NetId::from_index(3)), "y");
+        let c = mk(Severity::Error, "a", Locus::Net(NetId::from_index(1)), "y");
+        let d = mk(
+            Severity::Error,
+            "a",
+            Locus::Cell(CellId::from_index(0)),
+            "y",
+        );
+        let mut v = vec![a.clone(), b.clone(), c.clone(), d.clone()];
+        sort_diagnostics(&mut v);
+        assert_eq!(v, vec![c, b, d, a]);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,47 @@
+//! Static verification layer for the MATE pipeline.
+//!
+//! Two independent layers, both designed to *distrust* the code they check:
+//!
+//! * [`lint`] — structural netlist lint passes ([`lint::LintPass`]) with
+//!   deterministic, renderer-agnostic [`diag::Diagnostic`]s: combinational
+//!   loops, undriven and multiply-driven nets, dangling flip-flops,
+//!   unreachable logic, fault-cone statistics, and gate-masking-table
+//!   coverage gaps.
+//! * [`verify`] — a MATE soundness verifier that re-proves *MATE ⇒
+//!   single-cycle masking* by exhaustive enumeration over fault-cone border
+//!   assignments, built directly on [`mate_netlist::TruthTable`]
+//!   cofactoring and sharing zero code with the search-side propagation
+//!   engines.  Verdicts are [`verify::Verdict::Proved`],
+//!   [`verify::Verdict::Bounded`] (cap reached), or
+//!   [`verify::Verdict::Refuted`] with a concrete counterexample.
+//!
+//! # Example
+//!
+//! ```
+//! use mate_netlist::examples::figure1;
+//! use mate::prelude::*;
+//! use mate_analyze::{run_lints, verify_mate_wire, Severity, Verdict, VerifyConfig};
+//!
+//! let (netlist, topo) = figure1();
+//! let diags = run_lints(&netlist);
+//! assert!(diags.iter().all(|d| d.severity != Severity::Error));
+//!
+//! let d = netlist.find_net("d").unwrap();
+//! let result = search_wire(&netlist, &topo, d, &SearchConfig::default());
+//! let verdict = verify_mate_wire(&netlist, &topo, d, &result.mates[0].cube,
+//!                                &VerifyConfig::default());
+//! assert!(matches!(verdict, Verdict::Proved { .. }));
+//! ```
+
+pub mod diag;
+pub mod lint;
+pub mod verify;
+
+pub use diag::{
+    count_denied, render_json, render_text, sort_diagnostics, Diagnostic, Locus, Severity,
+};
+pub use lint::{default_passes, run_lints, run_passes, LintContext, LintPass};
+pub use verify::{
+    count_verdicts, render_verdicts_json, render_verdicts_text, verify_mate_wire, verify_mates,
+    Counterexample, MateVerdict, Verdict, VerdictCounts, VerifyConfig,
+};

@@ -1,0 +1,437 @@
+//! Netlist lint passes.
+//!
+//! Each pass implements [`LintPass`] and reports structural problems the
+//! MATE pipeline either rejects at [`Netlist::validate`] time (surfaced here
+//! with a precise locus instead of a single error) or silently tolerates
+//! (dangling flip-flops, unreachable logic, gate types the gate-masking-table
+//! computation cannot produce cubes for).
+//!
+//! Passes run over a [`LintContext`]; the topology is optional because several
+//! passes exist precisely to explain *why* `validate()` failed.
+
+use mate_netlist::{masking_cubes, CellId, FaultCone, NetDriver, NetId, Netlist, Topology};
+
+use crate::diag::{sort_diagnostics, Diagnostic, Locus, Severity};
+
+/// Shared input of every lint pass.
+pub struct LintContext<'a> {
+    /// The netlist under analysis.
+    pub netlist: &'a Netlist,
+    /// Levelization — absent when the netlist does not validate (undriven
+    /// nets, combinational loops).  Passes that need it skip gracefully.
+    pub topology: Option<&'a Topology>,
+}
+
+/// A single lint pass.
+pub trait LintPass {
+    /// Stable diagnostic code, e.g. `"undriven-net"`.
+    fn code(&self) -> &'static str;
+
+    /// Appends findings to `out`.  Must not panic on any netlist
+    /// [`Netlist`] can represent, including invalid ones.
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The full shipped pass list, in registration order (output order is
+/// canonicalized afterwards, so registration order is irrelevant to users).
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(UndrivenNet),
+        Box::new(MultiDrivenNet),
+        Box::new(CombLoop),
+        Box::new(DanglingFf),
+        Box::new(UnreachableCell),
+        Box::new(ConeStats),
+        Box::new(GmtGap),
+    ]
+}
+
+/// Runs `passes` over `cx` and returns canonically sorted diagnostics.
+pub fn run_passes(passes: &[Box<dyn LintPass>], cx: &LintContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pass in passes {
+        pass.run(cx, &mut out);
+    }
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Runs the default pass list over `netlist`, building the topology when the
+/// netlist validates.
+pub fn run_lints(netlist: &Netlist) -> Vec<Diagnostic> {
+    let topo = netlist.validate().ok();
+    let cx = LintContext {
+        netlist,
+        topology: topo.as_ref(),
+    };
+    run_passes(&default_passes(), &cx)
+}
+
+/// Counts how many cells list `net` among their outputs, plus one if the net
+/// is a primary input.  [`NetDriver`] only records the *first* driver, so the
+/// multi-driver lint recounts from scratch.
+fn count_drivers(netlist: &Netlist, net: NetId) -> usize {
+    let from_cells = netlist.cells().iter().filter(|c| c.output() == net).count();
+    let from_input = usize::from(netlist.net(net).driver() == NetDriver::Input);
+    from_cells + from_input
+}
+
+/// Nets with no driver at all: no cell output, not a primary input.
+pub struct UndrivenNet;
+
+impl LintPass for UndrivenNet {
+    fn code(&self) -> &'static str {
+        "undriven-net"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, net) in cx.netlist.nets().iter().enumerate() {
+            if net.driver() == NetDriver::None {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: self.code(),
+                    locus: Locus::Net(NetId::from_index(i)),
+                    message: "net has no driver (no cell output, not a primary input)".to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Nets driven by more than one source.  Such netlists cannot be built
+/// through the checked API but can arrive from foreign Verilog or
+/// [`Netlist::add_cell_unchecked`].
+pub struct MultiDrivenNet;
+
+impl LintPass for MultiDrivenNet {
+    fn code(&self) -> &'static str {
+        "multi-driven-net"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.netlist.num_nets() {
+            let id = NetId::from_index(i);
+            let drivers = count_drivers(cx.netlist, id);
+            if drivers > 1 {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: self.code(),
+                    locus: Locus::Net(id),
+                    message: format!("net has {drivers} drivers; simulation is undefined"),
+                });
+            }
+        }
+    }
+}
+
+/// Combinational loops: strongly connected components of the combinational
+/// gate graph (iterative Tarjan), reported once per SCC at the smallest
+/// member output net.
+pub struct CombLoop;
+
+impl LintPass for CombLoop {
+    fn code(&self) -> &'static str {
+        "comb-loop"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.netlist;
+        let num = n.num_cells();
+        // Successor edges between combinational cells: gate -> readers of its
+        // output.  Sequential cells break the cycle by construction.
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n.num_nets()];
+        for (i, cell) in n.cells().iter().enumerate() {
+            if n.is_seq_cell(CellId::from_index(i)) {
+                continue;
+            }
+            for &inp in cell.inputs() {
+                readers[inp.index()].push(i as u32);
+            }
+        }
+        // Successors of a combinational cell = combinational readers of its
+        // output net, precomputed per cell so the traversal is index-only.
+        let succ: Vec<&[u32]> = (0..num)
+            .map(|i| {
+                let out_net = n.cell(CellId::from_index(i)).output();
+                readers[out_net.index()].as_slice()
+            })
+            .collect();
+
+        // Iterative Tarjan with an explicit frame stack: (node, next edge).
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; num];
+        let mut lowlink = vec![0u32; num];
+        let mut on_stack = vec![false; num];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+
+        for root in 0..num {
+            if index[root] != UNVISITED || n.is_seq_cell(CellId::from_index(root)) {
+                continue;
+            }
+            let mut frames: Vec<(u32, usize)> = vec![(root as u32, 0)];
+            while let Some(&(v, edge)) = frames.last() {
+                let vi = v as usize;
+                if edge == 0 {
+                    index[vi] = next_index;
+                    lowlink[vi] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                if let Some(&w) = succ[vi].get(edge) {
+                    // Invariant: the loop condition just proved frames is
+                    // non-empty, and nothing popped it since.
+                    frames
+                        .last_mut()
+                        .expect("frame stack is non-empty inside the loop")
+                        .1 += 1;
+                    let wi = w as usize;
+                    if index[wi] == UNVISITED {
+                        frames.push((w, 0));
+                    } else if on_stack[wi] {
+                        lowlink[vi] = lowlink[vi].min(index[wi]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        let pi = p as usize;
+                        lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                    }
+                    if lowlink[vi] == index[vi] {
+                        let mut scc = Vec::new();
+                        loop {
+                            // Invariant: v was pushed onto the Tarjan stack
+                            // when its frame was first expanded and is still
+                            // on it (it is its own SCC root), so the pop
+                            // terminates at v before emptying the stack.
+                            let w = stack.pop().expect("Tarjan stack holds the SCC root");
+                            on_stack[w as usize] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+
+        for scc in sccs {
+            let cyclic = scc.len() > 1 || {
+                // A singleton is a loop only if the gate reads its own output.
+                let c = scc[0] as usize;
+                let out_net = n.cell(CellId::from_index(c)).output();
+                n.cell(CellId::from_index(c)).inputs().contains(&out_net)
+            };
+            if !cyclic {
+                continue;
+            }
+            let locus_net = scc
+                .iter()
+                .map(|&c| n.cell(CellId::from_index(c as usize)).output())
+                .min()
+                .expect("SCC is non-empty");
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                code: self.code(),
+                locus: Locus::Net(locus_net),
+                message: format!(
+                    "combinational loop through {} gate{}",
+                    scc.len(),
+                    if scc.len() == 1 { "" } else { "s" }
+                ),
+            });
+        }
+    }
+}
+
+/// Flip-flop outputs that nothing reads: no cell input, not a primary
+/// output.  Harmless but usually a sign of an incomplete design dump.
+pub struct DanglingFf;
+
+impl LintPass for DanglingFf {
+    fn code(&self) -> &'static str {
+        "dangling-ff"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.netlist;
+        let mut read = vec![false; n.num_nets()];
+        for cell in n.cells() {
+            for &inp in cell.inputs() {
+                read[inp.index()] = true;
+            }
+        }
+        for &o in n.outputs() {
+            read[o.index()] = true;
+        }
+        for (i, cell) in n.cells().iter().enumerate() {
+            let id = CellId::from_index(i);
+            if n.is_seq_cell(id) && !read[cell.output().index()] {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: self.code(),
+                    locus: Locus::Net(cell.output()),
+                    message: format!("flip-flop {} output is never read", cell.name()),
+                });
+            }
+        }
+    }
+}
+
+/// Cells from which no primary output is reachable (backward traversal over
+/// driver edges, through flip-flops).  Dead logic inflates the fault space
+/// without affecting program outcomes.
+pub struct UnreachableCell;
+
+impl LintPass for UnreachableCell {
+    fn code(&self) -> &'static str {
+        "unreachable-cell"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.netlist;
+        // All drivers per net, not just the first recorded one, so every
+        // driver of a multiply-driven net counts as reachable.
+        let mut drivers: Vec<Vec<u32>> = vec![Vec::new(); n.num_nets()];
+        for (i, cell) in n.cells().iter().enumerate() {
+            drivers[cell.output().index()].push(i as u32);
+        }
+        let mut cell_reached = vec![false; n.num_cells()];
+        let mut net_seen = vec![false; n.num_nets()];
+        let mut work: Vec<NetId> = n.outputs().to_vec();
+        for &o in n.outputs() {
+            net_seen[o.index()] = true;
+        }
+        while let Some(net) = work.pop() {
+            for &c in &drivers[net.index()] {
+                let ci = c as usize;
+                if !cell_reached[ci] {
+                    cell_reached[ci] = true;
+                    for &inp in n.cell(CellId::from_index(ci)).inputs() {
+                        if !net_seen[inp.index()] {
+                            net_seen[inp.index()] = true;
+                            work.push(inp);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, cell) in n.cells().iter().enumerate() {
+            if !cell_reached[i] {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: self.code(),
+                    locus: Locus::Cell(CellId::from_index(i)),
+                    message: format!("no primary output is reachable from cell {}", cell.name()),
+                });
+            }
+        }
+    }
+}
+
+/// Aggregate fault-cone statistics over all flip-flop output wires: gate
+/// count and border width drive both MATE search cost and verifier
+/// enumeration cost, so surface them before running either.
+pub struct ConeStats;
+
+impl LintPass for ConeStats {
+    fn code(&self) -> &'static str {
+        "cone-stats"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(topo) = cx.topology else {
+            return; // needs a validated netlist
+        };
+        let n = cx.netlist;
+        if topo.seq_cells().is_empty() {
+            return;
+        }
+        let mut max_gates = 0usize;
+        let mut sum_gates = 0usize;
+        let mut max_border = 0usize;
+        let mut sum_border = 0usize;
+        let count = topo.seq_cells().len();
+        for &ff in topo.seq_cells() {
+            let cone = FaultCone::compute(n, topo, n.cell(ff).output());
+            let border = cone.border_nets(n).len();
+            max_gates = max_gates.max(cone.num_gates());
+            sum_gates += cone.num_gates();
+            max_border = max_border.max(border);
+            sum_border += border;
+        }
+        out.push(Diagnostic {
+            severity: Severity::Info,
+            code: self.code(),
+            locus: Locus::Design,
+            message: format!(
+                "{} FF fault cones: gates mean {:.1} max {}, border wires mean {:.1} max {}",
+                count,
+                sum_gates as f64 / count as f64,
+                max_gates,
+                sum_border as f64 / count as f64,
+                max_border
+            ),
+        });
+    }
+}
+
+/// Combinational cell types in use whose gate-masking table is empty for
+/// *every* single faulty pin — a fault on any input of such a gate can never
+/// be masked by the gate itself (XOR-like and single-input cells), so MATE
+/// search cannot cut propagation paths there.
+pub struct GmtGap;
+
+impl LintPass for GmtGap {
+    fn code(&self) -> &'static str {
+        "gmt-gap"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let n = cx.netlist;
+        let lib = n.library();
+        let mut first_instance: Vec<Option<(CellId, usize)>> = Vec::new();
+        for (i, cell) in n.cells().iter().enumerate() {
+            let t = cell.type_id().index();
+            if first_instance.len() <= t {
+                first_instance.resize(t + 1, None);
+            }
+            let entry = &mut first_instance[t];
+            match entry {
+                Some((_, count)) => *count += 1,
+                None => *entry = Some((CellId::from_index(i), 1)),
+            }
+        }
+        for (t, entry) in first_instance.iter().enumerate() {
+            let Some((first, count)) = entry else {
+                continue;
+            };
+            let ty = lib.cell_type(mate_netlist::CellTypeId::from_index(t));
+            let Some(tt) = ty.truth_table() else {
+                continue; // flip-flops are handled by sequential masking
+            };
+            if tt.inputs() == 0 {
+                continue; // constant TIE cells have no pins to fault
+            }
+            let coverable = (0..tt.inputs()).any(|pin| !masking_cubes(tt, 1 << pin).is_empty());
+            if !coverable {
+                out.push(Diagnostic {
+                    severity: Severity::Info,
+                    code: self.code(),
+                    locus: Locus::Cell(*first),
+                    message: format!(
+                        "cell type {} ({} instance{}) has no masking-capable pin: \
+                         faults on its inputs always propagate through the gate",
+                        ty.name(),
+                        count,
+                        if *count == 1 { "" } else { "s" }
+                    ),
+                });
+            }
+        }
+    }
+}

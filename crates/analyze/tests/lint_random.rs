@@ -1,0 +1,42 @@
+//! Lint passes must never panic — and never report errors — on arbitrary
+//! valid circuits from the seeded random generator.
+
+use proptest::prelude::*;
+
+use mate_analyze::{render_json, render_text, run_lints, Severity};
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lints_never_panic_on_random_circuits(
+        seed in 0u64..1_000_000,
+        inputs in 1usize..6,
+        ffs in 1usize..12,
+        gates in 1usize..48,
+        outputs in 1usize..4,
+    ) {
+        let cfg = RandomCircuitConfig { inputs, ffs, gates, outputs };
+        let (n, _topo) = random_circuit(cfg, seed);
+        let diags = run_lints(&n);
+        // Random circuits are valid by construction: structural errors would
+        // mean either the generator or a lint pass is wrong.
+        prop_assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "unexpected error diagnostics: {diags:?}"
+        );
+        // Renderers must handle every diagnostic the passes emit.
+        let _ = render_text(&n, &diags);
+        let _ = render_json(&n, &diags);
+    }
+
+    #[test]
+    fn lint_output_is_deterministic(seed in 0u64..1_000_000) {
+        let cfg = RandomCircuitConfig::default();
+        let (n, _topo) = random_circuit(cfg, seed);
+        let a = run_lints(&n);
+        let b = run_lints(&n);
+        prop_assert_eq!(render_json(&n, &a), render_json(&n, &b));
+    }
+}

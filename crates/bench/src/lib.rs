@@ -30,7 +30,7 @@ pub const TOP_SIZES: [usize; 4] = [10, 50, 100, 200];
 /// Returns `true` for net names belonging to the general-purpose register
 /// file (`r<number>_<bit>` in both cores).
 pub fn is_register_file(name: &str) -> bool {
-    name.starts_with('r') && name.as_bytes().get(1).is_some_and(|b| b.is_ascii_digit())
+    name.starts_with('r') && name.as_bytes().get(1).is_some_and(u8::is_ascii_digit)
 }
 
 /// The search configuration used for the table runs.

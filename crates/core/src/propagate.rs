@@ -243,7 +243,7 @@ pub struct ConeSession<'a> {
     readers: &'a ConeReaders,
 }
 
-impl<'a> ConeSession<'a> {
+impl ConeSession<'_> {
     /// Current state byte of a net (0 when untouched this session).
     #[inline]
     fn read(&self, net: usize) -> u8 {

@@ -1135,7 +1135,11 @@ fn repair_rec<V: RepairVerifier>(
         .first_faulty_endpoint()
         .expect("unmasked propagation names an endpoint");
     let mut cuttable = relevant_cuts(netlist, verifier, endpoint, cache, walk);
-    cuttable.sort_by_key(|(_, cubes)| cubes.first().map_or(usize::MAX, |c| c.num_literals()));
+    cuttable.sort_by_key(|(_, cubes)| {
+        cubes
+            .first()
+            .map_or(usize::MAX, mate_netlist::PinCube::num_literals)
+    });
     cuttable.truncate(REPAIR_BRANCH_WIDTH);
     for (cell, cubes) in cuttable {
         let inputs = netlist.cell(cell).inputs();
@@ -1191,9 +1195,7 @@ pub fn search_design(
     let start = Instant::now();
     let cache = GmtCache::new();
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         config.threads
     }

@@ -571,9 +571,7 @@ pub fn run_campaign(
 /// Resolves a `threads` setting (`0` = all cores) against the work size.
 fn effective_threads(threads: usize, points: usize) -> usize {
     let t = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         threads
     };

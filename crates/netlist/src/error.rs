@@ -153,10 +153,7 @@ mod tests {
     #[test]
     fn display_covers_all_variants() {
         let cases: Vec<(MateError, &str)> = vec![
-            (
-                MateError::io("x.v", io::Error::other("boom")),
-                "x.v",
-            ),
+            (MateError::io("x.v", io::Error::other("boom")), "x.v"),
             (
                 MateError::Verilog {
                     line: 3,

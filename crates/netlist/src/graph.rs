@@ -74,10 +74,17 @@ impl Topology {
 
         if comb_order.len() + seq_cells.len() != netlist.num_cells() {
             // Some combinational cell was never released: cycle.
+            //
+            // Invariant behind the `expect`: every cell is either sequential
+            // (in `seq_cells`) or combinational; a combinational cell gets a
+            // rank exactly when Kahn's algorithm pops it.  The branch is
+            // taken only when fewer cells were popped than exist, so at
+            // least one combinational cell still has the `usize::MAX`
+            // sentinel rank and `find` cannot come up empty.
             let stuck = (0..netlist.num_cells())
                 .map(CellId::from_index)
                 .find(|&c| !netlist.is_seq_cell(c) && rank[c.index()] == usize::MAX)
-                .expect("cycle implies a stuck cell");
+                .expect("cell count mismatch implies an unranked combinational cell");
             return Err(NetlistError::CombinationalCycle {
                 net: netlist.net(netlist.cell(stuck).output()).name().to_owned(),
             });
@@ -201,7 +208,14 @@ impl FaultCone {
             }
         }
 
-        cells.sort_by_key(|&c| topo.rank(c).expect("cone cells are combinational"));
+        // Invariant behind the `expect`: the BFS above pushes a cell into
+        // `cells` only after the `is_seq_cell` branch filtered flip-flops
+        // into `endpoints`, and `Topology::build` assigns a rank to every
+        // combinational cell of a validated netlist.
+        cells.sort_by_key(|&c| {
+            topo.rank(c)
+                .expect("cone cells are combinational and ranked")
+        });
         endpoints.sort_by_key(|e| match *e {
             ConeEndpoint::SeqPin { cell, pin } => (0usize, cell.index(), pin),
             ConeEndpoint::Output(net) => (1usize, net.index(), 0),

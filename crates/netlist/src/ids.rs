@@ -12,7 +12,7 @@ macro_rules! id_type {
             /// Creates an id from a raw index.
             #[inline]
             pub fn from_index(index: usize) -> Self {
-                debug_assert!(index <= <$repr>::MAX as usize);
+                debug_assert!(<$repr>::try_from(index).is_ok());
                 Self(index as $repr)
             }
 

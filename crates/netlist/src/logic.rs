@@ -518,7 +518,7 @@ pub fn masking_cubes(tt: &TruthTable, faulty_mask: u8) -> Vec<PinCube> {
                     continue;
                 }
                 let diff = a.values ^ b.values;
-                if diff.count_ones() == 1 {
+                if diff.is_power_of_two() {
                     merged_flag[i] = true;
                     merged_flag[j] = true;
                     next.push(PinCube::new(a.care & !diff, a.values & !diff));

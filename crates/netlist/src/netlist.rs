@@ -309,6 +309,58 @@ impl Netlist {
         Ok(id)
     }
 
+    /// Instantiates a cell driving `output` **without** the single-driver
+    /// check.
+    ///
+    /// Netlists imported from foreign tools can be ill-formed in exactly the
+    /// ways the `mate-analyze` lint passes diagnose (multiply-driven wires
+    /// among them); this hook lets importers and lint tests materialize such
+    /// netlists instead of having construction reject them.  The net keeps
+    /// its first driver, so [`Netlist::validate`] and the simulator see a
+    /// deterministic (if arbitrary) resolution — only diagnostic tooling
+    /// should consume unchecked netlists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCellType`] or
+    /// [`NetlistError::PinCountMismatch`]; multiple drivers are accepted.
+    pub fn add_cell_unchecked(
+        &mut self,
+        type_name: &str,
+        inst_name: &str,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, NetlistError> {
+        let ty = self
+            .lib
+            .find(type_name)
+            .ok_or_else(|| NetlistError::UnknownCellType(type_name.to_owned()))?;
+        let cell_type = self.lib.cell_type(ty);
+        if cell_type.num_pins() != inputs.len() {
+            return Err(NetlistError::PinCountMismatch {
+                cell: inst_name.to_owned(),
+                expected: cell_type.num_pins(),
+                got: inputs.len(),
+            });
+        }
+        let id = CellId::from_index(self.cells.len());
+        let name = if inst_name.is_empty() {
+            format!("_c{}", id.index())
+        } else {
+            inst_name.to_owned()
+        };
+        self.cells.push(Cell {
+            name,
+            ty,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        if self.nets[output.index()].driver == NetDriver::None {
+            self.nets[output.index()].driver = NetDriver::Cell(id);
+        }
+        Ok(id)
+    }
+
     /// All nets.
     pub fn nets(&self) -> &[Net] {
         &self.nets
@@ -442,6 +494,22 @@ mod tests {
         let y = n.add_cell("INV", "g1", &[a]).unwrap();
         let err = n.add_cell_to("INV", "g2", &[a], y).unwrap_err();
         assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn unchecked_cells_permit_multiple_drivers() {
+        let mut n = Netlist::new("x", lib());
+        let a = n.add_input("a");
+        let y = n.add_cell("INV", "g1", &[a]).unwrap();
+        let first = n.net(y).driver();
+        let g2 = n.add_cell_unchecked("BUF", "g2", &[a], y).unwrap();
+        // The net keeps its first driver; the second cell still exists.
+        assert_eq!(n.net(y).driver(), first);
+        assert_eq!(n.cell(g2).output(), y);
+        assert_eq!(n.num_cells(), 2);
+        // Type and pin checks still apply.
+        assert!(n.add_cell_unchecked("FROB", "g3", &[a], y).is_err());
+        assert!(n.add_cell_unchecked("NAND2", "g4", &[a], y).is_err());
     }
 
     #[test]

@@ -101,12 +101,16 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
         let resolved: Vec<(Option<bool>, NetId)> =
             cell.inputs().iter().map(|&n| resolve(&value, n)).collect();
 
-        // Full constant folding: every input known.
-        if resolved.iter().all(|(c, _)| c.is_some()) {
-            let mut row = 0usize;
-            for (pin, (c, _)) in resolved.iter().enumerate() {
-                row |= (c.unwrap() as usize) << pin;
-            }
+        // Full constant folding: every input known.  `try_fold` bails with
+        // `None` on the first unknown pin, so the all-known check and the
+        // row assembly are one pass with no `unwrap`.
+        let const_row = resolved
+            .iter()
+            .enumerate()
+            .try_fold(0usize, |row, (pin, (c, _))| {
+                c.map(|b| row | ((b as usize) << pin))
+            });
+        if let Some(row) = const_row {
             value[out] = Value::Const(tt.eval(row));
             stats.folded += 1;
             continue;
@@ -145,7 +149,6 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
                 // Output follows the single unknown input: a buffer.
                 value[out] = Value::Alias(resolved[unknown[0]].1);
                 stats.swept += 1;
-                continue;
             }
         }
     }
@@ -244,9 +247,12 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
         if let Some(n) = *slot {
             return n;
         }
+        // Invariant: the optimizer only runs over libraries derived from
+        // `Library::open15`, which always defines the zero-input TIE0/TIE1
+        // constant cells, so this lookup cannot fail.
         let n = out
             .add_cell(if which { "TIE1" } else { "TIE0" }, "", &[])
-            .expect("tie cells exist");
+            .expect("library provides TIE0/TIE1 constant cells");
         *slot = Some(n);
         n
     };
@@ -289,6 +295,10 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
                 let (c, root) = resolve(&value, n);
                 match c {
                     Some(b) => tie(&mut out, b),
+                    // Invariant: a non-constant resolved root is read by a
+                    // surviving cell, so pass 2 marked it live and the
+                    // surviving-cell loop above pre-created its new net
+                    // (primary inputs were mapped before that).
                     None => *net_map.get(&root).unwrap_or_else(|| {
                         panic!("live net {} must survive", netlist.net(root).name())
                     }),
@@ -296,8 +306,11 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
             })
             .collect();
         let new_out = net_map[&cell.output()];
+        // Invariant: `type_name` is either the cell's own library type or a
+        // fused NAND2/NOR2 name, all of which exist in the source library,
+        // and `new_out` was freshly created above with no other driver.
         out.add_cell_to(type_name, cell.name(), &new_inputs, new_out)
-            .expect("rebuild uses known cells");
+            .expect("rebuild uses known cell types and fresh output nets");
     }
 
     // Primary outputs (constants become tie cells).
@@ -311,6 +324,10 @@ pub fn optimize(netlist: &Netlist, topo: &Topology) -> Optimized {
         net_map.insert(o, new);
     }
 
+    // Invariant: the rebuild drives every net exactly once (fresh nets per
+    // surviving cell, tie cells for constants) and cannot introduce
+    // combinational cycles the input netlist did not have, so a validated
+    // input yields a validated output.
     let topo = out.validate().expect("optimized netlist stays valid");
     Optimized {
         netlist: out,

@@ -264,8 +264,7 @@ pub fn parse_verilog(src: &str, library: Arc<Library>) -> Result<(Netlist, Topol
     loop {
         match it.next() {
             Some((Token::Punct(')'), _)) => break,
-            Some((Token::Ident(_), _)) => {}
-            Some((Token::Punct(','), _)) => {}
+            Some((Token::Ident(_) | Token::Punct(','), _)) => {}
             Some((t, line)) => return Err(syntax(line, &format!("bad port list token {t:?}"))),
             None => return Err(syntax(0, "EOF in port list")),
         }
@@ -274,9 +273,8 @@ pub fn parse_verilog(src: &str, library: Arc<Library>) -> Result<(Netlist, Topol
 
     let mut pending_outputs: Vec<String> = Vec::new();
     loop {
-        let (tok, line) = match it.next() {
-            Some(t) => t,
-            None => return Err(syntax(0, "missing `endmodule`")),
+        let Some((tok, line)) = it.next() else {
+            return Err(syntax(0, "missing `endmodule`"));
         };
         let word = match tok {
             Token::Ident(s) => s,
@@ -299,7 +297,7 @@ pub fn parse_verilog(src: &str, library: Arc<Library>) -> Result<(Netlist, Topol
                         }
                     }
                     match it.next() {
-                        Some((Token::Punct(','), _)) => continue,
+                        Some((Token::Punct(','), _)) => {}
                         Some((Token::Punct(';'), _)) => break,
                         Some((t, line)) => {
                             return Err(syntax(line, &format!("expected `,` or `;`, got {t:?}")))
@@ -319,7 +317,7 @@ pub fn parse_verilog(src: &str, library: Arc<Library>) -> Result<(Netlist, Topol
                 loop {
                     match it.next() {
                         Some((Token::Punct(')'), _)) => break,
-                        Some((Token::Punct(','), _)) => continue,
+                        Some((Token::Punct(','), _)) => {}
                         Some((Token::Punct('.'), _)) => {
                             let pin = expect_ident!(it, "pin name");
                             expect_punct!(it, '(');

@@ -1,0 +1,316 @@
+//! The `Analyze` stage: netlist lint + MATE soundness verification as a
+//! cached pipeline step.
+//!
+//! Wraps [`mate_analyze`] so the static-verification layer participates in
+//! the content-addressed artifact cache like every other stage: the artifact
+//! key covers the design, the verified MATE set, and the enumeration cap —
+//! but not the thread count, which never changes results.
+
+use std::collections::HashMap;
+
+use mate::MateSet;
+use mate_analyze::verify::{Counterexample, MateVerdict, Verdict};
+use mate_analyze::{
+    count_denied, count_verdicts, run_lints, verify_mates, Diagnostic, Locus, Severity,
+    VerdictCounts, VerifyConfig,
+};
+use mate_netlist::{MateError, NetId};
+
+use crate::hash::ContentHasher;
+use crate::stage::Stage;
+use crate::stages::Design;
+
+/// Combined output of the lint and verification layers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisReport {
+    /// Canonically sorted lint diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-(MATE, wire) verdicts, sorted by (mate index, wire).
+    pub verdicts: Vec<MateVerdict>,
+    /// The enumeration cap the verdicts were computed under.
+    pub max_assignments: u64,
+}
+
+impl AnalysisReport {
+    /// Proved / Bounded / Refuted tallies.
+    pub fn counts(&self) -> VerdictCounts {
+        count_verdicts(&self.verdicts)
+    }
+
+    /// Number of diagnostics at or above `deny` severity.
+    pub fn denied(&self, deny: Severity) -> usize {
+        count_denied(&self.diagnostics, deny)
+    }
+
+    /// `true` when nothing blocks a release: no refuted MATE and no
+    /// diagnostic at or above `deny`.
+    pub fn gate_passes(&self, deny: Severity) -> bool {
+        self.counts().refuted == 0 && self.denied(deny) == 0
+    }
+}
+
+/// Lint the design and verify `mates` against it (the static-verification
+/// pipeline stage).
+#[derive(Clone, Debug)]
+pub struct Analyze {
+    /// Enumeration limits; `threads` is excluded from the fingerprint.
+    pub config: VerifyConfig,
+}
+
+impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
+    type Output = AnalysisReport;
+
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn fingerprint(&self, h: &mut ContentHasher) {
+        h.u64(self.config.max_assignments);
+        // `threads` excluded: verdicts are bit-identical per thread count.
+    }
+
+    fn execute(&self, (design, mates): &(&Design, &MateSet)) -> Result<AnalysisReport, MateError> {
+        Ok(AnalysisReport {
+            diagnostics: run_lints(&design.netlist),
+            verdicts: verify_mates(&design.netlist, &design.topology, mates, &self.config),
+            max_assignments: self.config.max_assignments,
+        })
+    }
+
+    fn encode(
+        &self,
+        (design, _): &(&Design, &MateSet),
+        output: &AnalysisReport,
+    ) -> Result<Vec<u8>, MateError> {
+        let n = &design.netlist;
+        let mut text = format!(
+            "# analyze v1 cap={} diags={} verdicts={}\n",
+            output.max_assignments,
+            output.diagnostics.len(),
+            output.verdicts.len()
+        );
+        for d in &output.diagnostics {
+            let (kind, locus) = match d.locus {
+                Locus::Net(id) => ("net", n.net(id).name().to_owned()),
+                Locus::Cell(id) => ("cell", n.cell(id).name().to_owned()),
+                Locus::Design => ("design", "-".to_owned()),
+            };
+            text.push_str(&format!(
+                "D\t{}\t{}\t{kind}\t{locus}\t{}\n",
+                d.severity, d.code, d.message
+            ));
+        }
+        for v in &output.verdicts {
+            let wire = n.net(v.wire).name();
+            match &v.verdict {
+                Verdict::Proved { checked } => {
+                    text.push_str(&format!("V\t{}\t{wire}\tproved\t{checked}\n", v.mate_index));
+                }
+                Verdict::Bounded { checked } => {
+                    text.push_str(&format!(
+                        "V\t{}\t{wire}\tbounded\t{checked}\n",
+                        v.mate_index
+                    ));
+                }
+                Verdict::Refuted { counterexample } => {
+                    let assign = counterexample
+                        .assignment
+                        .iter()
+                        .map(|&(net, b)| format!("{}={}", n.net(net).name(), u8::from(b)))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    text.push_str(&format!(
+                        "V\t{}\t{wire}\trefuted\t{}\t{}\t{assign}\n",
+                        v.mate_index,
+                        u8::from(counterexample.origin_value),
+                        n.net(counterexample.endpoint).name()
+                    ));
+                }
+            }
+        }
+        Ok(text.into_bytes())
+    }
+
+    fn decode(
+        &self,
+        (design, _): &(&Design, &MateSet),
+        bytes: &[u8],
+    ) -> Result<AnalysisReport, MateError> {
+        let n = &design.netlist;
+        let text = artifact_utf8(self.name(), bytes)?;
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| MateError::artifact(self.name(), "empty artifact"))?;
+        let max_assignments = header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("cap="))
+            .ok_or_else(|| MateError::artifact(self.name(), "header missing cap="))?
+            .parse::<u64>()
+            .map_err(|_| MateError::artifact(self.name(), "header cap= is not a number"))?;
+
+        let cells_by_name: HashMap<&str, mate_netlist::CellId> = n
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name(), mate_netlist::CellId::from_index(i)))
+            .collect();
+        let net = |idx: usize, name: &str| -> Result<NetId, MateError> {
+            n.find_net(name).ok_or_else(|| {
+                MateError::artifact(
+                    self.name(),
+                    format!("line {}: unknown net `{name}`", idx + 1),
+                )
+            })
+        };
+
+        let mut diagnostics = Vec::new();
+        let mut verdicts = Vec::new();
+        for (idx, line) in lines {
+            let mut fields = line.split('\t');
+            match fields.next() {
+                Some("D") => {
+                    let (Some(sev), Some(code), Some(kind), Some(locus), Some(message)) = (
+                        fields.next(),
+                        fields.next(),
+                        fields.next(),
+                        fields.next(),
+                        fields.next(),
+                    ) else {
+                        return Err(bad_line(self.name(), idx));
+                    };
+                    let severity = match sev {
+                        "error" => Severity::Error,
+                        "warning" => Severity::Warning,
+                        "info" => Severity::Info,
+                        _ => return Err(bad_line(self.name(), idx)),
+                    };
+                    let code = intern_code(code).ok_or_else(|| {
+                        MateError::artifact(
+                            self.name(),
+                            format!("line {}: unknown lint code `{code}`", idx + 1),
+                        )
+                    })?;
+                    let locus = match kind {
+                        "net" => Locus::Net(net(idx, locus)?),
+                        "cell" => Locus::Cell(*cells_by_name.get(locus).ok_or_else(|| {
+                            MateError::artifact(
+                                self.name(),
+                                format!("line {}: unknown cell `{locus}`", idx + 1),
+                            )
+                        })?),
+                        "design" => Locus::Design,
+                        _ => return Err(bad_line(self.name(), idx)),
+                    };
+                    diagnostics.push(Diagnostic {
+                        severity,
+                        code,
+                        locus,
+                        message: message.to_owned(),
+                    });
+                }
+                Some("V") => {
+                    let (Some(mate), Some(wire), Some(kind)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(bad_line(self.name(), idx));
+                    };
+                    let mate_index: usize = parse_field(self.name(), idx, mate)?;
+                    let wire = net(idx, wire)?;
+                    let verdict = match kind {
+                        "proved" | "bounded" => {
+                            let checked: u64 = parse_field(
+                                self.name(),
+                                idx,
+                                fields.next().ok_or_else(|| bad_line(self.name(), idx))?,
+                            )?;
+                            if kind == "proved" {
+                                Verdict::Proved { checked }
+                            } else {
+                                Verdict::Bounded { checked }
+                            }
+                        }
+                        "refuted" => {
+                            let (Some(origin), Some(endpoint), Some(assign)) =
+                                (fields.next(), fields.next(), fields.next())
+                            else {
+                                return Err(bad_line(self.name(), idx));
+                            };
+                            let origin_value = match origin {
+                                "0" => false,
+                                "1" => true,
+                                _ => return Err(bad_line(self.name(), idx)),
+                            };
+                            let endpoint = net(idx, endpoint)?;
+                            let mut assignment = Vec::new();
+                            for pair in assign.split(' ').filter(|p| !p.is_empty()) {
+                                let (name, value) = pair
+                                    .rsplit_once('=')
+                                    .ok_or_else(|| bad_line(self.name(), idx))?;
+                                let value = match value {
+                                    "0" => false,
+                                    "1" => true,
+                                    _ => return Err(bad_line(self.name(), idx)),
+                                };
+                                assignment.push((net(idx, name)?, value));
+                            }
+                            Verdict::Refuted {
+                                counterexample: Counterexample {
+                                    origin_value,
+                                    assignment,
+                                    endpoint,
+                                },
+                            }
+                        }
+                        _ => return Err(bad_line(self.name(), idx)),
+                    };
+                    verdicts.push(MateVerdict {
+                        mate_index,
+                        wire,
+                        verdict,
+                    });
+                }
+                Some(other) => {
+                    return Err(MateError::artifact(
+                        self.name(),
+                        format!("line {}: unknown record `{other}`", idx + 1),
+                    ));
+                }
+                None => return Err(bad_line(self.name(), idx)),
+            }
+        }
+        Ok(AnalysisReport {
+            diagnostics,
+            verdicts,
+            max_assignments,
+        })
+    }
+}
+
+/// Maps a decoded lint code back to the pass's `&'static str` identifier.
+fn intern_code(code: &str) -> Option<&'static str> {
+    const CODES: [&str; 7] = [
+        "undriven-net",
+        "multi-driven-net",
+        "comb-loop",
+        "dangling-ff",
+        "unreachable-cell",
+        "cone-stats",
+        "gmt-gap",
+    ];
+    CODES.iter().find(|&&c| c == code).copied()
+}
+
+fn artifact_utf8<'b>(stage: &str, bytes: &'b [u8]) -> Result<&'b str, MateError> {
+    std::str::from_utf8(bytes)
+        .map_err(|e| MateError::artifact(stage, format!("non-UTF-8 artifact: {e}")))
+}
+
+fn bad_line(stage: &str, idx: usize) -> MateError {
+    MateError::artifact(stage, format!("line {}: malformed", idx + 1))
+}
+
+fn parse_field<T: std::str::FromStr>(stage: &str, idx: usize, text: &str) -> Result<T, MateError> {
+    text.parse()
+        .map_err(|_| MateError::artifact(stage, format!("line {}: bad number `{text}`", idx + 1)))
+}

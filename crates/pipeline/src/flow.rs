@@ -7,11 +7,13 @@
 
 use mate::eval::EvalReport;
 use mate::{MateSet, SearchConfig};
+use mate_analyze::VerifyConfig;
 use mate_hafi::{CampaignConfig, CampaignResult};
 use mate_sim::WaveTrace;
 
 use mate_netlist::MateError;
 
+use crate::analysis::{AnalysisReport, Analyze};
 use crate::hash::ContentHash;
 use crate::stage::{Pipeline, Staged};
 use crate::stages::{
@@ -141,6 +143,24 @@ impl Flow {
             &Select { wires, top_n },
             (&self.design.value, mates, trace),
             &[self.design.key, mates_key, trace_key],
+        )
+    }
+
+    /// Lints the design and independently verifies `mates` against it
+    /// (the static-verification gate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage and store errors.
+    pub fn analyze(
+        &mut self,
+        (mates, mates_key): (&MateSet, ContentHash),
+        config: VerifyConfig,
+    ) -> Result<Staged<AnalysisReport>, MateError> {
+        self.pipeline.run(
+            &Analyze { config },
+            (&self.design.value, mates),
+            &[self.design.key, mates_key],
         )
     }
 

@@ -53,6 +53,7 @@
 //! # Ok::<(), mate_netlist::MateError>(())
 //! ```
 
+pub mod analysis;
 pub mod flow;
 pub mod hash;
 pub mod stage;
@@ -60,6 +61,7 @@ pub mod stages;
 pub mod store;
 pub mod summary;
 
+pub use analysis::{AnalysisReport, Analyze};
 pub use flow::Flow;
 pub use hash::{ContentHash, ContentHasher};
 pub use stage::{Pipeline, Stage, Staged};

@@ -221,16 +221,16 @@ mod tests {
     fn capture_records_counter_bits() {
         let (n, topo) = counter(3);
         let mut sim = Simulator::new(&n, &topo);
-        sim.set_input(n.find_net("en").unwrap(), true);
+        sim.set_input(n.find_net("en").expect("counter exposes en"), true);
         let mut trace = WaveTrace::new(n.num_nets());
         for _ in 0..8 {
             trace.capture(&mut sim);
             sim.tick();
         }
         assert_eq!(trace.num_cycles(), 8);
-        let q0 = n.find_net("q0").unwrap();
-        let q1 = n.find_net("q1").unwrap();
-        let q2 = n.find_net("q2").unwrap();
+        let q0 = n.find_net("q0").expect("counter exposes q0");
+        let q1 = n.find_net("q1").expect("counter exposes q1");
+        let q2 = n.find_net("q2").expect("counter exposes q2");
         let values: Vec<usize> = (0..8)
             .map(|c| {
                 (trace.value(c, q0) as usize)

@@ -150,10 +150,8 @@ pub fn read_vcd(netlist: &Netlist, input: impl BufRead) -> Result<WaveTrace, Mat
         let v = match chars.next() {
             Some('0') => false,
             Some('1') => true,
-            Some('x') | Some('X') | Some('z') | Some('Z') => {
-                return Err(parse_err("unsupported x/z values"))
-            }
-            Some('b') | Some('B') | Some('r') | Some('R') => {
+            Some('x' | 'X' | 'z' | 'Z') => return Err(parse_err("unsupported x/z values")),
+            Some('b' | 'B' | 'r' | 'R') => {
                 return Err(parse_err("unsupported vector value change"))
             }
             _ => return Err(parse_err("unrecognized value change")),

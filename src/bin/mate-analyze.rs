@@ -1,0 +1,179 @@
+//! `mate-analyze` — the static-verification gate as a command-line tool.
+//!
+//! Lints the shipped core netlists and independently verifies the selected
+//! top-N MATEs by exhaustive border-assignment enumeration, exiting
+//! non-zero when any MATE is refuted or any lint at/above the `--deny`
+//! severity fires.  All heavy stages run through the content-addressed
+//! pipeline cache, so repeated gate runs are cheap.
+//!
+//! ```text
+//! mate-analyze [--core avr|msp430|all] [--wires all|no-rf] [--top N]
+//!              [--cap N] [--deny error|warning|info] [--threads N] [--json]
+//! ```
+
+use std::process::ExitCode;
+
+use fault_space_pruning::analyze::{
+    count_denied, render_json, render_text, render_verdicts_json, render_verdicts_text, Severity,
+    VerifyConfig,
+};
+use fault_space_pruning::pipeline::{Flow, WireSetSpec};
+use mate_bench::{no_rf_spec, table_search_config, Core, TRACE_CYCLES};
+use mate_netlist::MateError;
+
+/// Parsed command line.
+struct Options {
+    cores: Vec<Core>,
+    wires: WireSetSpec,
+    top: usize,
+    cap: u64,
+    deny: Severity,
+    threads: usize,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mate-analyze [--core avr|msp430|all] [--wires all|no-rf] [--top N] \
+         [--cap N] [--deny error|warning|info] [--threads N] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        cores: vec![Core::Avr, Core::Msp430],
+        wires: WireSetSpec::AllFfs,
+        top: 100,
+        cap: 1 << 20,
+        deny: Severity::Error,
+        threads: 0,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("mate-analyze: {flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--core" => {
+                opts.cores = match value("--core").as_str() {
+                    "avr" => vec![Core::Avr],
+                    "msp430" => vec![Core::Msp430],
+                    "all" => vec![Core::Avr, Core::Msp430],
+                    other => {
+                        eprintln!("mate-analyze: unknown core `{other}`");
+                        usage();
+                    }
+                };
+            }
+            "--wires" => {
+                opts.wires = match value("--wires").as_str() {
+                    "all" => WireSetSpec::AllFfs,
+                    "no-rf" => no_rf_spec(),
+                    other => {
+                        eprintln!("mate-analyze: unknown wire set `{other}`");
+                        usage();
+                    }
+                };
+            }
+            "--top" => {
+                opts.top = value("--top").parse().unwrap_or_else(|_| usage());
+            }
+            "--cap" => {
+                opts.cap = value("--cap").parse().unwrap_or_else(|_| usage());
+            }
+            "--deny" => {
+                opts.deny = match value("--deny").as_str() {
+                    "error" => Severity::Error,
+                    "warning" => Severity::Warning,
+                    "info" => Severity::Info,
+                    other => {
+                        eprintln!("mate-analyze: unknown severity `{other}`");
+                        usage();
+                    }
+                };
+            }
+            "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mate-analyze: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// Runs the gate for one core; returns `true` when it passes.
+fn run_core(core: Core, opts: &Options) -> Result<bool, MateError> {
+    let mut flow = Flow::open_default(core.design_source())?;
+
+    let search = flow.search(opts.wires.clone(), table_search_config())?;
+    let trace = flow.capture(core.fib(), TRACE_CYCLES)?;
+    let selected = flow.select(
+        opts.wires.clone(),
+        opts.top,
+        (&search.value.mates, search.key),
+        trace.part(),
+    )?;
+    let report = flow.analyze(
+        selected.part(),
+        VerifyConfig {
+            max_assignments: opts.cap,
+            threads: opts.threads,
+        },
+    )?;
+    let report = &report.value;
+
+    let netlist = &flow.design().netlist;
+    if opts.json {
+        println!(
+            "{{\"core\":\"{}\",\"diagnostics\":{},\"verdicts\":{}}}",
+            core.label(),
+            render_json(netlist, &report.diagnostics).trim_end(),
+            render_verdicts_json(netlist, &report.verdicts).trim_end()
+        );
+    } else {
+        println!("== {} ==", core.label());
+        print!("{}", render_text(netlist, &report.diagnostics));
+        print!("{}", render_verdicts_text(netlist, &report.verdicts));
+        let counts = report.counts();
+        println!(
+            "{}: {} lint findings ({} denied at --deny {}), {} proved / {} bounded / {} refuted",
+            core.label(),
+            report.diagnostics.len(),
+            count_denied(&report.diagnostics, opts.deny),
+            opts.deny.label(),
+            counts.proved,
+            counts.bounded,
+            counts.refuted,
+        );
+    }
+    Ok(report.gate_passes(opts.deny))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut pass = true;
+    for &core in &opts.cores {
+        match run_core(core, &opts) {
+            Ok(ok) => pass &= ok,
+            Err(e) => {
+                eprintln!("mate-analyze: {}: {e}", core.label());
+                return ExitCode::from(3);
+            }
+        }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -9,10 +9,12 @@
 //! * [`mate`] — the paper's contribution: MATE search, evaluation, selection
 //! * [`hafi`] — fault-injection campaigns and FPGA platform cost models
 //! * [`pipeline`] — the staged flow with its content-addressed artifact cache
+//! * [`analyze`] — netlist lint passes and the independent MATE verifier
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the full inventory.
 
 pub use mate;
+pub use mate_analyze as analyze;
 pub use mate_cores as cores;
 pub use mate_hafi as hafi;
 pub use mate_netlist as netlist;
