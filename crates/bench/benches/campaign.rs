@@ -1,21 +1,24 @@
 //! Campaign-engine throughput: scalar per-point `inject` vs. the batched
-//! 64-lane wide engine, in faults per second.
+//! lane-parallel wide engine at every lane width (64-lane words, 256- and
+//! 512-lane SoA blocks), in faults per second.
 //!
 //! Two circuits: the paper's Figure-1b example and a random ≥200-FF
 //! netlist (the scale where bit-parallel packing pays off).  Besides the
 //! criterion reporting, the bench emits a machine-readable
-//! `BENCH_campaign.json` at the workspace root with both numbers and the
-//! speedup per circuit.
+//! `BENCH_campaign.json` at the workspace root with all numbers, the
+//! per-width speedups, and the host CPU count.
 
 use std::time::Instant;
 
 use criterion::{is_quick_test, Criterion, Throughput};
 
 use mate_hafi::{
-    run_campaign, run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, StimulusHarness,
+    run_campaign, run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, LaneWidth,
+    StimulusHarness,
 };
 use mate_netlist::examples::figure1b;
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+use mate_pipeline::ENGINE_LAYOUT_VERSION;
 
 /// Deterministic pseudo-random stimulus, same scheme as the soundness tests.
 fn drive_all_inputs(mut harness: StimulusHarness, seed: u64, cycles: usize) -> StimulusHarness {
@@ -41,13 +44,9 @@ struct Measured {
     points: usize,
     cycles: usize,
     scalar_fps: f64,
-    wide_fps: f64,
-}
-
-impl Measured {
-    fn speedup(&self) -> f64 {
-        self.wide_fps / self.scalar_fps
-    }
+    /// Faults/second of the wide engine per lane width, in
+    /// [`LaneWidth::all`] order.
+    lane_fps: Vec<(usize, f64)>,
 }
 
 /// Best-of-`reps` wall-clock for one full campaign, in faults/second.
@@ -69,11 +68,17 @@ fn measure(
 ) -> Measured {
     let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), config.cycles);
 
-    // Sanity: both engines must produce identical records before we compare
-    // their speed.
+    // Sanity: every engine and lane width must produce identical records
+    // before we compare their speed.
     let scalar = run_campaign(harness, &space, config).unwrap();
-    let wide = run_campaign_wide(harness, &space, config).unwrap();
-    assert_eq!(scalar.records, wide.records, "engines diverge on {name}");
+    for lanes in LaneWidth::all() {
+        let wide =
+            run_campaign_wide(harness, &space, &CampaignConfig { lanes, ..*config }).unwrap();
+        assert_eq!(
+            scalar.records, wide.records,
+            "{lanes}-lane engine diverges on {name}"
+        );
+    }
     let points = scalar.len();
 
     let mut group = c.benchmark_group(&format!("campaign/{name}"));
@@ -82,42 +87,65 @@ fn measure(
     group.bench_function("scalar", |b| {
         b.iter(|| run_campaign(harness, &space, config).unwrap())
     });
-    group.bench_function("wide", |b| {
-        b.iter(|| run_campaign_wide(harness, &space, config).unwrap())
-    });
+    for lanes in LaneWidth::all() {
+        let cfg = CampaignConfig { lanes, ..*config };
+        group.bench_function(&format!("wide{lanes}"), |b| {
+            b.iter(|| run_campaign_wide(harness, &space, &cfg).unwrap())
+        });
+    }
     group.finish();
 
     let reps = if is_quick_test() { 1 } else { 3 };
     let scalar_fps = faults_per_sec(reps, points, || {
         run_campaign(harness, &space, config).unwrap();
     });
-    let wide_fps = faults_per_sec(reps, points, || {
-        run_campaign_wide(harness, &space, config).unwrap();
-    });
+    let lane_fps = LaneWidth::all()
+        .into_iter()
+        .map(|lanes| {
+            let cfg = CampaignConfig { lanes, ..*config };
+            let fps = faults_per_sec(reps, points, || {
+                run_campaign_wide(harness, &space, &cfg).unwrap();
+            });
+            (lanes.lanes(), fps)
+        })
+        .collect();
     Measured {
         name,
         ffs: harness.topology().seq_cells().len(),
         points,
         cycles: config.cycles,
         scalar_fps,
-        wide_fps,
+        lane_fps,
     }
 }
 
 fn write_json(results: &[Measured]) {
-    let mut out = String::from("{\n  \"bench\": \"campaign\",\n  \"circuits\": [\n");
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  \"circuits\": [\n"
+    );
     for (i, m) in results.iter().enumerate() {
+        let lanes: Vec<String> = m
+            .lane_fps
+            .iter()
+            .map(|&(lanes, fps)| {
+                format!(
+                    "{{\"lane_width\": {lanes}, \"faults_per_sec\": {fps:.1}, \
+                     \"speedup_vs_scalar\": {:.2}}}",
+                    fps / m.scalar_fps
+                )
+            })
+            .collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ffs\": {}, \"points\": {}, \"cycles\": {}, \
-             \"scalar_faults_per_sec\": {:.1}, \"wide_faults_per_sec\": {:.1}, \
-             \"speedup\": {:.2}}}{}\n",
+             \"scalar_faults_per_sec\": {:.1}, \"wide\": [{}]}}{}\n",
             m.name,
             m.ffs,
             m.points,
             m.cycles,
             m.scalar_fps,
-            m.wide_fps,
-            m.speedup(),
+            lanes.join(", "),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -174,12 +202,16 @@ fn main() {
     }
 
     for m in &results {
+        let widths: Vec<String> = m
+            .lane_fps
+            .iter()
+            .map(|&(lanes, fps)| format!("{lanes} lanes {fps:.0}/s ({:.1}x)", fps / m.scalar_fps))
+            .collect();
         eprintln!(
-            "{}: scalar {:.0} faults/s, wide {:.0} faults/s, speedup {:.1}x",
+            "{}: scalar {:.0} faults/s, {}",
             m.name,
             m.scalar_fps,
-            m.wide_fps,
-            m.speedup()
+            widths.join(", ")
         );
     }
     if is_quick_test() {

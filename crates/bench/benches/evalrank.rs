@@ -1,6 +1,7 @@
 //! Trace-analysis throughput: scalar per-cycle MATE evaluation vs. the
-//! word-parallel transposed path, eager greedy ranking vs. lazy-greedy
-//! (CELF), and 1-thread vs. N-thread wide campaigns.
+//! lane-parallel transposed path at every block width (64-lane words, 256-
+//! and 512-lane blocks), eager greedy ranking vs. lazy-greedy (CELF) at the
+//! same widths, and 1-thread vs. N-thread wide campaigns.
 //!
 //! Besides the criterion reporting, the bench emits a machine-readable
 //! `BENCH_evalrank.json` at the workspace root.  Every fast path is
@@ -12,13 +13,16 @@ use std::time::Instant;
 
 use criterion::{is_quick_test, Criterion, Throughput};
 
-use mate::eval::{evaluate, evaluate_scalar};
+use mate::eval::{evaluate_scalar, evaluate_transposed_blocks};
 use mate::mates::{summarize, Mate, MateSet};
-use mate::select::{rank, rank_eager};
-use mate_hafi::{run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, StimulusHarness};
+use mate::select::{rank_eager, rank_transposed_blocks};
+use mate_hafi::{
+    run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, LaneWidth, StimulusHarness,
+};
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
-use mate_netlist::{NetCube, NetId};
-use mate_sim::WaveTrace;
+use mate_netlist::{LaneBlock, NetCube, NetId, B256, B512};
+use mate_pipeline::ENGINE_LAYOUT_VERSION;
+use mate_sim::{TransposedTrace, WaveTrace};
 
 /// SplitMix-style deterministic stream, same scheme as the soundness tests.
 fn mix(seed: u64, tag: u64, index: u64) -> u64 {
@@ -80,14 +84,16 @@ struct EvalMeasured {
     cycles: usize,
     points: usize,
     scalar_pps: f64,
-    word_pps: f64,
+    /// Fault-points/second of the block engine per lane width.
+    width_pps: Vec<(usize, f64)>,
 }
 
 struct RankMeasured {
     mates: usize,
     points: usize,
     eager_ms: f64,
-    lazy_ms: f64,
+    /// Lazy-greedy (CELF) milliseconds per coverage lane width.
+    lazy_ms: Vec<(usize, f64)>,
 }
 
 struct CampaignMeasured {
@@ -95,8 +101,50 @@ struct CampaignMeasured {
     points: usize,
     cycles: usize,
     threads: usize,
+    lane_width: usize,
     one_thread_fps: f64,
     n_thread_fps: f64,
+}
+
+/// Times one evaluate and one rank engine at lane width `B::WIDTH`,
+/// asserting both bit-identical to the scalar/eager references first.
+fn time_width<B: LaneBlock>(
+    reps: usize,
+    transposed: &TransposedTrace,
+    mates: &MateSet,
+    wires: &[NetId],
+    scalar: &mate::EvalReport,
+    eager: &mate::Ranking,
+) -> ((usize, f64), (usize, f64)) {
+    let wide = evaluate_transposed_blocks::<B>(mates, transposed, wires);
+    assert_eq!(
+        wide.matrix,
+        scalar.matrix,
+        "{}-lane evaluate diverges",
+        B::WIDTH
+    );
+    assert_eq!(
+        wide.triggers,
+        scalar.triggers,
+        "{}-lane triggers diverge",
+        B::WIDTH
+    );
+    assert_eq!(
+        &rank_transposed_blocks::<B>(mates, transposed, wires),
+        eager,
+        "{}-lane rank diverges",
+        B::WIDTH
+    );
+    let eval_s = best_secs(reps, || {
+        evaluate_transposed_blocks::<B>(mates, transposed, wires);
+    });
+    let rank_s = best_secs(reps, || {
+        rank_transposed_blocks::<B>(mates, transposed, wires);
+    });
+    (
+        (B::WIDTH, scalar.matrix.total_points() as f64 / eval_s),
+        (B::WIDTH, rank_s * 1e3),
+    )
 }
 
 fn measure_eval_and_rank(
@@ -105,18 +153,12 @@ fn measure_eval_and_rank(
     mates: &MateSet,
     wires: &[NetId],
 ) -> (EvalMeasured, RankMeasured) {
-    // Sanity: the fast paths must match their references before we compare
-    // their speed.
-    let word = evaluate(mates, trace, wires);
+    // The transposition is shared across engines and widths, exactly like
+    // the production `evaluate`/`rank` entry points do internally.
+    let transposed = TransposedTrace::from_trace(trace);
     let scalar = evaluate_scalar(mates, trace, wires);
-    assert_eq!(word.matrix, scalar.matrix, "evaluate paths diverge");
-    assert_eq!(word.triggers, scalar.triggers, "trigger counts diverge");
-    assert_eq!(
-        rank(mates, trace, wires),
-        rank_eager(mates, trace, wires),
-        "rank paths diverge"
-    );
-    let points = word.matrix.total_points();
+    let eager = rank_eager(mates, trace, wires);
+    let points = scalar.matrix.total_points();
 
     let mut group = c.benchmark_group("evaluate");
     group.sample_size(10);
@@ -125,29 +167,42 @@ fn measure_eval_and_rank(
         b.iter(|| evaluate_scalar(mates, trace, wires))
     });
     group.bench_function("word_parallel", |b| {
-        b.iter(|| evaluate(mates, trace, wires))
+        b.iter(|| evaluate_transposed_blocks::<u64>(mates, &transposed, wires))
+    });
+    group.bench_function("block256", |b| {
+        b.iter(|| evaluate_transposed_blocks::<B256>(mates, &transposed, wires))
+    });
+    group.bench_function("block512", |b| {
+        b.iter(|| evaluate_transposed_blocks::<B512>(mates, &transposed, wires))
     });
     group.finish();
 
     let mut group = c.benchmark_group("rank");
     group.sample_size(10);
     group.bench_function("eager", |b| b.iter(|| rank_eager(mates, trace, wires)));
-    group.bench_function("lazy_celf", |b| b.iter(|| rank(mates, trace, wires)));
+    group.bench_function("lazy_celf", |b| {
+        b.iter(|| rank_transposed_blocks::<u64>(mates, &transposed, wires))
+    });
+    group.bench_function("lazy_celf256", |b| {
+        b.iter(|| rank_transposed_blocks::<B256>(mates, &transposed, wires))
+    });
+    group.bench_function("lazy_celf512", |b| {
+        b.iter(|| rank_transposed_blocks::<B512>(mates, &transposed, wires))
+    });
     group.finish();
 
     let reps = if is_quick_test() { 1 } else { 3 };
     let scalar_s = best_secs(reps, || {
         evaluate_scalar(mates, trace, wires);
     });
-    let word_s = best_secs(reps, || {
-        evaluate(mates, trace, wires);
-    });
     let eager_s = best_secs(reps, || {
         rank_eager(mates, trace, wires);
     });
-    let lazy_s = best_secs(reps, || {
-        rank(mates, trace, wires);
-    });
+    let widths = [
+        time_width::<u64>(reps, &transposed, mates, wires, &scalar, &eager),
+        time_width::<B256>(reps, &transposed, mates, wires, &scalar, &eager),
+        time_width::<B512>(reps, &transposed, mates, wires, &scalar, &eager),
+    ];
 
     (
         EvalMeasured {
@@ -156,13 +211,13 @@ fn measure_eval_and_rank(
             cycles: trace.num_cycles(),
             points,
             scalar_pps: points as f64 / scalar_s,
-            word_pps: points as f64 / word_s,
+            width_pps: widths.iter().map(|&(e, _)| e).collect(),
         },
         RankMeasured {
             mates: mates.len(),
             points,
             eager_ms: eager_s * 1e3,
-            lazy_ms: lazy_s * 1e3,
+            lazy_ms: widths.iter().map(|&(_, r)| r).collect(),
         },
     )
 }
@@ -183,6 +238,7 @@ fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignM
         sample: Some(if quick { 64 } else { 2048 }),
         seed: 9,
         threads: 1,
+        lanes: LaneWidth::default(),
     };
     let many = CampaignConfig { threads, ..one };
 
@@ -214,9 +270,23 @@ fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignM
         points,
         cycles,
         threads,
+        lane_width: one.lanes.lanes(),
         one_thread_fps: points as f64 / one_s,
         n_thread_fps: points as f64 / many_s,
     }
+}
+
+fn lane_json(rows: &[(usize, f64)], value_key: &str, base: f64, better_is_higher: bool) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|&(lanes, v)| {
+            let speedup = if better_is_higher { v / base } else { base / v };
+            format!(
+                "{{\"lane_width\": {lanes}, \"{value_key}\": {v:.3}, \"speedup\": {speedup:.2}}}"
+            )
+        })
+        .collect();
+    entries.join(", ")
 }
 
 fn write_json(
@@ -227,32 +297,36 @@ fn write_json(
 ) {
     let out = format!(
         "{{\n  \"bench\": \"evalrank\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  \
          \"evaluate\": {{\"mates\": {}, \"wires\": {}, \"cycles\": {}, \"points\": {}, \
-         \"scalar_fault_points_per_sec\": {:.1}, \"word_fault_points_per_sec\": {:.1}, \
-         \"speedup\": {:.2}}},\n  \
-         \"rank\": {{\"mates\": {}, \"points\": {}, \"eager_ms\": {:.3}, \"lazy_ms\": {:.3}, \
-         \"speedup\": {:.2}}},\n  \
+         \"scalar_fault_points_per_sec\": {:.1}, \"blocks\": [{}]}},\n  \
+         \"rank\": {{\"mates\": {}, \"points\": {}, \"eager_ms\": {:.3}, \"lazy\": [{}]}},\n  \
          \"campaign\": {{\"ffs\": {}, \"points\": {}, \"cycles\": {}, \"threads\": {}, \
+         \"lane_width\": {}, \
          \"one_thread_faults_per_sec\": {:.1}, \"n_thread_faults_per_sec\": {:.1}, \
          \"speedup\": {:.2}, \
          \"note\": \"thread-scaling speedup is bounded by host_cpus; records are \
-         bit-identical for every thread count\"}}\n}}\n",
+         bit-identical for every thread count and lane width\"}}\n}}\n",
         eval.mates,
         eval.wires,
         eval.cycles,
         eval.points,
         eval.scalar_pps,
-        eval.word_pps,
-        eval.word_pps / eval.scalar_pps,
+        lane_json(
+            &eval.width_pps,
+            "fault_points_per_sec",
+            eval.scalar_pps,
+            true
+        ),
         rank.mates,
         rank.points,
         rank.eager_ms,
-        rank.lazy_ms,
-        rank.eager_ms / rank.lazy_ms,
+        lane_json(&rank.lazy_ms, "ms", rank.eager_ms, false),
         campaign.ffs,
         campaign.points,
         campaign.cycles,
         campaign.threads,
+        campaign.lane_width,
         campaign.one_thread_fps,
         campaign.n_thread_fps,
         campaign.n_thread_fps / campaign.one_thread_fps,
@@ -287,25 +361,34 @@ fn main() {
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let widths: Vec<String> = eval_m
+        .width_pps
+        .iter()
+        .map(|&(lanes, pps)| format!("{lanes} lanes {pps:.0}/s ({:.1}x)", pps / eval_m.scalar_pps))
+        .collect();
     eprintln!(
-        "evaluate: scalar {:.0} points/s, word {:.0} points/s, speedup {:.1}x",
+        "evaluate: scalar {:.0} points/s, {}",
         eval_m.scalar_pps,
-        eval_m.word_pps,
-        eval_m.word_pps / eval_m.scalar_pps
+        widths.join(", ")
     );
+    let ranks: Vec<String> = rank_m
+        .lazy_ms
+        .iter()
+        .map(|&(lanes, ms)| format!("{lanes} lanes {ms:.1} ms ({:.1}x)", rank_m.eager_ms / ms))
+        .collect();
     eprintln!(
-        "rank: eager {:.1} ms, lazy {:.1} ms, speedup {:.1}x",
+        "rank: eager {:.1} ms, {}",
         rank_m.eager_ms,
-        rank_m.lazy_ms,
-        rank_m.eager_ms / rank_m.lazy_ms
+        ranks.join(", ")
     );
     eprintln!(
-        "campaign: 1 thread {:.0} faults/s, {} threads {:.0} faults/s, speedup {:.1}x ({} cpus)",
+        "campaign: 1 thread {:.0} faults/s, {} threads {:.0} faults/s, speedup {:.1}x ({} cpus, {} lanes)",
         campaign_m.one_thread_fps,
         campaign_m.threads,
         campaign_m.n_thread_fps,
         campaign_m.n_thread_fps / campaign_m.one_thread_fps,
-        host_cpus
+        host_cpus,
+        campaign_m.lane_width
     );
     if quick {
         eprintln!("quick test mode: skipping BENCH_evalrank.json");

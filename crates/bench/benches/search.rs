@@ -17,6 +17,7 @@ use criterion::{is_quick_test, Criterion, Throughput};
 use mate::{ff_wires, search_design, PropagationMode, SearchConfig, SearchStrategy};
 use mate_cores::{AvrSystem, Msp430System};
 use mate_netlist::{NetId, Netlist, Topology};
+use mate_pipeline::ENGINE_LAYOUT_VERSION;
 
 /// Best-of-`reps` wall-clock seconds.
 fn best_secs(reps: usize, mut run: impl FnMut()) -> f64 {
@@ -153,8 +154,11 @@ fn json_block(name: &str, measured: &[StrategyMeasured]) -> String {
 fn write_json(host_cpus: usize, avr: &[StrategyMeasured], msp: &[StrategyMeasured]) {
     let out = format!(
         "{{\n  \"bench\": \"search\",\n  \"host_cpus\": {host_cpus},\n  \
-         \"note\": \"single-thread timings; optimized engine asserted bit-identical to the \
-         reference (per-wire MATEs, candidate counts, unmaskable verdicts) before timing\",\n\
+         \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  \"lane_width\": 1,\n  \
+         \"note\": \"single-thread timings; the optimized engine gathers cone geometry from \
+         the SoA arena but propagates scalar ternary states (lane width 1); asserted \
+         bit-identical to the reference (per-wire MATEs, candidate counts, unmaskable \
+         verdicts) before timing\",\n\
          {},\n{}\n}}\n",
         json_block("avr", avr),
         json_block("msp430", msp),

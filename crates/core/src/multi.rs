@@ -8,7 +8,7 @@
 //! trust-propagation verifier generalizes by seeding the possibly-faulty
 //! set with every origin.
 
-use mate_netlist::{FaultCone, NetCube, NetId, Netlist, Topology};
+use mate_netlist::{FaultCone, NetCube, NetId, Netlist, SoaNetlist, Topology};
 
 use crate::gmt::GmtCache;
 use crate::paths::enumerate_paths;
@@ -91,8 +91,10 @@ pub fn search_wire_set(
         }
     }
 
+    let soa = SoaNetlist::build(netlist, topo);
     let found = repair_multi(
         netlist,
+        &soa,
         &cone,
         wires,
         &cache,

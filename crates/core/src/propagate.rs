@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
-use mate_netlist::{ConeEndpoint, ConeReaders, FaultCone, NetId, Netlist, TruthTable};
+use mate_netlist::{ConeEndpoint, ConeReaders, FaultCone, NetId, Netlist, SoaNetlist, TruthTable};
 
 /// Cube literal present on this net (assumption made by the candidate).
 const CUBE: u8 = 1 << 0;
@@ -139,15 +139,27 @@ impl PropagationScratch {
     /// serves incremental [`ConeSession::assume`] / [`ConeSession::undo`]
     /// calls.
     ///
-    /// `readers` must be `cone.reader_index(netlist)` — passed in so the
-    /// per-wire index is built once, not per session.
+    /// `soa` must be `SoaNetlist::build(netlist, topo)` for the same design
+    /// — built once per design, it serves every wire search; the cone
+    /// geometry is gathered from its flat arrays instead of walking `Cell`
+    /// objects.  `readers` must be `cone.reader_index(netlist)` — passed in
+    /// so the per-wire index is built once, not per session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `soa` does not describe `netlist`.
     pub fn session<'a>(
         &'a mut self,
         netlist: &'a Netlist,
+        soa: &SoaNetlist,
         cone: &'a FaultCone,
         readers: &'a ConeReaders,
         origins: &[NetId],
     ) -> ConeSession<'a> {
+        assert!(
+            soa.num_nets() == netlist.num_nets() && soa.num_cells() == netlist.num_cells(),
+            "arena incompatible with this netlist"
+        );
         let lib_tag = Arc::as_ptr(netlist.library()) as usize;
         if self.memo_cache.is_empty() {
             self.memo_cache = vec![(u64::MAX, 0); MEMO_CACHE_SLOTS];
@@ -195,14 +207,15 @@ impl PropagationScratch {
         self.pos_pin_off.push(0);
         self.pos_reader_off.push(0);
         for &cell in cone.cells() {
-            let c = netlist.cell(cell);
-            self.pos_ty.push(c.type_id().index() as u32);
-            self.pos_out.push(c.output().index() as u32);
-            for &net in c.inputs() {
-                self.pos_pins.push(net.index() as u32);
-            }
+            // One indexed gather per cell from the arena's flat arrays —
+            // no `Cell` pointer chasing on the session-setup path.
+            let row = soa.comb_row_of(cell).expect("cone cells are combinational");
+            self.pos_ty.push(soa.row_type(row));
+            self.pos_out.push(soa.row_out(row));
+            self.pos_pins.extend_from_slice(soa.row_pins(row));
             self.pos_pin_off.push(self.pos_pins.len() as u32);
-            self.pos_readers.extend_from_slice(readers.of(c.output()));
+            self.pos_readers
+                .extend_from_slice(readers.of(NetId::from_index(soa.row_out(row) as usize)));
             self.pos_reader_off.push(self.pos_readers.len() as u32);
         }
 
@@ -515,11 +528,17 @@ mod tests {
     use mate_netlist::examples::{figure1, figure1b, tmr_register};
     use mate_netlist::NetCube;
 
-    fn check_equal(netlist: &Netlist, cone: &FaultCone, origins: &[NetId], cube: &NetCube) {
+    fn check_equal(
+        netlist: &Netlist,
+        soa: &SoaNetlist,
+        cone: &FaultCone,
+        origins: &[NetId],
+        cube: &NetCube,
+    ) {
         let reference = propagate_cube_reference(netlist, cone, origins, cube);
         let mut scratch = PropagationScratch::new();
         let readers = cone.reader_index(netlist);
-        let mut session = scratch.session(netlist, cone, &readers, origins);
+        let mut session = scratch.session(netlist, soa, cone, &readers, origins);
         session.assume(cube.literals());
         assert_eq!(session.masked(), reference.masked, "masked diverges");
         assert_eq!(
@@ -539,9 +558,10 @@ mod tests {
     #[test]
     fn empty_cube_matches_reference_on_examples() {
         for (n, topo) in [figure1(), figure1b(), tmr_register()] {
+            let soa = SoaNetlist::build(&n, &topo);
             for wire in crate::ff_wires(&n, &topo) {
                 let cone = FaultCone::compute(&n, &topo, wire);
-                check_equal(&n, &cone, &[wire], &NetCube::top());
+                check_equal(&n, &soa, &cone, &[wire], &NetCube::top());
             }
         }
     }
@@ -552,13 +572,14 @@ mod tests {
         let d = n.find_net("d").unwrap();
         let f = n.find_net("f").unwrap();
         let h = n.find_net("h").unwrap();
+        let soa = SoaNetlist::build(&n, &topo);
         let cone = FaultCone::compute(&n, &topo, d);
         let cube = NetCube::from_literals([(f, false), (h, true)]).unwrap();
-        check_equal(&n, &cone, &[d], &cube);
+        check_equal(&n, &soa, &cone, &[d], &cube);
 
         let mut scratch = PropagationScratch::new();
         let readers = cone.reader_index(&n);
-        let mut session = scratch.session(&n, &cone, &readers, &[d]);
+        let mut session = scratch.session(&n, &soa, &cone, &readers, &[d]);
         assert!(!session.masked());
         let mark = session.assume(cube.literals());
         assert!(session.masked());
@@ -570,11 +591,12 @@ mod tests {
     fn incremental_pushes_match_from_scratch() {
         let (n, topo) = tmr_register();
         let r0 = n.find_net("r0").unwrap();
+        let soa = SoaNetlist::build(&n, &topo);
         let cone = FaultCone::compute(&n, &topo, r0);
         let border = cone.border_nets(&n);
         let readers = cone.reader_index(&n);
         let mut scratch = PropagationScratch::new();
-        let mut session = scratch.session(&n, &cone, &readers, &[r0]);
+        let mut session = scratch.session(&n, &soa, &cone, &readers, &[r0]);
         // Push border literals one at a time; after each push the session
         // must equal a from-scratch propagation of the accumulated cube.
         let mut acc = NetCube::top();
@@ -600,14 +622,28 @@ mod tests {
     #[test]
     fn scratch_is_reusable_across_cones() {
         let (n, topo) = figure1b();
+        let soa = SoaNetlist::build(&n, &topo);
         let mut scratch = PropagationScratch::new();
         for wire in crate::ff_wires(&n, &topo) {
             let cone = FaultCone::compute(&n, &topo, wire);
             let readers = cone.reader_index(&n);
             let reference = propagate_cube_reference(&n, &cone, &[wire], &NetCube::top());
-            let session = scratch.session(&n, &cone, &readers, &[wire]);
+            let session = scratch.session(&n, &soa, &cone, &readers, &[wire]);
             assert_eq!(session.masked(), reference.masked);
         }
         assert!(scratch.memo_entries() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena incompatible")]
+    fn mismatched_arena_panics() {
+        let (n, topo) = figure1b();
+        let (other, other_topo) = tmr_register();
+        let soa = SoaNetlist::build(&other, &other_topo);
+        let wire = crate::ff_wires(&n, &topo)[0];
+        let cone = FaultCone::compute(&n, &topo, wire);
+        let readers = cone.reader_index(&n);
+        let mut scratch = PropagationScratch::new();
+        let _ = scratch.session(&n, &soa, &cone, &readers, &[wire]);
     }
 }

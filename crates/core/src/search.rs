@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use mate_netlist::{CellId, FaultCone, NetCube, NetId, Netlist, Topology};
+use mate_netlist::{CellId, FaultCone, NetCube, NetId, Netlist, SoaNetlist, Topology};
 
 use crate::gmt::GmtCache;
 use crate::mates::{summarize, Mate, MateSet};
@@ -181,16 +181,20 @@ pub fn search_wire_cached(
     cache: &GmtCache,
 ) -> WireSearchResult {
     let mut scratch = PropagationScratch::new();
-    search_wire_scratch(netlist, topo, wire, config, cache, &mut scratch)
+    let soa = SoaNetlist::build(netlist, topo);
+    search_wire_scratch(netlist, topo, &soa, wire, config, cache, &mut scratch)
 }
 
 /// Like [`search_wire_cached`] but additionally reusing a
 /// [`PropagationScratch`] across wires, so steady-state candidate
 /// verification allocates nothing.  Worker threads of [`search_design`]
-/// each own one scratch for their whole share of the design.
+/// each own one scratch for their whole share of the design; the
+/// [`SoaNetlist`] arena is built once per design (`SoaNetlist::build`) and
+/// shared read-only by every worker.
 pub fn search_wire_scratch(
     netlist: &Netlist,
     topo: &Topology,
+    soa: &SoaNetlist,
     wire: NetId,
     config: &SearchConfig,
     cache: &GmtCache,
@@ -350,7 +354,7 @@ pub fn search_wire_scratch(
                     }
                     PropagationMode::Optimized => {
                         let readers = cone.reader_index(netlist);
-                        let session = scratch.session(netlist, &cone, &readers, &[wire]);
+                        let session = scratch.session(netlist, soa, &cone, &readers, &[wire]);
                         let mut verifier = SessionVerifier::new(session);
                         run_combos(
                             &maskable,
@@ -382,7 +386,7 @@ pub fn search_wire_scratch(
             }
             PropagationMode::Optimized => {
                 let readers = cone.reader_index(netlist);
-                let session = scratch.session(netlist, &cone, &readers, &[wire]);
+                let session = scratch.session(netlist, soa, &cone, &readers, &[wire]);
                 let mut verifier = SessionVerifier::new(session);
                 repair_all(
                     netlist,
@@ -519,6 +523,7 @@ fn minimize_cubes(mut found: Vec<NetCube>) -> Vec<NetCube> {
 /// several simultaneous origins (used by [`crate::multi::search_wire_set`]).
 pub(crate) fn repair_multi(
     netlist: &Netlist,
+    soa: &SoaNetlist,
     cone: &mate_netlist::FaultCone,
     origins: &[NetId],
     cache: &GmtCache,
@@ -542,7 +547,7 @@ pub(crate) fn repair_multi(
         PropagationMode::Optimized => {
             let readers = cone.reader_index(netlist);
             let mut scratch = PropagationScratch::new();
-            let session = scratch.session(netlist, cone, &readers, origins);
+            let session = scratch.session(netlist, soa, cone, &readers, origins);
             let mut verifier = SessionVerifier::new(session);
             repair_all(
                 netlist,
@@ -1194,6 +1199,9 @@ pub fn search_design(
 ) -> DesignSearch {
     let start = Instant::now();
     let cache = GmtCache::new();
+    // One compile-once arena for the whole design: every worker's
+    // propagation sessions gather cone geometry from its flat arrays.
+    let soa = SoaNetlist::build(netlist, topo);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -1209,6 +1217,7 @@ pub fn search_design(
             *slot = Some(search_wire_scratch(
                 netlist,
                 topo,
+                &soa,
                 wire,
                 config,
                 &cache,
@@ -1222,6 +1231,7 @@ pub fn search_design(
                 .map(|_| {
                     let cache = &cache;
                     let next = &next;
+                    let soa = &soa;
                     scope.spawn(move || {
                         let mut scratch = PropagationScratch::new();
                         let mut claimed: Vec<(usize, WireSearchResult)> = Vec::new();
@@ -1235,6 +1245,7 @@ pub fn search_design(
                                 search_wire_scratch(
                                     netlist,
                                     topo,
+                                    soa,
                                     wires[i],
                                     config,
                                     cache,

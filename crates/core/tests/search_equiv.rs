@@ -11,7 +11,7 @@ use mate::search::{
     propagate_cube_reference, search_design, PropagationMode, SearchConfig, SearchStrategy,
 };
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
-use mate_netlist::{FaultCone, NetCube, NetId, Netlist, Topology};
+use mate_netlist::{FaultCone, NetCube, NetId, Netlist, SoaNetlist, Topology};
 
 /// SplitMix-style deterministic stream: one value per (seed, tag, index).
 fn mix(seed: u64, tag: u64, index: u64) -> u64 {
@@ -119,12 +119,13 @@ proptest! {
     #[test]
     fn session_propagation_matches_reference(seed in 0u64..10_000) {
         let (netlist, topo) = circuit(seed);
+        let soa = SoaNetlist::build(&netlist, &topo);
         let mut scratch = PropagationScratch::new();
         for (w, &wire) in mate::ff_wires(&netlist, &topo).iter().enumerate().take(4) {
             let cone = FaultCone::compute(&netlist, &topo, wire);
             let readers = cone.reader_index(&netlist);
             let origins = [wire];
-            let mut session = scratch.session(&netlist, &cone, &readers, &origins);
+            let mut session = scratch.session(&netlist, &soa, &cone, &readers, &origins);
             assert_matches_reference(&session, &netlist, &cone, &origins, &NetCube::top())?;
             for c in 0..6u64 {
                 let Some(cube) = random_cube(seed, 10 + 100 * w as u64 + 2 * c, netlist.num_nets())
@@ -147,11 +148,12 @@ proptest! {
         let (netlist, topo) = circuit(seed);
         let wires = mate::ff_wires(&netlist, &topo);
         let wire = wires[(mix(seed, 1, 0) % wires.len() as u64) as usize];
+        let soa = SoaNetlist::build(&netlist, &topo);
         let cone = FaultCone::compute(&netlist, &topo, wire);
         let readers = cone.reader_index(&netlist);
         let origins = [wire];
         let mut scratch = PropagationScratch::new();
-        let mut session = scratch.session(&netlist, &cone, &readers, &origins);
+        let mut session = scratch.session(&netlist, &soa, &cone, &readers, &origins);
         // Stack of (accumulated cube, undo mark) mirroring repair_rec.
         let mut stack: Vec<(NetCube, mate::propagate::Mark)> = Vec::new();
         let mut current = NetCube::top();

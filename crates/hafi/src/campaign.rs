@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use mate_netlist::{MateError, NetId, Netlist, Topology};
-use mate_sim::{WaveTrace, WideSimulator};
+use mate_netlist::{LaneBlock, MateError, NetId, Netlist, Topology, B256, B512};
+use mate_sim::{BlockSimulator, WaveTrace};
 
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
@@ -166,21 +166,48 @@ fn classify(
     }
 }
 
-/// Classifies a batch of fault points against `golden`, choosing the
-/// fastest sound engine the harness supports:
+/// Lane width of the batched campaign engine: how many fault scenarios one
+/// [`BlockSimulator`] pass carries.
 ///
-/// 1. **Wide** — no external devices and pure stimuli: up to 64 fault points
-///    per injection cycle are packed into the lanes of a [`WideSimulator`]
-///    seeded directly from the golden trace at the injection cycle, then
-///    classified in lock-step with per-lane early retirement.
-/// 2. **Checkpointed scalar** — all devices snapshotable and pure stimuli:
-///    one incremental golden run captures a checkpoint at every injection
-///    cycle; each faulty run is seeded by restore instead of replaying the
-///    warm-up prefix.
-/// 3. **Scalar fallback** — anything else: one [`inject`] per point.
-///
-/// All three paths produce bit-identical [`FaultEffect`] classifications.
-/// Results are returned in the order of `points`.
+/// Every width produces bit-identical [`FaultEffect`] classifications; the
+/// choice only trades register pressure against scenarios per pass.  The
+/// default is [`LaneWidth::W256`] (four words per net, the AVX2-register
+/// shape).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LaneWidth {
+    /// 64 scenarios per pass (one `u64` per net) — the baseline engine.
+    W64,
+    /// 256 scenarios per pass (a [`B256`] block per net).
+    #[default]
+    W256,
+    /// 512 scenarios per pass (a [`B512`] block per net).
+    W512,
+}
+
+impl LaneWidth {
+    /// Number of fault scenarios per simulation pass.
+    pub fn lanes(self) -> usize {
+        match self {
+            Self::W64 => 64,
+            Self::W256 => 256,
+            Self::W512 => 512,
+        }
+    }
+
+    /// All supported widths, narrowest first (for equivalence sweeps).
+    pub fn all() -> [Self; 3] {
+        [Self::W64, Self::W256, Self::W512]
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lanes())
+    }
+}
+
+/// Classifies a batch of fault points against `golden` with the default
+/// lane width — see [`classify_points_with`].
 ///
 /// # Errors
 ///
@@ -191,6 +218,37 @@ pub fn classify_points(
     golden: &GoldenRun,
     points: &[FaultPoint],
 ) -> Result<Vec<FaultEffect>, MateError> {
+    classify_points_with(harness, golden, points, LaneWidth::default())
+}
+
+/// Classifies a batch of fault points against `golden`, choosing the
+/// fastest sound engine the harness supports:
+///
+/// 1. **Wide** — no external devices and pure stimuli: up to
+///    [`LaneWidth::lanes`] fault points per injection cycle are packed into
+///    the lanes of a [`BlockSimulator`] seeded directly from the golden
+///    trace at the injection cycle, then classified in lock-step with
+///    per-lane early retirement.
+/// 2. **Checkpointed scalar** — all devices snapshotable and pure stimuli:
+///    one incremental golden run captures a checkpoint at every injection
+///    cycle; each faulty run is seeded by restore instead of replaying the
+///    warm-up prefix.
+/// 3. **Scalar fallback** — anything else: one [`inject`] per point.
+///
+/// All paths — every lane width included — produce bit-identical
+/// [`FaultEffect`] classifications.  Results are returned in the order of
+/// `points`.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] if any injection cycle lies beyond the
+/// golden trace.
+pub fn classify_points_with(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+    lanes: LaneWidth,
+) -> Result<Vec<FaultEffect>, MateError> {
     let horizon = golden.trace.num_cycles();
     if let Some(p) = points.iter().find(|p| p.cycle >= horizon) {
         return Err(MateError::campaign(format!(
@@ -200,7 +258,11 @@ pub fn classify_points(
     }
     let probe = harness.testbench();
     Ok(if probe.can_run_wide() {
-        classify_points_wide(harness, golden, points)
+        match lanes {
+            LaneWidth::W64 => classify_points_block::<u64>(harness, golden, points),
+            LaneWidth::W256 => classify_points_block::<B256>(harness, golden, points),
+            LaneWidth::W512 => classify_points_block::<B512>(harness, golden, points),
+        }
     } else if probe.can_checkpoint() {
         classify_points_checkpoint(harness, golden, points)
     } else {
@@ -212,19 +274,10 @@ pub fn classify_points(
     })
 }
 
-/// Broadcasts a golden bit across all 64 lanes.
-#[inline]
-fn broadcast(bit: bool) -> u64 {
-    if bit {
-        u64::MAX
-    } else {
-        0
-    }
-}
-
-/// The wide engine behind [`classify_points`]: groups points by injection
-/// cycle, packs up to 64 of them into one lane-parallel run seeded from the
-/// golden trace, and compares every lane against golden with word XORs.
+/// The block-lane engine behind [`classify_points_with`]: groups points by
+/// injection cycle, packs up to `B::WIDTH` of them into one lane-parallel
+/// run seeded from the golden trace, and compares every lane against golden
+/// with block XORs.
 ///
 /// Early retirement is sound here because the wide path requires a harness
 /// without devices: once a lane's full flip-flop state re-converges to the
@@ -233,7 +286,7 @@ fn broadcast(bit: bool) -> u64 {
 /// decided — `OutputFailure` can no longer occur and the recorded
 /// convergence offset is final, exactly as the scalar classifier would
 /// conclude after running out the horizon.
-fn classify_points_wide(
+fn classify_points_block<B: LaneBlock>(
     harness: &dyn DesignHarness,
     golden: &GoldenRun,
     points: &[FaultPoint],
@@ -242,7 +295,8 @@ fn classify_points_wide(
     // The testbench is used purely as a stimulus source; pure waves may be
     // sampled at arbitrary cycles.
     let mut stim = harness.testbench();
-    let mut wide = WideSimulator::new(harness.netlist(), harness.topology());
+    let mut wide: BlockSimulator<'_, B> =
+        BlockSimulator::new(harness.netlist(), harness.topology());
 
     let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (idx, p) in points.iter().enumerate() {
@@ -251,54 +305,46 @@ fn classify_points_wide(
 
     let mut effects = vec![FaultEffect::Latent; points.len()];
     for (&cycle, indices) in &by_cycle {
-        for chunk in indices.chunks(64) {
+        for chunk in indices.chunks(B::WIDTH) {
             wide.load_from_trace(&golden.trace, cycle);
             for (lane, &idx) in chunk.iter().enumerate() {
                 wide.flip_ff(points[idx].ff, lane);
             }
-            let mut active = if chunk.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
+            let mut active = B::low_lanes(chunk.len());
             for t in cycle..horizon {
-                stim.apply_stimuli_wide(&mut wide, t as u64);
+                stim.apply_stimuli_block(&mut wide, t as u64);
                 wide.settle();
                 // Outputs first, mirroring the scalar classifier's priority.
-                let mut out_diff = 0u64;
+                let mut out_diff = B::ZERO;
                 for &net in &golden.output_nets {
-                    out_diff |= wide.value_word(net) ^ broadcast(golden.trace.value(t, net));
+                    out_diff |= wide.value_block(net) ^ B::splat(golden.trace.value(t, net));
                 }
                 let failed = out_diff & active;
-                if failed != 0 {
-                    for (lane, &idx) in chunk.iter().enumerate() {
-                        if failed & (1 << lane) != 0 {
-                            effects[idx] = FaultEffect::OutputFailure { after: t - cycle };
-                        }
-                    }
+                if !failed.is_zero() {
+                    failed.for_each_lane(|lane| {
+                        effects[chunk[lane]] = FaultEffect::OutputFailure { after: t - cycle };
+                    });
                     active &= !failed;
                 }
-                if t > cycle && active != 0 {
-                    let mut state_diff = 0u64;
+                if t > cycle && !active.is_zero() {
+                    let mut state_diff = B::ZERO;
                     for &net in &golden.state_nets {
-                        state_diff |= wide.value_word(net) ^ broadcast(golden.trace.value(t, net));
+                        state_diff |= wide.value_block(net) ^ B::splat(golden.trace.value(t, net));
                     }
                     let converged = active & !state_diff;
-                    if converged != 0 {
+                    if !converged.is_zero() {
                         let after = t - cycle;
-                        for (lane, &idx) in chunk.iter().enumerate() {
-                            if converged & (1 << lane) != 0 {
-                                effects[idx] = if after == 1 {
-                                    FaultEffect::MaskedWithinOneCycle
-                                } else {
-                                    FaultEffect::SilentRecovery { after }
-                                };
-                            }
-                        }
+                        converged.for_each_lane(|lane| {
+                            effects[chunk[lane]] = if after == 1 {
+                                FaultEffect::MaskedWithinOneCycle
+                            } else {
+                                FaultEffect::SilentRecovery { after }
+                            };
+                        });
                         active &= !converged;
                     }
                 }
-                if active == 0 {
+                if active.is_zero() {
                     break;
                 }
                 wide.tick();
@@ -478,6 +524,9 @@ pub struct CampaignConfig {
     /// cores (the [`crate::SearchConfig`]-style convention).  Results are
     /// bit-identical for every thread count.
     pub threads: usize,
+    /// Lane width of the batched engine (scenarios per simulation pass).
+    /// Results are bit-identical for every width.
+    pub lanes: LaneWidth,
 }
 
 impl Default for CampaignConfig {
@@ -487,6 +536,7 @@ impl Default for CampaignConfig {
             sample: None,
             seed: 0,
             threads: 0,
+            lanes: LaneWidth::default(),
         }
     }
 }
@@ -579,10 +629,10 @@ fn effective_threads(threads: usize, points: usize) -> usize {
 }
 
 /// Runs a full (or sampled) injection campaign over `space` on the batched
-/// engine: identical records to [`run_campaign`], at up to 64 fault
-/// scenarios per simulation via [`classify_points`], sharded over
-/// [`CampaignConfig::threads`] worker threads (threads × 64 concurrent
-/// fault scenarios).
+/// engine: identical records to [`run_campaign`], at up to
+/// [`CampaignConfig::lanes`] fault scenarios per simulation via
+/// [`classify_points_with`], sharded over [`CampaignConfig::threads`]
+/// worker threads (threads × lanes concurrent fault scenarios).
 ///
 /// Each thread classifies one contiguous chunk of the point list into its
 /// slice of the result buffer, so the records come back in the original
@@ -606,16 +656,17 @@ pub fn run_campaign_wide(
     .collect();
     let threads = effective_threads(config.threads, points.len());
     let effects = if threads <= 1 {
-        classify_points(harness, &golden, &points)?
+        classify_points_with(harness, &golden, &points, config.lanes)?
     } else {
         let chunk = points.len().div_ceil(threads);
         let mut shards: Vec<Result<Vec<FaultEffect>, MateError>> =
             points.chunks(chunk).map(|_| Ok(Vec::new())).collect();
         let golden = &golden;
+        let lanes = config.lanes;
         std::thread::scope(|scope| {
             for (pts, out) in points.chunks(chunk).zip(shards.iter_mut()) {
                 scope.spawn(move || {
-                    *out = classify_points(harness, golden, pts);
+                    *out = classify_points_with(harness, golden, pts, lanes);
                 });
             }
         });
@@ -772,12 +823,46 @@ mod tests {
             sample: None,
             seed: 0,
             threads: 1,
+            lanes: LaneWidth::W64,
         };
         let single = run_campaign_wide(&harness, &space, &base).unwrap();
         for threads in [0usize, 2, 4, 7, 1000] {
-            let sharded =
-                run_campaign_wide(&harness, &space, &CampaignConfig { threads, ..base }).unwrap();
-            assert_eq!(single.records, sharded.records, "{threads} threads");
+            for lanes in LaneWidth::all() {
+                let sharded = run_campaign_wide(
+                    &harness,
+                    &space,
+                    &CampaignConfig {
+                        threads,
+                        lanes,
+                        ..base
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    single.records, sharded.records,
+                    "{threads} threads, {lanes} lanes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_widths_match_scalar_reference() {
+        // The block engines must classify bit-identically to the scalar
+        // `inject` path, including partially filled tail blocks.
+        let (n, topo) = counter(5);
+        let en = n.find_net("en").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(en, vec![true, true, false]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 20);
+        let golden = golden_run(&harness, 21);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        let scalar: Vec<FaultEffect> = points
+            .iter()
+            .map(|&p| inject(&harness, &golden, p).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            let block = classify_points_with(&harness, &golden, &points, lanes).unwrap();
+            assert_eq!(scalar, block, "{lanes} lanes");
         }
     }
 

@@ -15,13 +15,13 @@
 
 use mate::eval::PruneMatrix;
 use mate::MateSet;
-use mate_netlist::NetId;
+use mate_netlist::{NetId, WORD_LANES};
 use mate_sim::{Simulator, TransposedTrace};
 
 use crate::harness::DesignHarness;
 
 /// Cycles per flushed evaluation block (one packed trace word).
-const BLOCK: usize = 64;
+const BLOCK: usize = WORD_LANES;
 
 /// Evaluates a MATE set against live simulator state, batched in 64-cycle
 /// blocks.
@@ -97,7 +97,7 @@ impl<'m> OnlinePruner<'m> {
         assert!(self.cycle < self.matrix.cycles(), "horizon exceeded");
         if self.words_per_cycle == 0 {
             self.num_nets = sim.netlist().num_nets();
-            self.words_per_cycle = self.num_nets.div_ceil(64).max(1);
+            self.words_per_cycle = self.num_nets.div_ceil(WORD_LANES).max(1);
             self.rows = vec![0u64; BLOCK * self.words_per_cycle];
         }
         let words = sim.values().as_words();

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! Gate-level netlist infrastructure for fault-space pruning.
 //!
 //! This crate provides the substrate the DAC'18 *fault-masking term* (MATE)
@@ -12,6 +13,12 @@
 //!   Library used by the paper (NAND/NOR/AOI/OAI/MUX/XOR/majority/DFF).
 //! * [`netlist`] — the flat gate-level netlist: nets, cells, ports.
 //! * [`graph`] — levelization, fan-out indices, and fault-cone extraction.
+//! * [`lanes`] — the [`lanes::LaneBlock`] lane-container abstraction behind
+//!   the 64/256/512-lane bit-parallel engines (with an optional `simd`
+//!   feature routing the wide blocks through `std::simd`).
+//! * [`soa`] — the compile-once structure-of-arrays evaluation arena
+//!   ([`soa::SoaNetlist`]): levelized per-cell-type runs over flat CSR pin
+//!   arrays, the layout all hot kernels stream.
 //! * [`verilog`] — structural-Verilog writer and reader for netlist exchange.
 //! * [`random`] — seeded random synchronous circuits for property testing.
 //! * [`examples`] — small hand-built circuits, including the example circuit
@@ -37,11 +44,13 @@ pub mod cube;
 pub mod error;
 pub mod examples;
 pub mod graph;
+pub mod lanes;
 pub mod library;
 pub mod logic;
 pub mod netlist;
 pub mod opt;
 pub mod random;
+pub mod soa;
 pub mod stats;
 pub mod util;
 pub mod verilog;
@@ -52,10 +61,12 @@ pub use cube::NetCube;
 pub use error::MateError;
 pub use graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
 pub use ids::{CellId, CellTypeId, NetId};
+pub use lanes::{LaneBlock, B256, B512, WORD_LANES};
 pub use library::{CellFn, CellType, Library};
 pub use logic::{masking_cubes, PinCube, TruthTable};
 pub use netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
 pub use opt::{optimize, OptStats, Optimized};
+pub use soa::{SoaNetlist, SoaRun};
 pub use util::BitSet;
 
 /// Convenience re-exports for downstream crates.
@@ -64,8 +75,10 @@ pub mod prelude {
     pub use crate::error::MateError;
     pub use crate::graph::{ConeEndpoint, ConeReaders, FaultCone, Topology};
     pub use crate::ids::{CellId, CellTypeId, NetId};
+    pub use crate::lanes::{LaneBlock, B256, B512, WORD_LANES};
     pub use crate::library::{CellFn, CellType, Library};
     pub use crate::logic::{masking_cubes, PinCube, TruthTable};
     pub use crate::netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
+    pub use crate::soa::{SoaNetlist, SoaRun};
     pub use crate::util::BitSet;
 }

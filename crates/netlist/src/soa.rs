@@ -1,0 +1,456 @@
+//! Structure-of-arrays evaluation arena.
+//!
+//! The pointer-rich [`Netlist`](crate::Netlist) graph is built for editing
+//! and analysis: cells own their pin lists, nets know their names and
+//! drivers, everything is reachable from everything.  The evaluation hot
+//! loops (wide campaign settle, incremental cone propagation) want the
+//! opposite: a compile-once, flat, cache-friendly layout they can stream.
+//!
+//! [`SoaNetlist`] is that layout.  Built once from a validated netlist and
+//! its [`Topology`], it stores the combinational cloud as:
+//!
+//! * a **levelized schedule** — rows ordered by logic level, so evaluating
+//!   rows front-to-back is topologically correct and every level is a
+//!   data-parallel batch;
+//! * **per-cell-type runs** within each level — consecutive rows sharing one
+//!   [`TruthTable`] and input arity, so the evaluation inner loop hoists the
+//!   table lookup out of the per-cell work entirely;
+//! * **flat CSR pin arrays** — one `u32` net index per pin in one contiguous
+//!   array, replacing the per-cell `Vec<NetId>` pointer chase;
+//! * **flat flip-flop D/Q index pairs** in [`Topology::seq_cells`] order,
+//!   so the clock tick is two parallel array walks.
+//!
+//! All state indices are plain `u32` net indices into whatever per-net value
+//! array the consumer keeps (`Vec<B>` for a [`LaneBlock`](crate::LaneBlock)
+//! engine, packed bits for the scalar reference) — the arena itself holds no
+//! values, so one arena serves any lane width.
+
+use std::ops::Range;
+
+use crate::graph::Topology;
+use crate::ids::CellId;
+use crate::logic::TruthTable;
+use crate::netlist::Netlist;
+
+/// A maximal range of consecutive rows that share one cell type: same
+/// truth table, same input arity, same logic level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaRun {
+    tt: TruthTable,
+    arity: u32,
+    level: u32,
+    start: u32,
+    end: u32,
+}
+
+impl SoaRun {
+    /// The truth table every row in this run evaluates.
+    #[inline]
+    pub fn tt(&self) -> &TruthTable {
+        &self.tt
+    }
+
+    /// Input pin count of every row in this run.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Logic level of the run (1 = fed only by inputs / flip-flops).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level as usize
+    }
+
+    /// The row range `start..end` this run covers.
+    #[inline]
+    pub fn rows(&self) -> Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// Compile-once structure-of-arrays view of a validated netlist: levelized
+/// per-cell-type runs over flat CSR pin arrays (see the module docs).
+///
+/// Constructed with [`SoaNetlist::build`]; consumed by the wide simulators
+/// and the incremental propagation engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaNetlist {
+    num_nets: usize,
+    num_cells: usize,
+    runs: Vec<SoaRun>,
+    /// Output net index per row.
+    out: Vec<u32>,
+    /// CSR offsets into `pins`, one entry per row plus a terminator.
+    pin_off: Vec<u32>,
+    /// Flat input-pin net indices, rows back to back.
+    pins: Vec<u32>,
+    /// Cell-type index per row (the memo key of the propagation engine).
+    ty: Vec<u32>,
+    /// Original cell of each row.
+    row_cell: Vec<CellId>,
+    /// Row of each cell (`u32::MAX` for sequential cells).
+    comb_row: Vec<u32>,
+    /// Flip-flop D input net indices, in [`Topology::seq_cells`] order.
+    ff_d: Vec<u32>,
+    /// Flip-flop Q output net indices, in [`Topology::seq_cells`] order.
+    ff_q: Vec<u32>,
+}
+
+impl SoaNetlist {
+    /// Flattens a validated netlist into the evaluation arena.
+    ///
+    /// Rows are grouped by (logic level, cell type) and ordered by level, so
+    /// a front-to-back sweep of [`SoaNetlist::runs`] is a correct settle
+    /// schedule; within a group the original [`Topology::comb_order`] is
+    /// preserved, keeping the layout deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a combinational cell lacks a truth table (impossible for a
+    /// validated netlist).
+    pub fn build(netlist: &Netlist, topo: &Topology) -> Self {
+        let num_cells = netlist.num_cells();
+        // Logic level per net: inputs, constants, and flip-flop outputs sit
+        // at level 0; a gate output is one past its deepest input.
+        let mut net_level = vec![0u32; netlist.num_nets()];
+        let mut cell_level = vec![0u32; num_cells];
+        for &cell_id in topo.comb_order() {
+            let cell = netlist.cell(cell_id);
+            let lvl = 1 + cell
+                .inputs()
+                .iter()
+                .map(|n| net_level[n.index()])
+                .max()
+                .unwrap_or(0);
+            net_level[cell.output().index()] = lvl;
+            cell_level[cell_id.index()] = lvl;
+        }
+
+        // Bucket the schedule per level, preserving comb_order within each
+        // bucket, then stable-group each bucket by cell type.
+        let max_level = topo
+            .comb_order()
+            .iter()
+            .map(|c| cell_level[c.index()] as usize)
+            .max()
+            .unwrap_or(0);
+        let mut per_level: Vec<Vec<CellId>> = vec![Vec::new(); max_level + 1];
+        for &cell_id in topo.comb_order() {
+            per_level[cell_level[cell_id.index()] as usize].push(cell_id);
+        }
+
+        let mut runs = Vec::new();
+        let mut out = Vec::with_capacity(topo.comb_order().len());
+        let mut pin_off = Vec::with_capacity(topo.comb_order().len() + 1);
+        let mut pins = Vec::new();
+        let mut ty = Vec::with_capacity(topo.comb_order().len());
+        let mut row_cell = Vec::with_capacity(topo.comb_order().len());
+        let mut comb_row = vec![u32::MAX; num_cells];
+        pin_off.push(0u32);
+        for (level, bucket) in per_level.iter().enumerate().skip(1) {
+            // Stable group-by-type: order of first appearance in comb_order.
+            let mut groups: Vec<(u32, Vec<CellId>)> = Vec::new();
+            for &cell_id in bucket {
+                let t = netlist.cell(cell_id).type_id().index() as u32;
+                match groups.iter_mut().find(|(gt, _)| *gt == t) {
+                    Some((_, cells)) => cells.push(cell_id),
+                    None => groups.push((t, vec![cell_id])),
+                }
+            }
+            for (t, cells) in groups {
+                let tt = *netlist
+                    .cell_type_of(cells[0])
+                    .truth_table()
+                    .expect("comb cells have truth tables");
+                let start = out.len() as u32;
+                for cell_id in cells {
+                    let cell = netlist.cell(cell_id);
+                    comb_row[cell_id.index()] = out.len() as u32;
+                    out.push(cell.output().index() as u32);
+                    ty.push(t);
+                    row_cell.push(cell_id);
+                    pins.extend(cell.inputs().iter().map(|n| n.index() as u32));
+                    pin_off.push(pins.len() as u32);
+                }
+                runs.push(SoaRun {
+                    tt,
+                    arity: tt.inputs() as u32,
+                    level: level as u32,
+                    start,
+                    end: out.len() as u32,
+                });
+            }
+        }
+
+        let mut ff_d = Vec::with_capacity(topo.seq_cells().len());
+        let mut ff_q = Vec::with_capacity(topo.seq_cells().len());
+        for &ff in topo.seq_cells() {
+            let cell = netlist.cell(ff);
+            ff_d.push(cell.inputs()[0].index() as u32);
+            ff_q.push(cell.output().index() as u32);
+        }
+
+        Self {
+            num_nets: netlist.num_nets(),
+            num_cells,
+            runs,
+            out,
+            pin_off,
+            pins,
+            ty,
+            row_cell,
+            comb_row,
+            ff_d,
+            ff_q,
+        }
+    }
+
+    /// Number of nets in the source netlist (the length any per-net value
+    /// array must have).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// Number of combinational rows (= combinational cells).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.out.len()
+    }
+
+    /// The levelized per-type runs, in evaluation order.
+    #[inline]
+    pub fn runs(&self) -> &[SoaRun] {
+        &self.runs
+    }
+
+    /// Input-pin net indices of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row_pins(&self, row: usize) -> &[u32] {
+        &self.pins[self.pin_off[row] as usize..self.pin_off[row + 1] as usize]
+    }
+
+    /// Output net index of one row.
+    #[inline]
+    pub fn row_out(&self, row: usize) -> u32 {
+        self.out[row]
+    }
+
+    /// Cell-type index of one row (the library index of its type).
+    #[inline]
+    pub fn row_type(&self, row: usize) -> u32 {
+        self.ty[row]
+    }
+
+    /// The original cell a row was flattened from.
+    #[inline]
+    pub fn row_cell(&self, row: usize) -> CellId {
+        self.row_cell[row]
+    }
+
+    /// The row a combinational cell was flattened to, or `None` for
+    /// sequential cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range for the source netlist.
+    #[inline]
+    pub fn comb_row_of(&self, cell: CellId) -> Option<usize> {
+        match self.comb_row[cell.index()] {
+            u32::MAX => None,
+            row => Some(row as usize),
+        }
+    }
+
+    /// Flip-flop D-input net indices, in [`Topology::seq_cells`] order.
+    #[inline]
+    pub fn ff_d(&self) -> &[u32] {
+        &self.ff_d
+    }
+
+    /// Flip-flop Q-output net indices, in [`Topology::seq_cells`] order.
+    #[inline]
+    pub fn ff_q(&self) -> &[u32] {
+        &self.ff_q
+    }
+
+    /// Number of cells (combinational + sequential) in the source netlist.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Checks the structural invariants against the source netlist: every
+    /// combinational cell maps to exactly one row carrying its type, output,
+    /// and pins; rows are levelized (every pin is produced at a lower
+    /// level); runs are homogeneous; flip-flop arrays mirror
+    /// [`Topology::seq_cells`].  Used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_consistent(&self, netlist: &Netlist, topo: &Topology) {
+        assert_eq!(self.num_nets, netlist.num_nets(), "net count");
+        assert_eq!(self.num_rows(), topo.comb_order().len(), "row count");
+        assert_eq!(self.ff_d.len(), topo.seq_cells().len(), "ff count");
+        let mut seen = vec![false; self.num_rows()];
+        for &cell_id in topo.comb_order() {
+            let row = self
+                .comb_row_of(cell_id)
+                .expect("comb cell must have a row");
+            assert!(!seen[row], "cell {cell_id:?} mapped to a reused row");
+            seen[row] = true;
+            let cell = netlist.cell(cell_id);
+            assert_eq!(self.row_cell(row), cell_id, "row_cell");
+            assert_eq!(self.row_out(row) as usize, cell.output().index(), "out");
+            assert_eq!(
+                self.row_type(row) as usize,
+                cell.type_id().index(),
+                "type of {cell_id:?}"
+            );
+            let pins: Vec<u32> = cell.inputs().iter().map(|n| n.index() as u32).collect();
+            assert_eq!(self.row_pins(row), pins.as_slice(), "pins of {cell_id:?}");
+        }
+        // Levelization: walking rows front to back, every pin must already
+        // be defined (driven by an earlier row, an input, or a flip-flop).
+        let mut defined = vec![true; self.num_nets];
+        for &cell_id in topo.comb_order() {
+            defined[netlist.cell(cell_id).output().index()] = false;
+        }
+        let mut row = 0usize;
+        for run in &self.runs {
+            assert_eq!(run.rows().start, row, "runs must tile the rows");
+            assert_eq!(
+                run.tt(),
+                netlist
+                    .cell_type_of(self.row_cell(row.max(run.rows().start)))
+                    .truth_table()
+                    .expect("comb"),
+                "run truth table"
+            );
+            for r in run.rows() {
+                assert_eq!(self.row_pins(r).len(), run.arity(), "run arity");
+                assert_eq!(
+                    self.row_type(r),
+                    self.row_type(run.rows().start),
+                    "run type homogeneity"
+                );
+                for &pin in self.row_pins(r) {
+                    assert!(
+                        defined[pin as usize],
+                        "row {r} reads net {pin} before it is defined"
+                    );
+                }
+                defined[self.row_out(r) as usize] = true;
+            }
+            row = run.rows().end;
+        }
+        assert_eq!(row, self.num_rows(), "runs must cover all rows");
+        for (i, &ff) in topo.seq_cells().iter().enumerate() {
+            let cell = netlist.cell(ff);
+            assert_eq!(self.ff_d[i] as usize, cell.inputs()[0].index(), "ff_d");
+            assert_eq!(self.ff_q[i] as usize, cell.output().index(), "ff_q");
+        }
+    }
+
+    /// Scalar settle over the arena: reads and writes per-net `bool` values
+    /// in place, sweeping the levelized schedule once.  This is the
+    /// reference the block engines are checked against, and doubles as the
+    /// simplest demonstration of the schedule contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_nets`.
+    pub fn settle_scalar(&self, values: &mut [bool]) {
+        assert_eq!(values.len(), self.num_nets, "one value per net");
+        for run in &self.runs {
+            let tt = run.tt;
+            for row in run.rows() {
+                let mut r = 0usize;
+                for (pin, &net) in self.row_pins(row).iter().enumerate() {
+                    r |= usize::from(values[net as usize]) << pin;
+                }
+                values[self.out[row] as usize] = tt.eval(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{counter, figure1, tmr_register};
+    use crate::random::{random_circuit, RandomCircuitConfig};
+
+    #[test]
+    fn counter_arena_is_consistent() {
+        let (n, topo) = counter(4);
+        let soa = SoaNetlist::build(&n, &topo);
+        soa.assert_consistent(&n, &topo);
+        assert_eq!(soa.num_rows(), topo.comb_order().len());
+    }
+
+    #[test]
+    fn figure1_arena_is_consistent() {
+        let (n, topo) = figure1();
+        let soa = SoaNetlist::build(&n, &topo);
+        soa.assert_consistent(&n, &topo);
+    }
+
+    #[test]
+    fn tmr_arena_is_consistent() {
+        let (n, topo) = tmr_register();
+        let soa = SoaNetlist::build(&n, &topo);
+        soa.assert_consistent(&n, &topo);
+    }
+
+    #[test]
+    fn random_circuits_are_consistent_and_leveled() {
+        for seed in 0..8 {
+            let (n, topo) = random_circuit(RandomCircuitConfig::default(), seed);
+            let soa = SoaNetlist::build(&n, &topo);
+            soa.assert_consistent(&n, &topo);
+            // Runs are sorted by level and tile the row space.
+            let mut prev_level = 0;
+            for run in soa.runs() {
+                assert!(run.level() >= prev_level, "levels must not decrease");
+                assert!(!run.rows().is_empty(), "no empty runs");
+                prev_level = run.level();
+            }
+        }
+    }
+
+    #[test]
+    fn runs_merge_same_type_within_level() {
+        // The 3-bit counter has several XOR/AND cells at the same level; the
+        // grouping must put same-type same-level cells in one run.
+        let (n, topo) = counter(6);
+        let soa = SoaNetlist::build(&n, &topo);
+        for w in soa.runs().windows(2) {
+            assert!(
+                w[0].level() != w[1].level()
+                    || soa.row_type(w[0].rows().start) != soa.row_type(w[1].rows().start),
+                "adjacent runs with equal level and type must be merged"
+            );
+        }
+        let _ = n;
+    }
+
+    #[test]
+    fn scalar_settle_matches_row_semantics() {
+        let (n, topo) = counter(3);
+        let soa = SoaNetlist::build(&n, &topo);
+        let mut values = vec![false; n.num_nets()];
+        // Enable the counter and settle: combinational outputs follow.
+        values[n.find_net("en").unwrap().index()] = true;
+        soa.settle_scalar(&mut values);
+        // d0 = q0 XOR en = 0 XOR 1 = 1.
+        let d0 = soa.ff_d()[0] as usize;
+        assert!(values[d0]);
+    }
+}

@@ -64,7 +64,7 @@ pub mod summary;
 pub use analysis::{AnalysisReport, Analyze};
 pub use flow::Flow;
 pub use hash::{ContentHash, ContentHasher};
-pub use stage::{Pipeline, Stage, Staged};
+pub use stage::{Pipeline, Stage, Staged, ENGINE_LAYOUT_VERSION};
 pub use stages::{
     Campaign, Design, DesignSource, Evaluate, GmtLibrary, GmtReport, LoadDesign, MateSearch,
     SearchOutput, Select, TraceCapture, TraceSource, WireSetSpec,

@@ -14,6 +14,13 @@ use crate::hash::{ContentHash, ContentHasher};
 use crate::store::ArtifactStore;
 use crate::summary::RunSummary;
 
+/// Version of the evaluation-engine memory layout, folded into **every**
+/// artifact key.  Bump whenever the kernels that produce artifacts change
+/// their data layout or lane semantics (e.g. the structure-of-arrays arena
+/// and 256/512-lane blocks of version 2), so artifacts cached by an older
+/// engine layout miss instead of being trusted across engine generations.
+pub const ENGINE_LAYOUT_VERSION: u32 = 2;
+
 /// One typed step of the analysis pipeline.
 ///
 /// `In` is the stage's input (typically `()` for sources or a tuple of
@@ -127,10 +134,11 @@ impl Pipeline {
     /// Runs `stage` on `input`, whose upstream artifact keys are `deps`.
     ///
     /// Cache protocol: the output key is
-    /// `H(name, version, fingerprint, deps)`.  If the store holds that key
-    /// the artifact is decoded and the stage is *not* executed (a **hit**);
-    /// otherwise the stage executes and its encoded output is persisted (a
-    /// **miss**).  A corrupt artifact silently falls back to execution.
+    /// `H(name, engine layout, version, fingerprint, deps)` — see
+    /// [`ENGINE_LAYOUT_VERSION`].  If the store holds that key the artifact
+    /// is decoded and the stage is *not* executed (a **hit**); otherwise the
+    /// stage executes and its encoded output is persisted (a **miss**).  A
+    /// corrupt artifact silently falls back to execution.
     ///
     /// # Errors
     ///
@@ -144,6 +152,7 @@ impl Pipeline {
         let start = Instant::now();
         let mut h = ContentHasher::new();
         h.str("mate-stage");
+        h.u64(u64::from(ENGINE_LAYOUT_VERSION));
         h.str(stage.name());
         h.u64(u64::from(stage.version()));
         stage.fingerprint(&mut h);

@@ -13,8 +13,10 @@
 //! * [`vcd`] — VCD writer and reader, round-trip compatible.
 //! * [`testbench`] — drives a netlist with input stimuli and external
 //!   devices (instruction/data memories) and records traces.
-//! * [`wide`] — a 64-lane bit-parallel engine: one `u64` per net carries 64
-//!   independent fault scenarios, the substrate of batched campaigns.
+//! * [`wide`] — a block-lane bit-parallel engine over the compile-once
+//!   [`mate_netlist::SoaNetlist`] arena: one [`mate_netlist::LaneBlock`]
+//!   per net carries 64/256/512 independent fault scenarios, the substrate
+//!   of batched campaigns.
 //! * [`transposed`] — column-major bit-plane traces
 //!   ([`transposed::TransposedTrace`]): one packed word covers 64 cycles of
 //!   one net, so trace analyses (MATE evaluation, coverage ranking) run
@@ -53,4 +55,4 @@ pub use testbench::{InputWave, SnapshotDevice, Testbench, TestbenchCheckpoint};
 pub use trace::WaveTrace;
 pub use transposed::TransposedTrace;
 pub use vcd::{read_vcd, write_vcd};
-pub use wide::WideSimulator;
+pub use wide::{BlockSimulator, WideSimulator};

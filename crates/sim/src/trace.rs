@@ -27,7 +27,7 @@ impl WaveTrace {
     pub fn new(num_nets: usize) -> Self {
         Self {
             num_nets,
-            words_per_cycle: num_nets.div_ceil(64).max(1),
+            words_per_cycle: num_nets.div_ceil(WORD_LANES).max(1),
             cycles: 0,
             data: Vec::new(),
         }
@@ -82,7 +82,7 @@ impl WaveTrace {
         self.data.resize(base + self.words_per_cycle, 0);
         for (i, &b) in bits.iter().enumerate() {
             if b {
-                self.data[base + i / 64] |= 1u64 << (i % 64);
+                self.data[base + i / WORD_LANES] |= 1u64 << (i % WORD_LANES);
             }
         }
         self.cycles += 1;
@@ -98,8 +98,8 @@ impl WaveTrace {
         assert!(cycle < self.cycles, "cycle {cycle} beyond trace");
         let i = net.index();
         assert!(i < self.num_nets, "net {net} beyond trace");
-        let word = self.data[cycle * self.words_per_cycle + i / 64];
-        word & (1u64 << (i % 64)) != 0
+        let word = self.data[cycle * self.words_per_cycle + i / WORD_LANES];
+        word & (1u64 << (i % WORD_LANES)) != 0
     }
 
     /// The packed value words of one cycle (bit `i % 64` of word `i / 64`
@@ -145,11 +145,11 @@ impl WaveTrace {
     pub fn column_words(&self, net: NetId) -> Vec<u64> {
         let i = net.index();
         assert!(i < self.num_nets, "net {net} beyond trace");
-        let (word, shift) = (i / 64, i % 64);
-        let mut column = vec![0u64; self.cycles.div_ceil(64)];
+        let (word, shift) = (i / WORD_LANES, i % WORD_LANES);
+        let mut column = vec![0u64; self.cycles.div_ceil(WORD_LANES)];
         for c in 0..self.cycles {
             let bit = self.data[c * self.words_per_cycle + word] >> shift & 1;
-            column[c / 64] |= bit << (c % 64);
+            column[c / WORD_LANES] |= bit << (c % WORD_LANES);
         }
         column
     }
@@ -157,7 +157,7 @@ impl WaveTrace {
     /// Iterates over the values of one net across all cycles.
     pub fn net_history(&self, net: NetId) -> impl Iterator<Item = bool> + '_ {
         let column = self.column_words(net);
-        (0..self.cycles).map(move |c| column[c / 64] & (1u64 << (c % 64)) != 0)
+        (0..self.cycles).map(move |c| column[c / WORD_LANES] & (1u64 << (c % WORD_LANES)) != 0)
     }
 
     /// Counts the cycles in which a net is `true` (one popcount per 64
@@ -191,7 +191,7 @@ impl WaveTrace {
     ///
     /// Panics if more than 64 nets are given or the cycle is out of range.
     pub fn bus_value(&self, cycle: usize, nets: &[NetId]) -> u64 {
-        assert!(nets.len() <= 64, "bus wider than 64 bits");
+        assert!(nets.len() <= WORD_LANES, "bus wider than 64 bits");
         let mut v = 0u64;
         for (i, &net) in nets.iter().enumerate() {
             v |= (self.value(cycle, net) as u64) << i;

@@ -116,7 +116,7 @@ impl TransposedTrace {
             words_per_cycle >= num_nets.div_ceil(64),
             "cycle rows too narrow for {num_nets} nets"
         );
-        let words_per_net = cycles.div_ceil(64);
+        let words_per_net = cycles.div_ceil(WORD_LANES);
         let mut data = vec![0u64; num_nets * words_per_net];
         let mut block = [0u64; 64];
         for ci in 0..words_per_net {
@@ -158,7 +158,7 @@ impl TransposedTrace {
 
     /// Number of valid 64-cycle words per column.
     pub fn num_words(&self) -> usize {
-        self.cycles.div_ceil(64)
+        self.cycles.div_ceil(WORD_LANES)
     }
 
     /// All-ones over the cycles that exist in column word `word` (the last
@@ -170,8 +170,8 @@ impl TransposedTrace {
     #[inline]
     pub fn valid_mask(&self, word: usize) -> u64 {
         assert!(word < self.num_words(), "column word {word} beyond trace");
-        let tail = self.cycles - word * 64;
-        if tail >= 64 {
+        let tail = self.cycles - word * WORD_LANES;
+        if tail >= WORD_LANES {
             u64::MAX
         } else {
             (1u64 << tail) - 1
@@ -231,6 +231,69 @@ impl TransposedTrace {
         acc
     }
 
+    /// Number of valid [`LaneBlock`]-width blocks per column: block `b`
+    /// covers cycles `b * B::WIDTH .. (b + 1) * B::WIDTH`.
+    pub fn num_blocks<B: LaneBlock>(&self) -> usize {
+        self.cycles.div_ceil(B::WIDTH)
+    }
+
+    /// All-ones over the cycles that exist in column block `block` — the
+    /// block-width generalization of [`TransposedTrace::valid_mask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[inline]
+    pub fn valid_block<B: LaneBlock>(&self, block: usize) -> B {
+        assert!(
+            block < self.num_blocks::<B>(),
+            "column block {block} beyond trace"
+        );
+        B::low_lanes((self.cycles - block * B::WIDTH).min(B::WIDTH))
+    }
+
+    /// Gathers one [`LaneBlock`] of a net's column (lane `c` of the result
+    /// is cycle `block * B::WIDTH + c`); cycles beyond the trace are zero.
+    #[inline]
+    fn column_block<B: LaneBlock>(&self, net_index: usize, block: usize) -> B {
+        let base = net_index * self.words_per_net + block * B::WORDS;
+        let avail = self
+            .num_words()
+            .saturating_sub(block * B::WORDS)
+            .min(B::WORDS);
+        let mut b = B::ZERO;
+        for w in 0..avail {
+            b.set_word(w, self.data[base + w]);
+        }
+        b
+    }
+
+    /// Evaluates a cube over [`LaneBlock::WIDTH`] cycles at once: lane `c`
+    /// of the result is the cube's value in cycle `block * B::WIDTH + c`.
+    /// The empty cube yields the valid-cycle mask.  This is the
+    /// block-width generalization of [`TransposedTrace::cube_word`]: one
+    /// AND (positive literal) or ANDN (negative literal) per literal, over
+    /// `B::WORDS` words at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or the cube mentions a net beyond
+    /// the trace.
+    #[inline]
+    pub fn cube_block<B: LaneBlock>(&self, cube: &NetCube, block: usize) -> B {
+        let mut acc: B = self.valid_block(block);
+        for (net, polarity) in cube.literals() {
+            if acc.is_zero() {
+                break;
+            }
+            let i = net.index();
+            assert!(i < self.num_nets, "net {net} beyond trace");
+            let w = self.column_block::<B>(i, block);
+            acc &= if polarity { w } else { !w };
+        }
+        acc
+    }
+
     /// The value of `net` in `cycle`.
     ///
     /// # Panics
@@ -252,16 +315,16 @@ impl TransposedTrace {
     /// Panics if `words` cannot hold `num_nets` bits.
     pub fn push_cycle_words(&mut self, words: &[u64]) {
         assert!(
-            words.len() >= self.num_nets.div_ceil(64),
+            words.len() >= self.num_nets.div_ceil(WORD_LANES),
             "cycle row too narrow for {} nets",
             self.num_nets
         );
-        if self.cycles == self.words_per_net * 64 {
+        if self.cycles == self.words_per_net * WORD_LANES {
             self.grow();
         }
-        let (wi, bit) = (self.cycles / 64, self.cycles % 64);
+        let (wi, bit) = (self.cycles / WORD_LANES, self.cycles % WORD_LANES);
         for n in 0..self.num_nets {
-            let v = words[n / 64] >> (n % 64) & 1;
+            let v = words[n / WORD_LANES] >> (n % WORD_LANES) & 1;
             self.data[n * self.words_per_net + wi] |= v << bit;
         }
         self.cycles += 1;
@@ -408,6 +471,62 @@ mod tests {
         // The empty cube is true exactly in the valid cycles.
         let last = cols.num_words() - 1;
         assert_eq!(cols.cube_word(&NetCube::top(), last), cols.valid_mask(last));
+    }
+
+    #[test]
+    fn cube_block_matches_cube_word() {
+        // Block-width cube evaluation agrees with the 64-lane reference,
+        // including partial tail blocks and cubes with negative literals.
+        fn check<B: LaneBlock>(cycles: usize) {
+            let rows = random_trace(12, cycles, cycles as u64);
+            let cols = TransposedTrace::from_trace(&rows);
+            for cube in [
+                NetCube::top(),
+                NetCube::from_literals([(net(2), true), (net(7), false)]).unwrap(),
+                NetCube::from_literals([(net(0), false), (net(5), false), (net(11), true)])
+                    .unwrap(),
+            ] {
+                for blk in 0..cols.num_blocks::<B>() {
+                    let block: B = cols.cube_block(&cube, blk);
+                    for w in 0..B::WORDS {
+                        let wi = blk * B::WORDS + w;
+                        let expect = if wi < cols.num_words() {
+                            cols.cube_word(&cube, wi)
+                        } else {
+                            0
+                        };
+                        assert_eq!(
+                            block.word(w),
+                            expect,
+                            "cycles {cycles} block {blk} word {w}"
+                        );
+                    }
+                }
+            }
+        }
+        for cycles in [1, 63, 64, 65, 255, 256, 300, 511, 512, 700] {
+            check::<B256>(cycles);
+            check::<B512>(cycles);
+            check::<u64>(cycles);
+        }
+    }
+
+    #[test]
+    fn valid_block_matches_valid_mask() {
+        let rows = random_trace(3, 130, 5);
+        let cols = TransposedTrace::from_trace(&rows);
+        for blk in 0..cols.num_blocks::<B256>() {
+            let vb: B256 = cols.valid_block(blk);
+            for w in 0..B256::WORDS {
+                let wi = blk * B256::WORDS + w;
+                let expect = if wi < cols.num_words() {
+                    cols.valid_mask(wi)
+                } else {
+                    0
+                };
+                assert_eq!(vb.word(w), expect, "block {blk} word {w}");
+            }
+        }
     }
 
     #[test]

@@ -1,51 +1,95 @@
-//! Bit-parallel 64-lane simulation.
+//! Bit-parallel block-lane simulation over the SoA arena.
 //!
-//! A [`WideSimulator`] holds one `u64` per net: bit lane `l` is the value of
-//! that net in scenario `l`, so 64 independent fault scenarios advance in
-//! lock-step through each combinational settle and clock tick.  This is the
-//! classic word-level trick of parallel-pattern fault simulators, applied to
-//! SEU campaigns: seed all lanes from the golden run at the injection cycle,
-//! flip one flip-flop per lane, and compare every lane against the golden
-//! trace with plain XOR words.
+//! A [`BlockSimulator`] holds one [`LaneBlock`] per net: bit lane `l` is the
+//! value of that net in scenario `l`, so [`LaneBlock::WIDTH`] independent
+//! fault scenarios advance in lock-step through each combinational settle
+//! and clock tick.  This is the classic word-level trick of
+//! parallel-pattern fault simulators, applied to SEU campaigns: seed all
+//! lanes from the golden run at the injection cycle, flip one flip-flop per
+//! lane, and compare every lane against the golden trace with plain XOR
+//! blocks.  [`WideSimulator`] is the historical 64-lane (`u64`)
+//! instantiation; [`B256`](mate_netlist::B256) and
+//! [`B512`](mate_netlist::B512) run 256 and 512 scenarios per pass.
 //!
-//! The wide engine mirrors [`Simulator`](crate::Simulator) semantics exactly
-//! — same levelized settle order, same two-phase latch — so lane `l` of a
-//! wide run is cycle-for-cycle identical to a scalar run with the same
-//! initial state, stimuli, and flip.
+//! The settle loop streams the compile-once [`SoaNetlist`] arena — levelized
+//! per-cell-type runs over flat CSR pin arrays — instead of chasing the
+//! pointer-rich netlist graph cell by cell; the schedule is topologically
+//! equivalent, so the engine mirrors [`Simulator`](crate::Simulator)
+//! semantics exactly (same two-phase latch, settle-order-independent fixed
+//! point).  Lane `l` of a block run is cycle-for-cycle identical to a scalar
+//! run with the same initial state, stimuli, and flip.
+
+use std::borrow::Cow;
 
 use mate_netlist::prelude::*;
 
 use crate::trace::WaveTrace;
 
-/// A 64-lane bit-parallel simulator for a validated netlist.
+/// A block-lane bit-parallel simulator for a validated netlist, generic
+/// over the lane container `B` (`u64` = 64 lanes, [`B256`] = 256,
+/// [`B512`] = 512).
 ///
 /// Lanes share primary-input values (campaign stimuli are common to all
-/// scenarios); they diverge only through [`WideSimulator::flip_ff`] and the
-/// propagation that follows.
+/// scenarios); they diverge only through [`BlockSimulator::flip_ff`] and
+/// the propagation that follows.
 #[derive(Clone, Debug)]
-pub struct WideSimulator<'n> {
+pub struct BlockSimulator<'n, B: LaneBlock = u64> {
     netlist: &'n Netlist,
     topo: &'n Topology,
-    /// One packed word per net; bit `l` is the net's value in lane `l`.
-    values: Vec<u64>,
+    /// The flattened evaluation schedule (owned by default; share one arena
+    /// across simulators with [`BlockSimulator::with_arena`]).
+    soa: Cow<'n, SoaNetlist>,
+    /// One packed block per net; lane `l` is the net's value in scenario `l`.
+    values: Vec<B>,
     settled: bool,
     cycle: u64,
     /// Reusable input-pin buffer for the settle loop.
-    row_buf: [u64; TruthTable::MAX_INPUTS],
+    row_buf: [B; TruthTable::MAX_INPUTS],
     /// Reusable latch buffer for the tick loop.
-    latch_scratch: Vec<u64>,
+    latch_scratch: Vec<B>,
 }
 
-impl<'n> WideSimulator<'n> {
-    /// Creates a wide simulator with every net at `0` in all lanes.
+/// The 64-lane `u64` instantiation of [`BlockSimulator`] — the baseline
+/// engine all wider blocks are checked against.
+pub type WideSimulator<'n> = BlockSimulator<'n, u64>;
+
+impl<'n, B: LaneBlock> BlockSimulator<'n, B> {
+    /// Creates a block simulator with every net at `0` in all lanes,
+    /// flattening the netlist into its own [`SoaNetlist`] arena.
     pub fn new(netlist: &'n Netlist, topo: &'n Topology) -> Self {
+        Self::from_cow(netlist, topo, Cow::Owned(SoaNetlist::build(netlist, topo)))
+    }
+
+    /// Creates a block simulator sharing a prebuilt arena (the compile-once
+    /// path: one [`SoaNetlist::build`] serves any number of simulators and
+    /// lane widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena was built for a different netlist shape.
+    pub fn with_arena(netlist: &'n Netlist, topo: &'n Topology, soa: &'n SoaNetlist) -> Self {
+        Self::from_cow(netlist, topo, Cow::Borrowed(soa))
+    }
+
+    fn from_cow(netlist: &'n Netlist, topo: &'n Topology, soa: Cow<'n, SoaNetlist>) -> Self {
+        assert_eq!(
+            soa.num_nets(),
+            netlist.num_nets(),
+            "arena incompatible with this netlist"
+        );
+        assert_eq!(
+            soa.num_cells(),
+            netlist.num_cells(),
+            "arena incompatible with this netlist"
+        );
         Self {
             netlist,
             topo,
-            values: vec![0u64; netlist.num_nets()],
+            values: vec![B::ZERO; netlist.num_nets()],
+            soa,
             settled: false,
             cycle: 0,
-            row_buf: [0; TruthTable::MAX_INPUTS],
+            row_buf: [B::ZERO; TruthTable::MAX_INPUTS],
             latch_scratch: Vec::with_capacity(topo.seq_cells().len()),
         }
     }
@@ -58,6 +102,11 @@ impl<'n> WideSimulator<'n> {
     /// The topology of the netlist under simulation.
     pub fn topology(&self) -> &'n Topology {
         self.topo
+    }
+
+    /// The SoA arena the settle loop streams.
+    pub fn arena(&self) -> &SoaNetlist {
+        &self.soa
     }
 
     /// The current cycle number.
@@ -85,15 +134,15 @@ impl<'n> WideSimulator<'n> {
         );
         let words = trace.cycle_words(cycle);
         for (i, value) in self.values.iter_mut().enumerate() {
-            let bit = words[i / 64] >> (i % 64) & 1;
+            let bit = words[i / WORD_LANES] >> (i % WORD_LANES) & 1;
             // Broadcast: all-ones when the golden bit is set, zero otherwise.
-            *value = 0u64.wrapping_sub(bit);
+            *value = B::splat(bit != 0);
         }
         self.settled = true;
         self.cycle = cycle as u64;
     }
 
-    /// Drives a primary input to the same level in all 64 lanes.
+    /// Drives a primary input to the same level in all lanes.
     ///
     /// # Panics
     ///
@@ -105,37 +154,36 @@ impl<'n> WideSimulator<'n> {
             "{} is not a primary input",
             self.netlist.net(net).name()
         );
-        let word = if value { u64::MAX } else { 0 };
-        if self.values[net.index()] != word {
-            self.values[net.index()] = word;
+        let block = B::splat(value);
+        if self.values[net.index()] != block {
+            self.values[net.index()] = block;
             self.settled = false;
         }
     }
 
     /// Propagates inputs and flip-flop state through the combinational
-    /// logic in all lanes at once.  Idempotent; cheap when already settled.
+    /// logic in all lanes at once, streaming the levelized SoA schedule run
+    /// by run.  Idempotent; cheap when already settled.
     pub fn settle(&mut self) {
         if self.settled {
             return;
         }
-        for &cell_id in self.topo.comb_order() {
-            let cell = self.netlist.cell(cell_id);
-            let tt = self
-                .netlist
-                .cell_type_of(cell_id)
-                .truth_table()
-                .expect("comb cells have truth tables");
-            let inputs = cell.inputs();
-            for (pin, &net) in inputs.iter().enumerate() {
-                self.row_buf[pin] = self.values[net.index()];
+        let soa = self.soa.as_ref();
+        for run in soa.runs() {
+            let tt = run.tt();
+            let arity = run.arity();
+            for row in run.rows() {
+                for (slot, &net) in self.row_buf.iter_mut().zip(soa.row_pins(row)) {
+                    *slot = self.values[net as usize];
+                }
+                self.values[soa.row_out(row) as usize] = tt.eval_blocks(&self.row_buf[..arity]);
             }
-            self.values[cell.output().index()] = tt.eval_wide(&self.row_buf[..inputs.len()]);
         }
         self.settled = true;
     }
 
-    /// The settled packed value word of a net (bit `l` = lane `l`).
-    pub fn value_word(&mut self, net: NetId) -> u64 {
+    /// The settled packed value block of a net (lane `l` = scenario `l`).
+    pub fn value_block(&mut self, net: NetId) -> B {
         self.settle();
         self.values[net.index()]
     }
@@ -144,17 +192,15 @@ impl<'n> WideSimulator<'n> {
     /// advances the cycle.
     pub fn tick(&mut self) {
         self.settle();
-        // Two-phase latch, exactly like the scalar engine.
+        // Two-phase latch, exactly like the scalar engine, over the flat
+        // D/Q index arrays.
         let mut next = std::mem::take(&mut self.latch_scratch);
         next.clear();
-        for &ff in self.topo.seq_cells() {
-            let d = self.netlist.cell(ff).inputs()[0];
-            next.push(self.values[d.index()]);
-        }
-        for (&ff, &word) in self.topo.seq_cells().iter().zip(&next) {
-            let q = self.netlist.cell(ff).output();
-            if self.values[q.index()] != word {
-                self.values[q.index()] = word;
+        let soa = self.soa.as_ref();
+        next.extend(soa.ff_d().iter().map(|&d| self.values[d as usize]));
+        for (&q, &block) in soa.ff_q().iter().zip(&next) {
+            if self.values[q as usize] != block {
+                self.values[q as usize] = block;
                 self.settled = false;
             }
         }
@@ -167,17 +213,26 @@ impl<'n> WideSimulator<'n> {
     ///
     /// # Panics
     ///
-    /// Panics if `ff` is not a sequential cell or `lane >= 64`.
+    /// Panics if `ff` is not a sequential cell or `lane >= B::WIDTH`.
     pub fn flip_ff(&mut self, ff: CellId, lane: usize) {
         assert!(
             self.netlist.is_seq_cell(ff),
             "cell {} is not a flip-flop",
             self.netlist.cell(ff).name()
         );
-        assert!(lane < 64, "lane {lane} out of range");
+        assert!(lane < B::WIDTH, "lane {lane} out of range");
         let q = self.netlist.cell(ff).output();
-        self.values[q.index()] ^= 1u64 << lane;
+        self.values[q.index()].flip_lane(lane);
         self.settled = false;
+    }
+}
+
+impl WideSimulator<'_> {
+    /// The settled packed value word of a net (bit `l` = lane `l`) — the
+    /// historical name of [`BlockSimulator::value_block`] on the 64-lane
+    /// engine.
+    pub fn value_word(&mut self, net: NetId) -> u64 {
+        self.value_block(net)
     }
 }
 
@@ -218,6 +273,43 @@ mod tests {
     }
 
     #[test]
+    fn wide_blocks_match_scalar_run() {
+        // The 256- and 512-lane engines broadcast-settle identically to the
+        // scalar reference, including across a shared prebuilt arena.
+        fn check<B: LaneBlock>(use_shared_arena: bool) {
+            let (n, topo) = counter(4);
+            let en = n.find_net("en").unwrap();
+            let mut sim = Simulator::new(&n, &topo);
+            sim.set_input(en, true);
+            let mut trace = WaveTrace::new(n.num_nets());
+            for _ in 0..6 {
+                trace.capture(&mut sim);
+                sim.tick();
+            }
+            let arena = SoaNetlist::build(&n, &topo);
+            let mut wide: BlockSimulator<'_, B> = if use_shared_arena {
+                BlockSimulator::with_arena(&n, &topo, &arena)
+            } else {
+                BlockSimulator::new(&n, &topo)
+            };
+            wide.load_from_trace(&trace, 1);
+            for cycle in 1..6 {
+                wide.set_input(en, true);
+                for i in 0..n.num_nets() {
+                    let net = NetId::from_index(i);
+                    let expect = B::splat(trace.value(cycle, net));
+                    assert_eq!(wide.value_block(net), expect, "net {net} cycle {cycle}");
+                }
+                wide.tick();
+            }
+        }
+        check::<B256>(false);
+        check::<B256>(true);
+        check::<B512>(false);
+        check::<B512>(true);
+    }
+
+    #[test]
     fn flip_affects_only_its_lane() {
         let (n, topo) = tmr_register();
         let load = n.find_net("load").unwrap();
@@ -244,10 +336,54 @@ mod tests {
     }
 
     #[test]
+    fn block_flip_affects_only_its_lane() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let mut sim = Simulator::new(&n, &topo);
+        sim.set_input(load, true);
+        sim.set_input(din, true);
+        sim.tick();
+        sim.set_input(load, false);
+        let mut trace = WaveTrace::new(n.num_nets());
+        trace.capture(&mut sim);
+        let mut wide: BlockSimulator<'_, B512> = BlockSimulator::new(&n, &topo);
+        wide.load_from_trace(&trace, 0);
+        let ff0 = topo.seq_cells()[0];
+        // A lane beyond the old 64-lane range.
+        wide.flip_ff(ff0, 300);
+        let r0 = n.cell(ff0).output();
+        let block = wide.value_block(r0);
+        let mut expect = B512::ONES;
+        expect.flip_lane(300);
+        assert_eq!(block, expect);
+        // The TMR vote masks the flip in every lane.
+        let vote = n.find_net("vote").unwrap();
+        assert_eq!(wide.value_block(vote), B512::ONES);
+    }
+
+    #[test]
     #[should_panic(expected = "not a flip-flop")]
     fn flip_comb_cell_panics() {
         let (n, topo) = counter(2);
         let mut wide = WideSimulator::new(&n, &topo);
         wide.flip_ff(topo.comb_order()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 64 out of range")]
+    fn flip_lane_out_of_range_panics() {
+        let (n, topo) = counter(2);
+        let mut wide = WideSimulator::new(&n, &topo);
+        wide.flip_ff(topo.seq_cells()[0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena incompatible")]
+    fn mismatched_arena_panics() {
+        let (n, topo) = counter(2);
+        let (other, other_topo) = counter(5);
+        let arena = SoaNetlist::build(&other, &other_topo);
+        let _ = WideSimulator::with_arena(&n, &topo, &arena);
     }
 }

@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
-use mate_netlist::NetId;
-use mate_sim::{Simulator, WaveTrace, WideSimulator};
+use mate_netlist::{LaneBlock, NetId, SoaNetlist, B256, B512};
+use mate_sim::{BlockSimulator, Simulator, WaveTrace, WideSimulator};
 
 /// Deterministic pseudo-random stimulus bit for input `i` at `cycle`.
 fn stim_bit(seed: u64, input: usize, cycle: usize) -> bool {
@@ -21,6 +21,79 @@ fn stim_bit(seed: u64, input: usize, cycle: usize) -> bool {
         .wrapping_add(((input as u64) << 32) | cycle as u64)
         .wrapping_mul(0xBF58_476D_1CE4_E5B9);
     (x >> 37) & 1 == 1
+}
+
+/// Generic body of `flipped_lane_tracks_scalar_at_every_block_width`: run
+/// one random circuit at lane container `B`, flipping an *arbitrary* lane
+/// (not just lane 0), and check every lane of every net each cycle.
+fn check_block_width<B: LaneBlock>(seed: u64) -> Result<(), TestCaseError> {
+    let cfg = RandomCircuitConfig {
+        inputs: 4,
+        ffs: 10,
+        gates: 40,
+        outputs: 3,
+    };
+    let (n, topo) = random_circuit(cfg, seed);
+    let inputs = n.inputs().to_vec();
+    let cycles = 10usize;
+    let inject_cycle = (seed % cycles as u64) as usize;
+    let ff = topo.seq_cells()[(seed / 7 % topo.seq_cells().len() as u64) as usize];
+    let flip_lane = (seed / 13 % B::WIDTH as u64) as usize;
+
+    let mut golden = Simulator::new(&n, &topo);
+    let mut trace = WaveTrace::new(n.num_nets());
+    for c in 0..cycles {
+        for (i, &input) in inputs.iter().enumerate() {
+            golden.set_input(input, stim_bit(seed, i, c));
+        }
+        trace.capture(&mut golden);
+        golden.tick();
+    }
+
+    let mut scalar = Simulator::new(&n, &topo);
+    for c in 0..inject_cycle {
+        for (i, &input) in inputs.iter().enumerate() {
+            scalar.set_input(input, stim_bit(seed, i, c));
+        }
+        scalar.settle();
+        scalar.tick();
+    }
+    scalar.flip_ff(ff);
+
+    let mut wide: BlockSimulator<'_, B> = BlockSimulator::new(&n, &topo);
+    wide.load_from_trace(&trace, inject_cycle);
+    wide.flip_ff(ff, flip_lane);
+
+    for c in inject_cycle..cycles {
+        for (i, &input) in inputs.iter().enumerate() {
+            let bit = stim_bit(seed, i, c);
+            scalar.set_input(input, bit);
+            wide.set_input(input, bit);
+        }
+        scalar.settle();
+        wide.settle();
+        for idx in 0..n.num_nets() {
+            let net = NetId::from_index(idx);
+            let block = wide.value_block(net);
+            for lane in 0..B::WIDTH {
+                let expect = if lane == flip_lane {
+                    scalar.value(net)
+                } else {
+                    trace.value(c, net)
+                };
+                prop_assert_eq!(
+                    block.lane(lane),
+                    expect,
+                    "net {} cycle {c} lane {lane}/{} (flip lane {flip_lane})",
+                    n.net(net).name(),
+                    B::WIDTH
+                );
+            }
+        }
+        scalar.tick();
+        wide.tick();
+    }
+    Ok(())
 }
 
 proptest! {
@@ -135,6 +208,56 @@ proptest! {
                 );
             }
             wide.tick();
+        }
+    }
+
+    /// The 256- and 512-lane block engines are lane-for-lane identical to
+    /// independent scalar simulators, with the flip in an arbitrary lane.
+    #[test]
+    fn flipped_lane_tracks_scalar_at_every_block_width(seed in 0u64..3_000) {
+        check_block_width::<B256>(seed)?;
+        check_block_width::<B512>(seed)?;
+    }
+
+    /// Graph → [`SoaNetlist`] → evaluation round-trip: the arena is
+    /// consistent with the graph it was built from, and a scalar sweep over
+    /// the flat arrays (`settle_scalar` + a manual FF tick through
+    /// `ff_d`/`ff_q`) reproduces the pointer-walking [`Simulator`]
+    /// cycle-for-cycle on every net.
+    #[test]
+    fn soa_arena_round_trips_the_graph_evaluation(seed in 0u64..3_000) {
+        let cfg = RandomCircuitConfig { inputs: 4, ffs: 9, gates: 35, outputs: 3 };
+        let (n, topo) = random_circuit(cfg, seed.wrapping_add(47));
+        let soa = SoaNetlist::build(&n, &topo);
+        soa.assert_consistent(&n, &topo);
+
+        let inputs = n.inputs().to_vec();
+        let mut sim = Simulator::new(&n, &topo);
+        let mut values = vec![false; n.num_nets()];
+        for c in 0..10usize {
+            for (i, &input) in inputs.iter().enumerate() {
+                let bit = stim_bit(seed, i, c);
+                sim.set_input(input, bit);
+                values[input.index()] = bit;
+            }
+            sim.settle();
+            soa.settle_scalar(&mut values);
+            for idx in 0..n.num_nets() {
+                let net = NetId::from_index(idx);
+                prop_assert_eq!(
+                    values[idx],
+                    sim.value(net),
+                    "net {} cycle {c}",
+                    n.net(net).name()
+                );
+            }
+            sim.tick();
+            // Two-phase FF update over the flat arrays: gather every D,
+            // then scatter to the Qs.
+            let next: Vec<bool> = soa.ff_d().iter().map(|&d| values[d as usize]).collect();
+            for (&q, bit) in soa.ff_q().iter().zip(next) {
+                values[q as usize] = bit;
+            }
         }
     }
 }
