@@ -1,20 +1,23 @@
 //! Campaign-engine throughput: scalar per-point `inject` vs. the batched
-//! lane-parallel wide engine at every lane width (64-lane words, 256- and
-//! 512-lane SoA blocks), in faults per second.
+//! lane-parallel engines at every lane width (64-lane words, 256- and
+//! 512-lane SoA blocks), in faults per second — for both the full-settle
+//! reference engine and the event-driven differential engine.
 //!
-//! Two circuits: the paper's Figure-1b example and a random ≥200-FF
-//! netlist (the scale where bit-parallel packing pays off).  Besides the
-//! criterion reporting, the bench emits a machine-readable
-//! `BENCH_campaign.json` at the workspace root with all numbers, the
-//! per-width speedups, and the host CPU count.
+//! Three circuits: the paper's Figure-1b example, a random ≥200-FF netlist
+//! (the scale where bit-parallel packing pays off), and a random ≥1000-FF
+//! netlist showing how the differential engine's advantage grows with
+//! netlist size (its work scales with fault-cone activity, the full-settle
+//! engine's with cell count).  Besides the criterion reporting, the bench
+//! emits a machine-readable `BENCH_campaign.json` at the workspace root
+//! with all numbers, the per-row speedups, and the host CPU count.
 
 use std::time::Instant;
 
 use criterion::{is_quick_test, Criterion, Throughput};
 
 use mate_hafi::{
-    run_campaign, run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, LaneWidth,
-    StimulusHarness,
+    run_campaign, run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness, FaultSpace,
+    LaneWidth, StimulusHarness,
 };
 use mate_netlist::examples::figure1b;
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
@@ -44,9 +47,20 @@ struct Measured {
     points: usize,
     cycles: usize,
     scalar_fps: f64,
-    /// Faults/second of the wide engine per lane width, in
-    /// [`LaneWidth::all`] order.
-    lane_fps: Vec<(usize, f64)>,
+    /// Faults/second per `(engine, lane_width)`, engines in
+    /// [`CampaignEngine::all`] order, widths in [`LaneWidth::all`] order.
+    engine_fps: Vec<(CampaignEngine, usize, f64)>,
+}
+
+impl Measured {
+    /// The full-settle faults/second at `lane_width`, the reference the
+    /// differential rows are compared against.
+    fn full_settle_fps(&self, lane_width: usize) -> Option<f64> {
+        self.engine_fps
+            .iter()
+            .find(|&&(e, w, _)| e == CampaignEngine::FullSettle && w == lane_width)
+            .map(|&(_, _, fps)| fps)
+    }
 }
 
 /// Best-of-`reps` wall-clock for one full campaign, in faults/second.
@@ -71,13 +85,23 @@ fn measure(
     // Sanity: every engine and lane width must produce identical records
     // before we compare their speed.
     let scalar = run_campaign(harness, &space, config).unwrap();
-    for lanes in LaneWidth::all() {
-        let wide =
-            run_campaign_wide(harness, &space, &CampaignConfig { lanes, ..*config }).unwrap();
-        assert_eq!(
-            scalar.records, wide.records,
-            "{lanes}-lane engine diverges on {name}"
-        );
+    for engine in CampaignEngine::all() {
+        for lanes in LaneWidth::all() {
+            let wide = run_campaign_wide(
+                harness,
+                &space,
+                &CampaignConfig {
+                    engine,
+                    lanes,
+                    ..*config
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                scalar.records, wide.records,
+                "{engine} {lanes}-lane engine diverges on {name}"
+            );
+        }
     }
     let points = scalar.len();
 
@@ -87,11 +111,17 @@ fn measure(
     group.bench_function("scalar", |b| {
         b.iter(|| run_campaign(harness, &space, config).unwrap())
     });
-    for lanes in LaneWidth::all() {
-        let cfg = CampaignConfig { lanes, ..*config };
-        group.bench_function(&format!("wide{lanes}"), |b| {
-            b.iter(|| run_campaign_wide(harness, &space, &cfg).unwrap())
-        });
+    for engine in CampaignEngine::all() {
+        for lanes in LaneWidth::all() {
+            let cfg = CampaignConfig {
+                engine,
+                lanes,
+                ..*config
+            };
+            group.bench_function(&format!("{engine}/wide{lanes}"), |b| {
+                b.iter(|| run_campaign_wide(harness, &space, &cfg).unwrap())
+            });
+        }
     }
     group.finish();
 
@@ -99,23 +129,27 @@ fn measure(
     let scalar_fps = faults_per_sec(reps, points, || {
         run_campaign(harness, &space, config).unwrap();
     });
-    let lane_fps = LaneWidth::all()
-        .into_iter()
-        .map(|lanes| {
-            let cfg = CampaignConfig { lanes, ..*config };
+    let mut engine_fps = Vec::new();
+    for engine in CampaignEngine::all() {
+        for lanes in LaneWidth::all() {
+            let cfg = CampaignConfig {
+                engine,
+                lanes,
+                ..*config
+            };
             let fps = faults_per_sec(reps, points, || {
                 run_campaign_wide(harness, &space, &cfg).unwrap();
             });
-            (lanes.lanes(), fps)
-        })
-        .collect();
+            engine_fps.push((engine, lanes.lanes(), fps));
+        }
+    }
     Measured {
         name,
         ffs: harness.topology().seq_cells().len(),
         points,
         cycles: config.cycles,
         scalar_fps,
-        lane_fps,
+        engine_fps,
     }
 }
 
@@ -126,26 +160,29 @@ fn write_json(results: &[Measured]) {
          \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  \"circuits\": [\n"
     );
     for (i, m) in results.iter().enumerate() {
-        let lanes: Vec<String> = m
-            .lane_fps
+        let rows: Vec<String> = m
+            .engine_fps
             .iter()
-            .map(|&(lanes, fps)| {
+            .map(|&(engine, lanes, fps)| {
+                let vs_full = m.full_settle_fps(lanes).map_or(String::new(), |reference| {
+                    format!(", \"speedup_vs_full_settle\": {:.2}", fps / reference)
+                });
                 format!(
-                    "{{\"lane_width\": {lanes}, \"faults_per_sec\": {fps:.1}, \
-                     \"speedup_vs_scalar\": {:.2}}}",
+                    "{{\"engine\": \"{engine}\", \"lane_width\": {lanes}, \
+                     \"faults_per_sec\": {fps:.1}, \"speedup_vs_scalar\": {:.2}{vs_full}}}",
                     fps / m.scalar_fps
                 )
             })
             .collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ffs\": {}, \"points\": {}, \"cycles\": {}, \
-             \"scalar_faults_per_sec\": {:.1}, \"wide\": [{}]}}{}\n",
+             \"scalar_faults_per_sec\": {:.1}, \"engines\": [\n      {}\n    ]}}{}\n",
             m.name,
             m.ffs,
             m.points,
             m.cycles,
             m.scalar_fps,
-            lanes.join(", "),
+            rows.join(",\n      "),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -173,8 +210,12 @@ fn main() {
     }
 
     // A random ≥200-FF netlist — campaign scale (shrunk in quick mode).
+    // 2048 faults sampled from a 256-cycle trace: the sparse-sampling
+    // regime real campaigns run in (few faults per injection cycle), where
+    // the differential engine's event frontier stays far below the full
+    // row count and latent faults cost it only their small live cones.
     {
-        let cycles = 32;
+        let cycles = 256;
         let cfg = if is_quick_test() {
             RandomCircuitConfig {
                 inputs: 8,
@@ -201,18 +242,48 @@ fn main() {
         results.push(measure(&mut c, "random_220ff", &harness, &config));
     }
 
+    // A random ≥1000-FF netlist: the full-settle engine pays the full cell
+    // count every cycle, the differential engine only the live fault
+    // cones, so the gap widens with size (shrunk in quick mode).
+    {
+        let cycles = 64;
+        let cfg = if is_quick_test() {
+            RandomCircuitConfig {
+                inputs: 16,
+                ffs: 32,
+                gates: 120,
+                outputs: 16,
+            }
+        } else {
+            RandomCircuitConfig {
+                inputs: 16,
+                ffs: 1000,
+                gates: 4000,
+                outputs: 16,
+            }
+        };
+        let (n, topo) = random_circuit(cfg, 434_343);
+        let harness = drive_all_inputs(StimulusHarness::new(n, topo), 78, cycles + 1);
+        let config = CampaignConfig {
+            cycles,
+            sample: Some(1024),
+            seed: 11,
+            ..CampaignConfig::default()
+        };
+        results.push(measure(&mut c, "random_1000ff", &harness, &config));
+    }
+
     for m in &results {
-        let widths: Vec<String> = m
-            .lane_fps
-            .iter()
-            .map(|&(lanes, fps)| format!("{lanes} lanes {fps:.0}/s ({:.1}x)", fps / m.scalar_fps))
-            .collect();
-        eprintln!(
-            "{}: scalar {:.0} faults/s, {}",
-            m.name,
-            m.scalar_fps,
-            widths.join(", ")
-        );
+        eprintln!("{}: scalar {:.0} faults/s", m.name, m.scalar_fps);
+        for &(engine, lanes, fps) in &m.engine_fps {
+            let vs_full = m.full_settle_fps(lanes).map_or(String::new(), |r| {
+                format!(", {:.1}x vs full-settle", fps / r)
+            });
+            eprintln!(
+                "  {engine} {lanes} lanes: {fps:.0}/s ({:.1}x vs scalar{vs_full})",
+                fps / m.scalar_fps
+            );
+        }
     }
     if is_quick_test() {
         eprintln!("quick test mode: skipping BENCH_campaign.json");

@@ -17,7 +17,8 @@ use mate::eval::{evaluate_scalar, evaluate_transposed_blocks};
 use mate::mates::{summarize, Mate, MateSet};
 use mate::select::{rank_eager, rank_transposed_blocks};
 use mate_hafi::{
-    run_campaign_wide, CampaignConfig, DesignHarness, FaultSpace, LaneWidth, StimulusHarness,
+    run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness, FaultSpace, LaneWidth,
+    StimulusHarness,
 };
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 use mate_netlist::{LaneBlock, NetCube, NetId, B256, B512};
@@ -239,6 +240,7 @@ fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignM
         seed: 9,
         threads: 1,
         lanes: LaneWidth::default(),
+        engine: CampaignEngine::default(),
     };
     let many = CampaignConfig { threads, ..one };
 

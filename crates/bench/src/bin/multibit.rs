@@ -14,7 +14,7 @@
 //! cargo run -p mate-bench --bin multibit --release
 //! ```
 
-use mate::multi::search_wire_set;
+use mate::multi::search_wire_sets;
 use mate::SearchConfig;
 use mate_bench::Core;
 use mate_pipeline::{Flow, WireSetSpec};
@@ -35,17 +35,15 @@ fn main() {
         .iter()
         .map(|&ff| netlist.cell(ff).output())
         .collect();
-    let pairs: Vec<[mate_netlist::NetId; 2]> = ffs.windows(2).map(|w| [w[0], w[1]]).collect();
+    let pairs: Vec<Vec<mate_netlist::NetId>> = ffs.windows(2).map(|w| w.to_vec()).collect();
 
     eprintln!(
         "searching 2-bit MATEs for {} adjacent pairs ...",
         pairs.len()
     );
     let start = std::time::Instant::now();
-    let results: Vec<_> = pairs
-        .iter()
-        .map(|pair| search_wire_set(netlist, topo, pair, &config))
-        .collect();
+    // One shared SoA arena and GMT cache across the whole pair sweep.
+    let results = search_wire_sets(netlist, topo, &pairs, &config);
     let maskable_pairs = results.iter().filter(|r| !r.mates.is_empty()).count();
     let total_mates: usize = results.iter().map(|r| r.mates.len()).sum();
     println!("## 2-bit MATEs for adjacent flip-flop pairs (AVR)");

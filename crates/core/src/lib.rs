@@ -59,7 +59,7 @@ pub use gmt::GmtCache;
 pub use io::{read_mates, write_mates};
 pub use mate_netlist::MateError;
 pub use mates::{summarize, Mate, MateSet};
-pub use multi::{search_wire_set, MultiMate, MultiSearchResult};
+pub use multi::{search_wire_set, search_wire_sets, MultiMate, MultiSearchResult};
 pub use paths::{enumerate_paths, PathSet};
 pub use propagate::{ConeSession, Mark, PropagationScratch};
 pub use search::{

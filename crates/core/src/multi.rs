@@ -70,8 +70,44 @@ pub fn search_wire_set(
     wires: &[NetId],
     config: &SearchConfig,
 ) -> MultiSearchResult {
-    assert!(!wires.is_empty(), "need at least one faulty wire");
+    let soa = SoaNetlist::build(netlist, topo);
     let cache = GmtCache::new();
+    search_wire_set_shared(netlist, topo, &soa, &cache, wires, config)
+}
+
+/// Searches MATEs for many simultaneous-fault wire sets, flattening the
+/// netlist once: one [`SoaNetlist::build`] and one [`GmtCache`] are shared
+/// across every set, so a sweep over adjacent flip-flop pairs (the
+/// `multibit` workload) pays the arena cost once instead of per set.
+/// Results come back in the order of `sets`, identical to calling
+/// [`search_wire_set`] per set.
+///
+/// # Panics
+///
+/// Panics if any set is empty.
+pub fn search_wire_sets(
+    netlist: &Netlist,
+    topo: &Topology,
+    sets: &[Vec<NetId>],
+    config: &SearchConfig,
+) -> Vec<MultiSearchResult> {
+    let soa = SoaNetlist::build(netlist, topo);
+    let cache = GmtCache::new();
+    sets.iter()
+        .map(|wires| search_wire_set_shared(netlist, topo, &soa, &cache, wires, config))
+        .collect()
+}
+
+/// The shared-arena body of [`search_wire_set`] / [`search_wire_sets`].
+fn search_wire_set_shared(
+    netlist: &Netlist,
+    topo: &Topology,
+    soa: &SoaNetlist,
+    cache: &GmtCache,
+    wires: &[NetId],
+    config: &SearchConfig,
+) -> MultiSearchResult {
+    assert!(!wires.is_empty(), "need at least one faulty wire");
     let cone = FaultCone::compute_multi(netlist, topo, wires);
     let mut result = MultiSearchResult {
         wires: wires.to_vec(),
@@ -91,13 +127,12 @@ pub fn search_wire_set(
         }
     }
 
-    let soa = SoaNetlist::build(netlist, topo);
     let found = repair_multi(
         netlist,
-        &soa,
+        soa,
         &cone,
         wires,
-        &cache,
+        cache,
         config,
         &mut result.candidates_tried,
     );
@@ -161,6 +196,26 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_sets_match_per_set_calls() {
+        // The shared-arena sweep returns exactly what one call per set
+        // returns, in order.
+        let (n, topo) = tmr_register();
+        let r0 = n.find_net("r0").unwrap();
+        let r1 = n.find_net("r1").unwrap();
+        let r2 = n.find_net("r2").unwrap();
+        let cfg = SearchConfig::default();
+        let sets = vec![vec![r0], vec![r0, r1], vec![r2], vec![r1, r2]];
+        let batched = search_wire_sets(&n, &topo, &sets, &cfg);
+        assert_eq!(batched.len(), sets.len());
+        for (set, got) in sets.iter().zip(&batched) {
+            let solo = search_wire_set(&n, &topo, set, &cfg);
+            assert_eq!(got.wires, solo.wires);
+            assert_eq!(got.unmaskable, solo.unmaskable);
+            assert_eq!(got.mates, solo.mates, "set {set:?}");
+        }
     }
 
     #[test]

@@ -141,7 +141,7 @@ proptest! {
             harness = harness.drive(input, values);
         }
         let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
-        let base = CampaignConfig { cycles, sample: Some(30), seed, threads: 1, lanes: LaneWidth::W64 };
+        let base = CampaignConfig { cycles, sample: Some(30), seed, threads: 1, lanes: LaneWidth::W64, ..CampaignConfig::default() };
         let single = run_campaign_wide(&harness, &space, &base).unwrap();
         for lanes in LaneWidth::all() {
             let sharded = run_campaign_wide(

@@ -1,10 +1,15 @@
 //! Injection campaigns and outcome classification.
+//!
+//! Wide-capable workloads are served by two batched, bit-identical engines
+//! selected through [`CampaignEngine`]: the full-settle [`BlockSimulator`]
+//! reference and the default event-driven [`DeltaSimulator`], whose work
+//! per cycle scales with fault-cone activity instead of netlist size.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use mate_netlist::{LaneBlock, MateError, NetId, Netlist, Topology, B256, B512};
-use mate_sim::{BlockSimulator, WaveTrace};
+use mate_sim::{BlockSimulator, DeltaSimulator, TransposedTrace, WaveTrace};
 
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
@@ -206,6 +211,42 @@ impl fmt::Display for LaneWidth {
     }
 }
 
+/// Which batched engine classifies wide-capable workloads.
+///
+/// Both engines produce bit-identical [`FaultEffect`] classifications for
+/// every lane width and thread count (enforced by the campaign proptests);
+/// the choice only trades work per cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CampaignEngine {
+    /// The full-settle [`BlockSimulator`] engine: every combinational cell
+    /// re-evaluated every cycle, convergence detected by XOR-scanning the
+    /// observed nets.  Kept as the asserted-identical reference.
+    FullSettle,
+    /// The event-driven [`DeltaSimulator`] engine: lanes carry XOR-deltas
+    /// against the golden trace, only the dirty fan-out frontier is
+    /// re-evaluated, and convergence falls out of the frontier emptying.
+    /// The default — work scales with fault-cone activity, not netlist
+    /// size.
+    #[default]
+    Differential,
+}
+
+impl CampaignEngine {
+    /// Both engines, reference first (for equivalence sweeps).
+    pub fn all() -> [Self; 2] {
+        [Self::FullSettle, Self::Differential]
+    }
+}
+
+impl fmt::Display for CampaignEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FullSettle => write!(f, "full-settle"),
+            Self::Differential => write!(f, "differential"),
+        }
+    }
+}
+
 /// Classifies a batch of fault points against `golden` with the default
 /// lane width — see [`classify_points_with`].
 ///
@@ -221,23 +262,8 @@ pub fn classify_points(
     classify_points_with(harness, golden, points, LaneWidth::default())
 }
 
-/// Classifies a batch of fault points against `golden`, choosing the
-/// fastest sound engine the harness supports:
-///
-/// 1. **Wide** — no external devices and pure stimuli: up to
-///    [`LaneWidth::lanes`] fault points per injection cycle are packed into
-///    the lanes of a [`BlockSimulator`] seeded directly from the golden
-///    trace at the injection cycle, then classified in lock-step with
-///    per-lane early retirement.
-/// 2. **Checkpointed scalar** — all devices snapshotable and pure stimuli:
-///    one incremental golden run captures a checkpoint at every injection
-///    cycle; each faulty run is seeded by restore instead of replaying the
-///    warm-up prefix.
-/// 3. **Scalar fallback** — anything else: one [`inject`] per point.
-///
-/// All paths — every lane width included — produce bit-identical
-/// [`FaultEffect`] classifications.  Results are returned in the order of
-/// `points`.
+/// Classifies a batch of fault points against `golden` with the default
+/// engine — see [`classify_points_engine`].
 ///
 /// # Errors
 ///
@@ -249,6 +275,40 @@ pub fn classify_points_with(
     points: &[FaultPoint],
     lanes: LaneWidth,
 ) -> Result<Vec<FaultEffect>, MateError> {
+    classify_points_engine(harness, golden, points, lanes, CampaignEngine::default())
+}
+
+/// Classifies a batch of fault points against `golden`, choosing the
+/// fastest sound path the harness supports:
+///
+/// 1. **Wide** — no external devices and pure stimuli: up to
+///    [`LaneWidth::lanes`] fault points per injection cycle are packed into
+///    the lanes of a batched engine seeded directly from the golden trace
+///    at the injection cycle, then classified in lock-step with per-lane
+///    early retirement.  `engine` picks between the event-driven
+///    [`CampaignEngine::Differential`] default and the full-settle
+///    [`CampaignEngine::FullSettle`] reference.
+/// 2. **Checkpointed scalar** — all devices snapshotable and pure stimuli:
+///    one incremental golden run captures a checkpoint at every injection
+///    cycle; each faulty run is seeded by restore instead of replaying the
+///    warm-up prefix.
+/// 3. **Scalar fallback** — anything else: one [`inject`] per point.
+///
+/// All paths — every engine and lane width included — produce bit-identical
+/// [`FaultEffect`] classifications.  Results are returned in the order of
+/// `points`.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] if any injection cycle lies beyond the
+/// golden trace.
+pub fn classify_points_engine(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+    lanes: LaneWidth,
+    engine: CampaignEngine,
+) -> Result<Vec<FaultEffect>, MateError> {
     let horizon = golden.trace.num_cycles();
     if let Some(p) = points.iter().find(|p| p.cycle >= horizon) {
         return Err(MateError::campaign(format!(
@@ -258,10 +318,25 @@ pub fn classify_points_with(
     }
     let probe = harness.testbench();
     Ok(if probe.can_run_wide() {
-        match lanes {
-            LaneWidth::W64 => classify_points_block::<u64>(harness, golden, points),
-            LaneWidth::W256 => classify_points_block::<B256>(harness, golden, points),
-            LaneWidth::W512 => classify_points_block::<B512>(harness, golden, points),
+        match (engine, lanes) {
+            (CampaignEngine::FullSettle, LaneWidth::W64) => {
+                classify_points_block::<u64>(harness, golden, points)
+            }
+            (CampaignEngine::FullSettle, LaneWidth::W256) => {
+                classify_points_block::<B256>(harness, golden, points)
+            }
+            (CampaignEngine::FullSettle, LaneWidth::W512) => {
+                classify_points_block::<B512>(harness, golden, points)
+            }
+            (CampaignEngine::Differential, LaneWidth::W64) => {
+                classify_points_differential::<u64>(harness, golden, points)
+            }
+            (CampaignEngine::Differential, LaneWidth::W256) => {
+                classify_points_differential::<B256>(harness, golden, points)
+            }
+            (CampaignEngine::Differential, LaneWidth::W512) => {
+                classify_points_differential::<B512>(harness, golden, points)
+            }
         }
     } else if probe.can_checkpoint() {
         classify_points_checkpoint(harness, golden, points)
@@ -272,6 +347,65 @@ pub fn classify_points_with(
         }
         effects
     })
+}
+
+/// Per-net observation flags for the classification scans.
+const OBS_OUTPUT: u8 = 1;
+const OBS_STATE: u8 = 2;
+
+fn observed_flags(num_nets: usize, golden: &GoldenRun) -> Vec<u8> {
+    let mut flags = vec![0u8; num_nets];
+    for &net in &golden.output_nets {
+        flags[net.index()] |= OBS_OUTPUT;
+    }
+    for &net in &golden.state_nets {
+        flags[net.index()] |= OBS_STATE;
+    }
+    flags
+}
+
+/// Per-cycle partition of the observed nets by their golden value, so the
+/// block classification loops need neither a per-net [`LaneBlock::splat`]
+/// nor a per-net golden bit probe: a lane diverges on a golden-one net iff
+/// its value bit is 0 (`diff |= !v`), on a golden-zero net iff it is 1
+/// (`diff |= v`).
+struct GoldenPartition {
+    out_ones: Vec<Vec<u32>>,
+    out_zeros: Vec<Vec<u32>>,
+    state_ones: Vec<Vec<u32>>,
+    state_zeros: Vec<Vec<u32>>,
+}
+
+impl GoldenPartition {
+    fn build(golden: &GoldenRun, transposed: &TransposedTrace) -> Self {
+        let horizon = golden.trace.num_cycles();
+        let mut p = Self {
+            out_ones: vec![Vec::new(); horizon],
+            out_zeros: vec![Vec::new(); horizon],
+            state_ones: vec![Vec::new(); horizon],
+            state_zeros: vec![Vec::new(); horizon],
+        };
+        for t in 0..horizon {
+            let view = transposed.cycle_view(t);
+            for &net in &golden.output_nets {
+                let bucket = if view.value(net.index()) {
+                    &mut p.out_ones[t]
+                } else {
+                    &mut p.out_zeros[t]
+                };
+                bucket.push(net.index() as u32);
+            }
+            for &net in &golden.state_nets {
+                let bucket = if view.value(net.index()) {
+                    &mut p.state_ones[t]
+                } else {
+                    &mut p.state_zeros[t]
+                };
+                bucket.push(net.index() as u32);
+            }
+        }
+        p
+    }
 }
 
 /// The block-lane engine behind [`classify_points_with`]: groups points by
@@ -297,6 +431,13 @@ fn classify_points_block<B: LaneBlock>(
     let mut stim = harness.testbench();
     let mut wide: BlockSimulator<'_, B> =
         BlockSimulator::new(harness.netlist(), harness.topology());
+    // Golden comparisons are precomputed per cycle: the observed nets are
+    // partitioned by golden value once, outside the chunk loop, so the
+    // per-chunk classification is pure block ops — no per-net splat, no
+    // per-net trace probe.  (Splatting every observed net per cycle per
+    // chunk was what made the 256/512-lane backends slower than 64.)
+    let transposed = TransposedTrace::from_trace(&golden.trace);
+    let part = GoldenPartition::build(golden, &transposed);
 
     let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (idx, p) in points.iter().enumerate() {
@@ -316,8 +457,11 @@ fn classify_points_block<B: LaneBlock>(
                 wide.settle();
                 // Outputs first, mirroring the scalar classifier's priority.
                 let mut out_diff = B::ZERO;
-                for &net in &golden.output_nets {
-                    out_diff |= wide.value_block(net) ^ B::splat(golden.trace.value(t, net));
+                for &net in &part.out_ones[t] {
+                    out_diff |= !wide.value_block(NetId::from_index(net as usize));
+                }
+                for &net in &part.out_zeros[t] {
+                    out_diff |= wide.value_block(NetId::from_index(net as usize));
                 }
                 let failed = out_diff & active;
                 if !failed.is_zero() {
@@ -328,8 +472,11 @@ fn classify_points_block<B: LaneBlock>(
                 }
                 if t > cycle && !active.is_zero() {
                     let mut state_diff = B::ZERO;
-                    for &net in &golden.state_nets {
-                        state_diff |= wide.value_block(net) ^ B::splat(golden.trace.value(t, net));
+                    for &net in &part.state_ones[t] {
+                        state_diff |= !wide.value_block(NetId::from_index(net as usize));
+                    }
+                    for &net in &part.state_zeros[t] {
+                        state_diff |= wide.value_block(NetId::from_index(net as usize));
                     }
                     let converged = active & !state_diff;
                     if !converged.is_zero() {
@@ -354,6 +501,124 @@ fn classify_points_block<B: LaneBlock>(
         }
     }
     effects
+}
+
+/// The event-driven engine behind [`classify_points_engine`]: like
+/// [`classify_points_block`] in grouping and retirement, but the chunk runs
+/// on a [`DeltaSimulator`] — campaign stimuli equal the golden stimuli by
+/// construction, so input deltas are identically zero and only the dirty
+/// fan-out frontier of each fault cone is ever re-evaluated.  The
+/// classification scan walks the simulator's nonzero-delta set rather than
+/// all observed nets: any net absent from it matches golden in every lane.
+///
+/// Early retirement is sound for the same reason as in the full-settle
+/// engine; convergence here is simply the lane's bits vanishing from every
+/// delta, which the frontier detects without a state scan.
+fn classify_points_differential<B: LaneBlock>(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+) -> Vec<FaultEffect> {
+    let horizon = golden.trace.num_cycles();
+    let transposed = TransposedTrace::from_trace(&golden.trace);
+    let flags = observed_flags(harness.netlist().num_nets(), golden);
+    let mut delta: DeltaSimulator<'_, B> =
+        DeltaSimulator::new(harness.netlist(), harness.topology());
+
+    let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        by_cycle.entry(p.cycle).or_default().push(idx);
+    }
+
+    let mut effects = vec![FaultEffect::Latent; points.len()];
+    for (&cycle, indices) in &by_cycle {
+        for chunk in indices.chunks(B::WIDTH) {
+            delta.begin(cycle);
+            for (lane, &idx) in chunk.iter().enumerate() {
+                delta.flip_ff(points[idx].ff, lane);
+            }
+            retire_chunk_differential(
+                &mut delta,
+                &transposed,
+                &flags,
+                cycle,
+                horizon,
+                B::low_lanes(chunk.len()),
+                |lane, effect| effects[chunk[lane]] = effect,
+            );
+        }
+    }
+    effects
+}
+
+/// Runs one lane chunk of the differential engine from `cycle` to the
+/// horizon, calling `retire(lane, effect)` as lanes classify.  Lanes still
+/// active at the horizon are `Latent` and are *not* reported.
+fn retire_chunk_differential<B: LaneBlock>(
+    delta: &mut DeltaSimulator<'_, B>,
+    transposed: &TransposedTrace,
+    flags: &[u8],
+    cycle: usize,
+    horizon: usize,
+    mut active: B,
+    mut retire: impl FnMut(usize, FaultEffect),
+) {
+    for t in cycle..horizon {
+        delta.settle(transposed);
+        let before = active;
+        // One scan of the (small) nonzero-delta set yields both divergence
+        // masks; every other net equals golden in all lanes.
+        let mut out_diff = B::ZERO;
+        let mut state_diff = B::ZERO;
+        for &net in delta.nonzero_nets() {
+            let f = flags[net as usize];
+            if f != 0 {
+                let d = delta.delta_raw(net as usize);
+                if f & OBS_OUTPUT != 0 {
+                    out_diff |= d;
+                }
+                if f & OBS_STATE != 0 {
+                    state_diff |= d;
+                }
+            }
+        }
+        // Outputs first, mirroring the scalar classifier's priority.
+        let failed = out_diff & active;
+        if !failed.is_zero() {
+            failed.for_each_lane(|lane| {
+                retire(lane, FaultEffect::OutputFailure { after: t - cycle });
+            });
+            active &= !failed;
+        }
+        if t > cycle && !active.is_zero() {
+            let converged = active & !state_diff;
+            if !converged.is_zero() {
+                let after = t - cycle;
+                converged.for_each_lane(|lane| {
+                    retire(
+                        lane,
+                        if after == 1 {
+                            FaultEffect::MaskedWithinOneCycle
+                        } else {
+                            FaultEffect::SilentRecovery { after }
+                        },
+                    );
+                });
+                active &= !converged;
+            }
+        }
+        if active.is_zero() {
+            break;
+        }
+        if active != before {
+            // Retired lanes' deltas are dead weight (every classification
+            // read is `& active`-masked): dropping them here shrinks the
+            // dirty frontier to the cones of the undecided lanes, instead
+            // of dragging the classified faults' cones to the horizon.
+            delta.retain_lanes(active);
+        }
+        delta.tick();
+    }
 }
 
 /// The checkpointed scalar engine behind [`classify_points`]: one
@@ -427,6 +692,96 @@ pub fn inject_multi(
         tb.sim_mut().flip_ff(point.ff);
     }
     Ok(classify(&mut tb, golden, cycle))
+}
+
+/// Classifies a batch of simultaneous multi-bit SEU *sets* — one set per
+/// lane — against `golden`: the batched counterpart of [`inject_multi`]
+/// for the multi-SEU search of `mate-core`.  Wide-capable harnesses run on
+/// the differential engine (up to [`LaneWidth::lanes`] whole sets per
+/// pass); anything else falls back to one scalar [`inject_multi`] per set.
+/// Results are returned in the order of `sets` and are bit-identical to
+/// the scalar path.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] if any set is empty, mixes cycles, or
+/// lies beyond the golden trace.
+pub fn classify_multi_points(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    sets: &[Vec<FaultPoint>],
+    lanes: LaneWidth,
+) -> Result<Vec<FaultEffect>, MateError> {
+    let horizon = golden.trace.num_cycles();
+    for set in sets {
+        let Some(first) = set.first() else {
+            return Err(MateError::campaign("need at least one fault point"));
+        };
+        if set.iter().any(|p| p.cycle != first.cycle) {
+            return Err(MateError::campaign(
+                "multi-bit upsets are simultaneous: all points must share one cycle",
+            ));
+        }
+        if first.cycle >= horizon {
+            return Err(MateError::campaign(format!(
+                "injection cycle {} beyond golden trace of {horizon} cycles",
+                first.cycle
+            )));
+        }
+    }
+    if !harness.testbench().can_run_wide() {
+        return sets
+            .iter()
+            .map(|set| inject_multi(harness, golden, set))
+            .collect();
+    }
+    Ok(match lanes {
+        LaneWidth::W64 => classify_multi_differential::<u64>(harness, golden, sets),
+        LaneWidth::W256 => classify_multi_differential::<B256>(harness, golden, sets),
+        LaneWidth::W512 => classify_multi_differential::<B512>(harness, golden, sets),
+    })
+}
+
+/// The lane-parallel body of [`classify_multi_points`]: identical chunking
+/// to [`classify_points_differential`], except each lane carries *all*
+/// flips of its set.
+fn classify_multi_differential<B: LaneBlock>(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    sets: &[Vec<FaultPoint>],
+) -> Vec<FaultEffect> {
+    let horizon = golden.trace.num_cycles();
+    let transposed = TransposedTrace::from_trace(&golden.trace);
+    let flags = observed_flags(harness.netlist().num_nets(), golden);
+    let mut delta: DeltaSimulator<'_, B> =
+        DeltaSimulator::new(harness.netlist(), harness.topology());
+
+    let mut by_cycle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (idx, set) in sets.iter().enumerate() {
+        by_cycle.entry(set[0].cycle).or_default().push(idx);
+    }
+
+    let mut effects = vec![FaultEffect::Latent; sets.len()];
+    for (&cycle, indices) in &by_cycle {
+        for chunk in indices.chunks(B::WIDTH) {
+            delta.begin(cycle);
+            for (lane, &idx) in chunk.iter().enumerate() {
+                for point in &sets[idx] {
+                    delta.flip_ff(point.ff, lane);
+                }
+            }
+            retire_chunk_differential(
+                &mut delta,
+                &transposed,
+                &flags,
+                cycle,
+                horizon,
+                B::low_lanes(chunk.len()),
+                |lane, effect| effects[chunk[lane]] = effect,
+            );
+        }
+    }
+    effects
 }
 
 /// Injects an upset that *holds* for `hold_cycles` cycles: the flip-flop is
@@ -527,6 +882,9 @@ pub struct CampaignConfig {
     /// Lane width of the batched engine (scenarios per simulation pass).
     /// Results are bit-identical for every width.
     pub lanes: LaneWidth,
+    /// Which batched engine classifies wide-capable workloads.  Results
+    /// are bit-identical for both.
+    pub engine: CampaignEngine,
 }
 
 impl Default for CampaignConfig {
@@ -537,6 +895,7 @@ impl Default for CampaignConfig {
             seed: 0,
             threads: 0,
             lanes: LaneWidth::default(),
+            engine: CampaignEngine::default(),
         }
     }
 }
@@ -629,10 +988,11 @@ fn effective_threads(threads: usize, points: usize) -> usize {
 }
 
 /// Runs a full (or sampled) injection campaign over `space` on the batched
-/// engine: identical records to [`run_campaign`], at up to
-/// [`CampaignConfig::lanes`] fault scenarios per simulation via
-/// [`classify_points_with`], sharded over [`CampaignConfig::threads`]
-/// worker threads (threads × lanes concurrent fault scenarios).
+/// engine selected by [`CampaignConfig::engine`]: identical records to
+/// [`run_campaign`], at up to [`CampaignConfig::lanes`] fault scenarios
+/// per simulation via [`classify_points_engine`], sharded over
+/// [`CampaignConfig::threads`] worker threads (threads × lanes concurrent
+/// fault scenarios).
 ///
 /// Each thread classifies one contiguous chunk of the point list into its
 /// slice of the result buffer, so the records come back in the original
@@ -656,17 +1016,18 @@ pub fn run_campaign_wide(
     .collect();
     let threads = effective_threads(config.threads, points.len());
     let effects = if threads <= 1 {
-        classify_points_with(harness, &golden, &points, config.lanes)?
+        classify_points_engine(harness, &golden, &points, config.lanes, config.engine)?
     } else {
         let chunk = points.len().div_ceil(threads);
         let mut shards: Vec<Result<Vec<FaultEffect>, MateError>> =
             points.chunks(chunk).map(|_| Ok(Vec::new())).collect();
         let golden = &golden;
         let lanes = config.lanes;
+        let engine = config.engine;
         std::thread::scope(|scope| {
             for (pts, out) in points.chunks(chunk).zip(shards.iter_mut()) {
                 scope.spawn(move || {
-                    *out = classify_points_with(harness, golden, pts, lanes);
+                    *out = classify_points_engine(harness, golden, pts, lanes, engine);
                 });
             }
         });
@@ -824,6 +1185,7 @@ mod tests {
             seed: 0,
             threads: 1,
             lanes: LaneWidth::W64,
+            engine: CampaignEngine::default(),
         };
         let single = run_campaign_wide(&harness, &space, &base).unwrap();
         for threads in [0usize, 2, 4, 7, 1000] {
@@ -864,6 +1226,127 @@ mod tests {
             let block = classify_points_with(&harness, &golden, &points, lanes).unwrap();
             assert_eq!(scalar, block, "{lanes} lanes");
         }
+    }
+
+    #[test]
+    fn engines_match_scalar_reference() {
+        // Both batched engines classify bit-identically to the scalar
+        // `inject` path across every lane width.
+        let (n, topo) = counter(5);
+        let en = n.find_net("en").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(en, vec![true, true, false]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 20);
+        let golden = golden_run(&harness, 21);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        let scalar: Vec<FaultEffect> = points
+            .iter()
+            .map(|&p| inject(&harness, &golden, p).unwrap())
+            .collect();
+        for engine in CampaignEngine::all() {
+            for lanes in LaneWidth::all() {
+                let batched =
+                    classify_points_engine(&harness, &golden, &points, lanes, engine).unwrap();
+                assert_eq!(scalar, batched, "{engine} engine, {lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_match_across_threads() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true, false, false, true])
+            .drive(din, vec![true, false]);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), 10);
+        let base = CampaignConfig {
+            cycles: 10,
+            threads: 1,
+            lanes: LaneWidth::W64,
+            engine: CampaignEngine::FullSettle,
+            ..CampaignConfig::default()
+        };
+        let reference = run_campaign_wide(&harness, &space, &base).unwrap();
+        for engine in CampaignEngine::all() {
+            for threads in [1usize, 3] {
+                let run = run_campaign_wide(
+                    &harness,
+                    &space,
+                    &CampaignConfig {
+                        engine,
+                        threads,
+                        ..base
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    reference.records, run.records,
+                    "{engine} engine, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_point_batch_matches_scalar_inject_multi() {
+        let (n, topo) = tmr_register();
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, vec![true, false])
+            .drive(din, vec![true]);
+        let golden = golden_run(&harness, 8);
+        let ffs = harness.topology().seq_cells().to_vec();
+        let point = |ff_i: usize, cycle: usize| {
+            let ff = ffs[ff_i];
+            FaultPoint {
+                ff,
+                wire: harness.netlist().cell(ff).output(),
+                cycle,
+            }
+        };
+        // Single, double, and triple flips: TMR masks one replica, loses to
+        // two or three.
+        let sets: Vec<Vec<FaultPoint>> = vec![
+            vec![point(0, 3)],
+            vec![point(0, 3), point(1, 3)],
+            vec![point(0, 2), point(1, 2), point(2, 2)],
+            vec![point(2, 4)],
+        ];
+        let scalar: Vec<FaultEffect> = sets
+            .iter()
+            .map(|s| inject_multi(&harness, &golden, s).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            let batched = classify_multi_points(&harness, &golden, &sets, lanes).unwrap();
+            assert_eq!(scalar, batched, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn multi_point_batch_rejects_bad_sets() {
+        let (n, topo) = counter(3);
+        let en = n.find_net("en").unwrap();
+        let harness = StimulusHarness::new(n, topo).drive(en, vec![true]);
+        let golden = golden_run(&harness, 5);
+        let ff = harness.topology().seq_cells()[0];
+        let wire = harness.netlist().cell(ff).output();
+        let p = |cycle| FaultPoint { ff, wire, cycle };
+        let empty: Vec<Vec<FaultPoint>> = vec![vec![]];
+        assert!(classify_multi_points(&harness, &golden, &empty, LaneWidth::W64).is_err());
+        let mixed = vec![vec![p(1), p(2)]];
+        assert!(classify_multi_points(&harness, &golden, &mixed, LaneWidth::W64).is_err());
+        let beyond = vec![vec![p(99)]];
+        assert!(classify_multi_points(&harness, &golden, &beyond, LaneWidth::W64).is_err());
+    }
+
+    #[test]
+    fn engine_display_and_default() {
+        assert_eq!(CampaignEngine::default(), CampaignEngine::Differential);
+        assert_eq!(format!("{}", CampaignEngine::FullSettle), "full-settle");
+        assert_eq!(format!("{}", CampaignEngine::Differential), "differential");
+        assert_eq!(CampaignEngine::all()[0], CampaignEngine::FullSettle);
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod space;
 pub mod validate;
 
 pub use campaign::{
-    classify_points, classify_points_with, golden_run, inject, inject_multi, inject_persistent,
-    run_campaign, run_campaign_wide, CampaignConfig, CampaignResult, FaultEffect, LaneWidth,
+    classify_multi_points, classify_points, classify_points_engine, classify_points_with,
+    golden_run, inject, inject_multi, inject_persistent, run_campaign, run_campaign_wide,
+    CampaignConfig, CampaignEngine, CampaignResult, FaultEffect, LaneWidth,
 };
 pub use fpga::{CommandModel, LutCostModel};
 pub use harness::{DesignHarness, StimulusHarness};

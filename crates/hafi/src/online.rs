@@ -57,6 +57,9 @@ pub struct OnlinePruner<'m> {
     /// Matrix word index of the next flush (blocks are 64-aligned from
     /// cycle 0).
     flushed_words: usize,
+    /// Scratch transposed block, refilled in place each flush so a long
+    /// campaign transposes without per-block allocation.
+    scratch: TransposedTrace,
 }
 
 impl<'m> OnlinePruner<'m> {
@@ -82,6 +85,7 @@ impl<'m> OnlinePruner<'m> {
             num_nets: 0,
             pending: 0,
             flushed_words: 0,
+            scratch: TransposedTrace::new(0),
         }
     }
 
@@ -116,12 +120,13 @@ impl<'m> OnlinePruner<'m> {
         if self.pending == 0 {
             return;
         }
-        let block = TransposedTrace::from_row_words(
+        self.scratch.refill_from_row_words(
             self.num_nets,
             self.pending,
             &self.rows[..self.pending * self.words_per_cycle],
             self.words_per_cycle,
         );
+        let block = &self.scratch;
         for (i, mate) in self.mates.iter().enumerate() {
             if self.masked_indices[i].is_empty() {
                 continue;

@@ -97,8 +97,12 @@ pub fn validate_mates(
             claimed_points.truncate(limit);
         }
     }
-    // Batched classification: up to 64 claimed points share one wide run
-    // (or one checkpoint-seeded run) instead of one full replay each.
+    // Batched classification: up to a lane block of claimed points share
+    // one run (or one checkpoint-seeded run) instead of one full replay
+    // each.  Wide-capable harnesses get the differential engine by
+    // default — almost every claimed point is masked within one cycle, so
+    // its frontier empties after a single tick and validation work scales
+    // with the fault cones rather than the netlist.
     let effects = classify_points(harness, &golden, &claimed_points)?;
     for (point, effect) in claimed_points.into_iter().zip(effects) {
         validation.checked += 1;

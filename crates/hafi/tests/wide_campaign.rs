@@ -1,13 +1,15 @@
-//! The batched campaign engine must be a pure performance change: every
-//! path through [`classify_points`] — wide, checkpointed scalar, and the
-//! scalar fallback — has to produce classifications bit-identical to one
+//! The batched campaign engines must be pure performance changes: every
+//! path through [`classify_points_engine`] — differential, full-settle,
+//! checkpointed scalar, and the scalar fallback — at every lane width and
+//! thread count, has to produce classifications bit-identical to one
 //! [`inject`] call per fault point.
 
 use proptest::prelude::*;
 
 use mate_hafi::{
-    classify_points, golden_run, inject, run_campaign, run_campaign_wide, CampaignConfig,
-    DesignHarness, FaultPoint, FaultSpace, StimulusHarness,
+    classify_multi_points, classify_points, classify_points_engine, golden_run, inject,
+    inject_multi, run_campaign, run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness,
+    FaultPoint, FaultSpace, LaneWidth, StimulusHarness,
 };
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 
@@ -70,6 +72,108 @@ proptest! {
         let scalar = run_campaign(&harness, &space, &config).unwrap();
         let wide = run_campaign_wide(&harness, &space, &config).unwrap();
         prop_assert_eq!(scalar.records, wide.records);
+    }
+
+    /// The differential engine is bit-identical to the full-settle block
+    /// engine AND the scalar classifier, across every lane width, on the
+    /// exhaustive fault space of random circuits.
+    #[test]
+    fn differential_matches_full_settle_and_scalar(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 8, gates: 28, outputs: 2 };
+        let cycles = 12;
+        let harness = harness_for(seed.wrapping_add(101), cfg, cycles + 1);
+        prop_assert!(harness.testbench().can_run_wide());
+
+        let golden = golden_run(&harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        let scalar: Vec<_> = points
+            .iter()
+            .map(|&p| inject(&harness, &golden, p).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            for engine in CampaignEngine::all() {
+                let batched =
+                    classify_points_engine(&harness, &golden, &points, lanes, engine).unwrap();
+                prop_assert_eq!(
+                    &scalar, &batched,
+                    "seed {} {} engine {} lanes", seed, engine, lanes
+                );
+            }
+        }
+    }
+
+    /// Thread sharding is invisible per engine: any thread count reproduces
+    /// the single-threaded records of the same engine, and both engines
+    /// produce the same records.
+    #[test]
+    fn engines_match_across_threads(seed in 0u64..5_000, threads in 2usize..5) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 6, gates: 22, outputs: 2 };
+        let cycles = 10;
+        let harness = harness_for(seed.wrapping_add(57), cfg, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let base = CampaignConfig {
+            cycles,
+            sample: Some(30),
+            seed,
+            threads: 1,
+            lanes: LaneWidth::W64,
+            engine: CampaignEngine::FullSettle,
+        };
+        let reference = run_campaign_wide(&harness, &space, &base).unwrap();
+        for engine in CampaignEngine::all() {
+            for lanes in LaneWidth::all() {
+                let sharded = run_campaign_wide(
+                    &harness,
+                    &space,
+                    &CampaignConfig { threads, lanes, engine, ..base },
+                ).unwrap();
+                prop_assert_eq!(
+                    &reference.records, &sharded.records,
+                    "{} engine {} lanes {} threads", engine, lanes, threads
+                );
+            }
+        }
+    }
+
+    /// Batched multi-SEU sets (one whole set per lane) classify exactly
+    /// like one scalar `inject_multi` per set — the `core/src/multi.rs`
+    /// fault model on the differential engine.
+    #[test]
+    fn multi_seu_sets_match_scalar_inject_multi(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 7, gates: 24, outputs: 2 };
+        let cycles = 10;
+        let harness = harness_for(seed.wrapping_add(23), cfg, cycles + 1);
+        prop_assert!(harness.testbench().can_run_wide());
+
+        let golden = golden_run(&harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        // Pair up points within each cycle into 2- and 3-bit sets, plus the
+        // singletons, mimicking the adjacent-FF sets of the multi-SEU
+        // search.
+        let mut sets: Vec<Vec<FaultPoint>> = Vec::new();
+        for cycle in 0..cycles {
+            let in_cycle: Vec<FaultPoint> =
+                points.iter().copied().filter(|p| p.cycle == cycle).collect();
+            for pair in in_cycle.windows(2) {
+                sets.push(pair.to_vec());
+            }
+            for triple in in_cycle.windows(3).step_by(3) {
+                sets.push(triple.to_vec());
+            }
+            if let Some(&first) = in_cycle.first() {
+                sets.push(vec![first]);
+            }
+        }
+        let scalar: Vec<_> = sets
+            .iter()
+            .map(|s| inject_multi(&harness, &golden, s).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            let batched = classify_multi_points(&harness, &golden, &sets, lanes).unwrap();
+            prop_assert_eq!(&scalar, &batched, "seed {} {} lanes", seed, lanes);
+        }
     }
 }
 

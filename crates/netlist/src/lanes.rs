@@ -89,6 +89,21 @@ pub trait LaneBlock:
         }
     }
 
+    /// All-ones when `bit` is set, all-zeros otherwise — like
+    /// [`LaneBlock::splat`] but guaranteed branch-free, for hot loops whose
+    /// `bit` is data-dependent and unpredictable (e.g. golden-trace
+    /// complements in the delta kernels, where a conditional would
+    /// mispredict half the time).
+    #[inline]
+    fn mask_from(bit: bool) -> Self {
+        let m = (bit as u64).wrapping_neg();
+        let mut b = Self::ZERO;
+        for i in 0..Self::WORDS {
+            b.set_word(i, m);
+        }
+        b
+    }
+
     /// A mask with the low `n` lanes set — the active mask of a partially
     /// filled block (e.g. the tail chunk of a fault-point list).
     ///

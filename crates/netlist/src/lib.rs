@@ -66,7 +66,7 @@ pub use library::{CellFn, CellType, Library};
 pub use logic::{masking_cubes, PinCube, TruthTable};
 pub use netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
 pub use opt::{optimize, OptStats, Optimized};
-pub use soa::{SoaNetlist, SoaRun};
+pub use soa::{SoaNetlist, SoaReader, SoaRun};
 pub use util::BitSet;
 
 /// Convenience re-exports for downstream crates.
@@ -79,6 +79,6 @@ pub mod prelude {
     pub use crate::library::{CellFn, CellType, Library};
     pub use crate::logic::{masking_cubes, PinCube, TruthTable};
     pub use crate::netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
-    pub use crate::soa::{SoaNetlist, SoaRun};
+    pub use crate::soa::{SoaNetlist, SoaReader, SoaRun};
     pub use crate::util::BitSet;
 }

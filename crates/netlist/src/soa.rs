@@ -18,7 +18,12 @@
 //! * **flat CSR pin arrays** — one `u32` net index per pin in one contiguous
 //!   array, replacing the per-cell `Vec<NetId>` pointer chase;
 //! * **flat flip-flop D/Q index pairs** in [`Topology::seq_cells`] order,
-//!   so the clock tick is two parallel array walks.
+//!   so the clock tick is two parallel array walks;
+//! * a **fan-out CSR** — for every net, the rows and flip-flop D-pins that
+//!   read it ([`SoaNetlist::net_readers`]), so event-driven consumers (the
+//!   differential campaign engine, incremental propagation) can walk "who
+//!   must be re-evaluated when this net changes" without touching the
+//!   pointer graph.
 //!
 //! All state indices are plain `u32` net indices into whatever per-net value
 //! array the consumer keeps (`Vec<B>` for a [`LaneBlock`](crate::LaneBlock)
@@ -31,6 +36,18 @@ use crate::graph::Topology;
 use crate::ids::CellId;
 use crate::logic::TruthTable;
 use crate::netlist::Netlist;
+
+/// One reader of a net in the fan-out CSR: either a combinational row
+/// (whose output must be re-evaluated when the net changes) or the D-pin of
+/// a flip-flop (whose Q latches the net's value at the next tick).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoaReader {
+    /// A combinational row index (see [`SoaNetlist::row_pins`]).
+    Row(usize),
+    /// A flip-flop index in [`Topology::seq_cells`] order whose D input is
+    /// the net.
+    FfD(usize),
+}
 
 /// A maximal range of consecutive rows that share one cell type: same
 /// truth table, same input arity, same logic level.
@@ -95,6 +112,18 @@ pub struct SoaNetlist {
     ff_d: Vec<u32>,
     /// Flip-flop Q output net indices, in [`Topology::seq_cells`] order.
     ff_q: Vec<u32>,
+    /// Fan-out CSR offsets into `readers`, one entry per net plus a
+    /// terminator.
+    reader_off: Vec<u32>,
+    /// Fan-out CSR payload: tokens `< num_rows` are reader rows; tokens
+    /// `>= num_rows` are `num_rows + ff_index` D-pin readers.  Each reader
+    /// appears once per net, even when it reads the net on several pins.
+    readers: Vec<u32>,
+    /// Driving comb row per net (`u32::MAX` for inputs, constants, and
+    /// flip-flop outputs).
+    net_driver_row: Vec<u32>,
+    /// Flip-flop index whose Q output is this net (`u32::MAX` otherwise).
+    ff_of_q: Vec<u32>,
 }
 
 impl SoaNetlist {
@@ -185,10 +214,54 @@ impl SoaNetlist {
 
         let mut ff_d = Vec::with_capacity(topo.seq_cells().len());
         let mut ff_q = Vec::with_capacity(topo.seq_cells().len());
-        for &ff in topo.seq_cells() {
+        let mut ff_of_q = vec![u32::MAX; netlist.num_nets()];
+        for (i, &ff) in topo.seq_cells().iter().enumerate() {
             let cell = netlist.cell(ff);
             ff_d.push(cell.inputs()[0].index() as u32);
             ff_q.push(cell.output().index() as u32);
+            ff_of_q[cell.output().index()] = i as u32;
+        }
+
+        let num_rows = out.len();
+        let mut net_driver_row = vec![u32::MAX; netlist.num_nets()];
+        for (row, &o) in out.iter().enumerate() {
+            net_driver_row[o as usize] = row as u32;
+        }
+
+        // Fan-out CSR via counting sort: one (reader, net) edge per distinct
+        // net a row or D-pin reads.  Rows reading a net on several pins
+        // contribute one edge — event-driven consumers re-evaluate a row
+        // once regardless of how many of its pins changed.
+        let row_slice = |row: usize| &pins[pin_off[row] as usize..pin_off[row + 1] as usize];
+        let mut reader_off = vec![0u32; netlist.num_nets() + 1];
+        for row in 0..num_rows {
+            let slice = row_slice(row);
+            for (i, &net) in slice.iter().enumerate() {
+                if !slice[..i].contains(&net) {
+                    reader_off[net as usize + 1] += 1;
+                }
+            }
+        }
+        for &d in &ff_d {
+            reader_off[d as usize + 1] += 1;
+        }
+        for i in 0..netlist.num_nets() {
+            reader_off[i + 1] += reader_off[i];
+        }
+        let mut cursor = reader_off.clone();
+        let mut readers = vec![0u32; reader_off[netlist.num_nets()] as usize];
+        for row in 0..num_rows {
+            let slice = row_slice(row);
+            for (i, &net) in slice.iter().enumerate() {
+                if !slice[..i].contains(&net) {
+                    readers[cursor[net as usize] as usize] = row as u32;
+                    cursor[net as usize] += 1;
+                }
+            }
+        }
+        for (i, &d) in ff_d.iter().enumerate() {
+            readers[cursor[d as usize] as usize] = (num_rows + i) as u32;
+            cursor[d as usize] += 1;
         }
 
         Self {
@@ -203,6 +276,10 @@ impl SoaNetlist {
             comb_row,
             ff_d,
             ff_q,
+            reader_off,
+            readers,
+            net_driver_row,
+            ff_of_q,
         }
     }
 
@@ -277,6 +354,64 @@ impl SoaNetlist {
     #[inline]
     pub fn ff_q(&self) -> &[u32] {
         &self.ff_q
+    }
+
+    /// Raw fan-out tokens of one net: everything that reads it, each reader
+    /// once.  Tokens `< num_rows` are comb row indices; tokens
+    /// `>= num_rows` are `num_rows + ff_index` D-pin readers — decode with
+    /// [`SoaNetlist::reader`] when the distinction matters, or compare
+    /// against [`SoaNetlist::num_rows`] directly in hot loops.
+    ///
+    /// The list is sorted ascending, so all comb rows come first (in
+    /// evaluation order) and all D-pin tokens last: a forward scan may stop
+    /// at the first token `>= num_rows`, a reverse scan at the first token
+    /// `< num_rows`.  [`SoaNetlist::assert_consistent`] checks this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn net_readers(&self, net: usize) -> &[u32] {
+        &self.readers[self.reader_off[net] as usize..self.reader_off[net + 1] as usize]
+    }
+
+    /// Decodes one fan-out token from [`SoaNetlist::net_readers`].
+    #[inline]
+    pub fn reader(&self, token: u32) -> SoaReader {
+        let t = token as usize;
+        if t < self.num_rows() {
+            SoaReader::Row(t)
+        } else {
+            SoaReader::FfD(t - self.num_rows())
+        }
+    }
+
+    /// The comb row driving a net, or `None` when the net is a primary
+    /// input, constant, or flip-flop output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn net_driver_row(&self, net: usize) -> Option<usize> {
+        match self.net_driver_row[net] {
+            u32::MAX => None,
+            row => Some(row as usize),
+        }
+    }
+
+    /// The flip-flop index (in [`Topology::seq_cells`] order) whose Q output
+    /// is this net, or `None` when the net is not a flip-flop output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn ff_of_q(&self, net: usize) -> Option<usize> {
+        match self.ff_of_q[net] {
+            u32::MAX => None,
+            ff => Some(ff as usize),
+        }
     }
 
     /// Number of cells (combinational + sequential) in the source netlist.
@@ -355,6 +490,44 @@ impl SoaNetlist {
             let cell = netlist.cell(ff);
             assert_eq!(self.ff_d[i] as usize, cell.inputs()[0].index(), "ff_d");
             assert_eq!(self.ff_q[i] as usize, cell.output().index(), "ff_q");
+            assert_eq!(
+                self.ff_of_q(cell.output().index()),
+                Some(i),
+                "ff_of_q of {ff:?}"
+            );
+        }
+        // Fan-out CSR: every distinct (reader, net) edge appears exactly
+        // once, and nothing else does.
+        let mut expect: Vec<Vec<u32>> = vec![Vec::new(); self.num_nets];
+        for row in 0..self.num_rows() {
+            let pins = self.row_pins(row);
+            for (i, &net) in pins.iter().enumerate() {
+                if !pins[..i].contains(&net) {
+                    expect[net as usize].push(row as u32);
+                }
+            }
+        }
+        for (i, &d) in self.ff_d.iter().enumerate() {
+            expect[d as usize].push((self.num_rows() + i) as u32);
+        }
+        for (net, expected) in expect.iter_mut().enumerate() {
+            let got: Vec<u32> = self.net_readers(net).to_vec();
+            assert!(
+                got.windows(2).all(|w| w[0] < w[1]),
+                "readers of net {net} must be strictly ascending (comb rows \
+                 first, D-pin tokens last)"
+            );
+            expected.sort_unstable();
+            assert_eq!(got, *expected, "readers of net {net}");
+        }
+        for net in 0..self.num_nets {
+            match self.net_driver_row(net) {
+                Some(row) => assert_eq!(self.row_out(row) as usize, net, "driver of net {net}"),
+                None => assert!(
+                    !self.out.contains(&(net as u32)),
+                    "net {net} is row-driven but has no driver row"
+                ),
+            }
         }
     }
 
@@ -439,6 +612,52 @@ mod tests {
             );
         }
         let _ = n;
+    }
+
+    #[test]
+    fn fanout_csr_decodes_rows_and_ff_dpins() {
+        let (n, topo) = counter(3);
+        let soa = SoaNetlist::build(&n, &topo);
+        // Every edge decodes to a reader that really reads the net.
+        for net in 0..soa.num_nets() {
+            for &token in soa.net_readers(net) {
+                match soa.reader(token) {
+                    SoaReader::Row(row) => {
+                        assert!(soa.row_pins(row).contains(&(net as u32)));
+                    }
+                    SoaReader::FfD(ff) => assert_eq!(soa.ff_d()[ff] as usize, net),
+                }
+            }
+        }
+        // q0 feeds its own XOR increment logic and at least one D-pin chain;
+        // the enable input fans out to every increment gate.
+        let q0 = soa.ff_q()[0] as usize;
+        assert!(!soa.net_readers(q0).is_empty());
+        assert_eq!(soa.ff_of_q(q0), Some(0));
+        let en = n.find_net("en").unwrap().index();
+        assert!(soa.net_readers(en).len() >= 2);
+        assert_eq!(soa.net_driver_row(en), None);
+        // Comb-driven nets point back at their producing row.
+        for row in 0..soa.num_rows() {
+            assert_eq!(soa.net_driver_row(soa.row_out(row) as usize), Some(row));
+        }
+    }
+
+    #[test]
+    fn fanout_csr_dedups_multi_pin_readers() {
+        // A gate reading the same net on two pins (XOR2(a, a)) must appear
+        // once in the net's reader list.
+        use crate::library::Library;
+        use crate::netlist::Netlist;
+        let lib = Library::open15();
+        let mut n = Netlist::new("dup", lib);
+        let a = n.add_input("a");
+        let x = n.add_cell("XOR2", "g", &[a, a]).unwrap();
+        n.set_output(x);
+        let topo = n.validate().unwrap();
+        let soa = SoaNetlist::build(&n, &topo);
+        soa.assert_consistent(&n, &topo);
+        assert_eq!(soa.net_readers(a.index()).len(), 1);
     }
 
     #[test]

@@ -17,9 +17,10 @@ use crate::summary::RunSummary;
 /// Version of the evaluation-engine memory layout, folded into **every**
 /// artifact key.  Bump whenever the kernels that produce artifacts change
 /// their data layout or lane semantics (e.g. the structure-of-arrays arena
-/// and 256/512-lane blocks of version 2), so artifacts cached by an older
-/// engine layout miss instead of being trusted across engine generations.
-pub const ENGINE_LAYOUT_VERSION: u32 = 2;
+/// and 256/512-lane blocks of version 2; the fan-out CSR and differential
+/// campaign engine of version 3), so artifacts cached by an older engine
+/// layout miss instead of being trusted across engine generations.
+pub const ENGINE_LAYOUT_VERSION: u32 = 3;
 
 /// One typed step of the analysis pipeline.
 ///

@@ -751,7 +751,10 @@ impl Stage<&Design> for Campaign {
             None => h.bool(false),
         }
         h.u64(self.config.seed);
-        // `threads` excluded: records are bit-identical per thread count.
+        // `threads`, `lanes`, and `engine` excluded: records are
+        // bit-identical for every thread count, lane width, and batched
+        // engine (enforced by the campaign proptests), so none of them may
+        // split the cache.
         match &self.wires {
             Some(spec) => {
                 h.bool(true);

@@ -21,6 +21,11 @@
 //!   ([`transposed::TransposedTrace`]): one packed word covers 64 cycles of
 //!   one net, so trace analyses (MATE evaluation, coverage ranking) run
 //!   word-parallel on the cycle axis.
+//! * [`delta`] — an event-driven differential engine
+//!   ([`delta::DeltaSimulator`]): lane blocks carry XOR-deltas against the
+//!   golden trace and only the dirty fan-out frontier is re-evaluated each
+//!   cycle, so campaign work scales with fault-cone activity instead of
+//!   netlist size.
 //!
 //! # Example
 //!
@@ -40,6 +45,7 @@
 //! assert!(sim.value(n.find_net("q2").unwrap()));
 //! ```
 
+pub mod delta;
 pub mod engine;
 pub mod equiv;
 pub mod testbench;
@@ -48,11 +54,12 @@ pub mod transposed;
 pub mod vcd;
 pub mod wide;
 
+pub use delta::DeltaSimulator;
 pub use engine::{SimCheckpoint, SimSnapshot, Simulator};
 pub use equiv::{check_equiv, Mismatch};
 pub use mate_netlist::MateError;
 pub use testbench::{InputWave, SnapshotDevice, Testbench, TestbenchCheckpoint};
 pub use trace::WaveTrace;
-pub use transposed::TransposedTrace;
+pub use transposed::{CycleView, TransposedTrace};
 pub use vcd::{read_vcd, write_vcd};
 pub use wide::{BlockSimulator, WideSimulator};

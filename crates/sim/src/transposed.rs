@@ -118,6 +118,34 @@ impl TransposedTrace {
         );
         let words_per_net = cycles.div_ceil(WORD_LANES);
         let mut data = vec![0u64; num_nets * words_per_net];
+        Self::fill_columns(
+            &mut data,
+            num_nets,
+            cycles,
+            words_per_net,
+            rows,
+            words_per_cycle,
+        );
+        Self {
+            num_nets,
+            cycles,
+            words_per_net,
+            data,
+        }
+    }
+
+    /// Transposes `rows` into `data` (pre-zeroed, `num_nets * words_per_net`
+    /// words, tight column layout) — the shared core of
+    /// [`TransposedTrace::from_row_words`] and
+    /// [`TransposedTrace::refill_from_row_words`].
+    fn fill_columns(
+        data: &mut [u64],
+        num_nets: usize,
+        cycles: usize,
+        words_per_net: usize,
+        rows: &[u64],
+        words_per_cycle: usize,
+    ) {
         let mut block = [0u64; 64];
         for ci in 0..words_per_net {
             let c0 = ci * 64;
@@ -137,12 +165,6 @@ impl TransposedTrace {
                     }
                 }
             }
-        }
-        Self {
-            num_nets,
-            cycles,
-            words_per_net,
-            data,
         }
     }
 
@@ -304,6 +326,25 @@ impl TransposedTrace {
         self.column(net)[cycle / 64] & (1u64 << (cycle % 64)) != 0
     }
 
+    /// A view of one cycle with the word offset and bit mask hoisted out, so
+    /// per-net probes in a hot loop are one load-AND instead of the index
+    /// arithmetic [`TransposedTrace::value`] repeats.  This is what the
+    /// differential campaign engine uses to compare lane deltas against the
+    /// golden run cell by cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    #[inline]
+    pub fn cycle_view(&self, cycle: usize) -> CycleView<'_> {
+        assert!(cycle < self.cycles, "cycle {cycle} beyond trace");
+        CycleView {
+            trace: self,
+            word: cycle / WORD_LANES,
+            mask: 1u64 << (cycle % WORD_LANES),
+        }
+    }
+
     /// Appends one cycle from row-packed value words (bit `n % 64` of word
     /// `n / 64` is net `n`, the layout of [`WaveTrace::cycle_words`] and
     /// [`mate_netlist::BitSet::as_words`]).  Columns grow geometrically, so
@@ -361,6 +402,72 @@ impl TransposedTrace {
     pub fn clear(&mut self) {
         self.cycles = 0;
         self.data.fill(0);
+    }
+
+    /// Refills this trace in place from row-major cycle words, reusing the
+    /// allocation when it is already large enough — the scratch-buffer
+    /// counterpart of [`TransposedTrace::from_row_words`] for per-block
+    /// transposition in the online pruner.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`TransposedTrace::from_row_words`].
+    pub fn refill_from_row_words(
+        &mut self,
+        num_nets: usize,
+        cycles: usize,
+        rows: &[u64],
+        words_per_cycle: usize,
+    ) {
+        assert!(
+            rows.len() >= cycles * words_per_cycle,
+            "row data shorter than the declared cycle count"
+        );
+        assert!(
+            words_per_cycle >= num_nets.div_ceil(64),
+            "cycle rows too narrow for {num_nets} nets"
+        );
+        let words_per_net = cycles.div_ceil(WORD_LANES);
+        let used = num_nets * words_per_net;
+        if used > self.data.len() {
+            self.data = vec![0u64; used];
+        } else {
+            self.data.fill(0);
+        }
+        self.num_nets = num_nets;
+        self.cycles = cycles;
+        self.words_per_net = words_per_net;
+        Self::fill_columns(
+            &mut self.data[..used],
+            num_nets,
+            cycles,
+            words_per_net,
+            rows,
+            words_per_cycle,
+        );
+    }
+}
+
+/// A single-cycle probe into a [`TransposedTrace`] with the cycle's word
+/// index and bit mask precomputed; see [`TransposedTrace::cycle_view`].
+#[derive(Clone, Copy)]
+pub struct CycleView<'t> {
+    trace: &'t TransposedTrace,
+    word: usize,
+    mask: u64,
+}
+
+impl CycleView<'_> {
+    /// The value of net index `net` in the viewed cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn value(&self, net: usize) -> bool {
+        debug_assert!(net < self.trace.num_nets, "net {net} beyond trace");
+        self.trace.data[net * self.trace.words_per_net + self.word] & self.mask != 0
     }
 }
 
@@ -553,6 +660,43 @@ mod tests {
         t.push_cycle_words(&[0b1]);
         assert!(t.value(0, net(0)));
         assert!(!t.value(0, net(4)));
+    }
+
+    #[test]
+    fn cycle_view_matches_value() {
+        let rows = random_trace(70, 130, 11);
+        let cols = TransposedTrace::from_trace(&rows);
+        for c in [0, 63, 64, 129] {
+            let view = cols.cycle_view(c);
+            for n in 0..70 {
+                assert_eq!(view.value(n), cols.value(c, net(n)), "cycle {c} net {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace")]
+    fn cycle_view_out_of_range_panics() {
+        let cols = TransposedTrace::from_trace(&random_trace(3, 4, 1));
+        cols.cycle_view(4);
+    }
+
+    #[test]
+    fn refill_reuses_allocation_and_matches_from_row_words() {
+        let big = random_trace(40, 200, 3);
+        let mut t = TransposedTrace::from_trace(&big);
+        // Refill with a smaller trace: same columns as a fresh build.
+        let small = random_trace(40, 70, 4);
+        t.refill_from_row_words(40, 70, small.raw_words(), small.words_per_cycle());
+        assert_eq!(t.num_cycles(), 70);
+        let fresh = TransposedTrace::from_trace(&small);
+        for n in 0..40 {
+            assert_eq!(t.column(net(n)), fresh.column(net(n)), "net {n}");
+        }
+        // Growing beyond the allocation also works.
+        let bigger = random_trace(40, 300, 5);
+        t.refill_from_row_words(40, 300, bigger.raw_words(), bigger.words_per_cycle());
+        assert_eq!(t, TransposedTrace::from_trace(&bigger));
     }
 
     #[test]
