@@ -1,25 +1,28 @@
 //! Campaign-engine throughput: scalar per-point `inject` vs. the batched
 //! lane-parallel engines at every lane width (64-lane words, 256- and
 //! 512-lane SoA blocks), in faults per second — for both the full-settle
-//! reference engine and the event-driven differential engine.
+//! reference engine and the event-driven differential engine, each with
+//! fault-space collapsing off and on.
 //!
-//! Three circuits: the paper's Figure-1b example, a random ≥200-FF netlist
-//! (the scale where bit-parallel packing pays off), and a random ≥1000-FF
+//! Four circuits: the paper's Figure-1b example, a random ≥200-FF netlist
+//! (the scale where bit-parallel packing pays off), a random ≥1000-FF
 //! netlist showing how the differential engine's advantage grows with
-//! netlist size (its work scales with fault-cone activity, the full-settle
-//! engine's with cell count).  Besides the criterion reporting, the bench
-//! emits a machine-readable `BENCH_campaign.json` at the workspace root
-//! with all numbers, the per-row speedups, and the host CPU count.
+//! netlist size, and a 64-slice TMR register bank under periodic stimuli —
+//! the masked-heavy workload where collapsing folds the fault space onto a
+//! few golden contexts.  Besides the criterion reporting, the bench emits a
+//! machine-readable `BENCH_campaign.json` at the workspace root with all
+//! numbers, the per-row speedups and collapsing stats, the engine the
+//! `auto` policy resolves to per circuit, and the host CPU count.
 
 use std::time::Instant;
 
 use criterion::{is_quick_test, Criterion, Throughput};
 
 use mate_hafi::{
-    run_campaign, run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness, FaultSpace,
-    LaneWidth, StimulusHarness,
+    run_campaign, run_campaign_wide, CampaignConfig, CampaignEngine, CampaignPruning,
+    DesignHarness, FaultSpace, LaneWidth, PruningStats, StimulusHarness,
 };
-use mate_netlist::examples::figure1b;
+use mate_netlist::examples::{figure1b, tmr_bank};
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 use mate_pipeline::ENGINE_LAYOUT_VERSION;
 
@@ -41,25 +44,49 @@ fn drive_all_inputs(mut harness: StimulusHarness, seed: u64, cycles: usize) -> S
     harness
 }
 
+/// One measured `(engine, lane_width, pruning)` configuration.
+struct Row {
+    engine: CampaignEngine,
+    lanes: usize,
+    pruning: CampaignPruning,
+    fps: f64,
+    stats: PruningStats,
+}
+
 struct Measured {
     name: &'static str,
     ffs: usize,
     points: usize,
     cycles: usize,
+    /// What [`CampaignEngine::Auto`] resolves to on this circuit.
+    auto_engine: CampaignEngine,
     scalar_fps: f64,
-    /// Faults/second per `(engine, lane_width)`, engines in
-    /// [`CampaignEngine::all`] order, widths in [`LaneWidth::all`] order.
-    engine_fps: Vec<(CampaignEngine, usize, f64)>,
+    rows: Vec<Row>,
 }
 
 impl Measured {
-    /// The full-settle faults/second at `lane_width`, the reference the
-    /// differential rows are compared against.
+    /// The uncollapsed full-settle faults/second at `lane_width`, the
+    /// reference the differential rows are compared against.
     fn full_settle_fps(&self, lane_width: usize) -> Option<f64> {
-        self.engine_fps
+        self.rows
             .iter()
-            .find(|&&(e, w, _)| e == CampaignEngine::FullSettle && w == lane_width)
-            .map(|&(_, _, fps)| fps)
+            .find(|r| {
+                r.engine == CampaignEngine::FullSettle
+                    && r.lanes == lane_width
+                    && r.pruning == CampaignPruning::Off
+            })
+            .map(|r| r.fps)
+    }
+
+    /// The same engine and width with collapsing off — the reference a
+    /// collapsed row's `speedup_vs_unpruned` is computed against.
+    fn unpruned_fps(&self, engine: CampaignEngine, lane_width: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.engine == engine && r.lanes == lane_width && r.pruning == CampaignPruning::Off
+            })
+            .map(|r| r.fps)
     }
 }
 
@@ -82,25 +109,29 @@ fn measure(
 ) -> Measured {
     let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), config.cycles);
 
-    // Sanity: every engine and lane width must produce identical records
-    // before we compare their speed.
+    // Sanity: every engine, lane width, and pruning mode must produce
+    // identical records before we compare their speed.  In quick mode
+    // (CI bench-smoke) this loop IS the test.
     let scalar = run_campaign(harness, &space, config).unwrap();
     for engine in CampaignEngine::all() {
         for lanes in LaneWidth::all() {
-            let wide = run_campaign_wide(
-                harness,
-                &space,
-                &CampaignConfig {
-                    engine,
-                    lanes,
-                    ..*config
-                },
-            )
-            .unwrap();
-            assert_eq!(
-                scalar.records, wide.records,
-                "{engine} {lanes}-lane engine diverges on {name}"
-            );
+            for pruning in CampaignPruning::all() {
+                let wide = run_campaign_wide(
+                    harness,
+                    &space,
+                    &CampaignConfig {
+                        engine,
+                        lanes,
+                        pruning,
+                        ..*config
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    scalar.records, wide.records,
+                    "{engine} {lanes}-lane {pruning} engine diverges on {name}"
+                );
+            }
         }
     }
     let points = scalar.len();
@@ -113,14 +144,17 @@ fn measure(
     });
     for engine in CampaignEngine::all() {
         for lanes in LaneWidth::all() {
-            let cfg = CampaignConfig {
-                engine,
-                lanes,
-                ..*config
-            };
-            group.bench_function(&format!("{engine}/wide{lanes}"), |b| {
-                b.iter(|| run_campaign_wide(harness, &space, &cfg).unwrap())
-            });
+            for pruning in CampaignPruning::all() {
+                let cfg = CampaignConfig {
+                    engine,
+                    lanes,
+                    pruning,
+                    ..*config
+                };
+                group.bench_function(&format!("{engine}/wide{lanes}/{pruning}"), |b| {
+                    b.iter(|| run_campaign_wide(harness, &space, &cfg).unwrap())
+                });
+            }
         }
     }
     group.finish();
@@ -129,18 +163,28 @@ fn measure(
     let scalar_fps = faults_per_sec(reps, points, || {
         run_campaign(harness, &space, config).unwrap();
     });
-    let mut engine_fps = Vec::new();
+    let mut rows = Vec::new();
     for engine in CampaignEngine::all() {
         for lanes in LaneWidth::all() {
-            let cfg = CampaignConfig {
-                engine,
-                lanes,
-                ..*config
-            };
-            let fps = faults_per_sec(reps, points, || {
-                run_campaign_wide(harness, &space, &cfg).unwrap();
-            });
-            engine_fps.push((engine, lanes.lanes(), fps));
+            for pruning in CampaignPruning::all() {
+                let cfg = CampaignConfig {
+                    engine,
+                    lanes,
+                    pruning,
+                    ..*config
+                };
+                let mut stats = PruningStats::default();
+                let fps = faults_per_sec(reps, points, || {
+                    stats = run_campaign_wide(harness, &space, &cfg).unwrap().pruning;
+                });
+                rows.push(Row {
+                    engine,
+                    lanes: lanes.lanes(),
+                    pruning,
+                    fps,
+                    stats,
+                });
+            }
         }
     }
     Measured {
@@ -148,8 +192,9 @@ fn measure(
         ffs: harness.topology().seq_cells().len(),
         points,
         cycles: config.cycles,
+        auto_engine: CampaignEngine::Auto.resolve(harness.topology()),
         scalar_fps,
-        engine_fps,
+        rows,
     }
 }
 
@@ -161,26 +206,51 @@ fn write_json(results: &[Measured]) {
     );
     for (i, m) in results.iter().enumerate() {
         let rows: Vec<String> = m
-            .engine_fps
+            .rows
             .iter()
-            .map(|&(engine, lanes, fps)| {
-                let vs_full = m.full_settle_fps(lanes).map_or(String::new(), |reference| {
-                    format!(", \"speedup_vs_full_settle\": {:.2}", fps / reference)
-                });
+            .map(|r| {
+                let vs_full = m
+                    .full_settle_fps(r.lanes)
+                    .map_or(String::new(), |reference| {
+                        format!(", \"speedup_vs_full_settle\": {:.2}", r.fps / reference)
+                    });
+                let collapse = if r.pruning == CampaignPruning::Collapse {
+                    let vs_unpruned = m
+                        .unpruned_fps(r.engine, r.lanes)
+                        .map_or(String::new(), |reference| {
+                            format!("\"speedup_vs_unpruned\": {:.2}, ", r.fps / reference)
+                        });
+                    format!(
+                        ", {vs_unpruned}\"skip_rate\": {:.3}, \"classes\": {}, \
+                         \"probes\": {}, \"fallback\": {}, \"memo_hits\": {}",
+                        r.stats.skip_rate(),
+                        r.stats.classes,
+                        r.stats.probes,
+                        r.stats.fallback,
+                        r.stats.memo_hits
+                    )
+                } else {
+                    String::new()
+                };
                 format!(
-                    "{{\"engine\": \"{engine}\", \"lane_width\": {lanes}, \
-                     \"faults_per_sec\": {fps:.1}, \"speedup_vs_scalar\": {:.2}{vs_full}}}",
-                    fps / m.scalar_fps
+                    "{{\"engine\": \"{}\", \"lane_width\": {}, \"pruning\": \"{}\", \
+                     \"faults_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.2}{vs_full}{collapse}}}",
+                    r.engine,
+                    r.lanes,
+                    r.pruning,
+                    r.fps,
+                    r.fps / m.scalar_fps
                 )
             })
             .collect();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ffs\": {}, \"points\": {}, \"cycles\": {}, \
-             \"scalar_faults_per_sec\": {:.1}, \"engines\": [\n      {}\n    ]}}{}\n",
+             \"auto_engine\": \"{}\", \"scalar_faults_per_sec\": {:.1}, \"engines\": [\n      {}\n    ]}}{}\n",
             m.name,
             m.ffs,
             m.points,
             m.cycles,
+            m.auto_engine,
             m.scalar_fps,
             rows.join(",\n      "),
             if i + 1 < results.len() { "," } else { "" }
@@ -196,7 +266,8 @@ fn main() {
     let mut c = Criterion::default();
     let mut results = Vec::new();
 
-    // The paper's Figure-1b example: 5 FFs, exhaustive space.
+    // The paper's Figure-1b example: 5 FFs, exhaustive space.  Small
+    // enough that the auto policy picks the full-settle engine.
     {
         let cycles = 64;
         let (n, topo) = figure1b();
@@ -273,15 +344,65 @@ fn main() {
         results.push(measure(&mut c, "random_1000ff", &harness, &config));
     }
 
+    // A TMR register bank under periodic stimuli: 192 FFs whose upsets the
+    // voters mask within one cycle, with fault cones confined to their own
+    // slice.  The periodic load/din pattern gives every flip-flop only a
+    // handful of distinct golden contexts across the whole trace, so
+    // fault-space collapsing classifies whole columns of the space from
+    // one representative probe each — the workload collapsing is for
+    // (shrunk in quick mode).
+    {
+        // Sparse sampling (16 of 192 FFs per cycle on average), like the
+        // random workloads: this is the regime where collapsing pays —
+        // the unpruned engines get under-filled per-cycle lane batches,
+        // while the collapsed path probes each golden context once, at its
+        // first occurrence.  (Exhaustive spaces saturate the per-cycle
+        // batches and the unpruned engines are already near-optimal.)
+        let (bits, cycles, sample) = if is_quick_test() {
+            (8, 32, None)
+        } else {
+            (64, 256, Some(4096))
+        };
+        let (n, topo) = tmr_bank(bits);
+        let load = n.find_net("load").unwrap();
+        let din = n.find_net("din").unwrap();
+        let harness = StimulusHarness::new(n, topo)
+            .drive(load, (0..=cycles).map(|c| c % 4 == 0).collect::<Vec<_>>())
+            .drive(din, (0..=cycles).map(|c| c % 8 < 4).collect::<Vec<_>>());
+        let config = CampaignConfig {
+            cycles,
+            sample,
+            seed: 13,
+            ..CampaignConfig::default()
+        };
+        results.push(measure(&mut c, "tmr_bank_64", &harness, &config));
+    }
+
     for m in &results {
-        eprintln!("{}: scalar {:.0} faults/s", m.name, m.scalar_fps);
-        for &(engine, lanes, fps) in &m.engine_fps {
-            let vs_full = m.full_settle_fps(lanes).map_or(String::new(), |r| {
-                format!(", {:.1}x vs full-settle", fps / r)
+        eprintln!(
+            "{}: scalar {:.0} faults/s (auto engine: {})",
+            m.name, m.scalar_fps, m.auto_engine
+        );
+        for r in &m.rows {
+            let vs_full = m.full_settle_fps(r.lanes).map_or(String::new(), |x| {
+                format!(", {:.1}x vs full-settle", r.fps / x)
             });
+            let collapse = if r.pruning == CampaignPruning::Collapse {
+                let vs_unpruned = m.unpruned_fps(r.engine, r.lanes).map_or(0.0, |x| r.fps / x);
+                format!(
+                    ", {vs_unpruned:.1}x vs unpruned, {:.0}% skipped",
+                    r.stats.skip_rate() * 100.0
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
-                "  {engine} {lanes} lanes: {fps:.0}/s ({:.1}x vs scalar{vs_full})",
-                fps / m.scalar_fps
+                "  {} {} lanes {}: {:.0}/s ({:.1}x vs scalar{vs_full}{collapse})",
+                r.engine,
+                r.lanes,
+                r.pruning,
+                r.fps,
+                r.fps / m.scalar_fps
             );
         }
     }

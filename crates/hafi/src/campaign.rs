@@ -11,6 +11,7 @@ use std::fmt;
 use mate_netlist::{LaneBlock, MateError, NetId, Netlist, Topology, B256, B512};
 use mate_sim::{BlockSimulator, DeltaSimulator, TransposedTrace, WaveTrace};
 
+use crate::collapse::{CampaignPruning, PruningStats};
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
 
@@ -213,7 +214,7 @@ impl fmt::Display for LaneWidth {
 
 /// Which batched engine classifies wide-capable workloads.
 ///
-/// Both engines produce bit-identical [`FaultEffect`] classifications for
+/// All choices produce bit-identical [`FaultEffect`] classifications for
 /// every lane width and thread count (enforced by the campaign proptests);
 /// the choice only trades work per cycle.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -225,16 +226,41 @@ pub enum CampaignEngine {
     /// The event-driven [`DeltaSimulator`] engine: lanes carry XOR-deltas
     /// against the golden trace, only the dirty fan-out frontier is
     /// re-evaluated, and convergence falls out of the frontier emptying.
-    /// The default — work scales with fault-cone activity, not netlist
-    /// size.
-    #[default]
+    /// Work scales with fault-cone activity, not netlist size.
     Differential,
+    /// Picks per design (the default): [`CampaignEngine::FullSettle`] for
+    /// small combinational clouds, where the full sweep is a handful of
+    /// dense runs and the differential engine's frontier bookkeeping costs
+    /// more than it saves (the honest `figure1b` regression in
+    /// `BENCH_campaign.json`), [`CampaignEngine::Differential`] everywhere
+    /// else.  Trivially bit-identical: it only ever *selects* one of the
+    /// two engines, never mixes them within a run.
+    #[default]
+    Auto,
 }
 
+/// [`CampaignEngine::Auto`] threshold: designs with fewer combinational
+/// cells than this settle faster in full — below it the whole cloud fits a
+/// few cache lines and dense sweeps beat frontier bookkeeping.
+const AUTO_FULL_SETTLE_MAX_CELLS: usize = 128;
+
 impl CampaignEngine {
-    /// Both engines, reference first (for equivalence sweeps).
+    /// The two concrete engines, reference first (for equivalence sweeps).
+    /// `Auto` is not listed: it always resolves to one of these.
     pub fn all() -> [Self; 2] {
         [Self::FullSettle, Self::Differential]
+    }
+
+    /// Resolves `Auto` against a design (concrete engines pass through):
+    /// full-settle below [`AUTO_FULL_SETTLE_MAX_CELLS`] combinational
+    /// cells, differential at or above.  Deterministic in the design alone,
+    /// so every thread shard of one campaign resolves identically.
+    pub fn resolve(self, topo: &Topology) -> Self {
+        match self {
+            Self::Auto if topo.comb_order().len() < AUTO_FULL_SETTLE_MAX_CELLS => Self::FullSettle,
+            Self::Auto => Self::Differential,
+            concrete => concrete,
+        }
     }
 }
 
@@ -243,6 +269,7 @@ impl fmt::Display for CampaignEngine {
         match self {
             Self::FullSettle => write!(f, "full-settle"),
             Self::Differential => write!(f, "differential"),
+            Self::Auto => write!(f, "auto"),
         }
     }
 }
@@ -316,26 +343,16 @@ pub fn classify_points_engine(
             p.cycle
         )));
     }
+    let engine = engine.resolve(harness.topology());
     let probe = harness.testbench();
     Ok(if probe.can_run_wide() {
-        match (engine, lanes) {
-            (CampaignEngine::FullSettle, LaneWidth::W64) => {
-                classify_points_block::<u64>(harness, golden, points)
+        match lanes {
+            LaneWidth::W64 => classify_points_wide_concrete::<u64>(harness, golden, points, engine),
+            LaneWidth::W256 => {
+                classify_points_wide_concrete::<B256>(harness, golden, points, engine)
             }
-            (CampaignEngine::FullSettle, LaneWidth::W256) => {
-                classify_points_block::<B256>(harness, golden, points)
-            }
-            (CampaignEngine::FullSettle, LaneWidth::W512) => {
-                classify_points_block::<B512>(harness, golden, points)
-            }
-            (CampaignEngine::Differential, LaneWidth::W64) => {
-                classify_points_differential::<u64>(harness, golden, points)
-            }
-            (CampaignEngine::Differential, LaneWidth::W256) => {
-                classify_points_differential::<B256>(harness, golden, points)
-            }
-            (CampaignEngine::Differential, LaneWidth::W512) => {
-                classify_points_differential::<B512>(harness, golden, points)
+            LaneWidth::W512 => {
+                classify_points_wide_concrete::<B512>(harness, golden, points, engine)
             }
         }
     } else if probe.can_checkpoint() {
@@ -349,11 +366,88 @@ pub fn classify_points_engine(
     })
 }
 
-/// Per-net observation flags for the classification scans.
-const OBS_OUTPUT: u8 = 1;
-const OBS_STATE: u8 = 2;
+/// Classifies a batch of fault points with optional fault-space collapsing
+/// (see [`crate::collapse`]): the full-featured entry behind
+/// [`run_campaign_wide`] and [`crate::validate_mates`].
+///
+/// With [`CampaignPruning::Collapse`] on a wide-capable harness, points are
+/// first grouped into temporal equivalence classes over golden-trace
+/// cone-support fingerprints and one representative per class is probed for
+/// one cycle; only what the probe window cannot decide is simulated in
+/// full.  The returned [`PruningStats`] account for the saved work.  Every
+/// pruning mode, engine, lane width, and thread count produces bit-identical
+/// [`FaultEffect`] classifications; checkpointed and scalar harnesses
+/// cannot collapse (their per-point state is opaque to the delta prober)
+/// and report unpruned stats.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] if any injection cycle lies beyond the
+/// golden trace.
+pub fn classify_points_pruned(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+    lanes: LaneWidth,
+    engine: CampaignEngine,
+    pruning: CampaignPruning,
+) -> Result<(Vec<FaultEffect>, PruningStats), MateError> {
+    let horizon = golden.trace.num_cycles();
+    if let Some(p) = points.iter().find(|p| p.cycle >= horizon) {
+        return Err(MateError::campaign(format!(
+            "injection cycle {} beyond golden trace of {horizon} cycles",
+            p.cycle
+        )));
+    }
+    if pruning == CampaignPruning::Collapse && harness.testbench().can_run_wide() {
+        let engine = engine.resolve(harness.topology());
+        Ok(crate::collapse::classify_points_collapse_width(
+            harness, golden, points, lanes, engine,
+        ))
+    } else {
+        let effects = classify_points_engine(harness, golden, points, lanes, engine)?;
+        let stats = PruningStats::unpruned(points.len());
+        Ok((effects, stats))
+    }
+}
 
-fn observed_flags(num_nets: usize, golden: &GoldenRun) -> Vec<u8> {
+/// The wide path at one concrete lane width: dispatches a *resolved*
+/// engine ([`CampaignEngine::Auto`] defensively maps to differential).
+/// Shared by [`classify_points_engine`] and the collapsing fallback.
+pub(crate) fn classify_points_wide_concrete<B: LaneBlock>(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    points: &[FaultPoint],
+    engine: CampaignEngine,
+) -> Vec<FaultEffect> {
+    match engine {
+        CampaignEngine::FullSettle => classify_points_block::<B>(harness, golden, points),
+        CampaignEngine::Differential | CampaignEngine::Auto => {
+            classify_points_differential::<B>(harness, golden, points)
+        }
+    }
+}
+
+/// The wide multi-SEU path at one concrete lane width, shared by
+/// [`classify_multi_points`] and the collapsing fallback.
+pub(crate) fn classify_multi_wide_concrete<B: LaneBlock>(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    sets: &[Vec<FaultPoint>],
+) -> Vec<FaultEffect> {
+    classify_multi_differential::<B>(harness, golden, sets)
+}
+
+/// Per-net observation flags for the classification scans.  The bit
+/// positions match the accumulator indices of
+/// [`DeltaSimulator::scan_flagged`].
+pub(crate) const OBS_OUTPUT: u8 = 1;
+pub(crate) const OBS_STATE: u8 = 2;
+/// Flip-flop D-input nets: a nonzero delta here persists into the next
+/// cycle's state.  Used by the collapsing prober, not the retire loop.
+pub(crate) const OBS_NEXT: u8 = 4;
+
+pub(crate) fn observed_flags(num_nets: usize, golden: &GoldenRun) -> Vec<u8> {
     let mut flags = vec![0u8; num_nets];
     for &net in &golden.output_nets {
         flags[net.index()] |= OBS_OUTPUT;
@@ -568,20 +662,7 @@ fn retire_chunk_differential<B: LaneBlock>(
         let before = active;
         // One scan of the (small) nonzero-delta set yields both divergence
         // masks; every other net equals golden in all lanes.
-        let mut out_diff = B::ZERO;
-        let mut state_diff = B::ZERO;
-        for &net in delta.nonzero_nets() {
-            let f = flags[net as usize];
-            if f != 0 {
-                let d = delta.delta_raw(net as usize);
-                if f & OBS_OUTPUT != 0 {
-                    out_diff |= d;
-                }
-                if f & OBS_STATE != 0 {
-                    state_diff |= d;
-                }
-            }
-        }
+        let [out_diff, state_diff, _] = delta.scan_flagged(flags);
         // Outputs first, mirroring the scalar classifier's priority.
         let failed = out_diff & active;
         if !failed.is_zero() {
@@ -736,10 +817,55 @@ pub fn classify_multi_points(
             .collect();
     }
     Ok(match lanes {
-        LaneWidth::W64 => classify_multi_differential::<u64>(harness, golden, sets),
-        LaneWidth::W256 => classify_multi_differential::<B256>(harness, golden, sets),
-        LaneWidth::W512 => classify_multi_differential::<B512>(harness, golden, sets),
+        LaneWidth::W64 => classify_multi_wide_concrete::<u64>(harness, golden, sets),
+        LaneWidth::W256 => classify_multi_wide_concrete::<B256>(harness, golden, sets),
+        LaneWidth::W512 => classify_multi_wide_concrete::<B512>(harness, golden, sets),
     })
+}
+
+/// Classifies simultaneous multi-SEU sets with optional fault-space
+/// collapsing: the multi-bit counterpart of [`classify_points_pruned`].
+/// Collapsing generalizes soundly — each set becomes one worklist item
+/// carrying its odd-parity flip set, the cone support unions the members'
+/// cones, and everything else is the single-SEU machinery unchanged.
+/// Bit-identical to [`classify_multi_points`] in every mode.
+///
+/// # Errors
+///
+/// Returns [`MateError::Campaign`] if any set is empty, mixes cycles, or
+/// lies beyond the golden trace.
+pub fn classify_multi_points_pruned(
+    harness: &dyn DesignHarness,
+    golden: &GoldenRun,
+    sets: &[Vec<FaultPoint>],
+    lanes: LaneWidth,
+    pruning: CampaignPruning,
+) -> Result<(Vec<FaultEffect>, PruningStats), MateError> {
+    if pruning == CampaignPruning::Off || !harness.testbench().can_run_wide() {
+        let effects = classify_multi_points(harness, golden, sets, lanes)?;
+        return Ok((effects, PruningStats::unpruned(sets.len())));
+    }
+    // Re-run the set validation of the unpruned path before collapsing.
+    let horizon = golden.trace.num_cycles();
+    for set in sets {
+        let Some(first) = set.first() else {
+            return Err(MateError::campaign("need at least one fault point"));
+        };
+        if set.iter().any(|p| p.cycle != first.cycle) {
+            return Err(MateError::campaign(
+                "multi-bit upsets are simultaneous: all points must share one cycle",
+            ));
+        }
+        if first.cycle >= horizon {
+            return Err(MateError::campaign(format!(
+                "injection cycle {} beyond golden trace of {horizon} cycles",
+                first.cycle
+            )));
+        }
+    }
+    Ok(crate::collapse::classify_multi_collapse_width(
+        harness, golden, sets, lanes,
+    ))
 }
 
 /// The lane-parallel body of [`classify_multi_points`]: identical chunking
@@ -883,8 +1009,12 @@ pub struct CampaignConfig {
     /// Results are bit-identical for every width.
     pub lanes: LaneWidth,
     /// Which batched engine classifies wide-capable workloads.  Results
-    /// are bit-identical for both.
+    /// are bit-identical for every choice.
     pub engine: CampaignEngine,
+    /// Whether to collapse temporally equivalent fault points before
+    /// simulating (see [`crate::collapse`]).  Results are bit-identical
+    /// for both modes.
+    pub pruning: CampaignPruning,
 }
 
 impl Default for CampaignConfig {
@@ -896,6 +1026,7 @@ impl Default for CampaignConfig {
             threads: 0,
             lanes: LaneWidth::default(),
             engine: CampaignEngine::default(),
+            pruning: CampaignPruning::default(),
         }
     }
 }
@@ -905,6 +1036,10 @@ impl Default for CampaignConfig {
 pub struct CampaignResult {
     /// Every injected point with its classified effect.
     pub records: Vec<(FaultPoint, FaultEffect)>,
+    /// Collapsing work accounting, summed over thread shards.  Diagnostic
+    /// only — the records are bit-identical whatever it says — and
+    /// therefore not part of any artifact encoding.
+    pub pruning: PruningStats,
 }
 
 impl CampaignResult {
@@ -974,6 +1109,7 @@ pub fn run_campaign(
         let effect = inject(harness, &golden, point)?;
         result.records.push((point, effect));
     }
+    result.pruning = PruningStats::unpruned(result.records.len());
     Ok(result)
 }
 
@@ -1015,30 +1151,44 @@ pub fn run_campaign_wide(
     .filter(|p| p.cycle < config.cycles)
     .collect();
     let threads = effective_threads(config.threads, points.len());
-    let effects = if threads <= 1 {
-        classify_points_engine(harness, &golden, &points, config.lanes, config.engine)?
+    let (effects, pruning) = if threads <= 1 {
+        classify_points_pruned(
+            harness,
+            &golden,
+            &points,
+            config.lanes,
+            config.engine,
+            config.pruning,
+        )?
     } else {
         let chunk = points.len().div_ceil(threads);
-        let mut shards: Vec<Result<Vec<FaultEffect>, MateError>> =
-            points.chunks(chunk).map(|_| Ok(Vec::new())).collect();
+        let mut shards: Vec<Result<(Vec<FaultEffect>, PruningStats), MateError>> = points
+            .chunks(chunk)
+            .map(|_| Ok(Default::default()))
+            .collect();
         let golden = &golden;
         let lanes = config.lanes;
         let engine = config.engine;
+        let mode = config.pruning;
         std::thread::scope(|scope| {
             for (pts, out) in points.chunks(chunk).zip(shards.iter_mut()) {
                 scope.spawn(move || {
-                    *out = classify_points_engine(harness, golden, pts, lanes, engine);
+                    *out = classify_points_pruned(harness, golden, pts, lanes, engine, mode);
                 });
             }
         });
         let mut effects = Vec::with_capacity(points.len());
+        let mut pruning = PruningStats::default();
         for shard in shards {
-            effects.extend(shard?);
+            let (shard_effects, shard_stats) = shard?;
+            effects.extend(shard_effects);
+            pruning.absorb(&shard_stats);
         }
-        effects
+        (effects, pruning)
     };
     Ok(CampaignResult {
         records: points.into_iter().zip(effects).collect(),
+        pruning,
     })
 }
 
@@ -1186,6 +1336,7 @@ mod tests {
             threads: 1,
             lanes: LaneWidth::W64,
             engine: CampaignEngine::default(),
+            pruning: CampaignPruning::default(),
         };
         let single = run_campaign_wide(&harness, &space, &base).unwrap();
         for threads in [0usize, 2, 4, 7, 1000] {
@@ -1343,10 +1494,52 @@ mod tests {
 
     #[test]
     fn engine_display_and_default() {
-        assert_eq!(CampaignEngine::default(), CampaignEngine::Differential);
+        assert_eq!(CampaignEngine::default(), CampaignEngine::Auto);
         assert_eq!(format!("{}", CampaignEngine::FullSettle), "full-settle");
         assert_eq!(format!("{}", CampaignEngine::Differential), "differential");
+        assert_eq!(format!("{}", CampaignEngine::Auto), "auto");
+        // `all()` lists only the concrete engines, reference first: Auto
+        // always resolves to one of them.
         assert_eq!(CampaignEngine::all()[0], CampaignEngine::FullSettle);
+        assert!(!CampaignEngine::all().contains(&CampaignEngine::Auto));
+    }
+
+    #[test]
+    fn auto_engine_resolves_by_comb_cell_count() {
+        // counter(3) is tiny: Auto picks the full-settle reference.
+        let (n, topo) = counter(3);
+        assert!(topo.comb_order().len() < 128);
+        assert_eq!(
+            CampaignEngine::Auto.resolve(&topo),
+            CampaignEngine::FullSettle
+        );
+        // Concrete engines pass through untouched.
+        assert_eq!(
+            CampaignEngine::Differential.resolve(&topo),
+            CampaignEngine::Differential
+        );
+        assert_eq!(
+            CampaignEngine::FullSettle.resolve(&topo),
+            CampaignEngine::FullSettle
+        );
+        // A large random netlist crosses the threshold: Auto goes
+        // differential.
+        use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+        let (_, big) = random_circuit(
+            RandomCircuitConfig {
+                inputs: 8,
+                ffs: 64,
+                gates: 300,
+                outputs: 8,
+            },
+            1,
+        );
+        assert!(big.comb_order().len() >= 128);
+        assert_eq!(
+            CampaignEngine::Auto.resolve(&big),
+            CampaignEngine::Differential
+        );
+        let _ = n;
     }
 
     #[test]

@@ -12,7 +12,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::campaign::{classify_points, golden_run, FaultEffect};
+use crate::campaign::{classify_points_pruned, golden_run, CampaignEngine, FaultEffect, LaneWidth};
+use crate::collapse::{CampaignPruning, PruningStats};
 use crate::harness::DesignHarness;
 use crate::space::{FaultPoint, FaultSpace};
 
@@ -28,6 +29,10 @@ pub struct ValidationReport {
     /// Violations: claimed benign but observably *not* masked — must stay
     /// empty for a sound implementation.
     pub violations: Vec<(FaultPoint, FaultEffect)>,
+    /// Fault-space collapsing accounting for the injection pass (claimed
+    /// points are overwhelmingly masked-within-one-cycle, the class the
+    /// collapsing layer decides with one probe per golden context).
+    pub pruning: PruningStats,
 }
 
 impl ValidationReport {
@@ -97,13 +102,22 @@ pub fn validate_mates(
             claimed_points.truncate(limit);
         }
     }
-    // Batched classification: up to a lane block of claimed points share
-    // one run (or one checkpoint-seeded run) instead of one full replay
-    // each.  Wide-capable harnesses get the differential engine by
-    // default — almost every claimed point is masked within one cycle, so
-    // its frontier empties after a single tick and validation work scales
-    // with the fault cones rather than the netlist.
-    let effects = classify_points(harness, &golden, &claimed_points)?;
+    // Batched classification with fault-space collapsing: up to a lane
+    // block of claimed points share one run, and — on wide-capable
+    // harnesses — temporally equivalent claims collapse onto one
+    // representative probe each.  Almost every claimed point is masked
+    // within one cycle, so whole equivalence classes die on their first
+    // probe and validation work scales with the number of distinct golden
+    // contexts rather than the number of claims.
+    let (effects, pruning) = classify_points_pruned(
+        harness,
+        &golden,
+        &claimed_points,
+        LaneWidth::default(),
+        CampaignEngine::default(),
+        CampaignPruning::default(),
+    )?;
+    validation.pruning = pruning;
     for (point, effect) in claimed_points.into_iter().zip(effects) {
         validation.checked += 1;
         if effect.is_masked_one_cycle() {

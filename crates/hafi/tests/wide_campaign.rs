@@ -7,9 +7,10 @@
 use proptest::prelude::*;
 
 use mate_hafi::{
-    classify_multi_points, classify_points, classify_points_engine, golden_run, inject,
-    inject_multi, run_campaign, run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness,
-    FaultPoint, FaultSpace, LaneWidth, StimulusHarness,
+    classify_multi_points, classify_multi_points_pruned, classify_points, classify_points_engine,
+    classify_points_pruned, golden_run, inject, inject_multi, run_campaign, run_campaign_wide,
+    CampaignConfig, CampaignEngine, CampaignPruning, DesignHarness, FaultPoint, FaultSpace,
+    LaneWidth, StimulusHarness,
 };
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 
@@ -119,6 +120,7 @@ proptest! {
             threads: 1,
             lanes: LaneWidth::W64,
             engine: CampaignEngine::FullSettle,
+            pruning: CampaignPruning::Off,
         };
         let reference = run_campaign_wide(&harness, &space, &base).unwrap();
         for engine in CampaignEngine::all() {
@@ -173,6 +175,125 @@ proptest! {
         for lanes in LaneWidth::all() {
             let batched = classify_multi_points(&harness, &golden, &sets, lanes).unwrap();
             prop_assert_eq!(&scalar, &batched, "seed {} {} lanes", seed, lanes);
+        }
+    }
+
+    /// Fault-space collapsing is invisible in the records: the pruned
+    /// classification is bit-identical to the unpruned one across engines ×
+    /// lane widths on the exhaustive fault space, and the stats add up.
+    #[test]
+    fn pruned_classification_matches_unpruned(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 8, gates: 28, outputs: 2 };
+        let cycles = 12;
+        let harness = harness_for(seed.wrapping_add(211), cfg, cycles + 1);
+        prop_assert!(harness.testbench().can_run_wide());
+
+        let golden = golden_run(&harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        let scalar: Vec<_> = points
+            .iter()
+            .map(|&p| inject(&harness, &golden, p).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            for engine in CampaignEngine::all() {
+                let (unpruned, off_stats) = classify_points_pruned(
+                    &harness, &golden, &points, lanes, engine, CampaignPruning::Off,
+                ).unwrap();
+                let (pruned, stats) = classify_points_pruned(
+                    &harness, &golden, &points, lanes, engine, CampaignPruning::Collapse,
+                ).unwrap();
+                prop_assert_eq!(&scalar, &unpruned, "off: seed {seed} {engine} {lanes}");
+                prop_assert_eq!(
+                    &scalar, &pruned,
+                    "collapse: seed {} {} engine {} lanes", seed, engine, lanes
+                );
+                prop_assert_eq!(off_stats.skipped, 0);
+                prop_assert_eq!(off_stats.fallback, points.len());
+                prop_assert_eq!(stats.points, points.len());
+                prop_assert_eq!(stats.skipped + stats.fallback, stats.points);
+                prop_assert!(stats.classes <= stats.points);
+            }
+        }
+    }
+
+    /// Collapsing under thread sharding: any thread count × pruning mode
+    /// reproduces the single-threaded unpruned records.
+    #[test]
+    fn pruned_campaign_matches_across_threads(seed in 0u64..5_000, threads in 2usize..5) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 6, gates: 22, outputs: 2 };
+        let cycles = 10;
+        let harness = harness_for(seed.wrapping_add(307), cfg, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let base = CampaignConfig {
+            cycles,
+            sample: Some(30),
+            seed,
+            threads: 1,
+            lanes: LaneWidth::W64,
+            engine: CampaignEngine::FullSettle,
+            pruning: CampaignPruning::Off,
+        };
+        let reference = run_campaign_wide(&harness, &space, &base).unwrap();
+        for pruning in CampaignPruning::all() {
+            for engine in CampaignEngine::all() {
+                for t in [1, threads] {
+                    let run = run_campaign_wide(
+                        &harness,
+                        &space,
+                        &CampaignConfig { threads: t, engine, pruning, ..base },
+                    ).unwrap();
+                    prop_assert_eq!(
+                        &reference.records, &run.records,
+                        "{} pruning {} engine {} threads", pruning, engine, t
+                    );
+                    prop_assert_eq!(run.pruning.points, run.records.len());
+                }
+            }
+        }
+    }
+
+    /// Multi-SEU collapsing generalizes soundly: pruned multi-set
+    /// classification is bit-identical to scalar `inject_multi`, including
+    /// duplicated points inside a set (whose flips cancel in pairs).
+    #[test]
+    fn pruned_multi_seu_sets_match_scalar(seed in 0u64..5_000) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 7, gates: 24, outputs: 2 };
+        let cycles = 10;
+        let harness = harness_for(seed.wrapping_add(409), cfg, cycles + 1);
+        prop_assert!(harness.testbench().can_run_wide());
+
+        let golden = golden_run(&harness, cycles + 1);
+        let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
+        let points: Vec<FaultPoint> = space.iter().collect();
+        let mut sets: Vec<Vec<FaultPoint>> = Vec::new();
+        for cycle in 0..cycles {
+            let in_cycle: Vec<FaultPoint> =
+                points.iter().copied().filter(|p| p.cycle == cycle).collect();
+            for pair in in_cycle.windows(2) {
+                sets.push(pair.to_vec());
+            }
+            if let Some(&first) = in_cycle.first() {
+                sets.push(vec![first]);
+                // A double flip of one flip-flop cancels to a no-op set.
+                sets.push(vec![first, first]);
+            }
+        }
+        let scalar: Vec<_> = sets
+            .iter()
+            .map(|s| inject_multi(&harness, &golden, s).unwrap())
+            .collect();
+        for lanes in LaneWidth::all() {
+            for pruning in CampaignPruning::all() {
+                let (batched, stats) =
+                    classify_multi_points_pruned(&harness, &golden, &sets, lanes, pruning)
+                        .unwrap();
+                prop_assert_eq!(
+                    &scalar, &batched,
+                    "seed {} {} lanes {} pruning", seed, lanes, pruning
+                );
+                prop_assert_eq!(stats.points, sets.len());
+            }
         }
     }
 }

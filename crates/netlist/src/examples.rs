@@ -163,6 +163,61 @@ pub fn tmr_register() -> (Netlist, Topology) {
     (n, topo)
 }
 
+/// A bank of `bits` independent TMR-voted register slices.
+///
+/// Each slice is a [`tmr_register`]: three replicas reloading
+/// `MUX2(load, vote, data)` with `vote = MAJ3(r0, r1, r2)`.  All slices
+/// share the `load` and `din` inputs (odd slices store `¬din` so the bank
+/// state is not uniform); slice `s` exposes its vote as output `b{s}_vote`.
+///
+/// This is the masked-heavy campaign workload: nearly every replica upset
+/// is voted away within one cycle, each flip-flop's fault cone stays inside
+/// its own slice, and periodic stimuli fold the `3·bits × cycles` fault
+/// space onto a handful of golden contexts — the best case for fault-space
+/// collapsing and representative of protected register files in real
+/// radiation-hardened designs.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn tmr_bank(bits: usize) -> (Netlist, Topology) {
+    assert!(bits > 0, "tmr bank width must be positive");
+    let lib = Library::open15();
+    let mut n = Netlist::new("tmr_bank", lib);
+    let load = n.add_input("load");
+    let din = n.add_input("din");
+    let ndin = n
+        .add_cell_named("INV", "inv_din", &[din], "ndin")
+        .expect("valid cell");
+    for s in 0..bits {
+        let data = if s % 2 == 0 { din } else { ndin };
+        let r: Vec<_> = (0..3).map(|i| n.add_net(&format!("b{s}_r{i}"))).collect();
+        let vote = n
+            .add_cell_named(
+                "MAJ3",
+                &format!("b{s}_voter"),
+                &[r[0], r[1], r[2]],
+                &format!("b{s}_vote"),
+            )
+            .expect("valid cell");
+        for (i, &q) in r.iter().enumerate() {
+            let d = n
+                .add_cell_named(
+                    "MUX2",
+                    &format!("b{s}_sel{i}"),
+                    &[load, vote, data],
+                    &format!("b{s}_d{i}"),
+                )
+                .expect("valid cell");
+            n.add_cell_to("DFF", &format!("b{s}_ff{i}"), &[d], q)
+                .expect("ff");
+        }
+        n.set_output(vote);
+    }
+    let topo = n.validate().expect("tmr bank circuit is valid");
+    (n, topo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +252,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn counter_zero_width_panics() {
         counter(0);
+    }
+
+    #[test]
+    fn tmr_bank_shapes() {
+        let (n, topo) = tmr_bank(8);
+        assert_eq!(topo.seq_cells().len(), 24);
+        // 1 shared inverter + per slice: 1 voter + 3 muxes.
+        assert_eq!(topo.comb_order().len(), 1 + 8 * 4);
+        assert_eq!(n.outputs().len(), 8);
+        assert_eq!(n.inputs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tmr_bank_zero_width_panics() {
+        tmr_bank(0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use library::{CellFn, CellType, Library};
 pub use logic::{masking_cubes, PinCube, TruthTable};
 pub use netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
 pub use opt::{optimize, OptStats, Optimized};
-pub use soa::{SoaNetlist, SoaReader, SoaRun};
+pub use soa::{ConeSupport, SoaNetlist, SoaReader, SoaRun};
 pub use util::BitSet;
 
 /// Convenience re-exports for downstream crates.

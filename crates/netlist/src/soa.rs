@@ -49,6 +49,24 @@ pub enum SoaReader {
     FfD(usize),
 }
 
+/// The support of a fault cone over the arena (see
+/// [`SoaNetlist::cone_support`]): the nets whose golden values determine
+/// the one-cycle evolution of a delta injected on the cone's origin nets,
+/// plus the flip-flop D-pins the delta can latch into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConeSupport {
+    /// Sorted, deduplicated net indices: the origin nets plus every
+    /// out-of-cone net read by a cone row (the cone border).
+    pub support: Vec<u32>,
+    /// `(ff_index, d_net)` pairs for every flip-flop D-pin inside the
+    /// cone, sorted by flip-flop index ([`Topology::seq_cells`] order).
+    /// A nonzero delta on `d_net` after settle means the flip persists
+    /// into `ff_index` at the next tick.
+    pub endpoints: Vec<(u32, u32)>,
+    /// Number of combinational rows inside the cone (diagnostic only).
+    pub cone_rows: usize,
+}
+
 /// A maximal range of consecutive rows that share one cell type: same
 /// truth table, same input arity, same logic level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -531,6 +549,77 @@ impl SoaNetlist {
         }
     }
 
+    /// Fault-cone support of a set of origin nets, computed over the
+    /// fan-out CSR: the cone is every net transitively reachable from the
+    /// origins through combinational rows, and the **support** is the set
+    /// of nets whose golden values fully determine the one-cycle delta
+    /// evolution of any flip inside the cone — the origins themselves plus
+    /// every out-of-cone net read by a cone row (the cone border).
+    ///
+    /// The endpoints are the flip-flop D-pins inside the cone: the only
+    /// state the flip can persist into, paired with the D net whose delta
+    /// decides it.
+    ///
+    /// This is the arena-side mirror of
+    /// [`FaultCone::compute_multi`](crate::FaultCone::compute_multi) +
+    /// [`FaultCone::border_nets`](crate::FaultCone::border_nets), used by
+    /// the campaign fault-space collapsing layer; a unit test pins the two
+    /// against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any origin net index is out of range.
+    pub fn cone_support(&self, origins: &[u32]) -> ConeSupport {
+        let mut in_cone = vec![false; self.num_nets];
+        let mut row_seen = vec![false; self.num_rows()];
+        let mut queue: Vec<u32> = Vec::with_capacity(origins.len());
+        for &net in origins {
+            assert!((net as usize) < self.num_nets, "origin net out of range");
+            if !in_cone[net as usize] {
+                in_cone[net as usize] = true;
+                queue.push(net);
+            }
+        }
+        let mut endpoints: Vec<(u32, u32)> = Vec::new();
+        let mut cone_rows: Vec<u32> = Vec::new();
+        while let Some(net) = queue.pop() {
+            for &token in self.net_readers(net as usize) {
+                if (token as usize) < self.num_rows() {
+                    let row = token as usize;
+                    if !row_seen[row] {
+                        row_seen[row] = true;
+                        cone_rows.push(token);
+                        let out = self.out[row];
+                        if !in_cone[out as usize] {
+                            in_cone[out as usize] = true;
+                            queue.push(out);
+                        }
+                    }
+                } else {
+                    endpoints.push((token - self.num_rows() as u32, net));
+                }
+            }
+        }
+        // Support = origins + border (out-of-cone pins of cone rows).
+        let mut support: Vec<u32> = origins.to_vec();
+        for &row in &cone_rows {
+            for &pin in self.row_pins(row as usize) {
+                if !in_cone[pin as usize] {
+                    support.push(pin);
+                }
+            }
+        }
+        support.sort_unstable();
+        support.dedup();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        ConeSupport {
+            support,
+            endpoints,
+            cone_rows: cone_rows.len(),
+        }
+    }
+
     /// Scalar settle over the arena: reads and writes per-net `bool` values
     /// in place, sweeping the levelized schedule once.  This is the
     /// reference the block engines are checked against, and doubles as the
@@ -658,6 +747,56 @@ mod tests {
         let soa = SoaNetlist::build(&n, &topo);
         soa.assert_consistent(&n, &topo);
         assert_eq!(soa.net_readers(a.index()).len(), 1);
+    }
+
+    #[test]
+    fn cone_support_matches_graph_fault_cone() {
+        use crate::graph::{ConeEndpoint, FaultCone};
+        use crate::ids::NetId;
+        for seed in 0..6 {
+            let (n, topo) = random_circuit(RandomCircuitConfig::default(), 100 + seed);
+            let soa = SoaNetlist::build(&n, &topo);
+            let singles: Vec<Vec<usize>> = topo
+                .seq_cells()
+                .iter()
+                .map(|&ff| vec![n.cell(ff).output().index()])
+                .collect();
+            let pair: Vec<usize> = singles.iter().take(2).flatten().copied().collect();
+            for origin_nets in singles.iter().chain(std::iter::once(&pair)) {
+                let origins: Vec<u32> = origin_nets.iter().map(|&q| q as u32).collect();
+                let support = soa.cone_support(&origins);
+                let ids: Vec<NetId> = origin_nets.iter().map(|&q| NetId::from_index(q)).collect();
+                let cone = FaultCone::compute_multi(&n, &topo, &ids);
+                // Support = origins ∪ border, in sorted net-index order.
+                let mut expect: Vec<u32> = cone
+                    .border_nets(&n)
+                    .iter()
+                    .map(|b| b.index() as u32)
+                    .chain(origins.iter().copied())
+                    .collect();
+                expect.sort_unstable();
+                expect.dedup();
+                assert_eq!(support.support, expect, "support (seed {seed})");
+                // Endpoints = the cone's sequential pins, as ff indices.
+                let mut expect_ffs: Vec<u32> = cone
+                    .endpoints()
+                    .iter()
+                    .filter_map(|e| match *e {
+                        ConeEndpoint::SeqPin { cell, .. } => {
+                            Some(topo.seq_cells().iter().position(|&c| c == cell).unwrap() as u32)
+                        }
+                        ConeEndpoint::Output(_) => None,
+                    })
+                    .collect();
+                expect_ffs.sort_unstable();
+                expect_ffs.dedup();
+                let got_ffs: Vec<u32> = support.endpoints.iter().map(|&(ff, _)| ff).collect();
+                assert_eq!(got_ffs, expect_ffs, "endpoint ffs (seed {seed})");
+                for &(ff, d_net) in &support.endpoints {
+                    assert_eq!(soa.ff_d()[ff as usize], d_net, "endpoint d net");
+                }
+            }
+        }
     }
 
     #[test]

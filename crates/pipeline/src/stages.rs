@@ -20,7 +20,7 @@ use mate::{
 use mate_cores::{AvrWorkload, Msp430Workload};
 use mate_hafi::{
     run_campaign_wide, CampaignConfig, CampaignResult, DesignHarness, FaultEffect, FaultPoint,
-    FaultSpace, StimulusHarness,
+    FaultSpace, PruningStats, StimulusHarness,
 };
 use mate_netlist::verilog::{parse_verilog, to_verilog};
 use mate_netlist::{Library, MateError, NetId, Netlist, Topology};
@@ -751,10 +751,12 @@ impl Stage<&Design> for Campaign {
             None => h.bool(false),
         }
         h.u64(self.config.seed);
-        // `threads`, `lanes`, and `engine` excluded: records are
-        // bit-identical for every thread count, lane width, and batched
-        // engine (enforced by the campaign proptests), so none of them may
-        // split the cache.
+        // `threads`, `lanes`, `engine`, and `pruning` excluded: records are
+        // bit-identical for every thread count, lane width, batched engine,
+        // and pruning mode (enforced by the campaign proptests and the
+        // pruning equivalence gate), so none of them may split the cache —
+        // an artifact computed without collapsing must hit for a collapsed
+        // configuration and vice versa.
         match &self.wires {
             Some(spec) => {
                 h.bool(true);
@@ -838,7 +840,12 @@ impl Stage<&Design> for Campaign {
             };
             records.push((FaultPoint { ff, wire, cycle }, effect));
         }
-        Ok(CampaignResult { records })
+        // Cached artifacts carry no collapsing accounting (the stats are
+        // diagnostic, not part of the result): report an idle stats block.
+        Ok(CampaignResult {
+            records,
+            pruning: PruningStats::default(),
+        })
     }
 }
 

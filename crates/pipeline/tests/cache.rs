@@ -163,6 +163,65 @@ fn changed_search_config_misses_while_the_prefix_hits() {
     assert!(flow.summary().records[1].cached, "{}", flow.summary());
 }
 
+/// Plants a campaign artifact under one engine configuration and proves a
+/// maximally different engine configuration — pruning mode, engine, lane
+/// width, thread count all changed — still hits it.  Collapsing is an
+/// invisible optimization: records are bit-identical for every mode, so
+/// pre-existing artifacts must keep serving after the collapsing layer
+/// landed.
+#[test]
+fn pruning_and_engine_config_never_split_the_campaign_cache() {
+    use mate_hafi::{CampaignEngine, CampaignPruning, LaneWidth};
+
+    let scratch = Scratch::new("pruning-hit");
+    let planted_config = CampaignConfig {
+        cycles: 12,
+        threads: 1,
+        lanes: LaneWidth::W64,
+        engine: CampaignEngine::FullSettle,
+        pruning: CampaignPruning::Off,
+        ..CampaignConfig::default()
+    };
+
+    // Plant: computed without collapsing, on the full-settle engine.
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let planted = flow.campaign(tmr_waves(), planted_config, None).unwrap();
+    let summary = flow.into_summary();
+    let record = summary.records.last().unwrap();
+    assert!(!record.cached);
+    assert!(
+        record
+            .detail
+            .as_deref()
+            .is_some_and(|d| d.contains("pruning")),
+        "computed campaign stage should carry collapsing stats: {summary}"
+    );
+
+    // Probe: collapsing on, auto engine, wide lanes, threaded — must hit
+    // the planted artifact byte-for-byte.
+    let probe_config = CampaignConfig {
+        cycles: 12,
+        threads: 3,
+        lanes: LaneWidth::W512,
+        engine: CampaignEngine::Auto,
+        pruning: CampaignPruning::Collapse,
+        ..CampaignConfig::default()
+    };
+    let mut flow = Flow::new(scratch.store(), tmr_source()).unwrap();
+    let probe = flow.campaign(tmr_waves(), probe_config, None).unwrap();
+    let summary = flow.into_summary();
+    let record = summary.records.last().unwrap();
+    assert!(
+        record.cached,
+        "pruning/engine/lanes/threads must not split the cache: {summary}"
+    );
+    assert_eq!(probe.key, planted.key);
+    assert_eq!(probe.value.records, planted.value.records);
+    // Cached artifacts carry no collapsing accounting and no annotation.
+    assert_eq!(probe.value.pruning.points, 0);
+    assert!(record.detail.is_none(), "{summary}");
+}
+
 #[test]
 fn verilog_sources_flow_and_wire_specs_key_separately() {
     let scratch = Scratch::new("verilog");

@@ -211,6 +211,39 @@ impl<'n, B: LaneBlock> DeltaSimulator<'n, B> {
         self.delta[net]
     }
 
+    /// One scan of the nonzero frontier accumulating the lane-wise OR of
+    /// deltas into up to three observation groups: bit `k` of `flags[net]`
+    /// routes the net's delta into result `k`.  Every net outside the
+    /// frontier equals golden in all lanes, so the accumulators are exact
+    /// divergence masks for whatever each flag bit marks (primary outputs,
+    /// architectural state, next-cycle flip-flop D inputs, ...).
+    ///
+    /// This is the shared classification scan of the differential campaign
+    /// engine and the fault-space collapsing prober.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags` is shorter than the net count.
+    pub fn scan_flagged(&self, flags: &[u8]) -> [B; 3] {
+        let mut acc = [B::ZERO; 3];
+        for &net in &self.nonzero {
+            let f = flags[net as usize];
+            if f != 0 {
+                let d = self.delta[net as usize];
+                if f & 1 != 0 {
+                    acc[0] |= d;
+                }
+                if f & 2 != 0 {
+                    acc[1] |= d;
+                }
+                if f & 4 != 0 {
+                    acc[2] |= d;
+                }
+            }
+        }
+        acc
+    }
+
     /// Masks every delta down to the lanes in `keep`, dropping nets whose
     /// remaining delta is zero from the nonzero set.
     ///
