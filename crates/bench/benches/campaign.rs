@@ -378,6 +378,26 @@ fn main() {
         results.push(measure(&mut c, "tmr_bank_64", &harness, &config));
     }
 
+    // The vendored third core: an external Yosys JSON netlist (17-FF UART
+    // transmitter) ingested through the frontend — the evaluation target
+    // this repository's builders did not produce.  Exhaustive fault space
+    // over several transmitted frames (shrunk in quick mode).
+    {
+        let cycles = if is_quick_test() { 32 } else { 192 };
+        let (n, topo) = mate_bench::uart_tx_design();
+        let mut harness = StimulusHarness::new(n, topo);
+        for (name, values) in mate_bench::uart_tx_waves(cycles) {
+            let net = harness.netlist().find_net(&name).unwrap();
+            harness = harness.drive(net, values);
+        }
+        let config = CampaignConfig {
+            cycles,
+            sample: None,
+            ..CampaignConfig::default()
+        };
+        results.push(measure(&mut c, "uart_tx", &harness, &config));
+    }
+
     for m in &results {
         eprintln!(
             "{}: scalar {:.0} faults/s (auto engine: {})",

@@ -17,8 +17,8 @@ use mate::eval::{evaluate_scalar, evaluate_transposed_blocks};
 use mate::mates::{summarize, Mate, MateSet};
 use mate::select::{rank_eager, rank_transposed_blocks};
 use mate_hafi::{
-    run_campaign_wide, CampaignConfig, CampaignEngine, DesignHarness, FaultSpace, LaneWidth,
-    StimulusHarness,
+    run_campaign_wide, CampaignConfig, CampaignEngine, CampaignPruning, DesignHarness, FaultSpace,
+    LaneWidth, StimulusHarness,
 };
 use mate_netlist::random::{random_circuit, RandomCircuitConfig};
 use mate_netlist::{LaneBlock, NetCube, NetId, B256, B512};
@@ -150,6 +150,7 @@ fn time_width<B: LaneBlock>(
 
 fn measure_eval_and_rank(
     c: &mut Criterion,
+    suffix: &str,
     trace: &WaveTrace,
     mates: &MateSet,
     wires: &[NetId],
@@ -161,7 +162,7 @@ fn measure_eval_and_rank(
     let eager = rank_eager(mates, trace, wires);
     let points = scalar.matrix.total_points();
 
-    let mut group = c.benchmark_group("evaluate");
+    let mut group = c.benchmark_group(&format!("evaluate{suffix}"));
     group.sample_size(10);
     group.throughput(Throughput::Elements(points as u64));
     group.bench_function("scalar", |b| {
@@ -178,7 +179,7 @@ fn measure_eval_and_rank(
     });
     group.finish();
 
-    let mut group = c.benchmark_group("rank");
+    let mut group = c.benchmark_group(&format!("rank{suffix}"));
     group.sample_size(10);
     group.bench_function("eager", |b| b.iter(|| rank_eager(mates, trace, wires)));
     group.bench_function("lazy_celf", |b| {
@@ -223,49 +224,49 @@ fn measure_eval_and_rank(
     )
 }
 
-fn measure_campaign(c: &mut Criterion, threads: usize, quick: bool) -> CampaignMeasured {
+fn measure_campaign(
+    c: &mut Criterion,
+    suffix: &str,
+    harness: &StimulusHarness,
+    sample: Option<usize>,
+    threads: usize,
+    quick: bool,
+) -> CampaignMeasured {
     let cycles = 32;
-    let cfg = RandomCircuitConfig {
-        inputs: 8,
-        ffs: if quick { 24 } else { 220 },
-        gates: if quick { 80 } else { 800 },
-        outputs: 8,
-    };
-    let (n, topo) = random_circuit(cfg, 424_242);
-    let harness = drive_all_inputs(StimulusHarness::new(n, topo), 77, cycles + 1);
     let space = FaultSpace::all_ffs(harness.netlist(), harness.topology(), cycles);
     let one = CampaignConfig {
         cycles,
-        sample: Some(if quick { 64 } else { 2048 }),
+        sample,
         seed: 9,
         threads: 1,
         lanes: LaneWidth::default(),
         engine: CampaignEngine::default(),
+        pruning: CampaignPruning::default(),
     };
     let many = CampaignConfig { threads, ..one };
 
-    let single = run_campaign_wide(&harness, &space, &one).unwrap();
-    let sharded = run_campaign_wide(&harness, &space, &many).unwrap();
+    let single = run_campaign_wide(harness, &space, &one).unwrap();
+    let sharded = run_campaign_wide(harness, &space, &many).unwrap();
     assert_eq!(single.records, sharded.records, "thread counts diverge");
     let points = single.len();
 
-    let mut group = c.benchmark_group("campaign_threads");
+    let mut group = c.benchmark_group(&format!("campaign_threads{suffix}"));
     group.sample_size(10);
     group.throughput(Throughput::Elements(points as u64));
     group.bench_function("1_thread", |b| {
-        b.iter(|| run_campaign_wide(&harness, &space, &one).unwrap())
+        b.iter(|| run_campaign_wide(harness, &space, &one).unwrap())
     });
     group.bench_function(format!("{threads}_threads"), |b| {
-        b.iter(|| run_campaign_wide(&harness, &space, &many).unwrap())
+        b.iter(|| run_campaign_wide(harness, &space, &many).unwrap())
     });
     group.finish();
 
     let reps = if quick { 1 } else { 3 };
     let one_s = best_secs(reps, || {
-        run_campaign_wide(&harness, &space, &one).unwrap();
+        run_campaign_wide(harness, &space, &one).unwrap();
     });
     let many_s = best_secs(reps, || {
-        run_campaign_wide(&harness, &space, &many).unwrap();
+        run_campaign_wide(harness, &space, &many).unwrap();
     });
     CampaignMeasured {
         ffs: harness.topology().seq_cells().len(),
@@ -291,16 +292,11 @@ fn lane_json(rows: &[(usize, f64)], value_key: &str, base: f64, better_is_higher
     entries.join(", ")
 }
 
-fn write_json(
-    host_cpus: usize,
-    eval: &EvalMeasured,
-    rank: &RankMeasured,
-    campaign: &CampaignMeasured,
-) {
-    let out = format!(
-        "{{\n  \"bench\": \"evalrank\",\n  \"host_cpus\": {host_cpus},\n  \
-         \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  \
-         \"evaluate\": {{\"mates\": {}, \"wires\": {}, \"cycles\": {}, \"points\": {}, \
+/// The evaluate/rank/campaign row triple of one circuit — the same schema
+/// for the random analysis workload and the vendored third core.
+fn section_json(eval: &EvalMeasured, rank: &RankMeasured, campaign: &CampaignMeasured) -> String {
+    format!(
+        "\"evaluate\": {{\"mates\": {}, \"wires\": {}, \"cycles\": {}, \"points\": {}, \
          \"scalar_fault_points_per_sec\": {:.1}, \"blocks\": [{}]}},\n  \
          \"rank\": {{\"mates\": {}, \"points\": {}, \"eager_ms\": {:.3}, \"lazy\": [{}]}},\n  \
          \"campaign\": {{\"ffs\": {}, \"points\": {}, \"cycles\": {}, \"threads\": {}, \
@@ -308,7 +304,7 @@ fn write_json(
          \"one_thread_faults_per_sec\": {:.1}, \"n_thread_faults_per_sec\": {:.1}, \
          \"speedup\": {:.2}, \
          \"note\": \"thread-scaling speedup is bounded by host_cpus; records are \
-         bit-identical for every thread count and lane width\"}}\n}}\n",
+         bit-identical for every thread count and lane width\"}}",
         eval.mates,
         eval.wires,
         eval.cycles,
@@ -332,6 +328,20 @@ fn write_json(
         campaign.one_thread_fps,
         campaign.n_thread_fps,
         campaign.n_thread_fps / campaign.one_thread_fps,
+    )
+}
+
+fn write_json(
+    host_cpus: usize,
+    random: (&EvalMeasured, &RankMeasured, &CampaignMeasured),
+    uart: (&EvalMeasured, &RankMeasured, &CampaignMeasured),
+) {
+    let out = format!(
+        "{{\n  \"bench\": \"evalrank\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"engine_layout_version\": {ENGINE_LAYOUT_VERSION},\n  {},\n  \
+         \"uart_tx\": {{\n  {}\n  }}\n}}\n",
+        section_json(random.0, random.1, random.2),
+        section_json(uart.0, uart.1, uart.2).replace("\n  ", "\n    "),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_evalrank.json");
     std::fs::write(path, out).expect("write BENCH_evalrank.json");
@@ -357,8 +367,43 @@ fn main() {
     let trace = harness.testbench().run(cycles);
     let mates = synthetic_mates(7, harness.netlist().num_nets(), &wires, num_mates);
 
-    let (eval_m, rank_m) = measure_eval_and_rank(&mut c, &trace, &mates, &wires);
-    let campaign_m = measure_campaign(&mut c, 4, quick);
+    let (eval_m, rank_m) = measure_eval_and_rank(&mut c, "", &trace, &mates, &wires);
+    let campaign_harness = {
+        let cfg = RandomCircuitConfig {
+            inputs: 8,
+            ffs: if quick { 24 } else { 220 },
+            gates: if quick { 80 } else { 800 },
+            outputs: 8,
+        };
+        let (n, topo) = random_circuit(cfg, 424_242);
+        drive_all_inputs(StimulusHarness::new(n, topo), 77, 33)
+    };
+    let campaign_m = measure_campaign(
+        &mut c,
+        "",
+        &campaign_harness,
+        Some(if quick { 64 } else { 2048 }),
+        4,
+        quick,
+    );
+
+    // The vendored third core (external Yosys JSON netlist): same
+    // evaluate/rank/campaign row schema, under its real frame workload.
+    let (ueval_m, urank_m, ucampaign_m) = {
+        let (n, topo) = mate_bench::uart_tx_design();
+        let uwires = mate::ff_wires(&n, &topo);
+        let mut harness = StimulusHarness::new(n, topo);
+        for (name, values) in mate_bench::uart_tx_waves(cycles) {
+            let net = harness.netlist().find_net(&name).unwrap();
+            harness = harness.drive(net, values);
+        }
+        let utrace = harness.testbench().run(cycles);
+        let umates = synthetic_mates(13, harness.netlist().num_nets(), &uwires, num_mates);
+        let (e, r) = measure_eval_and_rank(&mut c, "_uart_tx", &utrace, &umates, &uwires);
+        // Exhaustive 17-FF space: small enough to skip sampling.
+        let m = measure_campaign(&mut c, "_uart_tx", &harness, None, 4, quick);
+        (e, r, m)
+    };
 
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -392,9 +437,21 @@ fn main() {
         host_cpus,
         campaign_m.lane_width
     );
+    eprintln!(
+        "uart_tx: evaluate scalar {:.0} points/s, campaign 1 thread {:.0} faults/s, \
+         {} threads {:.0} faults/s",
+        ueval_m.scalar_pps,
+        ucampaign_m.one_thread_fps,
+        ucampaign_m.threads,
+        ucampaign_m.n_thread_fps
+    );
     if quick {
         eprintln!("quick test mode: skipping BENCH_evalrank.json");
     } else {
-        write_json(host_cpus, &eval_m, &rank_m, &campaign_m);
+        write_json(
+            host_cpus,
+            (&eval_m, &rank_m, &campaign_m),
+            (&ueval_m, &urank_m, &ucampaign_m),
+        );
     }
 }

@@ -16,7 +16,7 @@ use mate::eval::{evaluate, EvalReport};
 use mate::{ff_wires, ff_wires_filtered, select_top_n, MateSet, SearchConfig, SearchStats};
 use mate_cores::{avr, msp430, AvrSystem, Msp430System, Termination};
 use mate_hafi::LutCostModel;
-use mate_netlist::{MateError, NetId, Netlist, Topology};
+use mate_netlist::{read_yosys_file, Library, MateError, NetId, Netlist, Topology};
 use mate_pipeline::{DesignSource, Flow, TraceSource, WireSetSpec};
 use mate_sim::WaveTrace;
 
@@ -138,6 +138,60 @@ pub fn rf_spec() -> WireSetSpec {
         id: "register-file",
         keep: is_register_file,
     }
+}
+
+/// Path of the vendored third evaluation core, an external Yosys JSON
+/// netlist (see `vendor/netlists/uart_tx/README.md` for provenance).
+#[must_use]
+pub fn uart_tx_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../vendor/netlists/uart_tx/uart_tx.json")
+}
+
+/// The vendored third core ingested through the Yosys JSON frontend: an
+/// 8N1 UART transmitter, 17 flip-flops.  Panics if the checked-in file is
+/// missing or ill-formed — the ingest-gate CI job guards that invariant.
+#[must_use]
+pub fn uart_tx_design() -> (Netlist, Topology) {
+    let netlist = read_yosys_file(uart_tx_path(), Library::open15(), None)
+        .expect("vendored uart_tx.json must ingest");
+    let topo = netlist
+        .validate()
+        .expect("vendored uart_tx.json must validate");
+    (netlist, topo)
+}
+
+/// The vendored third core as a pipeline design source (fingerprinted by
+/// the bytes of the JSON file).
+#[must_use]
+pub fn uart_tx_source() -> DesignSource {
+    DesignSource::YosysJson {
+        path: uart_tx_path(),
+        top: None,
+    }
+}
+
+/// The UART's frame workload: reset, then a write strobe every 48 cycles
+/// transmitting a rotating byte pattern.  `din` only changes on strobe
+/// cycles, so every frame carries a well-defined byte.
+#[must_use]
+pub fn uart_tx_waves(cycles: usize) -> Vec<(String, Vec<bool>)> {
+    let mut waves = vec![
+        ("rst".to_owned(), vec![true, false]),
+        (
+            "wr".to_owned(),
+            (0..=cycles).map(|c| c >= 2 && (c - 2) % 48 == 0).collect(),
+        ),
+    ];
+    for bit in 0..8 {
+        waves.push((
+            format!("din[{bit}]"),
+            (0..=cycles)
+                .map(|c| 0xA5u8.rotate_left((c / 48) as u32) >> bit & 1 == 1)
+                .collect(),
+        ));
+    }
+    waves
 }
 
 /// Everything the performance tables (2/3) consume, produced through the

@@ -1,0 +1,149 @@
+//! Round-trip bit-identity for the builtin cores: exporting the AVR and
+//! MSP430 systems to Yosys JSON and re-ingesting them through the
+//! frontend yields byte-for-byte identical search, evaluation, ranking,
+//! and campaign results.  This is the established reference-equivalence
+//! pattern: the external-file path must be an invisible detour.
+
+use std::path::PathBuf;
+
+use mate::SearchConfig;
+use mate_bench::Core;
+use mate_hafi::CampaignConfig;
+use mate_netlist::yosys::to_yosys_json;
+use mate_pipeline::{ArtifactStore, DesignSource, Flow, WireSetSpec};
+
+/// A fresh scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mate-yosys-id-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::new(self.0.join("store"))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn assert_roundtrip_identity(core: Core, tag: &str) {
+    let scratch = Scratch::new(tag);
+
+    // Builtin path: the deterministic elaboration the repo always used.
+    let mut builtin = Flow::new(scratch.store(), core.design_source()).unwrap();
+
+    // External path: export to Yosys JSON, re-ingest through the frontend.
+    let json = to_yosys_json(&builtin.design().netlist);
+    let path = scratch.0.join(format!("{tag}.json"));
+    std::fs::write(&path, &json).unwrap();
+    let mut ingested =
+        Flow::new(scratch.store(), DesignSource::YosysJson { path, top: None }).unwrap();
+
+    // Ids preserved exactly: every downstream id-addressed result is
+    // bit-identical by construction — then prove it empirically anyway.
+    assert!(
+        ingested
+            .design()
+            .netlist
+            .structural_eq(&builtin.design().netlist),
+        "{tag}: re-ingested netlist diverged structurally"
+    );
+
+    // A cheap wire set: the first eight flip-flop outputs by id.
+    let design = builtin.design();
+    let wires: Vec<String> = design
+        .topology
+        .seq_cells()
+        .iter()
+        .take(8)
+        .map(|&ff| {
+            design
+                .netlist
+                .net(design.netlist.cell(ff).output())
+                .name()
+                .to_owned()
+        })
+        .collect();
+    let spec = || WireSetSpec::Named(wires.clone());
+    let search_config = SearchConfig {
+        depth: 2,
+        max_terms: 2,
+        max_candidates: 32,
+        max_paths: 1 << 10,
+        threads: 1,
+        ..SearchConfig::default()
+    };
+
+    // Search: identical MATE sets.
+    let mates_a = builtin.search(spec(), search_config).unwrap();
+    let mates_b = ingested.search(spec(), search_config).unwrap();
+    assert_eq!(mates_a.value.mates, mates_b.value.mates, "{tag}: search");
+
+    // Trace capture on the real workload, evaluation, ranking.
+    let cycles = 64;
+    let trace_a = builtin.capture(core.fib(), cycles).unwrap();
+    let trace_b = ingested.capture(core.fib(), cycles).unwrap();
+    let eval_a = builtin
+        .evaluate(spec(), (&mates_a.value.mates, mates_a.key), trace_a.part())
+        .unwrap();
+    let eval_b = ingested
+        .evaluate(spec(), (&mates_b.value.mates, mates_b.key), trace_b.part())
+        .unwrap();
+    assert_eq!(eval_a.value.matrix, eval_b.value.matrix, "{tag}: evaluate");
+    assert_eq!(eval_a.value.triggers, eval_b.value.triggers);
+    assert_eq!(eval_a.value.effective, eval_b.value.effective);
+
+    let sel_a = builtin
+        .select(
+            spec(),
+            3,
+            (&mates_a.value.mates, mates_a.key),
+            trace_a.part(),
+        )
+        .unwrap();
+    let sel_b = ingested
+        .select(
+            spec(),
+            3,
+            (&mates_b.value.mates, mates_b.key),
+            trace_b.part(),
+        )
+        .unwrap();
+    assert_eq!(sel_a.value, sel_b.value, "{tag}: rank/select");
+
+    // Campaign over the restricted wire set: identical records.
+    let campaign_config = CampaignConfig {
+        cycles: 16,
+        sample: Some(64),
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    let camp_a = builtin
+        .campaign(core.fib(), campaign_config, Some(spec()))
+        .unwrap();
+    let camp_b = ingested
+        .campaign(core.fib(), campaign_config, Some(spec()))
+        .unwrap();
+    assert_eq!(
+        camp_a.value.records, camp_b.value.records,
+        "{tag}: campaign"
+    );
+}
+
+#[test]
+fn avr_roundtrip_is_bit_identical() {
+    assert_roundtrip_identity(Core::Avr, "avr");
+}
+
+#[test]
+fn msp430_roundtrip_is_bit_identical() {
+    assert_roundtrip_identity(Core::Msp430, "msp430");
+}

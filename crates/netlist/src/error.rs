@@ -12,6 +12,7 @@
 //! |----------|----------|
 //! | I/O      | [`MateError::Io`] |
 //! | netlist  | [`MateError::Verilog`], [`MateError::Semantic`], [`MateError::Netlist`] |
+//! | frontend | [`MateError::Json`], [`MateError::Ingest`] |
 //! | formats  | [`MateError::MateFormat`], [`MateError::Vcd`], [`MateError::UnknownNet`] |
 //! | campaign | [`MateError::Campaign`] |
 //! | pipeline | [`MateError::Artifact`] |
@@ -32,6 +33,34 @@ pub enum MateError {
         context: String,
         /// The propagated cause.
         source: io::Error,
+    },
+    /// An error attributed to an on-disk file: wraps the underlying cause
+    /// (JSON syntax, ingest semantics, ...) with the path it came from.
+    File {
+        /// The file being read.
+        path: String,
+        /// The propagated cause.
+        source: Box<MateError>,
+    },
+    /// Lexical or syntactic problem in a JSON document (the Yosys
+    /// frontend's own dependency-free parser).
+    Json {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A structurally valid Yosys JSON document that cannot be ingested:
+    /// unknown cell types, width-mismatched connections, missing or
+    /// ambiguous top module, hierarchy, mixed clocks.  Carries the module
+    /// (and cell, when attributable) context the diagnosis points at.
+    Ingest {
+        /// The module being ingested (empty while still selecting one).
+        module: String,
+        /// The cell instance at fault, when the problem is cell-local.
+        cell: Option<String>,
+        /// Human-readable description.
+        message: String,
     },
     /// Lexical or syntactic problem in structural-Verilog input.
     Verilog {
@@ -100,12 +129,58 @@ impl MateError {
     pub fn campaign(message: impl Into<String>) -> Self {
         Self::Campaign(message.into())
     }
+
+    /// A module-level ingest error (no single cell at fault).
+    pub fn ingest(module: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::Ingest {
+            module: module.into(),
+            cell: None,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps any error with the path of the file it was found in.
+    pub fn in_file(path: impl Into<String>, source: MateError) -> Self {
+        Self::File {
+            path: path.into(),
+            source: Box::new(source),
+        }
+    }
+
+    /// A cell-level ingest error.
+    pub fn ingest_cell(
+        module: impl Into<String>,
+        cell: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::Ingest {
+            module: module.into(),
+            cell: Some(cell.into()),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for MateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io { context, source } => write!(f, "i/o error ({context}): {source}"),
+            Self::File { path, source } => write!(f, "{path}: {source}"),
+            Self::Json { line, message } => write!(f, "json line {line}: {message}"),
+            Self::Ingest {
+                module,
+                cell,
+                message,
+            } => match (module.is_empty(), cell) {
+                (true, _) => write!(f, "yosys ingest: {message}"),
+                (false, None) => write!(f, "yosys ingest (module `{module}`): {message}"),
+                (false, Some(cell)) => {
+                    write!(
+                        f,
+                        "yosys ingest (module `{module}`, cell `{cell}`): {message}"
+                    )
+                }
+            },
             Self::Verilog { line, message } => write!(f, "verilog line {line}: {message}"),
             Self::Semantic(msg) => write!(f, "{msg}"),
             Self::Netlist(e) => write!(f, "invalid netlist: {e}"),
@@ -134,6 +209,7 @@ impl Error for MateError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Io { source, .. } => Some(source),
+            Self::File { source, .. } => Some(source),
             Self::Netlist(e) => Some(e),
             _ => None,
         }
@@ -154,6 +230,23 @@ mod tests {
     fn display_covers_all_variants() {
         let cases: Vec<(MateError, &str)> = vec![
             (MateError::io("x.v", io::Error::other("boom")), "x.v"),
+            (
+                MateError::Json {
+                    line: 12,
+                    message: "expected `:`".into(),
+                },
+                "line 12",
+            ),
+            (MateError::ingest("", "no modules"), "no modules"),
+            (
+                MateError::in_file("core.json", MateError::ingest("m", "no clock")),
+                "core.json",
+            ),
+            (MateError::ingest("serv", "no clock"), "serv"),
+            (
+                MateError::ingest_cell("uart", "u_div", "unknown cell"),
+                "u_div",
+            ),
             (
                 MateError::Verilog {
                     line: 3,

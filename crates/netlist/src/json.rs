@@ -1,0 +1,434 @@
+//! A minimal, dependency-free JSON parser for the Yosys frontend.
+//!
+//! The build environment vendors no external crates, so the [`yosys`]
+//! frontend carries its own parser in the same spirit as the vendored
+//! `rand`/`proptest` stubs: a small, well-tested subset implementation
+//! rather than a new dependency.  The subset is full JSON minus two
+//! conveniences irrelevant to machine-written netlists:
+//!
+//! * Numbers are parsed as `f64` (Yosys emits only small integers: bit
+//!   indices, parameter values, and 0/1 attributes).
+//! * `\u` escapes outside the BMP surrogate range are accepted but
+//!   surrogate *pairs* are not combined (Yosys never emits them).
+//!
+//! Two properties matter more than coverage here, and both are enforced by
+//! the `yosys_frontend` proptests:
+//!
+//! * **Never panics.**  Every malformed input returns
+//!   [`MateError::Json`] with a 1-based line number — including deeply
+//!   nested input, which is cut off by [`MAX_DEPTH`] instead of
+//!   overflowing the stack.
+//! * **Order-preserving objects.**  [`JsonValue::Object`] keeps members in
+//!   source order, which the Yosys reader exploits to rebuild nets in the
+//!   exact order `netnames` lists them (the id-preserving round trip).
+//!
+//! [`yosys`]: crate::yosys
+
+use crate::error::MateError;
+
+/// Nesting depth cap: malformed or adversarial input deeper than this is
+/// rejected instead of recursing toward a stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.  Objects preserve member order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (Yosys only emits integers).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// `[...]` in source order.
+    Array(Vec<JsonValue>),
+    /// `{...}` in source order (duplicate keys are kept; lookups return
+    /// the first).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (first match); `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            Self::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, or `None`.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            Self::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The array elements, or `None`.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` when it is a non-negative integer, else `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns [`MateError::Json`] with a 1-based line number on any lexical
+/// or syntactic problem, trailing garbage included.
+pub fn parse_json(src: &str) -> Result<JsonValue, MateError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> MateError {
+        MateError::Json {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), MateError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, MateError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, MateError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{text}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, MateError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(JsonValue::Number)
+            .ok_or_else(|| self.error(format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, MateError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\n' => return Err(self.error("raw newline in string")),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .filter(|h| h.is_ascii());
+                            let code = hex.and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match code.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return Err(self.error("bad \\u escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged;
+                    // re-find the char boundary we are inside of.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && !self.src.is_char_boundary(end) {
+                        end += 1;
+                    }
+                    out.push_str(&self.src[start..end]);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, MateError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, MateError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in JSON output (quotes included).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse_json("-3.5e2").unwrap(), JsonValue::Number(-350.0));
+        assert_eq!(
+            parse_json("\"a\\nb\"").unwrap(),
+            JsonValue::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures_in_order() {
+        let v = parse_json(r#"{"b": [1, "x"], "a": {"k": null}, "b": 2}"#).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        // Duplicate keys: kept in order, lookup returns the first.
+        assert_eq!(members.len(), 3);
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = parse_json("\"caf\u{e9} \\u00e9 \\\"q\\\"\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "caf\u{e9} \u{e9} \"q\"");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse_json(r#"{"n": 7, "s": "x", "neg": -1, "frac": 0.5}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("frac").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("n").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_json("{\n  \"a\": 1,\n  @\n}").unwrap_err();
+        let MateError::Json { line, .. } = err else {
+            panic!("expected Json error, got {err}");
+        };
+        assert_eq!(line, 3);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for src in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "\"unterminated",
+            "truf",
+            "01x",
+            "[1] trailing",
+            "\"bad \\q escape\"",
+            "\"bad \\uZZZZ\"",
+            "\"surrogate \\ud800\"",
+            "1e999",
+            "nul",
+        ] {
+            let err = parse_json(src).unwrap_err();
+            assert!(matches!(err, MateError::Json { .. }), "{src:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_cut_off() {
+        let depth = MAX_DEPTH + 10;
+        let src = "[".repeat(depth) + &"]".repeat(depth);
+        let err = parse_json(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // One level under the cap still parses.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn escape_json_round_trips() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tab\tnl\n",
+            "caf\u{e9}",
+            "\u{1}",
+        ] {
+            let v = parse_json(&escape_json(s)).unwrap();
+            assert_eq!(v.as_str().unwrap(), s);
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod cube;
 pub mod error;
 pub mod examples;
 pub mod graph;
+pub mod json;
 pub mod lanes;
 pub mod library;
 pub mod logic;
@@ -54,6 +55,7 @@ pub mod soa;
 pub mod stats;
 pub mod util;
 pub mod verilog;
+pub mod yosys;
 
 mod ids;
 
@@ -68,6 +70,7 @@ pub use netlist::{Cell, Net, NetDriver, Netlist, NetlistError};
 pub use opt::{optimize, OptStats, Optimized};
 pub use soa::{ConeSupport, SoaNetlist, SoaReader, SoaRun};
 pub use util::BitSet;
+pub use yosys::{parse_yosys_json, parse_yosys_netlist, read_yosys_file, to_yosys_json};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {

@@ -220,6 +220,27 @@ impl Netlist {
         id
     }
 
+    /// Marks an existing undriven net as a primary input.
+    ///
+    /// The Yosys frontend creates nets in `netnames` order — before port
+    /// directions are known — and promotes the input-port bits afterwards;
+    /// this is the promotion hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] when the net is already
+    /// driven (by a cell or by an earlier input declaration).
+    pub fn mark_input(&mut self, net: NetId) -> Result<(), NetlistError> {
+        if self.nets[net.index()].driver != NetDriver::None {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[net.index()].name.clone(),
+            });
+        }
+        self.nets[net.index()].driver = NetDriver::Input;
+        self.inputs.push(net);
+        Ok(())
+    }
+
     /// Marks an existing net as a primary output.
     pub fn set_output(&mut self, net: NetId) {
         if !self.outputs.contains(&net) {
@@ -414,6 +435,31 @@ impl Netlist {
     /// Returns `true` if the cell is a flip-flop.
     pub fn is_seq_cell(&self, id: CellId) -> bool {
         self.cell_type_of(id).is_seq()
+    }
+
+    /// Structural identity: same name, nets (names, drivers, ids), cells
+    /// (names, types, pin nets, ids), and port lists.
+    ///
+    /// This is the property the Yosys round-trip tests assert — it implies
+    /// every id-addressed downstream result (traces, prune matrices,
+    /// campaign records) is bit-identical between the two netlists.
+    pub fn structural_eq(&self, other: &Netlist) -> bool {
+        self.name == other.name
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.nets.len() == other.nets.len()
+            && self
+                .nets
+                .iter()
+                .zip(&other.nets)
+                .all(|(a, b)| a.name == b.name && a.driver == b.driver)
+            && self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(a, b)| {
+                a.name == b.name
+                    && self.lib.cell_type(a.ty).name() == other.lib.cell_type(b.ty).name()
+                    && a.inputs == b.inputs
+                    && a.output == b.output
+            })
     }
 
     /// Validates the netlist and computes its [`Topology`].

@@ -1,0 +1,1095 @@
+//! Yosys JSON netlist frontend: ingest (`read_json` schema) and export.
+//!
+//! Everything the pipeline analyzed before this module existed was
+//! elaborated from our own `mate-rtl` descriptions.  This frontend ingests
+//! gate-level netlists produced by a real synthesis flow —
+//!
+//! ```text
+//! yosys -p 'synth -top <top>; abc -g AND,NAND,OR,NOR,XOR,XNOR,MUX; \
+//!           dfflegalize -cell $_DFF_P_ 0; write_json design.json' design.v
+//! ```
+//!
+//! — turning the reproduction into a tool that prunes fault spaces we did
+//! not build ourselves.
+//!
+//! # Ingest model
+//!
+//! [`parse_yosys_netlist`] reads Yosys's `modules/ports/cells/netnames`
+//! schema into a [`Netlist`] over a caller-provided [`Library`]:
+//!
+//! * **Cell mapping** — Yosys gate-level primitives (`$_AND_`, `$_NOT_`,
+//!   `$_AOI4_`, `$_DFF_P_`, ...) map onto the library's truth tables via a
+//!   fixed table ([`map_cell`]); primitives without a single-cell
+//!   equivalent (`$_ANDNOT_`, `$_ORNOT_`, `$_NMUX_`) expand into two
+//!   cells.  Library-native type names (`NAND3`, `MUX2`, `DFF`, ...) are
+//!   accepted directly, which is what makes our own exports round-trip.
+//!   Anything else is a typed [`MateError::Ingest`] naming the cell and
+//!   module.
+//! * **Bit-vector flattening** — multi-bit `netnames` entries become
+//!   scalar nets `name[i]`; constant bits (`"0"`/`"1"`) become shared
+//!   `TIE0`/`TIE1` cells; `"x"`/`"z"` bits on cell pins are rejected.
+//! * **Top-module selection** — an explicit name, the module carrying the
+//!   Yosys `top` attribute, or the single non-blackbox module; anything
+//!   ambiguous is an error, as is hierarchy (flatten first).
+//! * **Clock discipline** — the cycle-based model has one implicit global
+//!   clock, so every flip-flop must be clocked by the *same* primary
+//!   input with the same polarity, and that net must not feed data logic.
+//!   The clock pin is then dropped.
+//!
+//! The returned netlist is **unvalidated** and built with unchecked cell
+//! insertion: foreign netlists can be ill-formed in exactly the ways the
+//! `mate-analyze` lint passes diagnose (multiply-driven nets among them),
+//! and the pipeline runs those passes as a mandatory ingest gate *before*
+//! validation so rejections carry lint-grade diagnostics.  Call
+//! [`parse_yosys_json`] for the parse-and-validate convenience.
+//!
+//! # Export
+//!
+//! [`to_yosys_json`] writes the same schema back out (library-native cell
+//! types, one `netnames` entry per net in id order).  Re-ingesting an
+//! export rebuilds net and cell ids *exactly* —
+//! [`Netlist::structural_eq`] holds — so traces, prune matrices, and
+//! campaign records computed on the re-ingested design are bit-identical
+//! to the original's.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::MateError;
+use crate::graph::Topology;
+use crate::ids::NetId;
+use crate::json::{escape_json, parse_json, JsonValue};
+use crate::library::Library;
+use crate::netlist::{NetDriver, Netlist};
+
+/// How one Yosys cell type maps onto the library.
+#[derive(Clone, Copy, Debug)]
+pub struct CellMapping {
+    /// Library cell type instantiated.
+    pub lib_type: &'static str,
+    /// Yosys input pin names, in library pin order.
+    pub inputs: &'static [&'static str],
+    /// Yosys output pin name.
+    pub output: &'static str,
+    /// Input pin complemented through an extra `INV` (the `$_ANDNOT_` /
+    /// `$_ORNOT_` expansions).
+    pub invert_input: Option<&'static str>,
+    /// Output complemented through an extra `INV` (the `$_NMUX_`
+    /// expansion).
+    pub invert_output: bool,
+}
+
+const fn direct(
+    lib_type: &'static str,
+    inputs: &'static [&'static str],
+    output: &'static str,
+) -> CellMapping {
+    CellMapping {
+        lib_type,
+        inputs,
+        output,
+        invert_input: None,
+        invert_output: false,
+    }
+}
+
+/// The Yosys-primitive → library mapping table, exclusive of flip-flops
+/// (see [`dff_mapping`]).  Returns `None` for unknown types.
+pub fn map_cell(yosys_type: &str) -> Option<CellMapping> {
+    Some(match yosys_type {
+        "$_BUF_" => direct("BUF", &["A"], "Y"),
+        "$_NOT_" => direct("INV", &["A"], "Y"),
+        "$_AND_" => direct("AND2", &["A", "B"], "Y"),
+        "$_NAND_" => direct("NAND2", &["A", "B"], "Y"),
+        "$_OR_" => direct("OR2", &["A", "B"], "Y"),
+        "$_NOR_" => direct("NOR2", &["A", "B"], "Y"),
+        "$_XOR_" => direct("XOR2", &["A", "B"], "Y"),
+        "$_XNOR_" => direct("XNOR2", &["A", "B"], "Y"),
+        // Y = S ? B : A — same selector sense as the library MUX2.
+        "$_MUX_" => direct("MUX2", &["S", "A", "B"], "Y"),
+        "$_NMUX_" => CellMapping {
+            invert_output: true,
+            ..direct("MUX2", &["S", "A", "B"], "Y")
+        },
+        // Y = A & ~B / A | ~B: no single library cell, expand through INV.
+        "$_ANDNOT_" => CellMapping {
+            invert_input: Some("B"),
+            ..direct("AND2", &["A", "B"], "Y")
+        },
+        "$_ORNOT_" => CellMapping {
+            invert_input: Some("B"),
+            ..direct("OR2", &["A", "B"], "Y")
+        },
+        // Y = ~((A&B)|C) etc. — the AOI/OAI complex gates.
+        "$_AOI3_" => direct("AOI21", &["A", "B", "C"], "Y"),
+        "$_OAI3_" => direct("OAI21", &["A", "B", "C"], "Y"),
+        "$_AOI4_" => direct("AOI22", &["A", "B", "C", "D"], "Y"),
+        "$_OAI4_" => direct("OAI22", &["A", "B", "C", "D"], "Y"),
+        _ => return None,
+    })
+}
+
+/// Flip-flop mapping: `(negedge, has clock pin)` for recognized types.
+fn dff_mapping(yosys_type: &str, library: &Library) -> Option<(bool, bool)> {
+    match yosys_type {
+        "$_DFF_P_" => Some((false, true)),
+        "$_DFF_N_" => Some((true, true)),
+        // A library-native DFF (our own exports): optional clock pin.
+        name => {
+            let ty = library.find(name)?;
+            library.cell_type(ty).is_seq().then_some((false, true))
+        }
+    }
+}
+
+/// One flattened Yosys bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Bit {
+    /// A signal bit (the Yosys net index).
+    Net(u64),
+    /// Constant zero / one.
+    Const(bool),
+}
+
+/// Reads a Yosys JSON netlist from a file, wrapping every error with the
+/// path.
+///
+/// # Errors
+///
+/// Returns [`MateError::File`] wrapping the I/O, JSON, or ingest cause.
+pub fn read_yosys_file(
+    path: impl AsRef<Path>,
+    library: Arc<Library>,
+    top: Option<&str>,
+) -> Result<Netlist, MateError> {
+    let path = path.as_ref();
+    let display = path.display().to_string();
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| MateError::in_file(&display, MateError::io("yosys json", e)))?;
+    parse_yosys_netlist(&src, library, top).map_err(|e| MateError::in_file(&display, e))
+}
+
+/// Parses a Yosys JSON document into an **unvalidated** [`Netlist`]
+/// (foreign structural defects are left for the lint gate; see the module
+/// docs).
+///
+/// # Errors
+///
+/// Returns [`MateError::Json`] on syntax problems and
+/// [`MateError::Ingest`] with module/cell context on anything the
+/// frontend cannot express.
+pub fn parse_yosys_netlist(
+    src: &str,
+    library: Arc<Library>,
+    top: Option<&str>,
+) -> Result<Netlist, MateError> {
+    let doc = parse_json(src)?;
+    let modules = doc
+        .get("modules")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| MateError::ingest("", "document has no `modules` object"))?;
+    let (name, module) = select_top(modules, top)?;
+    let netlist = Netlist::new(name, library.clone());
+    let mut ingest = Ingest {
+        library,
+        module: name.to_owned(),
+        netlist,
+        bits: HashMap::new(),
+        tie: [None, None],
+        clock: None,
+    };
+    ingest.run(module, modules)?;
+    Ok(ingest.netlist)
+}
+
+/// Parse-and-validate convenience over [`parse_yosys_netlist`].
+///
+/// # Errors
+///
+/// Additionally returns [`MateError::Netlist`] when the ingested design
+/// fails structural validation (undriven nets, combinational cycles).
+pub fn parse_yosys_json(
+    src: &str,
+    library: Arc<Library>,
+    top: Option<&str>,
+) -> Result<(Netlist, Topology), MateError> {
+    let netlist = parse_yosys_netlist(src, library, top)?;
+    let topology = netlist.validate()?;
+    Ok((netlist, topology))
+}
+
+/// Truthiness of a Yosys attribute value (numbers, or the binary strings
+/// Yosys emits for wide constants).
+fn attr_truthy(value: Option<&JsonValue>) -> bool {
+    match value {
+        Some(JsonValue::Number(n)) => *n != 0.0,
+        Some(JsonValue::String(s)) => s.contains('1'),
+        _ => false,
+    }
+}
+
+fn select_top<'a>(
+    modules: &'a [(String, JsonValue)],
+    top: Option<&str>,
+) -> Result<(&'a str, &'a JsonValue), MateError> {
+    let names = || {
+        modules
+            .iter()
+            .map(|(n, _)| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if let Some(want) = top {
+        return modules
+            .iter()
+            .find(|(n, _)| n == want)
+            .map(|(n, m)| (n.as_str(), m))
+            .ok_or_else(|| {
+                MateError::ingest(
+                    "",
+                    format!("top module `{want}` not found (modules: {})", names()),
+                )
+            });
+    }
+    let attribute_of = |m: &JsonValue, key: &str| -> bool {
+        attr_truthy(m.get("attributes").and_then(|a| a.get(key)))
+    };
+    let flagged: Vec<_> = modules
+        .iter()
+        .filter(|(_, m)| attribute_of(m, "top"))
+        .collect();
+    match flagged.len() {
+        1 => return Ok((flagged[0].0.as_str(), &flagged[0].1)),
+        n if n > 1 => {
+            return Err(MateError::ingest(
+                "",
+                format!(
+                    "multiple modules carry the `top` attribute (modules: {})",
+                    names()
+                ),
+            ))
+        }
+        _ => {}
+    }
+    let real: Vec<_> = modules
+        .iter()
+        .filter(|(_, m)| !attribute_of(m, "blackbox") && !attribute_of(m, "whitebox"))
+        .collect();
+    match real.as_slice() {
+        [] => Err(MateError::ingest("", "document contains no modules")),
+        [(n, m)] => Ok((n.as_str(), m)),
+        _ => Err(MateError::ingest(
+            "",
+            format!(
+                "no top module marked and {} candidates (modules: {}); pass one explicitly",
+                real.len(),
+                names()
+            ),
+        )),
+    }
+}
+
+struct Ingest {
+    library: Arc<Library>,
+    module: String,
+    netlist: Netlist,
+    /// Yosys bit index → net id.
+    bits: HashMap<u64, NetId>,
+    /// Lazily created constant nets (`$false`, `$true`).
+    tie: [Option<NetId>; 2],
+    /// The single clock domain: `(net, negedge, first cell that set it)`.
+    clock: Option<(NetId, bool, String)>,
+}
+
+impl Ingest {
+    fn err(&self, message: impl Into<String>) -> MateError {
+        MateError::ingest(&self.module, message)
+    }
+
+    fn cell_err(&self, cell: &str, message: impl Into<String>) -> MateError {
+        MateError::ingest_cell(&self.module, cell, message)
+    }
+
+    fn run(
+        &mut self,
+        module: &JsonValue,
+        modules: &[(String, JsonValue)],
+    ) -> Result<(), MateError> {
+        let netnames = section(module, &self.module, "netnames")?;
+        let ports = section(module, &self.module, "ports")?;
+        let cells = section(module, &self.module, "cells")?;
+
+        // 1. Nets, in `netnames` order: the id-preserving pass.
+        for (name, info) in netnames {
+            let bits = info
+                .get("bits")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| self.err(format!("netname `{name}` has no `bits` array")))?;
+            let width = bits.len();
+            for (i, bit) in bits.iter().enumerate() {
+                // Constant and x/z bits inside a *name* carry no signal;
+                // cells referencing x/z directly are rejected at the pin.
+                if let Some(idx) = bit.as_u64() {
+                    if !self.bits.contains_key(&idx) {
+                        let scalar = if width == 1 {
+                            name.clone()
+                        } else {
+                            format!("{name}[{i}]")
+                        };
+                        let id = self.netlist.add_net(&scalar);
+                        self.bits.insert(idx, id);
+                    }
+                }
+            }
+        }
+
+        // 2. Ports: directions promote existing nets.
+        for (name, info) in ports {
+            let direction = info
+                .get("direction")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| self.err(format!("port `{name}` has no `direction`")))?;
+            let bits = info
+                .get("bits")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| self.err(format!("port `{name}` has no `bits` array")))?;
+            let width = bits.len();
+            for (i, raw) in bits.iter().enumerate() {
+                let bit = self
+                    .parse_bit(raw)
+                    .map_err(|msg| self.err(format!("port `{name}` bit {i}: {msg}")))?;
+                match (direction, bit) {
+                    ("input", Bit::Net(idx)) => {
+                        let id = self.net_for(idx, name, i, width);
+                        self.netlist.mark_input(id).map_err(|_| {
+                            self.err(format!("input port `{name}` bit {i} is already driven"))
+                        })?;
+                    }
+                    ("input", Bit::Const(_)) => {
+                        return Err(self.err(format!("input port `{name}` bit {i} is a constant")));
+                    }
+                    ("output", Bit::Net(idx)) => {
+                        let id = self.net_for(idx, name, i, width);
+                        self.netlist.set_output(id);
+                    }
+                    ("output", Bit::Const(v)) => {
+                        let id = self.tie_net(v)?;
+                        self.netlist.set_output(id);
+                    }
+                    (other, _) => {
+                        return Err(
+                            self.err(format!("port `{name}` has unsupported direction `{other}`"))
+                        );
+                    }
+                }
+            }
+        }
+
+        // 3. Cells, in order.
+        for (name, info) in cells {
+            self.add_cell(name, info, modules)?;
+        }
+
+        // 4. Clock discipline (see module docs).
+        if let Some((clk, _, ref first)) = self.clock {
+            let first = first.clone();
+            if self.netlist.net(clk).driver() != NetDriver::Input {
+                return Err(self.err(format!(
+                    "clock net `{}` (first used by cell `{first}`) is driven by logic — \
+                     gated or derived clocks are unsupported in the cycle-based model",
+                    self.netlist.net(clk).name()
+                )));
+            }
+            for cell in self.netlist.cells() {
+                if cell.inputs().contains(&clk) {
+                    return Err(MateError::ingest_cell(
+                        &self.module,
+                        cell.name(),
+                        format!(
+                            "clock net `{}` also feeds a data pin — the implicit-clock \
+                             model cannot express clocks used as data",
+                            self.netlist.net(clk).name()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Classifies one connection bit; the message leaves context to the
+    /// caller.
+    #[allow(clippy::unused_self)]
+    fn parse_bit(&self, raw: &JsonValue) -> Result<Bit, String> {
+        match raw {
+            JsonValue::Number(_) => raw
+                .as_u64()
+                .map(Bit::Net)
+                .ok_or_else(|| "bad bit index".to_owned()),
+            JsonValue::String(s) => match s.as_str() {
+                "0" => Ok(Bit::Const(false)),
+                "1" => Ok(Bit::Const(true)),
+                "x" | "z" => Err(format!("`{s}`-valued bits are unsupported")),
+                other => Err(format!("bad bit `{other}`")),
+            },
+            _ => Err("bad bit (expected index or constant)".to_owned()),
+        }
+    }
+
+    /// The net for a Yosys bit index, created with a `port[i]`-style name
+    /// when `netnames` did not cover it.
+    fn net_for(&mut self, idx: u64, name: &str, i: usize, width: usize) -> NetId {
+        if let Some(&id) = self.bits.get(&idx) {
+            return id;
+        }
+        let scalar = if width == 1 {
+            name.to_owned()
+        } else {
+            format!("{name}[{i}]")
+        };
+        let id = self.netlist.add_net(&scalar);
+        self.bits.insert(idx, id);
+        id
+    }
+
+    /// The shared constant net for `value`, creating the tie cell on
+    /// first use.
+    fn tie_net(&mut self, value: bool) -> Result<NetId, MateError> {
+        let slot = usize::from(value);
+        if let Some(id) = self.tie[slot] {
+            return Ok(id);
+        }
+        let (ty, net_name, cell_name) = if value {
+            ("TIE1", "$true", "$tie1")
+        } else {
+            ("TIE0", "$false", "$tie0")
+        };
+        let id = self.netlist.add_net(net_name);
+        self.netlist
+            .add_cell_unchecked(ty, cell_name, &[], id)
+            .map_err(|e| self.err(format!("cannot instantiate `{ty}`: {e}")))?;
+        self.tie[slot] = Some(id);
+        Ok(id)
+    }
+
+    /// One connection pin, which must be exactly one bit wide.
+    fn pin_bit<'a>(
+        &self,
+        cell: &str,
+        conns: &'a [(String, JsonValue)],
+        pin: &str,
+    ) -> Result<&'a JsonValue, MateError> {
+        let bits = conns
+            .iter()
+            .find(|(k, _)| k == pin)
+            .map(|(_, v)| v)
+            .ok_or_else(|| self.cell_err(cell, format!("pin `{pin}` is not connected")))?;
+        let bits = bits
+            .as_array()
+            .ok_or_else(|| self.cell_err(cell, format!("pin `{pin}` is not a bit array")))?;
+        match bits {
+            [bit] => Ok(bit),
+            _ => Err(self.cell_err(
+                cell,
+                format!(
+                    "pin `{pin}` has width {}, expected 1 (gate-level cells are scalar)",
+                    bits.len()
+                ),
+            )),
+        }
+    }
+
+    /// Resolves an *input* pin bit to a net (constants become tie nets).
+    fn input_net(
+        &mut self,
+        cell: &str,
+        conns: &[(String, JsonValue)],
+        pin: &str,
+    ) -> Result<NetId, MateError> {
+        let raw = self.pin_bit(cell, conns, pin)?.clone();
+        match self
+            .parse_bit(&raw)
+            .map_err(|msg| self.cell_err(cell, format!("pin `{pin}`: {msg}")))?
+        {
+            Bit::Net(idx) => Ok(self.net_for(idx, &format!("{cell}${pin}"), 0, 1)),
+            Bit::Const(v) => self.tie_net(v),
+        }
+    }
+
+    /// Resolves an *output* pin bit, which must be a signal.
+    fn output_net(
+        &mut self,
+        cell: &str,
+        conns: &[(String, JsonValue)],
+        pin: &str,
+    ) -> Result<NetId, MateError> {
+        let raw = self.pin_bit(cell, conns, pin)?.clone();
+        match self
+            .parse_bit(&raw)
+            .map_err(|msg| self.cell_err(cell, format!("pin `{pin}`: {msg}")))?
+        {
+            Bit::Net(idx) => Ok(self.net_for(idx, &format!("{cell}${pin}"), 0, 1)),
+            Bit::Const(_) => {
+                Err(self.cell_err(cell, format!("output pin `{pin}` is tied to a constant")))
+            }
+        }
+    }
+
+    fn add_cell(
+        &mut self,
+        name: &str,
+        info: &JsonValue,
+        modules: &[(String, JsonValue)],
+    ) -> Result<(), MateError> {
+        let ty = info
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| self.cell_err(name, "cell has no `type`"))?
+            .to_owned();
+        if modules.iter().any(|(m, _)| *m == ty) {
+            return Err(self.cell_err(
+                name,
+                format!(
+                    "instantiates module `{ty}` — hierarchical designs are unsupported, \
+                     run `yosys -p flatten` first"
+                ),
+            ));
+        }
+        let conns = info
+            .get("connections")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| self.cell_err(name, "cell has no `connections` object"))?
+            .to_vec();
+
+        if let Some((negedge, has_clock)) = dff_mapping(&ty, &self.library) {
+            let clock_pin = has_clock && conns.iter().any(|(k, _)| k == "C");
+            if clock_pin {
+                let clk = self.input_net(name, &conns, "C")?;
+                match &self.clock {
+                    None => self.clock = Some((clk, negedge, name.to_owned())),
+                    Some((seen, seen_neg, first)) => {
+                        if *seen != clk || *seen_neg != negedge {
+                            return Err(self.cell_err(
+                                name,
+                                format!(
+                                    "second clock domain: clocked by `{}` ({}edge) but cell \
+                                     `{first}` uses `{}` ({}edge) — the cycle-based model has \
+                                     a single implicit clock",
+                                    self.netlist.net(clk).name(),
+                                    if negedge { "neg" } else { "pos" },
+                                    self.netlist.net(*seen).name(),
+                                    if *seen_neg { "neg" } else { "pos" },
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            let d = self.input_net(name, &conns, "D")?;
+            let q = self.output_net(name, &conns, "Q")?;
+            self.check_extra_pins(name, &conns, &["C", "D", "Q"])?;
+            self.netlist
+                .add_cell_unchecked("DFF", name, &[d], q)
+                .map_err(|e| self.cell_err(name, e.to_string()))?;
+            return Ok(());
+        }
+
+        let Some(mapping) = map_cell(&ty).or_else(|| native_mapping(&ty, &self.library)) else {
+            return Err(self.cell_err(
+                name,
+                format!(
+                    "unknown cell type `{ty}` — not a Yosys gate-level primitive and not a \
+                     `{}` library cell; re-synthesize to gate level (`abc`/`techmap`) or \
+                     extend the mapping table",
+                    self.library.name()
+                ),
+            ));
+        };
+
+        let mut inputs = Vec::with_capacity(mapping.inputs.len());
+        for pin in mapping.inputs {
+            let mut net = self.input_net(name, &conns, pin)?;
+            if mapping.invert_input == Some(*pin) {
+                net = self
+                    .netlist
+                    .add_cell_named("INV", &format!("{name}$not"), &[net], "")
+                    .map_err(|e| self.cell_err(name, e.to_string()))?;
+            }
+            inputs.push(net);
+        }
+        let out = self.output_net(name, &conns, mapping.output)?;
+        let mut expected: Vec<&str> = mapping.inputs.to_vec();
+        expected.push(mapping.output);
+        self.check_extra_pins(name, &conns, &expected)?;
+
+        if mapping.invert_output {
+            let mid = self
+                .netlist
+                .add_cell_named(mapping.lib_type, &format!("{name}$pos"), &inputs, "")
+                .map_err(|e| self.cell_err(name, e.to_string()))?;
+            self.netlist
+                .add_cell_unchecked("INV", name, &[mid], out)
+                .map_err(|e| self.cell_err(name, e.to_string()))?;
+        } else {
+            self.netlist
+                .add_cell_unchecked(mapping.lib_type, name, &inputs, out)
+                .map_err(|e| self.cell_err(name, e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn check_extra_pins(
+        &self,
+        cell: &str,
+        conns: &[(String, JsonValue)],
+        expected: &[&str],
+    ) -> Result<(), MateError> {
+        for (pin, _) in conns {
+            if !expected.contains(&pin.as_str()) {
+                return Err(self.cell_err(
+                    cell,
+                    format!(
+                        "unexpected pin `{pin}` (cell declares {})",
+                        expected
+                            .iter()
+                            .map(|p| format!("`{p}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named section (`netnames`/`ports`/`cells`) of a module, empty when
+/// absent.
+fn section<'a>(
+    module: &'a JsonValue,
+    module_name: &str,
+    key: &str,
+) -> Result<&'a [(String, JsonValue)], MateError> {
+    match module.get(key) {
+        None => Ok(&[]),
+        Some(v) => v
+            .as_object()
+            .ok_or_else(|| MateError::ingest(module_name, format!("`{key}` is not an object"))),
+    }
+}
+
+/// Identity mapping for library-native cell type names (what
+/// [`to_yosys_json`] emits — this is the round-trip path).
+fn native_mapping(name: &str, library: &Library) -> Option<CellMapping> {
+    let ty = library.find(name)?;
+    let cell = library.cell_type(ty);
+    if cell.is_seq() || cell.output_pin() != "Y" {
+        return None; // flip-flops are handled by dff_mapping
+    }
+    // The mapping table wants `'static` pin lists; library pins are owned
+    // strings.  All combinational open15 cells use these vocabularies.
+    const PINSETS: &[&[&str]] = &[
+        &[],
+        &["A"],
+        &["A", "B"],
+        &["A", "B", "C"],
+        &["A", "B", "C", "D"],
+        &["S", "A", "B"],
+        &["A1", "A2", "B"],
+        &["A1", "A2", "B1", "B2"],
+    ];
+    const OPEN15_NAMES: &[&str] = &[
+        "TIE0", "TIE1", "INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "AND2",
+        "AND3", "AND4", "OR2", "OR3", "OR4", "XOR2", "XNOR2", "XOR3", "MAJ3", "MUX2", "AOI21",
+        "AOI22", "OAI21", "OAI22",
+    ];
+    let lib_type = OPEN15_NAMES.iter().find(|s| **s == cell.name())?;
+    let pins: Vec<&str> = cell.pins().iter().map(String::as_str).collect();
+    let inputs = PINSETS.iter().find(|set| **set == pins.as_slice())?;
+    Some(CellMapping {
+        lib_type,
+        inputs,
+        output: "Y",
+        invert_input: None,
+        invert_output: false,
+    })
+}
+
+/// Serializes a netlist to the Yosys `write_json` schema.
+///
+/// Cell types are library-native names (`$_*_` primitives cannot express
+/// 3/4-input NAND/NOR or `MAJ3`); the reader accepts both vocabularies.
+/// Nets are emitted one `netnames` entry per net **in id order**, which is
+/// what makes re-ingesting an export rebuild ids exactly (see the module
+/// docs).  Bit indices are `net id + 2`, matching Yosys's convention of
+/// reserving small indices.
+pub fn to_yosys_json(netlist: &Netlist) -> String {
+    let bit = |id: NetId| id.index() + 2;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"creator\": \"mate-netlist (library {})\",",
+        netlist.library().name()
+    );
+    out.push_str("  \"modules\": {\n");
+    let _ = writeln!(out, "    {}: {{", escape_json(netlist.name()));
+    out.push_str("      \"attributes\": {\"top\": 1},\n");
+
+    // Ports: inputs then outputs, port name = net name (suffixed when a
+    // net is both).
+    out.push_str("      \"ports\": {\n");
+    let mut port_lines = Vec::new();
+    for &id in netlist.inputs() {
+        port_lines.push(format!(
+            "        {}: {{\"direction\": \"input\", \"bits\": [{}]}}",
+            escape_json(netlist.net(id).name()),
+            bit(id)
+        ));
+    }
+    for &id in netlist.outputs() {
+        let name = if netlist.inputs().contains(&id) {
+            format!("{}$out", netlist.net(id).name())
+        } else {
+            netlist.net(id).name().to_owned()
+        };
+        port_lines.push(format!(
+            "        {}: {{\"direction\": \"output\", \"bits\": [{}]}}",
+            escape_json(&name),
+            bit(id)
+        ));
+    }
+    out.push_str(&port_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Cells, in id order.
+    out.push_str("      \"cells\": {\n");
+    let mut cell_lines = Vec::new();
+    for cell in netlist.cells() {
+        let ty = netlist.library().cell_type(cell.type_id());
+        let mut dirs = Vec::new();
+        let mut conns = Vec::new();
+        for (pin, &net) in ty.pins().iter().zip(cell.inputs()) {
+            dirs.push(format!("{}: \"input\"", escape_json(pin)));
+            conns.push(format!("{}: [{}]", escape_json(pin), bit(net)));
+        }
+        dirs.push(format!("{}: \"output\"", escape_json(ty.output_pin())));
+        conns.push(format!(
+            "{}: [{}]",
+            escape_json(ty.output_pin()),
+            bit(cell.output())
+        ));
+        cell_lines.push(format!(
+            "        {}: {{\"hide_name\": 0, \"type\": {}, \"port_directions\": {{{}}}, \
+             \"connections\": {{{}}}}}",
+            escape_json(cell.name()),
+            escape_json(ty.name()),
+            dirs.join(", "),
+            conns.join(", ")
+        ));
+    }
+    out.push_str(&cell_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Netnames: every net, in id order — the round-trip contract.
+    out.push_str("      \"netnames\": {\n");
+    let mut net_lines = Vec::new();
+    for (idx, net) in netlist.nets().iter().enumerate() {
+        let id = NetId::from_index(idx);
+        net_lines.push(format!(
+            "        {}: {{\"hide_name\": {}, \"bits\": [{}]}}",
+            escape_json(net.name()),
+            u8::from(net.name().starts_with("_n") || net.name().starts_with('$')),
+            bit(id)
+        ));
+    }
+    out.push_str(&net_lines.join(",\n"));
+    out.push_str("\n      }\n");
+    out.push_str("    }\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{counter, figure1, tmr_bank, tmr_register};
+
+    fn roundtrip(netlist: &Netlist) -> Netlist {
+        let text = to_yosys_json(netlist);
+        parse_yosys_netlist(&text, netlist.library().clone(), None).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_exactly() {
+        for (name, (n, _)) in [
+            ("figure1", figure1()),
+            ("counter", counter(8)),
+            ("tmr_register", tmr_register()),
+            ("tmr_bank", tmr_bank(4)),
+        ] {
+            let back = roundtrip(&n);
+            assert!(back.structural_eq(&n), "{name} round trip diverged");
+            back.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reads_yosys_primitives() {
+        let src = r#"{
+          "modules": {
+            "prims": {
+              "ports": {
+                "clk": {"direction": "input", "bits": [2]},
+                "a": {"direction": "input", "bits": [3]},
+                "b": {"direction": "input", "bits": [4]},
+                "y": {"direction": "output", "bits": [9]}
+              },
+              "cells": {
+                "g0": {"type": "$_NAND_", "connections": {"A": [3], "B": [4], "Y": [5]}},
+                "g1": {"type": "$_AOI3_", "connections": {"A": [3], "B": [5], "C": [4], "Y": [6]}},
+                "g2": {"type": "$_MUX_", "connections": {"S": [3], "A": [5], "B": [6], "Y": [7]}},
+                "ff": {"type": "$_DFF_P_", "connections": {"C": [2], "D": [7], "Q": [8]}},
+                "g3": {"type": "$_XOR_", "connections": {"A": [8], "B": [3], "Y": [9]}}
+              },
+              "netnames": {
+                "clk": {"bits": [2]}, "a": {"bits": [3]}, "b": {"bits": [4]},
+                "q": {"bits": [8]}, "y": {"bits": [9]}
+              }
+            }
+          }
+        }"#;
+        let (n, topo) = parse_yosys_json(src, Library::open15(), None).unwrap();
+        assert_eq!(n.name(), "prims");
+        assert_eq!(topo.seq_cells().len(), 1);
+        assert_eq!(n.inputs().len(), 3); // clk stays a (floating) input
+        assert!(n.find_net("q").is_some());
+        // The NAND got the right truth table.
+        let g0 = n.cells().iter().find(|c| c.name() == "g0").unwrap();
+        assert_eq!(n.library().cell_type(g0.type_id()).name(), "NAND2");
+    }
+
+    #[test]
+    fn expands_andnot_and_nmux() {
+        let src = r#"{
+          "modules": {
+            "m": {
+              "ports": {
+                "a": {"direction": "input", "bits": [2]},
+                "b": {"direction": "input", "bits": [3]},
+                "y": {"direction": "output", "bits": [4]},
+                "z": {"direction": "output", "bits": [5]}
+              },
+              "cells": {
+                "an": {"type": "$_ANDNOT_", "connections": {"A": [2], "B": [3], "Y": [4]}},
+                "nm": {"type": "$_NMUX_", "connections": {"S": [2], "A": [3], "B": [4], "Y": [5]}}
+              }
+            }
+          }
+        }"#;
+        let (n, topo) = parse_yosys_json(src, Library::open15(), None).unwrap();
+        // ANDNOT → INV+AND2, NMUX → MUX2+INV.
+        assert_eq!(n.num_cells(), 4);
+        assert_eq!(topo.seq_cells().len(), 0);
+        let an = n.cells().iter().find(|c| c.name() == "an").unwrap();
+        assert_eq!(n.library().cell_type(an.type_id()).name(), "AND2");
+    }
+
+    #[test]
+    fn flattens_bit_vectors_and_constants() {
+        let src = r#"{
+          "modules": {
+            "m": {
+              "ports": {
+                "d": {"direction": "input", "bits": [2, 3]},
+                "y": {"direction": "output", "bits": [4, "1"]}
+              },
+              "cells": {
+                "g": {"type": "$_AND_", "connections": {"A": [2], "B": ["0"], "Y": [4]}}
+              },
+              "netnames": {
+                "d": {"bits": [2, 3]},
+                "y": {"bits": [4, "1"]}
+              }
+            }
+          }
+        }"#;
+        let n = parse_yosys_netlist(src, Library::open15(), None).unwrap();
+        assert!(n.find_net("d[0]").is_some());
+        assert!(n.find_net("d[1]").is_some());
+        assert!(n.find_net("$false").is_some(), "tie for the AND input");
+        assert!(n.find_net("$true").is_some(), "tie for the output bit");
+        assert_eq!(n.outputs().len(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn top_selection() {
+        let two = r#"{"modules": {"a": {"cells": {}}, "b": {"cells": {}}}}"#;
+        let err = parse_yosys_netlist(two, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("top module"), "{err}");
+        let n = parse_yosys_netlist(two, Library::open15(), Some("b")).unwrap();
+        assert_eq!(n.name(), "b");
+        let err = parse_yosys_netlist(two, Library::open15(), Some("zz")).unwrap_err();
+        assert!(err.to_string().contains("`zz` not found"), "{err}");
+
+        let flagged = r#"{"modules": {
+            "a": {"cells": {}},
+            "b": {"attributes": {"top": "00000001"}, "cells": {}}
+        }}"#;
+        let n = parse_yosys_netlist(flagged, Library::open15(), None).unwrap();
+        assert_eq!(n.name(), "b");
+
+        let boxed = r#"{"modules": {
+            "lib": {"attributes": {"blackbox": 1}},
+            "only": {"cells": {}}
+        }}"#;
+        let n = parse_yosys_netlist(boxed, Library::open15(), None).unwrap();
+        assert_eq!(n.name(), "only");
+    }
+
+    #[test]
+    fn unknown_cell_names_cell_and_module() {
+        let src = r#"{"modules": {"core": {"cells": {
+            "u0": {"type": "$lut", "connections": {"Y": [2]}}
+        }}}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        let MateError::Ingest {
+            module,
+            cell,
+            message,
+        } = &err
+        else {
+            panic!("expected Ingest, got {err}");
+        };
+        assert_eq!(module, "core");
+        assert_eq!(cell.as_deref(), Some("u0"));
+        assert!(message.contains("$lut"), "{message}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected_with_context() {
+        let src = r#"{"modules": {"m": {"cells": {
+            "g": {"type": "$_AND_", "connections": {"A": [2, 3], "B": [4], "Y": [5]}}
+        }}}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("width 2"), "{err}");
+        assert!(err.to_string().contains("`g`"), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_rejected() {
+        let src = r#"{"modules": {
+            "sub": {"cells": {}},
+            "top": {"attributes": {"top": 1}, "cells": {
+                "u": {"type": "sub", "connections": {}}
+            }}
+        }}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("flatten"), "{err}");
+    }
+
+    #[test]
+    fn mixed_clocks_rejected() {
+        let src = r#"{"modules": {"m": {
+            "ports": {
+                "c1": {"direction": "input", "bits": [2]},
+                "c2": {"direction": "input", "bits": [3]},
+                "d": {"direction": "input", "bits": [4]},
+                "q": {"direction": "output", "bits": [6]}
+            },
+            "cells": {
+                "f1": {"type": "$_DFF_P_", "connections": {"C": [2], "D": [4], "Q": [5]}},
+                "f2": {"type": "$_DFF_P_", "connections": {"C": [3], "D": [5], "Q": [6]}}
+            }
+        }}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("second clock domain"), "{err}");
+    }
+
+    #[test]
+    fn gated_clock_rejected() {
+        let src = r#"{"modules": {"m": {
+            "ports": {
+                "clk": {"direction": "input", "bits": [2]},
+                "en": {"direction": "input", "bits": [3]},
+                "q": {"direction": "output", "bits": [5]}
+            },
+            "cells": {
+                "gate": {"type": "$_AND_", "connections": {"A": [2], "B": [3], "Y": [4]}},
+                "ff": {"type": "$_DFF_P_", "connections": {"C": [4], "D": [5], "Q": [5]}}
+            }
+        }}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("gated"), "{err}");
+    }
+
+    #[test]
+    fn clock_feeding_data_rejected() {
+        let src = r#"{"modules": {"m": {
+            "ports": {
+                "clk": {"direction": "input", "bits": [2]},
+                "q": {"direction": "output", "bits": [4]}
+            },
+            "cells": {
+                "ff": {"type": "$_DFF_P_", "connections": {"C": [2], "D": [3], "Q": [3]}},
+                "g": {"type": "$_XOR_", "connections": {"A": [2], "B": [3], "Y": [4]}}
+            }
+        }}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("feeds a data pin"), "{err}");
+    }
+
+    #[test]
+    fn x_valued_pin_rejected() {
+        let src = r#"{"modules": {"m": {"cells": {
+            "g": {"type": "$_NOT_", "connections": {"A": ["x"], "Y": [2]}}
+        }}}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains('x'), "{err}");
+    }
+
+    #[test]
+    fn multi_driven_foreign_netlist_parses_for_the_lint_gate() {
+        // Two drivers on bit 4: construction must tolerate it (the lint
+        // gate, not the parser, is the arbiter for foreign netlists).
+        let src = r#"{"modules": {"m": {
+            "ports": {
+                "a": {"direction": "input", "bits": [2]},
+                "y": {"direction": "output", "bits": [4]}
+            },
+            "cells": {
+                "g0": {"type": "$_NOT_", "connections": {"A": [2], "Y": [4]}},
+                "g1": {"type": "$_BUF_", "connections": {"A": [2], "Y": [4]}}
+            }
+        }}}"#;
+        let n = parse_yosys_netlist(src, Library::open15(), None).unwrap();
+        assert_eq!(n.num_cells(), 2);
+    }
+
+    #[test]
+    fn missing_pin_rejected() {
+        let src = r#"{"modules": {"m": {"cells": {
+            "g": {"type": "$_AND_", "connections": {"A": [2], "Y": [3]}}
+        }}}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("`B` is not connected"), "{err}");
+    }
+
+    #[test]
+    fn extra_pin_rejected() {
+        let src = r#"{"modules": {"m": {"cells": {
+            "g": {"type": "$_NOT_", "connections": {"A": [2], "Y": [3], "E": [4]}}
+        }}}}"#;
+        let err = parse_yosys_netlist(src, Library::open15(), None).unwrap_err();
+        assert!(err.to_string().contains("unexpected pin `E`"), "{err}");
+    }
+
+    #[test]
+    fn read_yosys_file_wraps_path() {
+        let err = read_yosys_file("/nonexistent/x.json", Library::open15(), None).unwrap_err();
+        assert!(matches!(err, MateError::File { .. }));
+        assert!(err.to_string().contains("/nonexistent/x.json"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the Yosys JSON frontend: exports re-ingest to
+//! the exact same structure (net/cell ids included), and the parser never
+//! panics on arbitrarily mutated or truncated documents.
+
+use proptest::prelude::*;
+
+use mate_netlist::random::{random_circuit, RandomCircuitConfig};
+use mate_netlist::yosys::{parse_yosys_netlist, to_yosys_json};
+use mate_netlist::{Library, MateError};
+
+proptest! {
+    /// Random circuits survive an export → re-ingest round trip with the
+    /// structure preserved *exactly* — [`Netlist::structural_eq`] compares
+    /// nets and cells in id order, so passing it means every downstream
+    /// id-addressed computation (traces, prune matrices, campaign records)
+    /// is bit-identical on the re-ingested design.
+    #[test]
+    fn yosys_roundtrip_preserves_ids(seed in 0u64..300) {
+        let cfg = RandomCircuitConfig { inputs: 3, ffs: 6, gates: 18, outputs: 2 };
+        let (n, topo) = random_circuit(cfg, seed);
+        let text = to_yosys_json(&n);
+        let back = parse_yosys_netlist(&text, Library::open15(), None).unwrap();
+        prop_assert!(back.structural_eq(&n), "round trip diverged for seed {seed}");
+        let btopo = back.validate().unwrap();
+        prop_assert_eq!(btopo.seq_cells(), topo.seq_cells());
+        prop_assert_eq!(btopo.comb_order(), topo.comb_order());
+    }
+
+    /// A second export of the re-ingested netlist is byte-identical to the
+    /// first — the writer is a fixed point after one round trip.
+    #[test]
+    fn yosys_export_is_a_fixed_point(seed in 0u64..100) {
+        let cfg = RandomCircuitConfig::default();
+        let (n, _) = random_circuit(cfg, seed);
+        let first = to_yosys_json(&n);
+        let back = parse_yosys_netlist(&first, Library::open15(), None).unwrap();
+        prop_assert_eq!(to_yosys_json(&back), first);
+    }
+
+    /// The parser never panics: truncate a valid document anywhere.  Every
+    /// outcome must be a clean `Ok` or a typed `MateError`.
+    #[test]
+    fn parser_never_panics_on_truncation(seed in 0u64..30, cut in 0usize..10_000) {
+        let cfg = RandomCircuitConfig { inputs: 2, ffs: 3, gates: 8, outputs: 1 };
+        let (n, _) = random_circuit(cfg, seed);
+        let text = to_yosys_json(&n);
+        let cut = cut.min(text.len());
+        // Respect char boundaries (names are ASCII here, but be safe).
+        let cut = (0..=cut).rev().find(|&c| text.is_char_boundary(c)).unwrap();
+        let _ = parse_yosys_netlist(&text[..cut], Library::open15(), None);
+    }
+
+    /// The parser never panics on byte-level mutations of a valid file.
+    #[test]
+    fn parser_never_panics_on_mutation(
+        seed in 0u64..30,
+        edits in proptest::collection::vec((0usize..10_000, any::<u8>()), 1..8),
+    ) {
+        let cfg = RandomCircuitConfig { inputs: 2, ffs: 3, gates: 8, outputs: 1 };
+        let (n, _) = random_circuit(cfg, seed);
+        let mut bytes = to_yosys_json(&n).into_bytes();
+        for (pos, byte) in edits {
+            let pos = pos % bytes.len();
+            bytes[pos] = byte;
+        }
+        // Mutations can break UTF-8; both layers must reject cleanly.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = parse_yosys_netlist(text, Library::open15(), None);
+        }
+    }
+}
+
+/// Truncated JSON is a [`MateError::Json`] with a line number, not a
+/// panic and not a generic ingest error.
+#[test]
+fn truncated_document_reports_json_error() {
+    let (n, _) = random_circuit(RandomCircuitConfig::default(), 7);
+    let text = to_yosys_json(&n);
+    let err = parse_yosys_netlist(&text[..text.len() / 2], Library::open15(), None).unwrap_err();
+    assert!(matches!(err, MateError::Json { .. }), "{err}");
+}

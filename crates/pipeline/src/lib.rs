@@ -66,8 +66,8 @@ pub use flow::Flow;
 pub use hash::{ContentHash, ContentHasher};
 pub use stage::{Pipeline, Stage, Staged, ENGINE_LAYOUT_VERSION};
 pub use stages::{
-    Campaign, Design, DesignSource, Evaluate, GmtLibrary, GmtReport, LoadDesign, MateSearch,
-    SearchOutput, Select, TraceCapture, TraceSource, WireSetSpec,
+    ingest_gate, Campaign, Design, DesignSource, Evaluate, GmtLibrary, GmtReport, LoadDesign,
+    MateSearch, SearchOutput, Select, TraceCapture, TraceSource, WireSetSpec,
 };
 pub use store::{ArtifactStore, STORE_ENV};
 pub use summary::{RunSummary, StageRecord};

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::io::BufReader;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use mate::eval::{evaluate, EvalReport, PruneMatrix};
@@ -17,12 +18,14 @@ use mate::{
     ff_wires, ff_wires_filtered, read_mates, search_design, select_top_n, write_mates, GmtCache,
     MateSet, PropagationMode, SearchConfig, SearchStats, SearchStrategy,
 };
+use mate_analyze::{run_lints, sort_diagnostics, Severity};
 use mate_cores::{AvrWorkload, Msp430Workload};
 use mate_hafi::{
     run_campaign_wide, CampaignConfig, CampaignResult, DesignHarness, FaultEffect, FaultPoint,
     FaultSpace, PruningStats, StimulusHarness,
 };
 use mate_netlist::verilog::{parse_verilog, to_verilog};
+use mate_netlist::yosys::{parse_yosys_netlist, to_yosys_json};
 use mate_netlist::{Library, MateError, NetId, Netlist, Topology};
 use mate_sim::{read_vcd, write_vcd, InputWave, Testbench, WaveTrace};
 
@@ -58,6 +61,21 @@ pub enum DesignSource {
         /// The elaboration function.
         build: fn() -> (Netlist, Topology),
     },
+    /// An external gate-level netlist in Yosys `write_json` format.
+    ///
+    /// The fingerprint covers the ingested **file bytes** (not the path),
+    /// so editing the file recomputes every downstream artifact while
+    /// moving or copying it does not.  Ingest runs the `mate-analyze` lint
+    /// passes as a mandatory gate: any `Error`-severity finding (undriven
+    /// or multiply-driven nets, combinational loops) rejects the netlist
+    /// before simulation ([`ingest_gate`]).
+    YosysJson {
+        /// Path to the Yosys JSON file.
+        path: PathBuf,
+        /// Explicit top module; `None` auto-selects (the `top` attribute,
+        /// or the single non-blackbox module).
+        top: Option<String>,
+    },
 }
 
 impl std::fmt::Debug for DesignSource {
@@ -65,8 +83,56 @@ impl std::fmt::Debug for DesignSource {
         match self {
             Self::Verilog { label, .. } => f.debug_struct("Verilog").field("label", label).finish(),
             Self::Builder { label, .. } => f.debug_struct("Builder").field("label", label).finish(),
+            Self::YosysJson { path, top } => f
+                .debug_struct("YosysJson")
+                .field("path", path)
+                .field("top", top)
+                .finish(),
         }
     }
+}
+
+/// Rejects ingested designs carrying any `Error`-severity lint finding.
+///
+/// Runs the full `mate-analyze` pass set on the (possibly unvalidated)
+/// netlist and folds every error — undriven nets, multiply-driven nets,
+/// combinational loops — into one typed [`MateError::Ingest`] naming the
+/// module.  Warnings and infos pass.  This is the mandatory gate between
+/// an external netlist and the simulator: [`Netlist::validate`] alone
+/// would catch the same defects, but the lint passes report *all* of them
+/// at once with per-net diagnostics instead of failing on the first.
+///
+/// # Errors
+///
+/// Returns [`MateError::Ingest`] listing every error-severity diagnostic.
+pub fn ingest_gate(netlist: &Netlist) -> Result<(), MateError> {
+    let mut diags = run_lints(netlist);
+    diags.retain(|d| d.severity == Severity::Error);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    sort_diagnostics(&mut diags);
+    let rendered = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{}[{}] {}: {}",
+                d.severity,
+                d.code,
+                d.locus.name(netlist),
+                d.message
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    Err(MateError::ingest(
+        netlist.name(),
+        format!(
+            "rejected by the lint gate ({} error finding{}): {rendered}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ),
+    ))
 }
 
 /// Pipeline source stage: obtain a [`Design`].
@@ -94,6 +160,18 @@ impl Stage<()> for LoadDesign {
                 h.str("builder");
                 h.str(label);
             }
+            DesignSource::YosysJson { path, top } => {
+                h.str("yosys-json");
+                h.str(top.as_deref().unwrap_or(""));
+                // The *bytes* are the identity, not the path: an edited
+                // file recomputes downstream, a moved one still hits.
+                match std::fs::read(path) {
+                    Ok(bytes) => h.bytes(&bytes),
+                    // Unreadable files fail in execute(); the fingerprint
+                    // only needs to not collide with a readable state.
+                    Err(e) => h.str(&format!("unreadable: {e}")),
+                }
+            }
         }
     }
 
@@ -105,25 +183,52 @@ impl Stage<()> for LoadDesign {
         let (netlist, topology) = match &self.source {
             DesignSource::Verilog { text, .. } => parse_verilog(text, Library::open15())?,
             DesignSource::Builder { build, .. } => build(),
+            DesignSource::YosysJson { path, top } => {
+                let display = path.display().to_string();
+                let src = std::fs::read_to_string(path)
+                    .map_err(|e| MateError::in_file(&display, MateError::io("yosys json", e)))?;
+                let wrap = |e: MateError| MateError::in_file(&display, e);
+                let netlist =
+                    parse_yosys_netlist(&src, Library::open15(), top.as_deref()).map_err(wrap)?;
+                ingest_gate(&netlist).map_err(wrap)?;
+                let topology = netlist.validate().map_err(|e| wrap(e.into()))?;
+                (netlist, topology)
+            }
         };
         Ok(Design { netlist, topology })
     }
 
     fn encode(&self, _input: &(), output: &Design) -> Result<Vec<u8>, MateError> {
-        Ok(to_verilog(&output.netlist).into_bytes())
+        match &self.source {
+            // External designs round-trip through the Yosys writer: it
+            // preserves net/cell ids exactly and handles names (`$true`,
+            // `d[0]`) that structural Verilog cannot spell.
+            DesignSource::YosysJson { .. } => Ok(to_yosys_json(&output.netlist).into_bytes()),
+            _ => Ok(to_verilog(&output.netlist).into_bytes()),
+        }
     }
 
     fn decode(&self, _input: &(), bytes: &[u8]) -> Result<Design, MateError> {
         let text = std::str::from_utf8(bytes)
             .map_err(|e| MateError::artifact(self.name(), format!("non-UTF-8 artifact: {e}")))?;
-        let (netlist, topology) = parse_verilog(text, Library::open15())?;
+        let (netlist, topology) = match &self.source {
+            DesignSource::YosysJson { .. } => {
+                let netlist = parse_yosys_netlist(text, Library::open15(), None)?;
+                let topology = netlist.validate()?;
+                (netlist, topology)
+            }
+            _ => parse_verilog(text, Library::open15())?,
+        };
         Ok(Design { netlist, topology })
     }
 
     fn output_fingerprint(&self, output: &Design, h: &mut ContentHasher) {
         // Builder configs are just a label; hashing the elaborated netlist
         // keeps downstream keys content-addressed.
-        h.str(&to_verilog(&output.netlist));
+        match &self.source {
+            DesignSource::YosysJson { .. } => h.str(&to_yosys_json(&output.netlist)),
+            _ => h.str(&to_verilog(&output.netlist)),
+        }
     }
 }
 

@@ -1,41 +1,59 @@
 //! `mate-analyze` — the static-verification gate as a command-line tool.
 //!
-//! Lints the shipped core netlists and independently verifies the selected
-//! top-N MATEs by exhaustive border-assignment enumeration, exiting
-//! non-zero when any MATE is refuted or any lint at/above the `--deny`
-//! severity fires.  All heavy stages run through the content-addressed
-//! pipeline cache, so repeated gate runs are cheap.
+//! Lints the shipped core netlists — or any external gate-level Yosys JSON
+//! netlist (`--json <path>`) — and independently verifies MATEs by
+//! exhaustive border-assignment enumeration, exiting non-zero when any
+//! MATE is refuted or any lint at/above the `--deny` severity fires.  All
+//! heavy stages run through the content-addressed pipeline cache, so
+//! repeated gate runs are cheap.
 //!
 //! ```text
-//! mate-analyze [--core avr|msp430|all] [--wires all|no-rf] [--top N]
-//!              [--cap N] [--deny error|warning|info] [--threads N] [--json]
+//! mate-analyze [--core avr|msp430|all] [--json <path>]... [--top-module M]
+//!              [--wires all|no-rf] [--top N] [--cap N]
+//!              [--deny error|warning|info] [--threads N] [--emit text|json]
 //! ```
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | every target passed the gate |
+//! | 1    | gate failure: a refuted MATE, a lint at/above `--deny`, or an external netlist rejected by the ingest lint gate (undriven/multi-driven nets, combinational loops, unknown cells, clock-discipline violations) |
+//! | 2    | usage error |
+//! | 3    | runtime error (I/O, malformed JSON, cache store problems) |
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fault_space_pruning::analyze::{
     count_denied, render_json, render_text, render_verdicts_json, render_verdicts_text, Severity,
     VerifyConfig,
 };
-use fault_space_pruning::pipeline::{Flow, WireSetSpec};
+use fault_space_pruning::pipeline::{DesignSource, Flow, WireSetSpec};
 use mate_bench::{no_rf_spec, table_search_config, Core, TRACE_CYCLES};
 use mate_netlist::MateError;
 
 /// Parsed command line.
 struct Options {
     cores: Vec<Core>,
+    /// External Yosys JSON netlists to gate alongside (or instead of) the
+    /// builtin cores.
+    externals: Vec<PathBuf>,
+    /// Explicit top module for external netlists.
+    top_module: Option<String>,
     wires: WireSetSpec,
     top: usize,
     cap: u64,
     deny: Severity,
     threads: usize,
-    json: bool,
+    emit_json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mate-analyze [--core avr|msp430|all] [--wires all|no-rf] [--top N] \
-         [--cap N] [--deny error|warning|info] [--threads N] [--json]"
+        "usage: mate-analyze [--core avr|msp430|all|none] [--json <path>]... \
+         [--top-module M] [--wires all|no-rf] [--top N] [--cap N] \
+         [--deny error|warning|info] [--threads N] [--emit text|json]"
     );
     std::process::exit(2);
 }
@@ -43,12 +61,14 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         cores: vec![Core::Avr, Core::Msp430],
+        externals: Vec::new(),
+        top_module: None,
         wires: WireSetSpec::AllFfs,
         top: 100,
         cap: 1 << 20,
         deny: Severity::Error,
         threads: 0,
-        json: false,
+        emit_json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,12 +84,16 @@ fn parse_args() -> Options {
                     "avr" => vec![Core::Avr],
                     "msp430" => vec![Core::Msp430],
                     "all" => vec![Core::Avr, Core::Msp430],
+                    // `--json`-only runs: gate external netlists alone.
+                    "none" => Vec::new(),
                     other => {
                         eprintln!("mate-analyze: unknown core `{other}`");
                         usage();
                     }
                 };
             }
+            "--json" => opts.externals.push(PathBuf::from(value("--json"))),
+            "--top-module" => opts.top_module = Some(value("--top-module")),
             "--wires" => {
                 opts.wires = match value("--wires").as_str() {
                     "all" => WireSetSpec::AllFfs,
@@ -100,7 +124,16 @@ fn parse_args() -> Options {
             "--threads" => {
                 opts.threads = value("--threads").parse().unwrap_or_else(|_| usage());
             }
-            "--json" => opts.json = true,
+            "--emit" => {
+                opts.emit_json = match value("--emit").as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        eprintln!("mate-analyze: unknown output format `{other}`");
+                        usage();
+                    }
+                };
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("mate-analyze: unknown argument `{other}`");
@@ -111,7 +144,39 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Runs the gate for one core; returns `true` when it passes.
+/// Renders one gate report; returns `true` when the gate passes.
+fn report_gate(
+    flow: &Flow,
+    label: &str,
+    report: &fault_space_pruning::pipeline::AnalysisReport,
+    opts: &Options,
+) -> bool {
+    let netlist = &flow.design().netlist;
+    if opts.emit_json {
+        println!(
+            "{{\"target\":\"{label}\",\"diagnostics\":{},\"verdicts\":{}}}",
+            render_json(netlist, &report.diagnostics).trim_end(),
+            render_verdicts_json(netlist, &report.verdicts).trim_end()
+        );
+    } else {
+        println!("== {label} ==");
+        print!("{}", render_text(netlist, &report.diagnostics));
+        print!("{}", render_verdicts_text(netlist, &report.verdicts));
+        let counts = report.counts();
+        println!(
+            "{label}: {} lint findings ({} denied at --deny {}), {} proved / {} bounded / {} refuted",
+            report.diagnostics.len(),
+            count_denied(&report.diagnostics, opts.deny),
+            opts.deny.label(),
+            counts.proved,
+            counts.bounded,
+            counts.refuted,
+        );
+    }
+    report.gate_passes(opts.deny)
+}
+
+/// Runs the gate for one builtin core; returns `true` when it passes.
 fn run_core(core: Core, opts: &Options) -> Result<bool, MateError> {
     let mut flow = Flow::open_default(core.design_source())?;
 
@@ -130,43 +195,67 @@ fn run_core(core: Core, opts: &Options) -> Result<bool, MateError> {
             threads: opts.threads,
         },
     )?;
-    let report = &report.value;
+    Ok(report_gate(&flow, core.label(), &report.value, opts))
+}
 
-    let netlist = &flow.design().netlist;
-    if opts.json {
-        println!(
-            "{{\"core\":\"{}\",\"diagnostics\":{},\"verdicts\":{}}}",
-            core.label(),
-            render_json(netlist, &report.diagnostics).trim_end(),
-            render_verdicts_json(netlist, &report.verdicts).trim_end()
-        );
-    } else {
-        println!("== {} ==", core.label());
-        print!("{}", render_text(netlist, &report.diagnostics));
-        print!("{}", render_verdicts_text(netlist, &report.verdicts));
-        let counts = report.counts();
-        println!(
-            "{}: {} lint findings ({} denied at --deny {}), {} proved / {} bounded / {} refuted",
-            core.label(),
-            report.diagnostics.len(),
-            count_denied(&report.diagnostics, opts.deny),
-            opts.deny.label(),
-            counts.proved,
-            counts.bounded,
-            counts.refuted,
-        );
+/// Runs the gate for one external Yosys JSON netlist.  Ingest (JSON
+/// schema, cell mapping, lint gate) happens inside the design stage; a
+/// rejection surfaces as an error here and exits with code 1.  There is
+/// no builtin workload for external designs, so the verifier audits the
+/// full searched MATE set instead of a trace-ranked top-N.
+fn run_external(path: &Path, opts: &Options) -> Result<bool, MateError> {
+    let mut flow = Flow::open_default(DesignSource::YosysJson {
+        path: path.to_path_buf(),
+        top: opts.top_module.clone(),
+    })?;
+    let search = flow.search(opts.wires.clone(), table_search_config())?;
+    let report = flow.analyze(
+        (&search.value.mates, search.key),
+        VerifyConfig {
+            max_assignments: opts.cap,
+            threads: opts.threads,
+        },
+    )?;
+    let label = format!("{} ({})", flow.design().netlist.name(), path.display());
+    Ok(report_gate(&flow, &label, &report.value, opts))
+}
+
+/// `true` when the error chain is an ingest-gate rejection of the netlist
+/// (exit 1: the gate's verdict) rather than an environmental failure
+/// (exit 3).
+fn is_ingest_rejection(e: &MateError) -> bool {
+    match e {
+        MateError::Ingest { .. } => true,
+        MateError::File { source, .. } => is_ingest_rejection(source),
+        _ => false,
     }
-    Ok(report.gate_passes(opts.deny))
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.cores.is_empty() && opts.externals.is_empty() {
+        eprintln!("mate-analyze: nothing to analyze (--core none with no --json)");
+        usage();
+    }
     let mut pass = true;
     for &core in &opts.cores {
         match run_core(core, &opts) {
             Ok(ok) => pass &= ok,
             Err(e) => {
                 eprintln!("mate-analyze: {}: {e}", core.label());
+                return ExitCode::from(3);
+            }
+        }
+    }
+    for path in &opts.externals {
+        match run_external(path, &opts) {
+            Ok(ok) => pass &= ok,
+            Err(e) => {
+                // `MateError::File` already names the path.
+                eprintln!("mate-analyze: {e}");
+                if is_ingest_rejection(&e) {
+                    return ExitCode::FAILURE;
+                }
                 return ExitCode::from(3);
             }
         }

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Generate uart_tx.json: a gate-level 8N1 UART transmitter in Yosys
+`write_json` format.
+
+This is the repo's third evaluation core and the first one that does NOT
+come from the in-tree `mate-rtl` elaboration path: the netlist is
+hand-lowered here, gate by gate, to Yosys's `$_*_` gate-level primitives
+($_NOT_/$_AND_/$_NAND_/$_NOR_/$_OR_/$_XOR_/$_ANDNOT_/$_MUX_/$_AOI3_/
+$_OAI3_/$_DFF_P_ plus constant bits), exactly the vocabulary
+`yosys -p 'synth; abc -g AND,NAND,OR,NOR,XOR,MUX'` emits, and serialized
+with the same schema (`modules/ports/cells/netnames`, bit indices from 2,
+`"0"`/`"1"` strings for constant bits).  See README.md in this directory
+for full provenance.
+
+The script is deterministic: running it twice produces byte-identical
+JSON.  CI regenerates the file and diffs it against the checked-in copy.
+
+Architecture (8N1 frame, /4 baud divider):
+
+    state:  busy, baud[1:0], bitcnt[3:0], shift[9:0]
+    start  = wr & ~busy
+    tick   = busy & (baud == 3)
+    done   = tick & (bitcnt == 9)
+    busy'  = ~rst & (start | (busy & ~done))
+    baud'  = (rst | start | ~busy) ? 0 : baud + 1
+    bitcnt'= (rst | start) ? 0 : tick ? bitcnt + 1 : bitcnt
+    shift' = rst ? ~0 : start ? {1, din, 0} : tick ? {1, shift[9:1]} : shift
+    tx     = ~busy | shift[0]        (idle-high line)
+
+Usage: python3 generate.py > uart_tx.json
+"""
+
+import json
+import sys
+
+ZERO = "0"  # Yosys constant bits are JSON strings, not indices
+ONE = "1"
+
+
+class Netlist:
+    """Minimal Yosys-JSON builder: nets are integer bit indices from 2."""
+
+    def __init__(self):
+        self.next_bit = 2
+        self.netnames = {}  # name -> bit
+        self.cells = {}  # name -> cell object
+        self.ports = {}  # name -> {"direction", "bits"}
+        self.counts = {}
+
+    def net(self, name):
+        assert name not in self.netnames, name
+        bit = self.next_bit
+        self.next_bit += 1
+        self.netnames[name] = bit
+        return bit
+
+    def inputs(self, name, width=1):
+        bits = [self.net(name if width == 1 else f"{name}[{i}]")
+                for i in range(width)]
+        self.ports[name] = {"direction": "input", "bits": bits}
+        return bits if width > 1 else bits[0]
+
+    def output(self, name, bit):
+        self.ports[name] = {"direction": "output", "bits": [bit]}
+
+    def cell(self, ctype, conns, hint):
+        n = self.counts.get(hint, 0)
+        self.counts[hint] = n + 1
+        self.cells[f"${hint}${n}"] = {
+            "hide_name": 1,
+            "type": ctype,
+            "port_directions": {p: ("output" if p in ("Y", "Q") else "input")
+                                for p in conns},
+            "connections": {p: [b] for p, b in conns.items()},
+        }
+
+    def _gate(self, ctype, hint, conns):
+        y = self.net(f"${hint}${self.counts.get(hint, 0)}$y")
+        conns["Y"] = y
+        self.cell(ctype, conns, hint)
+        return y
+
+    def NOT(self, a):
+        return self._gate("$_NOT_", "not", {"A": a})
+
+    def AND(self, a, b):
+        return self._gate("$_AND_", "and", {"A": a, "B": b})
+
+    def NAND(self, a, b):
+        return self._gate("$_NAND_", "nand", {"A": a, "B": b})
+
+    def OR(self, a, b):
+        return self._gate("$_OR_", "or", {"A": a, "B": b})
+
+    def NOR(self, a, b):
+        return self._gate("$_NOR_", "nor", {"A": a, "B": b})
+
+    def XOR(self, a, b):
+        return self._gate("$_XOR_", "xor", {"A": a, "B": b})
+
+    def ANDNOT(self, a, b):
+        """a & ~b."""
+        return self._gate("$_ANDNOT_", "andnot", {"A": a, "B": b})
+
+    def MUX(self, s, a, b):
+        """s ? b : a (the Yosys $_MUX_ selector sense)."""
+        return self._gate("$_MUX_", "mux", {"A": a, "B": b, "S": s})
+
+    def AOI3(self, a, b, c):
+        """~((a & b) | c)."""
+        return self._gate("$_AOI3_", "aoi3", {"A": a, "B": b, "C": c})
+
+    def OAI3(self, a, b, c):
+        """~((a | b) & c)."""
+        return self._gate("$_OAI3_", "oai3", {"A": a, "B": b, "C": c})
+
+    def dff(self, clk, d, q):
+        self.cell("$_DFF_P_", {"C": clk, "D": d, "Q": q}, "dff")
+
+    def to_json(self, top):
+        doc = {
+            "creator": "generate.py (hand-lowered, yosys write_json schema)",
+            "modules": {
+                top: {
+                    "attributes": {"top": 1, "src": "generate.py"},
+                    "ports": self.ports,
+                    "cells": self.cells,
+                    "netnames": {
+                        name: {"hide_name": 1 if name.startswith("$") else 0,
+                               "bits": [bit]}
+                        for name, bit in self.netnames.items()
+                    },
+                }
+            },
+        }
+        return json.dumps(doc, indent=2) + "\n"
+
+
+def main():
+    n = Netlist()
+    clk = n.inputs("clk")
+    rst = n.inputs("rst")
+    wr = n.inputs("wr")
+    din = n.inputs("din", 8)
+
+    # Forward-declare state bits; their DFF cells are emitted at the end
+    # driving these exact nets (feedback, the way Yosys emits it too).
+    busy = n.net("busy")
+    baud = [n.net(f"baud[{i}]") for i in range(2)]
+    bitcnt = [n.net(f"bitcnt[{i}]") for i in range(4)]
+    shift = [n.net(f"shift[{i}]") for i in range(10)]
+
+    nbusy = n.NOT(busy)
+    start = n.AND(wr, nbusy)
+    baud_max = n.AND(baud[0], baud[1])            # baud == 3
+    tick = n.AND(busy, baud_max)
+    cnt_hi = n.ANDNOT(bitcnt[3], bitcnt[2])       # b3 & ~b2
+    cnt_lo = n.ANDNOT(bitcnt[0], bitcnt[1])       # b0 & ~b1
+    last_bit = n.AND(cnt_hi, cnt_lo)              # bitcnt == 9 (1001)
+    done = n.AND(tick, last_bit)
+    hold = n.ANDNOT(busy, done)                   # busy & ~done
+    # busy' = (start | hold) & ~rst  ==  ~((~start & ~hold) | rst)
+    busy_next = n.AOI3(n.NOT(start), n.NOT(hold), rst)
+
+    # baud' = clear ? 0 : baud + 1, clear = rst | start | ~busy
+    #       = ~(busy & ~(rst | start))  ==  NAND(busy, NOR(rst, start))
+    baud_run = n.NOR(rst, start)
+    baud_clear = n.NAND(busy, baud_run)
+    b0_next = n.ANDNOT(n.NOT(baud[0]), baud_clear)   # ~b0 & ~clear
+    b1_next = n.ANDNOT(n.XOR(baud[1], baud[0]), baud_clear)
+
+    # bitcnt' = (rst | start) ? 0 : tick ? bitcnt + 1 : bitcnt
+    cnt_clear = n.OR(rst, start)
+    carry = tick
+    cnt_next = []
+    for i in range(4):
+        s = n.XOR(bitcnt[i], carry)
+        if i < 3:
+            carry = n.AND(bitcnt[i], carry)
+        # s & ~clear  ==  ~((~s | clear) & 1): OAI3 with a constant-one C
+        # pin, so the vendored core also exercises constant-bit ingest.
+        cnt_next.append(n.OAI3(n.NOT(s), cnt_clear, ONE))
+
+    # shift' per bit: rst ? 1 : start ? load[i] : tick ? shin[i] : shift[i]
+    #   load = {1, din[7:0], 0}; shin[i] = shift[i+1], shin[9] = 1.
+    shift_next = []
+    for i in range(10):
+        load = ZERO if i == 0 else (ONE if i == 9 else din[i - 1])
+        shin = shift[i + 1] if i < 9 else ONE
+        kept = n.MUX(tick, shift[i], shin)
+        picked = n.MUX(start, kept, load)
+        shift_next.append(n.OR(rst, picked))
+
+    # Outputs: idle-high line and the busy flag.
+    tx = n.OR(nbusy, shift[0])
+    n.output("tx", tx)
+    n.output("busy", busy)
+
+    # State flip-flops, all on the single posedge clk domain.
+    n.dff(clk, busy_next, busy)
+    n.dff(clk, b0_next, baud[0])
+    n.dff(clk, b1_next, baud[1])
+    for i in range(4):
+        n.dff(clk, cnt_next[i], bitcnt[i])
+    for i in range(10):
+        n.dff(clk, shift_next[i], shift[i])
+
+    sys.stdout.write(n.to_json("uart_tx"))
+
+
+if __name__ == "__main__":
+    main()
