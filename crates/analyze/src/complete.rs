@@ -1,0 +1,307 @@
+//! Per-wire MATE-set *completeness* proofs.
+//!
+//! Soundness ([`crate::verify`]) asks "does every selected MATE really
+//! mask?".  This pass asks the dual question, per wire: *does the selected
+//! MATE set match **every** benign fault point on the wire?*  A point the
+//! set misses is not a correctness bug — MATEs only ever prune fault
+//! points they match, so an uncovered benign point merely stays in the
+//! injection campaign — but it is lost pruning the paper's cross-layer
+//! argument says we could have had.  The pass therefore reports gaps as
+//! [`Severity::Warning`] diagnostics under the `mate-coverage` code, and
+//! wires whose coverage is proved get a per-wire certificate (an UNSAT
+//! answer that passed the solver's resolution replay check).
+//!
+//! The query, built by [`crate::encode::FaultConeCnf::prove_coverage`]:
+//! "some border assignment and fault-free origin value make every cone
+//! endpoint agree between the two origin copies (the flip is benign) while
+//! no selected cube matches the fault-free circuit".  UNSAT = complete.
+//! A model is a *possible* gap: cube literals outside the cone get free
+//! variables, so a witness may rely on an out-of-scope wire value the
+//! surrounding logic cannot actually produce — exact for the cone, over-
+//! approximate beyond it, which is the right direction for a coverage
+//! audit (no real gap is ever hidden).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mate::MateSet;
+use mate_netlist::{NetCube, NetId, Netlist, SoaNetlist, Topology};
+
+use crate::diag::{Diagnostic, Locus, Severity};
+use crate::encode::{CoverageProof, FaultConeCnf};
+use crate::verify::VerifyConfig;
+
+/// The coverage verdict for one wire with at least one selected MATE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireCoverage {
+    /// The wire whose benign fault points are audited.
+    pub wire: NetId,
+    /// Number of selected MATEs whose masked set contains the wire.
+    pub mates: usize,
+    /// The proof outcome (complete / gap / undecided).
+    pub proof: CoverageProof,
+}
+
+/// Complete / gap / undecided tallies over a coverage list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageCounts {
+    /// Wires whose selected MATEs provably match every benign point.
+    pub complete: usize,
+    /// Wires with a (possible) uncovered benign point.
+    pub gaps: usize,
+    /// Wires whose query hit the conflict budget.
+    pub undecided: usize,
+}
+
+/// Tallies coverage outcomes.
+pub fn count_coverage(coverage: &[WireCoverage]) -> CoverageCounts {
+    let mut c = CoverageCounts::default();
+    for w in coverage {
+        match w.proof {
+            CoverageProof::Complete { .. } => c.complete += 1,
+            CoverageProof::Gap { .. } => c.gaps += 1,
+            CoverageProof::Undecided { .. } => c.undecided += 1,
+        }
+    }
+    c
+}
+
+/// Proves (or refutes) per-wire completeness of the selected MATE set, in
+/// parallel, returning one [`WireCoverage`] per wire that appears in some
+/// MATE's masked set — sorted by wire, bit-identical for any thread count.
+pub fn prove_wire_coverage(
+    netlist: &Netlist,
+    topo: &Topology,
+    mates: &MateSet,
+    config: &VerifyConfig,
+) -> Vec<WireCoverage> {
+    let mut wires: Vec<NetId> = mates
+        .iter()
+        .flat_map(|m| m.masked.iter().copied())
+        .collect();
+    wires.sort_unstable();
+    wires.dedup();
+    if wires.is_empty() {
+        return Vec::new();
+    }
+
+    let soa = SoaNetlist::build(netlist, topo);
+    let cubes_of = |wire: NetId| -> Vec<&NetCube> {
+        mates
+            .iter()
+            .filter(|m| m.masked.contains(&wire))
+            .map(|m| &m.cube)
+            .collect()
+    };
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    }
+    .min(wires.len());
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<WireCoverage>> = Mutex::new(Vec::with_capacity(wires.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&wire) = wires.get(i) else { break };
+                    let cubes = cubes_of(wire);
+                    let cnf = FaultConeCnf::new(netlist, &soa, wire);
+                    let proof = cnf.prove_coverage(&cubes, config.conflict_budget);
+                    local.push(WireCoverage {
+                        wire,
+                        mates: cubes.len(),
+                        proof,
+                    });
+                }
+                results
+                    .lock()
+                    .expect("coverage workers do not panic while holding the lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut coverage = results
+        .into_inner()
+        .expect("all workers joined before the scope ended");
+    coverage.sort_by_key(|c| c.wire);
+    coverage
+}
+
+/// Turns coverage gaps and undecided wires into `mate-coverage` warnings
+/// (proved-complete wires produce no diagnostic — their certificate lives
+/// in the coverage list itself).
+pub fn coverage_diagnostics(netlist: &Netlist, coverage: &[WireCoverage]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for c in coverage {
+        match &c.proof {
+            CoverageProof::Complete { .. } => {}
+            CoverageProof::Gap {
+                origin_value,
+                assignment,
+                ..
+            } => {
+                let witness = assignment
+                    .iter()
+                    .map(|&(n, b)| format!("{}={}", netlist.net(n).name(), u8::from(b)))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "mate-coverage",
+                    locus: Locus::Net(c.wire),
+                    message: format!(
+                        "benign fault point not matched by any of {} selected MATE(s): \
+                         origin={} {witness}",
+                        c.mates,
+                        u8::from(*origin_value)
+                    ),
+                });
+            }
+            CoverageProof::Undecided { stats } => {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "mate-coverage",
+                    locus: Locus::Net(c.wire),
+                    message: format!(
+                        "coverage proof undecided after {} conflicts (raise --budget)",
+                        stats.conflicts
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Renders coverage as one line per wire.
+pub fn render_coverage_text(netlist: &Netlist, coverage: &[WireCoverage]) -> String {
+    let mut out = String::new();
+    for c in coverage {
+        let wire = netlist.net(c.wire).name();
+        match &c.proof {
+            CoverageProof::Complete { stats } => {
+                out.push_str(&format!(
+                    "complete  wire {wire}: {} mate(s) cover every benign point \
+                     ({} conflicts)\n",
+                    c.mates, stats.conflicts
+                ));
+            }
+            CoverageProof::Gap {
+                origin_value,
+                assignment,
+                ..
+            } => {
+                let witness = assignment
+                    .iter()
+                    .map(|&(n, b)| format!("{}={}", netlist.net(n).name(), u8::from(b)))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push_str(&format!(
+                    "GAP       wire {wire}: uncovered benign point origin={} {witness}\n",
+                    u8::from(*origin_value)
+                ));
+            }
+            CoverageProof::Undecided { stats } => {
+                out.push_str(&format!(
+                    "undecided wire {wire}: budget fired after {} conflicts\n",
+                    stats.conflicts
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders coverage as a JSON array (hand-rolled, byte-stable for sorted
+/// input).
+pub fn render_coverage_json(netlist: &Netlist, coverage: &[WireCoverage]) -> String {
+    use crate::diag::json_escape;
+    let mut out = String::from("[\n");
+    for (i, c) in coverage.iter().enumerate() {
+        let wire = json_escape(netlist.net(c.wire).name());
+        let (status, body, stats) = match &c.proof {
+            CoverageProof::Complete { stats } => ("complete", String::new(), Some(stats)),
+            CoverageProof::Gap {
+                origin_value,
+                assignment,
+                stats,
+            } => {
+                let witness = assignment
+                    .iter()
+                    .map(|&(n, b)| {
+                        format!(
+                            "{{\"net\":\"{}\",\"value\":{}}}",
+                            json_escape(netlist.net(n).name()),
+                            u8::from(b)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (
+                    "gap",
+                    format!(
+                        ",\"origin_value\":{},\"witness\":[{witness}]",
+                        u8::from(*origin_value)
+                    ),
+                    Some(stats),
+                )
+            }
+            CoverageProof::Undecided { stats } => ("undecided", String::new(), Some(stats)),
+        };
+        let solver = stats.map_or(String::new(), |s| {
+            format!(
+                ",\"solver\":{{\"conflicts\":{},\"decisions\":{},\"propagations\":{},\
+                 \"learned\":{},\"restarts\":{}}}",
+                s.conflicts, s.decisions, s.propagations, s.learned, s.restarts
+            )
+        });
+        out.push_str(&format!(
+            "  {{\"wire\":\"{wire}\",\"mates\":{},\"status\":\"{status}\"{body}{solver}}}{}\n",
+            c.mates,
+            if i + 1 == coverage.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate::prelude::*;
+    use mate_netlist::examples::figure1;
+
+    #[test]
+    fn figure1_selected_mates_have_deterministic_coverage() {
+        let (netlist, topo) = figure1();
+        let d = netlist.find_net("d").unwrap();
+        let result = search_wire(&netlist, &topo, d, &SearchConfig::default());
+        let set = MateSet::from_mates(result.mates);
+        let config = VerifyConfig::default();
+        let one = prove_wire_coverage(&netlist, &topo, &set, &config);
+        assert_eq!(one.len(), 1, "one audited wire");
+        assert_eq!(one[0].wire, d);
+        // Bit-identical across thread counts.
+        for threads in [1, 2, 7] {
+            let cfg = VerifyConfig { threads, ..config };
+            assert_eq!(prove_wire_coverage(&netlist, &topo, &set, &cfg), one);
+        }
+        // Gap/undecided wires surface as mate-coverage warnings; complete
+        // wires stay silent.
+        let diags = coverage_diagnostics(&netlist, &one);
+        match &one[0].proof {
+            CoverageProof::Complete { .. } => assert!(diags.is_empty()),
+            _ => {
+                assert_eq!(diags.len(), 1);
+                assert_eq!(diags[0].code, "mate-coverage");
+                assert_eq!(diags[0].severity, Severity::Warning);
+            }
+        }
+    }
+}

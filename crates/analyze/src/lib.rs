@@ -8,12 +8,19 @@
 //!   unreachable logic, fault-cone statistics, and gate-masking-table
 //!   coverage gaps.
 //! * [`verify`] — a MATE soundness verifier that re-proves *MATE ⇒
-//!   single-cycle masking* by exhaustive enumeration over fault-cone border
-//!   assignments, built directly on [`mate_netlist::TruthTable`]
-//!   cofactoring and sharing zero code with the search-side propagation
-//!   engines.  Verdicts are [`verify::Verdict::Proved`],
-//!   [`verify::Verdict::Bounded`] (cap reached), or
-//!   [`verify::Verdict::Refuted`] with a concrete counterexample.
+//!   single-cycle masking*, sharing zero code with the search-side
+//!   propagation engines.  Two backends: the default
+//!   [`verify::ProofBackend::Sat`] compiles the fault cone to CNF
+//!   ([`encode`]) and decides the masking condition exactly with a
+//!   dependency-free CDCL solver ([`sat`]) whose UNSAT answers are
+//!   resolution-replay-checked and whose models are re-simulated;
+//!   [`verify::ProofBackend::Enumeration`] brute-forces border assignments
+//!   via [`mate_netlist::TruthTable`] cofactoring up to a cap.  Verdicts
+//!   are [`verify::Verdict::Proved`], [`verify::Verdict::Bounded`] (cap or
+//!   conflict budget reached), or [`verify::Verdict::Refuted`] with a
+//!   concrete counterexample.  [`complete`] reuses the solver for the dual
+//!   question — per-wire proofs that the selected MATE set covers every
+//!   benign fault point.
 //!
 //! # Example
 //!
@@ -33,15 +40,25 @@
 //! assert!(matches!(verdict, Verdict::Proved { .. }));
 //! ```
 
+pub mod complete;
 pub mod diag;
+pub mod encode;
 pub mod lint;
+pub mod sat;
 pub mod verify;
 
+pub use complete::{
+    count_coverage, coverage_diagnostics, prove_wire_coverage, render_coverage_json,
+    render_coverage_text, CoverageCounts, WireCoverage,
+};
 pub use diag::{
     count_denied, render_json, render_text, sort_diagnostics, Diagnostic, Locus, Severity,
 };
+pub use encode::{CoverageProof, FaultConeCnf, MateProof};
 pub use lint::{default_passes, run_lints, run_passes, LintContext, LintPass};
+pub use sat::{Lit, SatOutcome, SolveStats, Solver};
 pub use verify::{
-    count_verdicts, render_verdicts_json, render_verdicts_text, verify_mate_wire, verify_mates,
-    Counterexample, MateVerdict, Verdict, VerdictCounts, VerifyConfig,
+    count_verdicts, render_verdicts_json, render_verdicts_text, verify_mate_wire,
+    verify_mate_wire_enum, verify_mate_wire_sat, verify_mates, Counterexample, MateVerdict,
+    ProofBackend, Verdict, VerdictCounts, VerifyConfig,
 };

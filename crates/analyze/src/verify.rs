@@ -3,8 +3,17 @@
 //! A MATE for wire `w` claims: *whenever the MATE cube holds in a clock
 //! cycle, a single-event upset on `w` in that cycle is masked before it
 //! reaches any flip-flop input or primary output*.  This module re-proves
-//! that claim by brute force, sharing **zero** code with the propagation
-//! engines that produced the MATE (`mate::search` / `mate::propagate`):
+//! that claim with one of two engines, both sharing **zero** code with the
+//! propagation engines that produced the MATE (`mate::search` /
+//! `mate::propagate`):
+//!
+//! * [`ProofBackend::Sat`] (the default): compile the fault cone to CNF
+//!   ([`crate::encode`]) and decide the masking condition exactly with the
+//!   CDCL solver in [`crate::sat`] — every verdict is a certificate
+//!   ([`Verdict::Proved`] carries a replay-checked UNSAT answer,
+//!   [`Verdict::Refuted`] a re-simulated model) unless the conflict budget
+//!   fires.
+//! * [`ProofBackend::Enumeration`]: brute force, as follows.
 //!
 //! 1. Rebuild the fault cone of `w` and its border wires.
 //! 2. Specialize every cone gate by [`TruthTable::cofactor`]-ing out the
@@ -28,17 +37,52 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mate::{Mate, MateSet};
-use mate_netlist::{ConeEndpoint, FaultCone, NetCube, NetId, Netlist, Topology, TruthTable};
+use mate_netlist::{
+    ConeEndpoint, FaultCone, NetCube, NetId, Netlist, SoaNetlist, Topology, TruthTable,
+};
 
-/// Enumeration limits for [`verify_mate_wire`].
+use crate::encode::{FaultConeCnf, MateProof};
+use crate::sat::SolveStats;
+
+/// Which engine decides the masking condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofBackend {
+    /// Exhaustive enumeration of free border assignments, up to
+    /// [`VerifyConfig::max_assignments`].  Spaces beyond the cap come back
+    /// [`Verdict::Bounded`] — a sample, not a certificate.
+    Enumeration,
+    /// The CDCL SAT backend ([`crate::sat`] + [`crate::encode`]): decides
+    /// the full space exactly, so every verdict is [`Verdict::Proved`] or
+    /// [`Verdict::Refuted`] unless the conflict budget fires
+    /// ([`Verdict::Bounded`] then records the spent conflicts in the
+    /// verdict's [`MateVerdict::stats`]).
+    Sat,
+}
+
+impl ProofBackend {
+    /// Lower-case label used by the CLI, artifacts, and fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProofBackend::Enumeration => "enum",
+            ProofBackend::Sat => "sat",
+        }
+    }
+}
+
+/// Engine selection and limits for [`verify_mate_wire`] / [`verify_mates`].
 #[derive(Clone, Copy, Debug)]
 pub struct VerifyConfig {
     /// Maximum number of border assignments enumerated per (MATE, wire)
-    /// pair.  Cones whose free border exceeds `log2(max_assignments)` wires
-    /// come back [`Verdict::Bounded`].
+    /// pair under [`ProofBackend::Enumeration`].  Cones whose free border
+    /// exceeds `log2(max_assignments)` wires come back
+    /// [`Verdict::Bounded`].
     pub max_assignments: u64,
     /// Worker threads for [`verify_mates`]; `0` means all available cores.
     pub threads: usize,
+    /// The proof engine.
+    pub backend: ProofBackend,
+    /// Conflict budget per solver call under [`ProofBackend::Sat`].
+    pub conflict_budget: u64,
 }
 
 impl Default for VerifyConfig {
@@ -46,6 +90,8 @@ impl Default for VerifyConfig {
         Self {
             max_assignments: 1 << 20,
             threads: 0,
+            backend: ProofBackend::Sat,
+            conflict_budget: 1_000_000,
         }
     }
 }
@@ -71,7 +117,9 @@ pub enum Verdict {
         /// Number of assignments enumerated (the full space).
         checked: u64,
     },
-    /// No violation found, but the space was truncated at the cap.
+    /// No violation found, but the space was not decided: the enumeration
+    /// cap truncated it, or the SAT backend's conflict budget fired (then
+    /// `checked` is 0 and [`MateVerdict::stats`] records the effort).
     Bounded {
         /// Number of assignments enumerated.
         checked: u64,
@@ -103,6 +151,10 @@ pub struct MateVerdict {
     pub wire: NetId,
     /// The verification outcome.
     pub verdict: Verdict,
+    /// Solver counters under [`ProofBackend::Sat`]; `None` under
+    /// enumeration.  Deterministic (no wall time), so verdict lists stay
+    /// bit-identical across runs and thread counts.
+    pub stats: Option<SolveStats>,
 }
 
 /// Proved / Bounded / Refuted counts over a verdict list.
@@ -151,9 +203,62 @@ const LANE_WORDS: [u64; 6] = [
     0xFFFF_FFFF_0000_0000,
 ];
 
+/// Verifies that `cube` masks a fault on `wire` within one clock cycle,
+/// dispatching on [`VerifyConfig::backend`].
+///
+/// Under [`ProofBackend::Sat`] this builds a fresh [`SoaNetlist`] per call;
+/// batch callers should prefer [`verify_mates`], which builds the arena
+/// once.
+pub fn verify_mate_wire(
+    netlist: &Netlist,
+    topo: &Topology,
+    wire: NetId,
+    cube: &NetCube,
+    config: &VerifyConfig,
+) -> Verdict {
+    match config.backend {
+        ProofBackend::Enumeration => verify_mate_wire_enum(netlist, topo, wire, cube, config),
+        ProofBackend::Sat => {
+            let soa = SoaNetlist::build(netlist, topo);
+            verify_mate_wire_sat(netlist, &soa, wire, cube, config.conflict_budget).0
+        }
+    }
+}
+
+/// The SAT proof path for one (MATE, wire) pair: compiles the fault cone
+/// to CNF ([`FaultConeCnf`]) and decides the masking condition exactly,
+/// returning the verdict together with the solver counters.
+///
+/// * UNSAT (replay-checked) ⇒ [`Verdict::Proved`] over the full
+///   `2^free`-assignment space.
+/// * SAT ⇒ [`Verdict::Refuted`] with a counterexample that has been
+///   re-simulated through the cone independently of the CNF.
+/// * Budget exhausted ⇒ [`Verdict::Bounded`] with `checked = 0` (nothing
+///   was exhaustively covered; the counters record the effort).
+pub fn verify_mate_wire_sat(
+    netlist: &Netlist,
+    soa: &SoaNetlist,
+    wire: NetId,
+    cube: &NetCube,
+    conflict_budget: u64,
+) -> (Verdict, SolveStats) {
+    let cnf = FaultConeCnf::new(netlist, soa, wire);
+    match cnf.prove_mate(cube, conflict_budget) {
+        MateProof::Masked { free, stats } => {
+            let checked = if free >= 63 { u64::MAX } else { 1u64 << free };
+            (Verdict::Proved { checked }, stats)
+        }
+        MateProof::Escape {
+            counterexample,
+            stats,
+        } => (Verdict::Refuted { counterexample }, stats),
+        MateProof::Undecided { stats } => (Verdict::Bounded { checked: 0 }, stats),
+    }
+}
+
 /// Verifies that `cube` masks a fault on `wire` within one clock cycle, by
 /// exhaustive enumeration over the fault cone's border assignments.
-pub fn verify_mate_wire(
+pub fn verify_mate_wire_enum(
     netlist: &Netlist,
     topo: &Topology,
     wire: NetId,
@@ -351,6 +456,13 @@ pub fn verify_mates(
     }
     .min(tasks.len().max(1));
 
+    // The SAT backend reads the cone out of the arena; build it once and
+    // share it read-only across the workers.
+    let soa = match config.backend {
+        ProofBackend::Sat => Some(SoaNetlist::build(netlist, topo)),
+        ProofBackend::Enumeration => None,
+    };
+
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<MateVerdict>> = Mutex::new(Vec::with_capacity(tasks.len()));
     std::thread::scope(|scope| {
@@ -362,11 +474,27 @@ pub fn verify_mates(
                     let Some(&(mate_index, wire, mate)) = tasks.get(i) else {
                         break;
                     };
-                    let verdict = verify_mate_wire(netlist, topo, wire, &mate.cube, config);
+                    let (verdict, stats) = match &soa {
+                        Some(soa) => {
+                            let (v, s) = verify_mate_wire_sat(
+                                netlist,
+                                soa,
+                                wire,
+                                &mate.cube,
+                                config.conflict_budget,
+                            );
+                            (v, Some(s))
+                        }
+                        None => (
+                            verify_mate_wire_enum(netlist, topo, wire, &mate.cube, config),
+                            None,
+                        ),
+                    };
                     local.push(MateVerdict {
                         mate_index,
                         wire,
                         verdict,
+                        stats,
                     });
                 }
                 results
@@ -396,10 +524,17 @@ pub fn render_verdicts_text(netlist: &Netlist, verdicts: &[MateVerdict]) -> Stri
                 ));
             }
             Verdict::Bounded { checked } => {
-                out.push_str(&format!(
-                    "bounded mate {} wire {wire}: clean up to {checked} assignments\n",
-                    v.mate_index
-                ));
+                if let Some(stats) = &v.stats {
+                    out.push_str(&format!(
+                        "bounded mate {} wire {wire}: undecided after {} conflicts\n",
+                        v.mate_index, stats.conflicts
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "bounded mate {} wire {wire}: clean up to {checked} assignments\n",
+                        v.mate_index
+                    ));
+                }
             }
             Verdict::Refuted { counterexample } => {
                 let assign = counterexample
@@ -453,12 +588,20 @@ pub fn render_verdicts_json(netlist: &Netlist, verdicts: &[MateVerdict]) -> Stri
                 )
             }
         };
+        let stats = v.stats.map_or(String::new(), |s| {
+            format!(
+                ",\"solver\":{{\"conflicts\":{},\"decisions\":{},\"propagations\":{},\
+                 \"learned\":{},\"restarts\":{}}}",
+                s.conflicts, s.decisions, s.propagations, s.learned, s.restarts
+            )
+        });
         out.push_str(&format!(
-            "  {{\"mate\":{},\"wire\":\"{}\",\"verdict\":\"{}\",{}}}{}\n",
+            "  {{\"mate\":{},\"wire\":\"{}\",\"verdict\":\"{}\",{}{}}}{}\n",
             v.mate_index,
             wire,
             v.verdict.label(),
             body,
+            stats,
             if i + 1 == verdicts.len() { "" } else { "," }
         ));
     }

@@ -4,7 +4,8 @@
 
 use mate::prelude::*;
 use mate_analyze::{
-    count_verdicts, render_verdicts_json, verify_mate_wire, verify_mates, Verdict, VerifyConfig,
+    count_verdicts, render_verdicts_json, verify_mate_wire, verify_mates, ProofBackend, Verdict,
+    VerifyConfig,
 };
 use mate_netlist::examples::{figure1, figure1b};
 use mate_netlist::NetCube;
@@ -79,6 +80,8 @@ fn cap_below_space_size_yields_bounded() {
     let config = VerifyConfig {
         max_assignments: 1,
         threads: 1,
+        backend: ProofBackend::Enumeration,
+        ..VerifyConfig::default()
     };
     let verdict = verify_mate_wire(&n, &topo, d, &result.mates[0].cube, &config);
     // One free border wire -> 2 assignments total, capped at 1.

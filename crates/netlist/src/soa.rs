@@ -620,6 +620,64 @@ impl SoaNetlist {
         }
     }
 
+    /// The combinational rows inside the fault cone of `origins`, sorted
+    /// ascending.  Because [`SoaNetlist::build`] orders rows by logic
+    /// level, ascending row order is a valid (re-)evaluation schedule for
+    /// the cone — the property the SAT proof backend's Tseitin encoder
+    /// relies on when it compiles the cone gate by gate.
+    ///
+    /// The reached set is the same BFS [`SoaNetlist::cone_support`]
+    /// performs; this accessor exposes the rows themselves where
+    /// `cone_support` only reports their count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any origin net index is out of range.
+    pub fn cone_rows(&self, origins: &[u32]) -> Vec<u32> {
+        let mut in_cone = vec![false; self.num_nets];
+        let mut row_seen = vec![false; self.num_rows()];
+        let mut queue: Vec<u32> = Vec::with_capacity(origins.len());
+        for &net in origins {
+            assert!((net as usize) < self.num_nets, "origin net out of range");
+            if !in_cone[net as usize] {
+                in_cone[net as usize] = true;
+                queue.push(net);
+            }
+        }
+        let mut rows: Vec<u32> = Vec::new();
+        while let Some(net) = queue.pop() {
+            for &token in self.net_readers(net as usize) {
+                if (token as usize) < self.num_rows() {
+                    let row = token as usize;
+                    if !row_seen[row] {
+                        row_seen[row] = true;
+                        rows.push(token);
+                        let out = self.out[row];
+                        if !in_cone[out as usize] {
+                            in_cone[out as usize] = true;
+                            queue.push(out);
+                        }
+                    }
+                }
+            }
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    /// The truth table of one row (resolved through its run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_tt(&self, row: usize) -> &TruthTable {
+        // Runs tile the row space in ascending order: binary search.
+        let i = self.runs.partition_point(|r| (r.end as usize) <= row);
+        let run = &self.runs[i];
+        debug_assert!(run.rows().contains(&row));
+        &run.tt
+    }
+
     /// Scalar settle over the arena: reads and writes per-net `bool` values
     /// in place, sweeping the levelized schedule once.  This is the
     /// reference the block engines are checked against, and doubles as the
@@ -794,6 +852,50 @@ mod tests {
                 assert_eq!(got_ffs, expect_ffs, "endpoint ffs (seed {seed})");
                 for &(ff, d_net) in &support.endpoints {
                     assert_eq!(soa.ff_d()[ff as usize], d_net, "endpoint d net");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cone_rows_match_graph_fault_cone_cells() {
+        use crate::graph::FaultCone;
+        for seed in 0..6 {
+            let (n, topo) = random_circuit(RandomCircuitConfig::default(), 300 + seed);
+            let soa = SoaNetlist::build(&n, &topo);
+            for &ff in topo.seq_cells().iter().take(4) {
+                let origin = n.cell(ff).output();
+                let rows = soa.cone_rows(&[origin.index() as u32]);
+                // Ascending (the encoder's settle schedule) and in step
+                // with the graph-side cone's cell set.
+                assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+                let mut expect: Vec<u32> = FaultCone::compute(&n, &topo, origin)
+                    .cells()
+                    .iter()
+                    .map(|&c| soa.comb_row_of(c).expect("cone cells are comb") as u32)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(rows, expect, "cone rows (seed {seed})");
+                // Row count agrees with cone_support's diagnostic count.
+                let support = soa.cone_support(&[origin.index() as u32]);
+                assert_eq!(rows.len(), support.cone_rows);
+                // Levels never decrease along the schedule, and row_tt
+                // resolves through the run tiling.
+                let level_of = |row: u32| {
+                    soa.runs()
+                        .iter()
+                        .find(|r| r.rows().contains(&(row as usize)))
+                        .expect("row in a run")
+                        .level()
+                };
+                assert!(rows.windows(2).all(|w| level_of(w[0]) <= level_of(w[1])));
+                for &row in &rows {
+                    let run = soa
+                        .runs()
+                        .iter()
+                        .find(|r| r.rows().contains(&(row as usize)))
+                        .unwrap();
+                    assert_eq!(soa.row_tt(row as usize), run.tt());
                 }
             }
         }

@@ -1,18 +1,22 @@
-//! The `Analyze` stage: netlist lint + MATE soundness verification as a
-//! cached pipeline step.
+//! The `Analyze` stage: netlist lint + MATE soundness verification (and,
+//! under the SAT backend, per-wire completeness proofs) as a cached
+//! pipeline step.
 //!
 //! Wraps [`mate_analyze`] so the static-verification layer participates in
 //! the content-addressed artifact cache like every other stage: the artifact
-//! key covers the design, the verified MATE set, and the enumeration cap —
-//! but not the thread count, which never changes results.
+//! key covers the design, the verified MATE set, the proof backend, the
+//! enumeration cap, and the conflict budget — but not the thread count,
+//! which never changes results.
 
 use std::collections::HashMap;
 
 use mate::MateSet;
-use mate_analyze::verify::{Counterexample, MateVerdict, Verdict};
+use mate_analyze::encode::CoverageProof;
+use mate_analyze::verify::{Counterexample, MateVerdict, ProofBackend, Verdict};
 use mate_analyze::{
-    count_denied, count_verdicts, run_lints, verify_mates, Diagnostic, Locus, Severity,
-    VerdictCounts, VerifyConfig,
+    count_coverage, count_denied, count_verdicts, coverage_diagnostics, prove_wire_coverage,
+    run_lints, sort_diagnostics, verify_mates, CoverageCounts, Diagnostic, Locus, Severity,
+    SolveStats, VerdictCounts, VerifyConfig, WireCoverage,
 };
 use mate_netlist::{MateError, NetId};
 
@@ -20,15 +24,23 @@ use crate::hash::ContentHasher;
 use crate::stage::Stage;
 use crate::stages::Design;
 
-/// Combined output of the lint and verification layers.
+/// Combined output of the lint, verification, and coverage layers.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AnalysisReport {
-    /// Canonically sorted lint diagnostics.
+    /// Canonically sorted lint diagnostics (including `mate-coverage`
+    /// warnings for coverage gaps under the SAT backend).
     pub diagnostics: Vec<Diagnostic>,
     /// Per-(MATE, wire) verdicts, sorted by (mate index, wire).
     pub verdicts: Vec<MateVerdict>,
+    /// Per-wire completeness certificates, sorted by wire.  Empty under
+    /// [`ProofBackend::Enumeration`] (the pass needs the solver).
+    pub coverage: Vec<WireCoverage>,
+    /// The proof backend the verdicts were computed with.
+    pub backend: ProofBackend,
     /// The enumeration cap the verdicts were computed under.
     pub max_assignments: u64,
+    /// The per-call conflict budget under [`ProofBackend::Sat`].
+    pub conflict_budget: u64,
 }
 
 impl AnalysisReport {
@@ -37,15 +49,48 @@ impl AnalysisReport {
         count_verdicts(&self.verdicts)
     }
 
+    /// Complete / gap / undecided tallies of the coverage pass.
+    pub fn coverage_counts(&self) -> CoverageCounts {
+        count_coverage(&self.coverage)
+    }
+
     /// Number of diagnostics at or above `deny` severity.
     pub fn denied(&self, deny: Severity) -> usize {
         count_denied(&self.diagnostics, deny)
     }
 
+    /// `true` when nothing blocks a release: no refuted MATE, no
+    /// diagnostic at or above `deny`, and — when `deny_bounded` — no
+    /// bounded (uncertified) verdict either.
+    pub fn gate_passes_with(&self, deny: Severity, deny_bounded: bool) -> bool {
+        let counts = self.counts();
+        counts.refuted == 0 && self.denied(deny) == 0 && (!deny_bounded || counts.bounded == 0)
+    }
+
     /// `true` when nothing blocks a release: no refuted MATE and no
     /// diagnostic at or above `deny`.
     pub fn gate_passes(&self, deny: Severity) -> bool {
-        self.counts().refuted == 0 && self.denied(deny) == 0
+        self.gate_passes_with(deny, false)
+    }
+
+    /// Element-wise sum of every recorded solver-counter block (verdicts
+    /// and coverage proofs) — the deterministic cost of the proofs.
+    pub fn solver_totals(&self) -> SolveStats {
+        let mut total = SolveStats::default();
+        for v in &self.verdicts {
+            if let Some(s) = v.stats {
+                total = total.merge(s);
+            }
+        }
+        for c in &self.coverage {
+            let s = match &c.proof {
+                CoverageProof::Complete { stats }
+                | CoverageProof::Gap { stats, .. }
+                | CoverageProof::Undecided { stats } => stats,
+            };
+            total = total.merge(*s);
+        }
+        total
     }
 }
 
@@ -53,7 +98,8 @@ impl AnalysisReport {
 /// pipeline stage).
 #[derive(Clone, Debug)]
 pub struct Analyze {
-    /// Enumeration limits; `threads` is excluded from the fingerprint.
+    /// Engine selection and limits; `threads` is excluded from the
+    /// fingerprint.
     pub config: VerifyConfig,
 }
 
@@ -65,15 +111,30 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
     }
 
     fn fingerprint(&self, h: &mut ContentHasher) {
+        h.str(self.config.backend.label());
         h.u64(self.config.max_assignments);
+        h.u64(self.config.conflict_budget);
         // `threads` excluded: verdicts are bit-identical per thread count.
     }
 
     fn execute(&self, (design, mates): &(&Design, &MateSet)) -> Result<AnalysisReport, MateError> {
+        let mut diagnostics = run_lints(&design.netlist);
+        let verdicts = verify_mates(&design.netlist, &design.topology, mates, &self.config);
+        let coverage = match self.config.backend {
+            ProofBackend::Sat => {
+                prove_wire_coverage(&design.netlist, &design.topology, mates, &self.config)
+            }
+            ProofBackend::Enumeration => Vec::new(),
+        };
+        diagnostics.extend(coverage_diagnostics(&design.netlist, &coverage));
+        sort_diagnostics(&mut diagnostics);
         Ok(AnalysisReport {
-            diagnostics: run_lints(&design.netlist),
-            verdicts: verify_mates(&design.netlist, &design.topology, mates, &self.config),
+            diagnostics,
+            verdicts,
+            coverage,
+            backend: self.config.backend,
             max_assignments: self.config.max_assignments,
+            conflict_budget: self.config.conflict_budget,
         })
     }
 
@@ -84,10 +145,13 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
     ) -> Result<Vec<u8>, MateError> {
         let n = &design.netlist;
         let mut text = format!(
-            "# analyze v1 cap={} diags={} verdicts={}\n",
+            "# analyze v2 backend={} cap={} budget={} diags={} verdicts={} coverage={}\n",
+            output.backend.label(),
             output.max_assignments,
+            output.conflict_budget,
             output.diagnostics.len(),
-            output.verdicts.len()
+            output.verdicts.len(),
+            output.coverage.len()
         );
         for d in &output.diagnostics {
             let (kind, locus) = match d.locus {
@@ -102,13 +166,17 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
         }
         for v in &output.verdicts {
             let wire = n.net(v.wire).name();
+            let stats = encode_stats(v.stats.as_ref());
             match &v.verdict {
                 Verdict::Proved { checked } => {
-                    text.push_str(&format!("V\t{}\t{wire}\tproved\t{checked}\n", v.mate_index));
+                    text.push_str(&format!(
+                        "V\t{}\t{wire}\tproved\t{checked}\t{stats}\n",
+                        v.mate_index
+                    ));
                 }
                 Verdict::Bounded { checked } => {
                     text.push_str(&format!(
-                        "V\t{}\t{wire}\tbounded\t{checked}\n",
+                        "V\t{}\t{wire}\tbounded\t{checked}\t{stats}\n",
                         v.mate_index
                     ));
                 }
@@ -120,10 +188,46 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
                         .collect::<Vec<_>>()
                         .join(" ");
                     text.push_str(&format!(
-                        "V\t{}\t{wire}\trefuted\t{}\t{}\t{assign}\n",
+                        "V\t{}\t{wire}\trefuted\t{}\t{}\t{assign}\t{stats}\n",
                         v.mate_index,
                         u8::from(counterexample.origin_value),
                         n.net(counterexample.endpoint).name()
+                    ));
+                }
+            }
+        }
+        for c in &output.coverage {
+            let wire = n.net(c.wire).name();
+            match &c.proof {
+                CoverageProof::Complete { stats } => {
+                    text.push_str(&format!(
+                        "C\t{wire}\t{}\tcomplete\t{}\n",
+                        c.mates,
+                        encode_stats(Some(stats))
+                    ));
+                }
+                CoverageProof::Gap {
+                    origin_value,
+                    assignment,
+                    stats,
+                } => {
+                    let assign = assignment
+                        .iter()
+                        .map(|&(net, b)| format!("{}={}", n.net(net).name(), u8::from(b)))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    text.push_str(&format!(
+                        "C\t{wire}\t{}\tgap\t{}\t{assign}\t{}\n",
+                        c.mates,
+                        u8::from(*origin_value),
+                        encode_stats(Some(stats))
+                    ));
+                }
+                CoverageProof::Undecided { stats } => {
+                    text.push_str(&format!(
+                        "C\t{wire}\t{}\tundecided\t{}\n",
+                        c.mates,
+                        encode_stats(Some(stats))
                     ));
                 }
             }
@@ -142,12 +246,28 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
         let (_, header) = lines
             .next()
             .ok_or_else(|| MateError::artifact(self.name(), "empty artifact"))?;
-        let max_assignments = header
-            .split_whitespace()
-            .find_map(|tok| tok.strip_prefix("cap="))
-            .ok_or_else(|| MateError::artifact(self.name(), "header missing cap="))?
+        let header_field = |key: &str| -> Result<&str, MateError> {
+            header
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .ok_or_else(|| MateError::artifact(self.name(), format!("header missing {key}")))
+        };
+        let max_assignments = header_field("cap=")?
             .parse::<u64>()
             .map_err(|_| MateError::artifact(self.name(), "header cap= is not a number"))?;
+        let backend = match header_field("backend=")? {
+            "sat" => ProofBackend::Sat,
+            "enum" => ProofBackend::Enumeration,
+            other => {
+                return Err(MateError::artifact(
+                    self.name(),
+                    format!("header backend=`{other}` is not a proof backend"),
+                ))
+            }
+        };
+        let conflict_budget = header_field("budget=")?
+            .parse::<u64>()
+            .map_err(|_| MateError::artifact(self.name(), "header budget= is not a number"))?;
 
         let cells_by_name: HashMap<&str, mate_netlist::CellId> = n
             .cells()
@@ -164,8 +284,25 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
             })
         };
 
+        let parse_assign = |idx: usize, text: &str| -> Result<Vec<(NetId, bool)>, MateError> {
+            let mut assignment = Vec::new();
+            for pair in text.split(' ').filter(|p| !p.is_empty()) {
+                let (name, value) = pair
+                    .rsplit_once('=')
+                    .ok_or_else(|| bad_line(self.name(), idx))?;
+                let value = match value {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad_line(self.name(), idx)),
+                };
+                assignment.push((net(idx, name)?, value));
+            }
+            Ok(assignment)
+        };
+
         let mut diagnostics = Vec::new();
         let mut verdicts = Vec::new();
+        let mut coverage = Vec::new();
         for (idx, line) in lines {
             let mut fields = line.split('\t');
             match fields.next() {
@@ -242,33 +379,71 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
                                 _ => return Err(bad_line(self.name(), idx)),
                             };
                             let endpoint = net(idx, endpoint)?;
-                            let mut assignment = Vec::new();
-                            for pair in assign.split(' ').filter(|p| !p.is_empty()) {
-                                let (name, value) = pair
-                                    .rsplit_once('=')
-                                    .ok_or_else(|| bad_line(self.name(), idx))?;
-                                let value = match value {
-                                    "0" => false,
-                                    "1" => true,
-                                    _ => return Err(bad_line(self.name(), idx)),
-                                };
-                                assignment.push((net(idx, name)?, value));
-                            }
                             Verdict::Refuted {
                                 counterexample: Counterexample {
                                     origin_value,
-                                    assignment,
+                                    assignment: parse_assign(idx, assign)?,
                                     endpoint,
                                 },
                             }
                         }
                         _ => return Err(bad_line(self.name(), idx)),
                     };
+                    let stats = decode_stats(
+                        self.name(),
+                        idx,
+                        fields.next().ok_or_else(|| bad_line(self.name(), idx))?,
+                    )?;
                     verdicts.push(MateVerdict {
                         mate_index,
                         wire,
                         verdict,
+                        stats,
                     });
+                }
+                Some("C") => {
+                    let (Some(wire), Some(mates), Some(kind)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(bad_line(self.name(), idx));
+                    };
+                    let wire = net(idx, wire)?;
+                    let mates: usize = parse_field(self.name(), idx, mates)?;
+                    let required_stats =
+                        |stats: Option<SolveStats>| stats.ok_or_else(|| bad_line(self.name(), idx));
+                    let proof = match kind {
+                        "complete" | "undecided" => {
+                            let stats = required_stats(decode_stats(
+                                self.name(),
+                                idx,
+                                fields.next().ok_or_else(|| bad_line(self.name(), idx))?,
+                            )?)?;
+                            if kind == "complete" {
+                                CoverageProof::Complete { stats }
+                            } else {
+                                CoverageProof::Undecided { stats }
+                            }
+                        }
+                        "gap" => {
+                            let (Some(origin), Some(assign), Some(stats)) =
+                                (fields.next(), fields.next(), fields.next())
+                            else {
+                                return Err(bad_line(self.name(), idx));
+                            };
+                            let origin_value = match origin {
+                                "0" => false,
+                                "1" => true,
+                                _ => return Err(bad_line(self.name(), idx)),
+                            };
+                            CoverageProof::Gap {
+                                origin_value,
+                                assignment: parse_assign(idx, assign)?,
+                                stats: required_stats(decode_stats(self.name(), idx, stats)?)?,
+                            }
+                        }
+                        _ => return Err(bad_line(self.name(), idx)),
+                    };
+                    coverage.push(WireCoverage { wire, mates, proof });
                 }
                 Some(other) => {
                     return Err(MateError::artifact(
@@ -282,14 +457,17 @@ impl<'a> Stage<(&'a Design, &'a MateSet)> for Analyze {
         Ok(AnalysisReport {
             diagnostics,
             verdicts,
+            coverage,
+            backend,
             max_assignments,
+            conflict_budget,
         })
     }
 }
 
 /// Maps a decoded lint code back to the pass's `&'static str` identifier.
 fn intern_code(code: &str) -> Option<&'static str> {
-    const CODES: [&str; 7] = [
+    const CODES: [&str; 8] = [
         "undriven-net",
         "multi-driven-net",
         "comb-loop",
@@ -297,8 +475,49 @@ fn intern_code(code: &str) -> Option<&'static str> {
         "unreachable-cell",
         "cone-stats",
         "gmt-gap",
+        "mate-coverage",
     ];
     CODES.iter().find(|&&c| c == code).copied()
+}
+
+/// Solver counters as one artifact field: `conflicts:decisions:propagations:
+/// learned:restarts`, or `-` when the enumeration backend recorded none.
+fn encode_stats(stats: Option<&SolveStats>) -> String {
+    stats.map_or_else(
+        || "-".to_owned(),
+        |s| {
+            format!(
+                "{}:{}:{}:{}:{}",
+                s.conflicts, s.decisions, s.propagations, s.learned, s.restarts
+            )
+        },
+    )
+}
+
+/// Inverse of [`encode_stats`].
+fn decode_stats(stage: &str, idx: usize, text: &str) -> Result<Option<SolveStats>, MateError> {
+    if text == "-" {
+        return Ok(None);
+    }
+    let mut parts = text.split(':');
+    let mut take = || -> Result<u64, MateError> {
+        parse_field(
+            stage,
+            idx,
+            parts.next().ok_or_else(|| bad_line(stage, idx))?,
+        )
+    };
+    let stats = SolveStats {
+        conflicts: take()?,
+        decisions: take()?,
+        propagations: take()?,
+        learned: take()?,
+        restarts: take()?,
+    };
+    if parts.next().is_some() {
+        return Err(bad_line(stage, idx));
+    }
+    Ok(Some(stats))
 }
 
 fn artifact_utf8<'b>(stage: &str, bytes: &'b [u8]) -> Result<&'b str, MateError> {

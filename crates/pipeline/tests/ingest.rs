@@ -170,6 +170,7 @@ fn vendored_core_runs_the_full_pipeline() {
             VerifyConfig {
                 max_assignments: 1 << 12,
                 threads: 1,
+                ..VerifyConfig::default()
             },
         )
         .unwrap();

@@ -1,0 +1,132 @@
+//! The Analyze stage fingerprint after the SAT backend landed: the proof
+//! backend and conflict budget are part of the artifact identity, the
+//! thread count is not.  Plants a report under one configuration and
+//! probes it with maximally different execution-only settings (hit) and
+//! with a backend/budget switch (miss).
+
+use std::path::PathBuf;
+
+use mate::SearchConfig;
+use mate_analyze::{ProofBackend, VerifyConfig};
+use mate_netlist::examples::figure1b;
+use mate_pipeline::{
+    AnalysisReport, ArtifactStore, ContentHash, DesignSource, Flow, TraceSource, WireSetSpec,
+};
+
+/// A fresh scratch store root, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mate-proof-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn store(&self) -> ArtifactStore {
+        ArtifactStore::new(&self.0)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn figure1b_source() -> DesignSource {
+    DesignSource::Builder {
+        label: "figure1b",
+        build: figure1b,
+    }
+}
+
+/// Runs the full prefix (search → capture → select) and the Analyze stage
+/// with `config`; returns the artifact key, the report, and whether the
+/// Analyze record was served from the store.
+fn run_analyze(store: ArtifactStore, config: VerifyConfig) -> (ContentHash, AnalysisReport, bool) {
+    let mut flow = Flow::new(store, figure1b_source()).unwrap();
+    let search = flow
+        .search(WireSetSpec::AllFfs, SearchConfig::default())
+        .unwrap();
+    let trace = flow
+        .capture(
+            TraceSource::Stimuli {
+                waves: vec![("in".into(), vec![true, false, false, true])],
+            },
+            32,
+        )
+        .unwrap();
+    let selected = flow
+        .select(
+            WireSetSpec::AllFfs,
+            search.value.mates.len(),
+            (&search.value.mates, search.key),
+            trace.part(),
+        )
+        .unwrap();
+    let analysis = flow.analyze(selected.part(), config).unwrap();
+    let summary = flow.into_summary();
+    let cached = summary.records.last().unwrap().cached;
+    (analysis.key, analysis.value, cached)
+}
+
+#[test]
+fn backend_switch_misses_while_thread_count_hits() {
+    let scratch = Scratch::new("backend-key");
+
+    // Plant: the SAT backend on a single thread.
+    let planted_config = VerifyConfig {
+        threads: 1,
+        backend: ProofBackend::Sat,
+        ..VerifyConfig::default()
+    };
+    let (planted_key, planted, cached) = run_analyze(scratch.store(), planted_config);
+    assert!(!cached, "first run must compute");
+    assert_eq!(planted.backend, ProofBackend::Sat);
+    assert!(
+        !planted.coverage.is_empty(),
+        "the SAT backend proves per-wire coverage"
+    );
+
+    // Probe 1: execution-only change (thread count) — must hit the planted
+    // artifact byte-for-byte, coverage certificates and solver stats
+    // included.
+    let threads_only = VerifyConfig {
+        threads: 7,
+        backend: ProofBackend::Sat,
+        ..VerifyConfig::default()
+    };
+    let (probe_key, probe, cached) = run_analyze(scratch.store(), threads_only);
+    assert!(cached, "thread count must not split the analyze cache");
+    assert_eq!(probe_key, planted_key);
+    assert_eq!(probe, planted);
+
+    // Probe 2: proof backend switch — a different certificate regime, so
+    // the planted artifact must miss.
+    let enum_config = VerifyConfig {
+        threads: 1,
+        backend: ProofBackend::Enumeration,
+        ..VerifyConfig::default()
+    };
+    let (enum_key, enum_report, cached) = run_analyze(scratch.store(), enum_config);
+    assert!(!cached, "backend switch must miss the analyze cache");
+    assert_ne!(enum_key, planted_key);
+    assert_eq!(enum_report.backend, ProofBackend::Enumeration);
+    assert!(
+        enum_report.coverage.is_empty(),
+        "enumeration runs no coverage pass"
+    );
+
+    // Probe 3: conflict budget is part of the SAT identity too.
+    let tighter_budget = VerifyConfig {
+        threads: 1,
+        backend: ProofBackend::Sat,
+        conflict_budget: 1,
+        ..VerifyConfig::default()
+    };
+    let (budget_key, _, cached) = run_analyze(scratch.store(), tighter_budget);
+    assert!(!cached, "budget change must miss the analyze cache");
+    assert_ne!(budget_key, planted_key);
+}

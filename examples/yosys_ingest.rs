@@ -80,6 +80,7 @@ fn main() -> Result<(), MateError> {
         VerifyConfig {
             max_assignments: 1 << 16,
             threads: 0,
+            ..VerifyConfig::default()
         },
     )?;
     let counts = analysis.value.counts();

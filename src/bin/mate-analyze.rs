@@ -1,24 +1,48 @@
 //! `mate-analyze` — the static-verification gate as a command-line tool.
 //!
 //! Lints the shipped core netlists — or any external gate-level Yosys JSON
-//! netlist (`--json <path>`) — and independently verifies MATEs by
-//! exhaustive border-assignment enumeration, exiting non-zero when any
-//! MATE is refuted or any lint at/above the `--deny` severity fires.  All
-//! heavy stages run through the content-addressed pipeline cache, so
-//! repeated gate runs are cheap.
+//! netlist (`--json <path>`) — and independently verifies MATEs, exiting
+//! non-zero when any MATE is refuted or any lint at/above the `--deny`
+//! severity fires.  All heavy stages run through the content-addressed
+//! pipeline cache, so repeated gate runs are cheap.
+//!
+//! Two proof backends (`--proof`):
+//!
+//! * `sat` (default) — every (MATE, wire) masking condition is decided
+//!   exactly by the builtin CDCL solver: `proved` carries a replay-checked
+//!   UNSAT certificate over the full `2^free` border space, `refuted` a
+//!   re-simulated counterexample.  The same engine then proves per-wire
+//!   *completeness* — that the selected MATE set matches every benign
+//!   fault point on each covered wire — with gaps reported as
+//!   `mate-coverage` warnings.  A verdict only stays `bounded` when the
+//!   per-call conflict budget (`--budget`, default 1000000) fires; pair
+//!   with `--deny bounded` to make that a gate failure.
+//! * `enum` — exhaustive border-assignment enumeration up to `--cap`
+//!   assignments; spaces beyond the cap stay `bounded` (a clean sample,
+//!   not a certificate).  No coverage pass.
+//!
+//! `--deny` is repeatable: a severity (`error`, `warning`, `info`) sets
+//! the lint gate threshold, and the special value `bounded` additionally
+//! fails the gate on any bounded (uncertified) verdict.
 //!
 //! ```text
 //! mate-analyze [--core avr|msp430|all] [--json <path>]... [--top-module M]
-//!              [--wires all|no-rf] [--top N] [--cap N]
-//!              [--deny error|warning|info] [--threads N] [--emit text|json]
+//!              [--wires all|no-rf] [--top N] [--proof sat|enum] [--cap N]
+//!              [--budget N] [--deny error|warning|info|bounded]...
+//!              [--threads N] [--emit text|json]
 //! ```
+//!
+//! `--emit json` includes deterministic per-verdict solver statistics
+//! (conflicts, decisions, propagations, learned clauses, restarts) and the
+//! per-wire coverage certificates; wall-clock time is deliberately
+//! excluded so output is byte-identical across runs and thread counts.
 //!
 //! Exit codes:
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | every target passed the gate |
-//! | 1    | gate failure: a refuted MATE, a lint at/above `--deny`, or an external netlist rejected by the ingest lint gate (undriven/multi-driven nets, combinational loops, unknown cells, clock-discipline violations) |
+//! | 1    | gate failure: a refuted MATE, a lint at/above `--deny`, a bounded verdict under `--deny bounded` (e.g. the SAT conflict budget fired), or an external netlist rejected by the ingest lint gate (undriven/multi-driven nets, combinational loops, unknown cells, clock-discipline violations) |
 //! | 2    | usage error |
 //! | 3    | runtime error (I/O, malformed JSON, cache store problems) |
 
@@ -26,8 +50,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fault_space_pruning::analyze::{
-    count_denied, render_json, render_text, render_verdicts_json, render_verdicts_text, Severity,
-    VerifyConfig,
+    count_denied, render_coverage_json, render_coverage_text, render_json, render_text,
+    render_verdicts_json, render_verdicts_text, ProofBackend, Severity, VerifyConfig,
 };
 use fault_space_pruning::pipeline::{DesignSource, Flow, WireSetSpec};
 use mate_bench::{no_rf_spec, table_search_config, Core, TRACE_CYCLES};
@@ -43,8 +67,11 @@ struct Options {
     top_module: Option<String>,
     wires: WireSetSpec,
     top: usize,
+    backend: ProofBackend,
     cap: u64,
+    budget: u64,
     deny: Severity,
+    deny_bounded: bool,
     threads: usize,
     emit_json: bool,
 }
@@ -52,8 +79,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: mate-analyze [--core avr|msp430|all|none] [--json <path>]... \
-         [--top-module M] [--wires all|no-rf] [--top N] [--cap N] \
-         [--deny error|warning|info] [--threads N] [--emit text|json]"
+         [--top-module M] [--wires all|no-rf] [--top N] [--proof sat|enum] \
+         [--cap N] [--budget N] [--deny error|warning|info|bounded]... \
+         [--threads N] [--emit text|json]"
     );
     std::process::exit(2);
 }
@@ -65,8 +93,11 @@ fn parse_args() -> Options {
         top_module: None,
         wires: WireSetSpec::AllFfs,
         top: 100,
+        backend: ProofBackend::Sat,
         cap: 1 << 20,
+        budget: 1_000_000,
         deny: Severity::Error,
+        deny_bounded: false,
         threads: 0,
         emit_json: false,
     };
@@ -107,20 +138,32 @@ fn parse_args() -> Options {
             "--top" => {
                 opts.top = value("--top").parse().unwrap_or_else(|_| usage());
             }
-            "--cap" => {
-                opts.cap = value("--cap").parse().unwrap_or_else(|_| usage());
-            }
-            "--deny" => {
-                opts.deny = match value("--deny").as_str() {
-                    "error" => Severity::Error,
-                    "warning" => Severity::Warning,
-                    "info" => Severity::Info,
+            "--proof" => {
+                opts.backend = match value("--proof").as_str() {
+                    "sat" => ProofBackend::Sat,
+                    "enum" => ProofBackend::Enumeration,
                     other => {
-                        eprintln!("mate-analyze: unknown severity `{other}`");
+                        eprintln!("mate-analyze: unknown proof backend `{other}`");
                         usage();
                     }
                 };
             }
+            "--cap" => {
+                opts.cap = value("--cap").parse().unwrap_or_else(|_| usage());
+            }
+            "--budget" => {
+                opts.budget = value("--budget").parse().unwrap_or_else(|_| usage());
+            }
+            "--deny" => match value("--deny").as_str() {
+                "error" => opts.deny = Severity::Error,
+                "warning" => opts.deny = Severity::Warning,
+                "info" => opts.deny = Severity::Info,
+                "bounded" => opts.deny_bounded = true,
+                other => {
+                    eprintln!("mate-analyze: unknown severity `{other}`");
+                    usage();
+                }
+            },
             "--threads" => {
                 opts.threads = value("--threads").parse().unwrap_or_else(|_| usage());
             }
@@ -153,15 +196,26 @@ fn report_gate(
 ) -> bool {
     let netlist = &flow.design().netlist;
     if opts.emit_json {
+        let totals = report.solver_totals();
         println!(
-            "{{\"target\":\"{label}\",\"diagnostics\":{},\"verdicts\":{}}}",
+            "{{\"target\":\"{label}\",\"backend\":\"{}\",\"diagnostics\":{},\"verdicts\":{},\
+             \"coverage\":{},\"solver_totals\":{{\"conflicts\":{},\"decisions\":{},\
+             \"propagations\":{},\"learned\":{},\"restarts\":{}}}}}",
+            report.backend.label(),
             render_json(netlist, &report.diagnostics).trim_end(),
-            render_verdicts_json(netlist, &report.verdicts).trim_end()
+            render_verdicts_json(netlist, &report.verdicts).trim_end(),
+            render_coverage_json(netlist, &report.coverage).trim_end(),
+            totals.conflicts,
+            totals.decisions,
+            totals.propagations,
+            totals.learned,
+            totals.restarts,
         );
     } else {
         println!("== {label} ==");
         print!("{}", render_text(netlist, &report.diagnostics));
         print!("{}", render_verdicts_text(netlist, &report.verdicts));
+        print!("{}", render_coverage_text(netlist, &report.coverage));
         let counts = report.counts();
         println!(
             "{label}: {} lint findings ({} denied at --deny {}), {} proved / {} bounded / {} refuted",
@@ -172,8 +226,24 @@ fn report_gate(
             counts.bounded,
             counts.refuted,
         );
+        if report.backend == ProofBackend::Sat {
+            let cov = report.coverage_counts();
+            let totals = report.solver_totals();
+            println!(
+                "{label}: coverage {} complete / {} gaps / {} undecided; solver {} conflicts, \
+                 {} decisions, {} propagations, {} learned, {} restarts",
+                cov.complete,
+                cov.gaps,
+                cov.undecided,
+                totals.conflicts,
+                totals.decisions,
+                totals.propagations,
+                totals.learned,
+                totals.restarts,
+            );
+        }
     }
-    report.gate_passes(opts.deny)
+    report.gate_passes_with(opts.deny, opts.deny_bounded)
 }
 
 /// Runs the gate for one builtin core; returns `true` when it passes.
@@ -193,6 +263,8 @@ fn run_core(core: Core, opts: &Options) -> Result<bool, MateError> {
         VerifyConfig {
             max_assignments: opts.cap,
             threads: opts.threads,
+            backend: opts.backend,
+            conflict_budget: opts.budget,
         },
     )?;
     Ok(report_gate(&flow, core.label(), &report.value, opts))
@@ -214,6 +286,8 @@ fn run_external(path: &Path, opts: &Options) -> Result<bool, MateError> {
         VerifyConfig {
             max_assignments: opts.cap,
             threads: opts.threads,
+            backend: opts.backend,
+            conflict_budget: opts.budget,
         },
     )?;
     let label = format!("{} ({})", flow.design().netlist.name(), path.display());

@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use fault_space_pruning::analyze::{Severity, Verdict, VerifyConfig};
+use fault_space_pruning::analyze::{ProofBackend, Severity, Verdict, VerifyConfig};
 use fault_space_pruning::mate::prelude::*;
 use fault_space_pruning::netlist::examples::figure1b;
 use fault_space_pruning::pipeline::{ArtifactStore, DesignSource, Flow, TraceSource, WireSetSpec};
@@ -97,15 +97,18 @@ fn analyze_stage_caches_and_round_trips() {
         second.summary().to_json()
     );
 
-    // Changing the cap changes the stage fingerprint: miss, and the small
-    // cap shows up both in the report and in Bounded verdicts for any cone
-    // with more than one free border assignment.
+    // Changing the cap (and backend) changes the stage fingerprint: miss,
+    // and the small cap shows up both in the report and in Bounded
+    // verdicts for any cone with more than one free border assignment
+    // under the enumeration backend.
     let mut third = Flow::new(scratch.store(), figure1b_source()).unwrap();
     let capped = run_analyze(
         &mut third,
         VerifyConfig {
             max_assignments: 1,
             threads: 0,
+            backend: ProofBackend::Enumeration,
+            ..VerifyConfig::default()
         },
     );
     assert_eq!(capped.max_assignments, 1);
